@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all test vet bench exps exps-csv fuzz exhaustive fmt tools
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Quick-mode benchmarks, one per evaluation table/figure plus primitives.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full-fidelity evaluation (regenerates every table in EXPERIMENTS.md).
+exps:
+	$(GO) run ./cmd/hhcbench
+
+exps-csv:
+	$(GO) run ./cmd/hhcbench -format csv
+
+# Short fuzzing session over every fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzDisjointPaths -fuzztime=30s ./internal/core
+	$(GO) test -fuzz=FuzzRouteAgainstBound -fuzztime=15s ./internal/core
+	$(GO) test -fuzz=FuzzDimOrderTermination -fuzztime=15s ./internal/hhc
+	$(GO) test -fuzz=FuzzParseNode -fuzztime=10s ./internal/hhc
+	$(GO) test -fuzz=FuzzEmbedRing -fuzztime=15s ./internal/hhc
+	$(GO) test -fuzz=FuzzParseTrace -fuzztime=10s ./internal/sched
+
+# The 4.2M-pair full verification of the container theorem on HHC_11 (~90s).
+exhaustive:
+	HHC_EXHAUSTIVE=1 $(GO) test -run ExhaustiveM3Full -v ./internal/core
+
+fmt:
+	gofmt -w .
+
+tools:
+	$(GO) build ./cmd/...

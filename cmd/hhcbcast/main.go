@@ -1,0 +1,66 @@
+// Command hhcbcast analyzes broadcast on the hierarchical hypercube: it
+// builds the distributed dimension-ordered spanning tree from a root,
+// validates it, and reports depth (all-port rounds), the exact minimum
+// one-port rounds, and per-level population.
+//
+// Usage:
+//
+//	hhcbcast -m 3
+//	hhcbcast -m 3 -root 0x2a:3 -levels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/collective"
+	"repro/internal/hhc"
+)
+
+func main() {
+	m := flag.Int("m", 3, "son-cube dimension m (tree materialization needs m <= 4)")
+	rootSpec := flag.String("root", "0x0:0", "broadcast root x:y")
+	levels := flag.Bool("levels", false, "print per-level node counts")
+	flag.Parse()
+
+	if err := run(os.Stdout, *m, *rootSpec, *levels); err != nil {
+		fmt.Fprintln(os.Stderr, "hhcbcast:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, m int, rootSpec string, showLevels bool) error {
+	g, err := hhc.New(m)
+	if err != nil {
+		return err
+	}
+	root, err := g.ParseNode(rootSpec)
+	if err != nil {
+		return err
+	}
+	tree, err := collective.BuildTree(g, root)
+	if err != nil {
+		return err
+	}
+	if err := tree.Validate(g); err != nil {
+		return fmt.Errorf("tree validation failed: %w", err)
+	}
+	n, _ := g.NumNodes()
+	lower := int(math.Ceil(math.Log2(float64(n))))
+	fmt.Fprintf(w, "broadcast tree on HHC_%d (m=%d, %d nodes), root %s\n", g.N(), m, n, g.FormatNode(root))
+	fmt.Fprintf(w, "  spanning            yes (validated: every node reached exactly once over real edges)\n")
+	fmt.Fprintf(w, "  depth               %d   (= all-port broadcast rounds)\n", tree.Depth)
+	fmt.Fprintf(w, "  one-port rounds     %d   (exact tree DP)\n", tree.OnePortRounds())
+	fmt.Fprintf(w, "  lower bound         %d   (ceil(log2 N): doubling argument)\n", lower)
+	fmt.Fprintf(w, "  max fan-out         %d   (<= degree %d)\n", tree.MaxChildren(), g.Degree())
+	if showLevels {
+		fmt.Fprintln(w, "\n  level  nodes")
+		for d, level := range tree.Levels() {
+			fmt.Fprintf(w, "  %5d  %d\n", d, len(level))
+		}
+	}
+	return nil
+}

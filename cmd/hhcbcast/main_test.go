@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, "0x0:0", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"broadcast tree on HHC_6", "spanning            yes", "lower bound         6"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunLevels(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, "0x3:1", true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "level  nodes") {
+		t.Fatalf("levels missing:\n%s", out)
+	}
+	// Level 0 always holds exactly the root.
+	if !strings.Contains(out, "    0  1\n") {
+		t.Fatalf("level 0 wrong:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 6, "0x0:0", false); err == nil {
+		t.Error("m=6 tree materialization accepted")
+	}
+	if err := run(&buf, 2, "junk", false); err == nil {
+		t.Error("bad root accepted")
+	}
+	if err := run(&buf, 0, "0x0:0", false); err == nil {
+		t.Error("bad m accepted")
+	}
+}

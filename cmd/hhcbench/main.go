@@ -1,0 +1,76 @@
+// Command hhcbench regenerates the evaluation tables and figures (E1..E22
+// in DESIGN.md). Each experiment prints the same rows/series the paper's
+// evaluation reports; EXPERIMENTS.md records a full run.
+//
+// Usage:
+//
+//	hhcbench                 # run everything, full fidelity
+//	hhcbench -exp E3         # one experiment
+//	hhcbench -quick          # reduced samples (seconds, for smoke tests)
+//	hhcbench -seed 7         # change workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	expID := flag.String("exp", "all", "experiment to run: E1..E22 or all")
+	quick := flag.Bool("quick", false, "reduced sample sizes")
+	seed := flag.Int64("seed", exp.DefaultConfig().Seed, "workload seed")
+	format := flag.String("format", "text", "output format: text, csv, or md")
+	list := flag.Bool("list", false, "list the experiment catalogue and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	if err := run(os.Stdout, *expID, cfg, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "hhcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, expID string, cfg exp.Config, format string) error {
+	if format != "text" && format != "csv" && format != "md" {
+		return fmt.Errorf("unknown format %q (want text, csv, or md)", format)
+	}
+	entries := exp.All()
+	if expID != "all" {
+		e, err := exp.Find(expID)
+		if err != nil {
+			return err
+		}
+		entries = []exp.Entry{e}
+	}
+	for _, e := range entries {
+		start := time.Now()
+		if format == "csv" {
+			if err := exp.RunAndRenderCSV(e, cfg, w); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			continue
+		}
+		if format == "md" {
+			if err := exp.RunAndRenderMarkdown(e, cfg, w); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			continue
+		}
+		if err := exp.RunAndRender(e, cfg, w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func quick() exp.Config { return exp.Config{Quick: true, Seed: 5} }
+
+func TestRunSingleExperimentText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "E9", quick(), "text"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== E9") || !strings.Contains(out, "completed in") {
+		t.Fatalf("text output wrong:\n%.200s", out)
+	}
+}
+
+func TestRunSingleExperimentCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "E9", quick(), "csv"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# E9/0:") {
+		t.Fatalf("csv output wrong:\n%.200s", out)
+	}
+	if strings.Contains(out, "completed in") {
+		t.Fatal("csv output polluted with progress lines")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "E99", quick(), "text"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run(&buf, "E9", quick(), "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,90 @@
+// Command hhcinfo prints structural information about a hierarchical
+// hypercube topology: sizes, degree, diameter bound, and optionally the
+// neighborhood of a given node.
+//
+// Usage:
+//
+//	hhcinfo -m 3
+//	hhcinfo -m 3 -node 0x2a:3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/hhc"
+)
+
+func main() {
+	m := flag.Int("m", 3, "son-cube dimension m (1..6); the network is HHC_{2^m+m}")
+	nodeSpec := flag.String("node", "", "optional node x:y whose neighborhood to print")
+	exact := flag.Bool("exact", false, "compute the exact diameter by all-source BFS (m <= 2)")
+	dist := flag.Bool("dist", false, "print the exact distance distribution (m <= 4)")
+	flag.Parse()
+
+	if err := run(os.Stdout, *m, *nodeSpec, *exact, *dist); err != nil {
+		fmt.Fprintln(os.Stderr, "hhcinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, m int, nodeSpec string, exact, dist bool) error {
+	g, err := hhc.New(m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "hierarchical hypercube HHC_%d (m=%d)\n", g.N(), m)
+	fmt.Fprintf(w, "  son-cube dimension   m = %d   (each son-cube is a Q_%d of %d processors)\n", m, m, g.T())
+	fmt.Fprintf(w, "  super-cube dimension t = %d   (2^%d son-cubes)\n", g.T(), g.T())
+	fmt.Fprintf(w, "  address length       n = %d   (2^%d nodes)\n", g.N(), g.N())
+	if count, ok := g.NumNodes(); ok {
+		fmt.Fprintf(w, "  nodes                    %d\n", count)
+	}
+	fmt.Fprintf(w, "  degree = connectivity    %d\n", g.Degree())
+	fmt.Fprintf(w, "  diameter             <=  %d   (Gray-cycle routing bound 2^(m+1)+m)\n", g.DiameterUpperBound())
+
+	if exact {
+		dg, err := g.Dense()
+		if err != nil {
+			return err
+		}
+		diam, err := graph.Diameter(dg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  diameter (exact)         %d\n", diam)
+	}
+
+	if dist {
+		hist, err := g.DistanceDistribution()
+		if err != nil {
+			return err
+		}
+		mean, err := g.MeanDistance()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\ndistance distribution (from any node; the network is vertex-transitive)\n")
+		fmt.Fprintf(w, "  mean distance  %.3f\n", mean)
+		for d, c := range hist {
+			fmt.Fprintf(w, "  %3d  %d\n", d, c)
+		}
+	}
+
+	if nodeSpec != "" {
+		u, err := g.ParseNode(nodeSpec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nnode %s\n", g.FormatNode(u))
+		for i := 0; i < m; i++ {
+			fmt.Fprintf(w, "  local neighbor (dim %d)  %s\n", i, g.FormatNode(g.LocalNeighbor(u, i)))
+		}
+		fmt.Fprintf(w, "  external neighbor       %s  (super-dimension %d)\n",
+			g.FormatNode(g.ExternalNeighbor(u)), u.Y)
+	}
+	return nil
+}

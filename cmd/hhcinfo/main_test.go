@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"HHC_11", "degree = connectivity    4", "2^11"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExactDiameter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, "", true, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "diameter (exact)         8") {
+		t.Fatalf("exact diameter missing:\n%s", buf.String())
+	}
+}
+
+func TestRunNodeNeighborhood(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, "0x5:1", false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "external neighbor       0x7:1") {
+		t.Fatalf("neighborhood wrong:\n%s", out)
+	}
+}
+
+func TestRunDistanceDistribution(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, "", false, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mean distance") || !strings.Contains(out, "    8  2") {
+		t.Fatalf("distribution output wrong:\n%s", out)
+	}
+	// m=5 cannot be enumerated.
+	if err := run(&buf, 5, "", false, true); err == nil {
+		t.Fatal("m=5 distribution accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 9, "", false, false); err == nil {
+		t.Error("m=9 accepted")
+	}
+	if err := run(&buf, 2, "zzz", false, false); err == nil {
+		t.Error("bad node accepted")
+	}
+	if err := run(&buf, 4, "", true, false); err == nil {
+		t.Error("exact diameter at m=4 accepted (too large)")
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunContainer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, "0x00:0", "0xff:5", "ascending", false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4 node-disjoint paths (verified)") {
+		t.Fatalf("container header missing:\n%.200s", out)
+	}
+	if strings.Count(out, "path ") != 4 {
+		t.Fatalf("want 4 path sections:\n%.200s", out)
+	}
+	if !strings.Contains(out, "(external)") || !strings.Contains(out, "(local)") {
+		t.Fatal("hop kinds not annotated")
+	}
+}
+
+func TestRunRoute(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, "0x00:0", "0xff:5", "", true, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "provably shortest") {
+		t.Fatalf("route output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunStrategies(t *testing.T) {
+	for _, s := range []string{"ascending", "gray", "nearest"} {
+		var buf bytes.Buffer
+		if err := run(&buf, 2, "0x0:0", "0xf:3", s, false, false); err != nil {
+			t.Fatalf("strategy %s: %v", s, err)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, "0x0:0", "0xf:3", "ascending", false, true); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		M     int        `json:"m"`
+		Width int        `json:"width"`
+		Paths [][]string `json:"paths"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if got.M != 2 || got.Width != 3 || len(got.Paths) != 3 {
+		t.Fatalf("JSON content wrong: %+v", got)
+	}
+	for _, p := range got.Paths {
+		if p[0] != "0x0:0" || p[len(p)-1] != "0xf:3" {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, "", "", "ascending", false, false); err == nil {
+		t.Error("missing endpoints accepted")
+	}
+	if err := run(&buf, 3, "0x0:0", "0x1:0", "bogus", false, false); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if err := run(&buf, 3, "0x0:0", "0x0:0", "ascending", false, false); err == nil {
+		t.Error("same node accepted")
+	}
+	if err := run(&buf, 3, "junk", "0x1:0", "ascending", false, false); err == nil {
+		t.Error("bad source accepted")
+	}
+	if err := run(&buf, 3, "0x1:0", "junk", "ascending", false, false); err == nil {
+		t.Error("bad destination accepted")
+	}
+	if err := run(&buf, 99, "0x1:0", "0x2:0", "ascending", false, false); err == nil {
+		t.Error("bad m accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSynthetic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 6, "", 100, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fcfs") || !strings.Contains(out, "backfill") {
+		t.Fatalf("policy rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100 jobs") {
+		t.Fatalf("job count missing:\n%s", out)
+	}
+}
+
+func TestRunEmitThenSchedule(t *testing.T) {
+	var trace bytes.Buffer
+	if err := run(&trace, 5, "", 40, 9, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(trace.String(), "id,arrival,order,duration") {
+		t.Fatalf("emit did not produce a trace:\n%.80s", trace.String())
+	}
+	// Round-trip through a file.
+	path := filepath.Join(t.TempDir(), "jobs.csv")
+	if err := os.WriteFile(path, trace.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 5, path, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "40 jobs") {
+		t.Fatalf("file trace not scheduled:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 6, "", 0, 0, false); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run(&buf, 6, "x.csv", 10, 0, false); err == nil {
+		t.Error("both inputs accepted")
+	}
+	if err := run(&buf, 6, "/nonexistent/file.csv", 0, 0, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Malformed trace file.
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(path, []byte("nope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, 6, path, 0, 0, false); err == nil {
+		t.Error("malformed trace accepted")
+	}
+	// Jobs too large for the machine.
+	path2 := filepath.Join(t.TempDir(), "big.csv")
+	if err := os.WriteFile(path2, []byte("id,arrival,order,duration\n1,0,30,5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, 6, path2, 0, 0, false); err == nil {
+		t.Error("oversized job accepted")
+	}
+}

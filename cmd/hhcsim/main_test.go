@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func baseOpts() simOpts {
+	return simOpts{
+		m: 2, mode: "single", flows: 4, msgs: 5, flits: 16,
+		rate: 0.01, seed: 1, switching: "saf", pattern: "uniform",
+	}
+}
+
+func TestRunAllModes(t *testing.T) {
+	for _, mode := range []string{"single", "multi", "fault-aware", "adaptive"} {
+		o := baseOpts()
+		o.mode = mode
+		var buf bytes.Buffer
+		if err := run(&buf, o); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if !strings.Contains(buf.String(), "delivered        20") {
+			t.Fatalf("mode %s output:\n%s", mode, buf.String())
+		}
+	}
+}
+
+func TestRunSwitchAndPattern(t *testing.T) {
+	o := baseOpts()
+	o.switching = "cut-through"
+	o.pattern = "hotspot"
+	var buf bytes.Buffer
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "switch=cut-through pattern=hotspot") {
+		t.Fatalf("header wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	o := baseOpts()
+	o.m = 3
+	o.mode = "multi"
+	o.faults = 3
+	o.linkFaults = 2
+	var buf bytes.Buffer
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dropped          0") {
+		t.Fatalf("container guarantee broken in CLI:\n%s", buf.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	var buf bytes.Buffer
+	o := baseOpts()
+	o.mode = "warp"
+	if err := run(&buf, o); err == nil {
+		t.Error("bad mode accepted")
+	}
+	o = baseOpts()
+	o.switching = "quantum"
+	if err := run(&buf, o); err == nil {
+		t.Error("bad switching accepted")
+	}
+	o = baseOpts()
+	o.pattern = "chaos"
+	if err := run(&buf, o); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	o = baseOpts()
+	o.flows = 0
+	if err := run(&buf, o); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,72 @@
+// Command hhcviz emits Graphviz DOT renderings of hierarchical hypercube
+// structures: a small whole topology, a disjoint-path container, or an
+// embedded ring. Pipe to `dot -Tsvg` / `neato -Tpng` to draw.
+//
+// Usage:
+//
+//	hhcviz -m 2 -topology                  > topo.dot
+//	hhcviz -m 3 -u 0x00:0 -v 0xff:5        > container.dot
+//	hhcviz -m 3 -ring 4                    > ring.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hhc"
+	"repro/internal/viz"
+)
+
+func main() {
+	m := flag.Int("m", 2, "son-cube dimension m")
+	topology := flag.Bool("topology", false, "render the whole network (m <= 2)")
+	uSpec := flag.String("u", "", "container source x:y")
+	vSpec := flag.String("v", "", "container destination x:y")
+	ring := flag.Int("ring", 0, "render the ring through 2^r son-cubes (r >= 2)")
+	flag.Parse()
+
+	if err := run(os.Stdout, *m, *topology, *uSpec, *vSpec, *ring); err != nil {
+		fmt.Fprintln(os.Stderr, "hhcviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, m int, topology bool, uSpec, vSpec string, ring int) error {
+	g, err := hhc.New(m)
+	if err != nil {
+		return err
+	}
+	switch {
+	case topology:
+		return viz.TopologyDOT(g, w)
+	case ring >= 2:
+		dims, err := g.RingDims(ring)
+		if err != nil {
+			return err
+		}
+		cycle, err := g.EmbedRing(0, dims)
+		if err != nil {
+			return err
+		}
+		return viz.RingDOT(g, cycle, w)
+	case uSpec != "" && vSpec != "":
+		u, err := g.ParseNode(uSpec)
+		if err != nil {
+			return err
+		}
+		v, err := g.ParseNode(vSpec)
+		if err != nil {
+			return err
+		}
+		paths, err := core.DisjointPaths(g, u, v)
+		if err != nil {
+			return err
+		}
+		return viz.ContainerDOT(g, u, v, paths, w)
+	default:
+		return fmt.Errorf("pick one of -topology, -ring R, or -u/-v (see -h)")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTopology(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, true, "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "graph hhc6 {") {
+		t.Fatalf("not DOT:\n%.100s", buf.String())
+	}
+}
+
+func TestRunContainer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, false, "0x00:0", "0xff:5", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph container {") {
+		t.Fatalf("not a container DOT:\n%.100s", buf.String())
+	}
+}
+
+func TestRunRing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, false, "", "", 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "graph ring {") {
+		t.Fatalf("not a ring DOT:\n%.100s", out)
+	}
+	// 8 son-cubes × 8 processors = 64 edges in the cycle.
+	if got := strings.Count(out, " -- "); got != 64 {
+		t.Fatalf("%d ring edges, want 64", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, false, "", "", 0); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run(&buf, 3, true, "", "", 0); err == nil {
+		t.Error("m=3 topology accepted")
+	}
+	if err := run(&buf, 2, false, "bad", "0x0:0", 0); err == nil {
+		t.Error("bad node accepted")
+	}
+	if err := run(&buf, 2, false, "0x0:0", "bad", 0); err == nil {
+		t.Error("bad node accepted")
+	}
+	if err := run(&buf, 2, false, "", "", 99); err == nil {
+		t.Error("oversized ring accepted")
+	}
+	if err := run(&buf, 99, true, "", "", 0); err == nil {
+		t.Error("bad m accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// TestDocsCoverEveryExperiment keeps the documentation honest: every
+// experiment in the code registry must appear in DESIGN.md's experiment
+// index and in EXPERIMENTS.md, and the docs must not reference experiments
+// that do not exist.
+func TestDocsCoverEveryExperiment(t *testing.T) {
+	registry := map[string]bool{}
+	for _, e := range exp.All() {
+		registry[e.ID] = true
+	}
+	idPattern := regexp.MustCompile(`\bE([0-9]+)\b`)
+	for _, doc := range []string{"DESIGN.md", "EXPERIMENTS.md"} {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		text := string(raw)
+		mentioned := map[string]bool{}
+		for _, m := range idPattern.FindAllStringSubmatch(text, -1) {
+			mentioned["E"+m[1]] = true
+		}
+		for id := range registry {
+			if !mentioned[id] {
+				t.Errorf("%s does not mention experiment %s", doc, id)
+			}
+		}
+		for id := range mentioned {
+			if !registry[id] {
+				t.Errorf("%s references non-existent experiment %s", doc, id)
+			}
+		}
+	}
+}
+
+// TestDocsMentionEveryTool: the README's tool table must cover every binary
+// under cmd/.
+func TestDocsMentionEveryTool(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(raw)
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(readme, e.Name()) {
+			t.Errorf("README.md does not mention cmd/%s", e.Name())
+		}
+	}
+}
+
+// TestDocsMentionEveryExample: README must list every runnable example.
+func TestDocsMentionEveryExample(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(raw)
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(readme, fmt.Sprintf("examples/%s", e.Name())) {
+			t.Errorf("README.md does not mention examples/%s", e.Name())
+		}
+	}
+}

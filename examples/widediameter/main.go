@@ -1,0 +1,58 @@
+// Wide-diameter survey: measure how much longer the longest container path
+// is than the plain shortest path, across the whole range of super-cube
+// distances — the empirical version of the paper's length-bound theorem.
+//
+// Run with: go run ./examples/widediameter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hhc"
+	"repro/internal/stats"
+)
+
+func main() {
+	g, err := hhc.New(4) // 2^20 nodes; everything below runs on addresses only
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HHC_%d (m=4, 2^%d nodes): container length vs distance, 200 pairs per distance\n\n",
+		g.N(), g.N())
+	fmt.Printf("%4s %12s %16s %16s %10s\n", "d", "mean dist", "mean container", "max container", "slack")
+
+	worstSlack := 0
+	for d := 0; d <= g.T(); d++ {
+		pairs, err := gen.PairsAtSuperDistance(g, 200, d, int64(d)+77)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var dists, maxes []int
+		for _, pr := range pairs {
+			dist, _, err := g.Distance(pr.U, pr.V)
+			if err != nil {
+				log.Fatal(err)
+			}
+			paths, err := core.DisjointPaths(g, pr.U, pr.V)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := core.VerifyContainer(g, pr.U, pr.V, paths); err != nil {
+				log.Fatal(err)
+			}
+			dists = append(dists, dist)
+			maxes = append(maxes, core.MaxLength(paths))
+			if s := core.MaxLength(paths) - dist; s > worstSlack {
+				worstSlack = s
+			}
+		}
+		ds, ms := stats.Summarize(dists), stats.Summarize(maxes)
+		fmt.Printf("%4d %12.2f %16.2f %16d %10.2f\n", d, ds.Mean, ms.Mean, ms.Max, ms.Mean-ds.Mean)
+	}
+	fmt.Printf("\nworst observed slack (container max − distance): %d hops\n", worstSlack)
+	fmt.Println("=> the (m+1)-wide diameter exceeds the diameter by only an additive term,")
+	fmt.Println("   matching the shape of the paper's length-bound theorem.")
+}

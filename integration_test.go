@@ -1,0 +1,258 @@
+package repro
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hhc"
+	"repro/internal/netsim"
+	"repro/internal/viz"
+)
+
+// TestEndToEndContainerPipeline walks the full user journey: topology →
+// shortest route → container → verification → fault tolerance → DOT export,
+// asserting cross-module consistency at each step.
+func TestEndToEndContainerPipeline(t *testing.T) {
+	g, err := hhc.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := g.ParseNode("0x2a:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := g.ParseNode("0xd1:6")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	route, info, err := g.RouteEx(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Exact {
+		t.Fatal("m=3 route must be exact")
+	}
+
+	paths, err := core.DisjointPaths(g, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyContainer(g, u, v, paths); err != nil {
+		t.Fatal(err)
+	}
+	// The container's best path cannot beat the provably shortest route.
+	for _, p := range paths {
+		if len(p) < len(route) {
+			t.Fatalf("container path shorter than the shortest path")
+		}
+	}
+
+	// Kill the shortest container path's middle node; RouteAround must give
+	// a fault-free alternative consistent with SurvivingPaths.
+	shortest := paths[0]
+	for _, p := range paths[1:] {
+		if len(p) < len(shortest) {
+			shortest = p
+		}
+	}
+	faults := map[hhc.Node]bool{shortest[len(shortest)/2]: true}
+	alt, err := core.RouteAround(g, u, v, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(core.SurvivingPaths(paths, faults)) != len(paths)-1 {
+		t.Fatal("exactly one path should have died")
+	}
+	if err := g.VerifyPath(u, v, alt); err != nil {
+		t.Fatal(err)
+	}
+
+	var dot bytes.Buffer
+	if err := viz.ContainerDOT(g, u, v, paths, &dot); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "graph container {") {
+		t.Fatal("DOT export malformed")
+	}
+}
+
+// TestConstructionAgreesWithFlowEverywhereM2: the strongest cross-module
+// check — on the fully enumerable HHC_6, for EVERY ordered pair, the
+// constructive container and the max-flow baseline must agree on width
+// (m+1 = the local connectivity).
+func TestConstructionAgreesWithFlowEverywhereM2(t *testing.T) {
+	g, err := hhc.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := g.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.NumNodes()
+	for i := uint64(0); i < n; i++ {
+		for j := uint64(0); j < n; j++ {
+			if i == j {
+				continue
+			}
+			u, v := g.NodeFromID(i), g.NodeFromID(j)
+			paths, err := core.DisjointPaths(g, u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp, err := flow.VertexDisjointPathsDinic(dg, i, j, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(paths) != len(fp) {
+				t.Fatalf("%v->%v: construction %d vs flow %d", u, v, len(paths), len(fp))
+			}
+		}
+	}
+}
+
+// TestBroadcastTreeFeedsSimulator: the collective tree's parent edges are
+// real links, so a message routed hop-by-hop up the tree must match the
+// routing validator.
+func TestBroadcastTreeFeedsSimulator(t *testing.T) {
+	g, err := hhc.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := hhc.Node{X: 0x3c, Y: 2}
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		w := g.RandomNode(r)
+		path := []hhc.Node{w}
+		cur := w
+		for cur != root {
+			p, err := collective.Parent(g, cur, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path = append(path, p)
+			cur = p
+			if len(path) > g.DimOrderLengthBound()+1 {
+				t.Fatalf("parent chain from %v does not terminate", w)
+			}
+		}
+		if err := g.VerifyPath(w, root, path); err != nil {
+			t.Fatalf("parent chain invalid: %v", err)
+		}
+	}
+}
+
+// TestSimulatorAgreesWithConstructionGuarantee: run the DES with exactly m
+// node faults across many seeds; the fault-aware modes must never drop.
+func TestSimulatorAgreesWithConstructionGuarantee(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		for _, mode := range []netsim.RoutingMode{netsim.FaultAwareSingle, netsim.MultiPathStripe} {
+			res, err := netsim.Run(netsim.Config{
+				M: 3, Mode: mode, Flows: 10, MessagesPerFlow: 5,
+				MessageFlits: 8, ArrivalRate: 0.01, FaultCount: 3, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Dropped != 0 {
+				t.Fatalf("seed %d mode %v: dropped %d with f = m", seed, mode, res.Dropped)
+			}
+		}
+	}
+}
+
+// TestWorkloadsAreCrossPackageConsistent: gen's structured pairs respect
+// the properties the experiments assume.
+func TestWorkloadsAreCrossPackageConsistent(t *testing.T) {
+	g, err := hhc.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d <= g.T(); d += 4 {
+		pairs, err := gen.PairsAtSuperDistance(g, 50, d, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pairs {
+			// Route's external-hop count must equal the requested d.
+			_, info, err := g.RouteEx(p.U, p.V)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.ExternalHops != d {
+				t.Fatalf("d=%d pair routed with %d external hops", d, info.ExternalHops)
+			}
+		}
+	}
+}
+
+// TestExperimentRegistryComplete: DESIGN.md promises E1..E15; the registry
+// must deliver them all with distinct IDs and working quick runs (runs are
+// covered in exp's own tests; here we pin the catalogue).
+func TestExperimentRegistryComplete(t *testing.T) {
+	entries := exp.All()
+	if len(entries) != 22 {
+		t.Fatalf("registry has %d entries, want 22", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range []string{"E1", "E5", "E10", "E15"} {
+		if !seen[id] {
+			t.Fatalf("missing %s", id)
+		}
+	}
+}
+
+// TestGroundTruthChainM1: on the tiny HHC_3 (8 nodes, a cycle), everything
+// must agree with hand-computable facts: diameter 4, degree 2, containers
+// of width 2 whose two paths are the two arcs of the cycle.
+func TestGroundTruthChainM1(t *testing.T) {
+	g, err := hhc.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := g.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diam, err := graph.Diameter(dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diam != 4 {
+		t.Fatalf("HHC_3 diameter %d, want 4 (an 8-cycle)", diam)
+	}
+	edges, err := graph.CountEdges(dg)
+	if err != nil || edges != 8 {
+		t.Fatalf("HHC_3 has %d edges, want 8", edges)
+	}
+	u, v := g.NodeFromID(0), g.NodeFromID(5)
+	paths, err := core.DisjointPaths(g, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("container width %d, want 2", len(paths))
+	}
+	// The two arc lengths of an 8-cycle sum to 8.
+	if (len(paths[0])-1)+(len(paths[1])-1) != 8 {
+		t.Fatalf("arc lengths %d + %d != 8", len(paths[0])-1, len(paths[1])-1)
+	}
+}

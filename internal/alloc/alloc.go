@@ -1,0 +1,165 @@
+// Package alloc implements buddy-style subcube allocation over the
+// son-cubes of a hierarchical hypercube: the processor-allocation layer of
+// a space-shared machine. A job requesting 2^r son-cubes receives an
+// r-dimensional subcube of the super-cube Q_t (all 2^m-bit addresses with
+// t−r high bits fixed), so the partition it gets is itself a smaller
+// hierarchical machine: communication inside the job (routing, containers,
+// rings — everything in this repository) never leaves the allocation.
+//
+// Aligned power-of-two address ranges are exactly such subcubes, so the
+// classical binary buddy discipline applies verbatim: blocks split in
+// halves that differ in one address bit, and a freed block re-merges with
+// its buddy (base XOR size) whenever both halves are free.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNoSpace is returned when no sufficiently large subcube is free.
+var ErrNoSpace = errors.New("alloc: no free subcube of the requested dimension")
+
+// Allocator manages the 2^t son-cubes of a hierarchical hypercube with
+// super-cube dimension t.
+type Allocator struct {
+	t         int
+	free      [][]uint64     // free[r] = sorted bases of free r-dimensional blocks
+	allocated map[uint64]int // base -> order of live allocations
+}
+
+// New returns an empty allocator for super-cube dimension t (2 <= t <= 32
+// covers every supported HHC and keeps bookkeeping cheap).
+func New(t int) (*Allocator, error) {
+	if t < 1 || t > 32 {
+		return nil, fmt.Errorf("alloc: super-cube dimension %d out of range [1,32]", t)
+	}
+	a := &Allocator{
+		t:         t,
+		free:      make([][]uint64, t+1),
+		allocated: make(map[uint64]int),
+	}
+	a.free[t] = []uint64{0} // one block: the whole machine
+	return a, nil
+}
+
+// T returns the super-cube dimension.
+func (a *Allocator) T() int { return a.t }
+
+// Alloc reserves an r-dimensional subcube (2^r son-cubes) and returns its
+// base address (low r bits zero). Smallest sufficient free block is split
+// buddy-style until it has the right size.
+func (a *Allocator) Alloc(r int) (uint64, error) {
+	if r < 0 || r > a.t {
+		return 0, fmt.Errorf("alloc: order %d out of range [0,%d]", r, a.t)
+	}
+	// Find the smallest order >= r with a free block.
+	order := -1
+	for o := r; o <= a.t; o++ {
+		if len(a.free[o]) > 0 {
+			order = o
+			break
+		}
+	}
+	if order < 0 {
+		return 0, ErrNoSpace
+	}
+	// Take the lowest base (deterministic) and split down to order r.
+	base := a.free[order][0]
+	a.free[order] = a.free[order][1:]
+	for o := order; o > r; o-- {
+		buddy := base | 1<<uint(o-1)
+		a.insertFree(o-1, buddy)
+	}
+	a.allocated[base] = r
+	return base, nil
+}
+
+// Free releases a previously allocated subcube by base address, merging
+// with free buddies as far as possible.
+func (a *Allocator) Free(base uint64) error {
+	r, ok := a.allocated[base]
+	if !ok {
+		return fmt.Errorf("alloc: base %#x is not an allocation", base)
+	}
+	delete(a.allocated, base)
+	for r < a.t {
+		buddy := base ^ 1<<uint(r)
+		if !a.removeFree(r, buddy) {
+			break
+		}
+		if buddy < base {
+			base = buddy
+		}
+		r++
+	}
+	a.insertFree(r, base)
+	return nil
+}
+
+// insertFree adds a base to the sorted free list of the given order.
+func (a *Allocator) insertFree(order int, base uint64) {
+	lst := a.free[order]
+	i := sort.Search(len(lst), func(k int) bool { return lst[k] >= base })
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = base
+	a.free[order] = lst
+}
+
+// removeFree removes a base from a free list, reporting whether it was there.
+func (a *Allocator) removeFree(order int, base uint64) bool {
+	lst := a.free[order]
+	i := sort.Search(len(lst), func(k int) bool { return lst[k] >= base })
+	if i == len(lst) || lst[i] != base {
+		return false
+	}
+	a.free[order] = append(lst[:i], lst[i+1:]...)
+	return true
+}
+
+// FreeCubes returns how many son-cubes are currently free.
+func (a *Allocator) FreeCubes() uint64 {
+	var total uint64
+	for o, lst := range a.free {
+		total += uint64(len(lst)) << uint(o)
+	}
+	return total
+}
+
+// LargestFree returns the dimension of the largest allocatable subcube, or
+// -1 when nothing is free.
+func (a *Allocator) LargestFree() int {
+	for o := a.t; o >= 0; o-- {
+		if len(a.free[o]) > 0 {
+			return o
+		}
+	}
+	return -1
+}
+
+// Live returns the number of outstanding allocations.
+func (a *Allocator) Live() int { return len(a.allocated) }
+
+// Fragmentation returns 1 − (largest free block)/(total free), the classic
+// external-fragmentation measure: 0 when the free space is one block, and
+// approaching 1 when it is shattered. Returns 0 when nothing is free.
+func (a *Allocator) Fragmentation() float64 {
+	total := a.FreeCubes()
+	if total == 0 {
+		return 0
+	}
+	largest := a.LargestFree()
+	return 1 - float64(uint64(1)<<uint(largest))/float64(total)
+}
+
+// Cubes lists the son-cube addresses of an allocation (base, r): the base
+// with every combination of its low r bits.
+func Cubes(base uint64, r int) []uint64 {
+	out := make([]uint64, 1<<uint(r))
+	for i := range out {
+		out[i] = base | uint64(i)
+	}
+	return out
+}

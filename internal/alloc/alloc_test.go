@@ -1,0 +1,252 @@
+package alloc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypercube"
+)
+
+func mustNew(t *testing.T, dim int) *Allocator {
+	t.Helper()
+	a, err := New(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewBounds(t *testing.T) {
+	for _, d := range []int{0, 33, -1} {
+		if _, err := New(d); err == nil {
+			t.Errorf("New(%d): want error", d)
+		}
+	}
+	a := mustNew(t, 4)
+	if a.T() != 4 || a.FreeCubes() != 16 || a.LargestFree() != 4 || a.Live() != 0 {
+		t.Fatalf("fresh allocator state wrong: free=%d largest=%d", a.FreeCubes(), a.LargestFree())
+	}
+	if a.Fragmentation() != 0 {
+		t.Fatal("fresh allocator fragmented")
+	}
+}
+
+func TestAllocSplitsAndAligns(t *testing.T) {
+	a := mustNew(t, 4)
+	base, err := a.Alloc(2) // 4 son-cubes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base%4 != 0 {
+		t.Fatalf("base %#x not aligned to order 2", base)
+	}
+	if a.FreeCubes() != 12 || a.Live() != 1 {
+		t.Fatalf("after alloc: free=%d live=%d", a.FreeCubes(), a.Live())
+	}
+	// The allocation is a genuine subcube: all pairwise Hamming distances
+	// confined to the low 2 bits.
+	for _, c := range Cubes(base, 2) {
+		if c&^uint64(3) != base {
+			t.Fatalf("cube %#x outside subcube at %#x", c, base)
+		}
+	}
+}
+
+func TestAllocNoOverlapExhaustion(t *testing.T) {
+	a := mustNew(t, 3)
+	seen := map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		base, err := a.Alloc(0)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		for _, c := range Cubes(base, 0) {
+			if seen[c] {
+				t.Fatalf("cube %#x double-allocated", c)
+			}
+			seen[c] = true
+		}
+	}
+	if _, err := a.Alloc(0); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("full machine should return ErrNoSpace, got %v", err)
+	}
+	if a.FreeCubes() != 0 || a.LargestFree() != -1 {
+		t.Fatal("full machine misreports free space")
+	}
+}
+
+func TestFreeMergesBuddies(t *testing.T) {
+	a := mustNew(t, 4)
+	bases := make([]uint64, 0, 16)
+	for i := 0; i < 16; i++ {
+		b, err := a.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, b)
+	}
+	// Free everything in a shuffled order: the machine must coalesce back
+	// to one 4-dimensional block.
+	r := rand.New(rand.NewSource(3))
+	r.Shuffle(len(bases), func(i, j int) { bases[i], bases[j] = bases[j], bases[i] })
+	for _, b := range bases {
+		if err := a.Free(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.LargestFree() != 4 || a.FreeCubes() != 16 || a.Fragmentation() != 0 {
+		t.Fatalf("not fully merged: largest=%d free=%d frag=%.2f",
+			a.LargestFree(), a.FreeCubes(), a.Fragmentation())
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	a := mustNew(t, 3)
+	if err := a.Free(0); err == nil {
+		t.Error("freeing unallocated base accepted")
+	}
+	base, _ := a.Alloc(1)
+	if err := a.Free(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(base); err == nil {
+		t.Error("double free accepted")
+	}
+	if _, err := a.Alloc(-1); err == nil {
+		t.Error("negative order accepted")
+	}
+	if _, err := a.Alloc(4); err == nil {
+		t.Error("oversized order accepted")
+	}
+}
+
+// TestRandomizedAgainstBitmapOracle drives random alloc/free traffic and
+// cross-checks every state against a brute-force bitmap of cube ownership.
+func TestRandomizedAgainstBitmapOracle(t *testing.T) {
+	const dim = 6
+	a := mustNew(t, dim)
+	owner := make([]int, 1<<dim) // 0 free, else allocation tag
+	live := map[uint64]struct {
+		order int
+		tag   int
+	}{}
+	r := rand.New(rand.NewSource(77))
+	tag := 0
+	for step := 0; step < 5000; step++ {
+		if r.Intn(2) == 0 {
+			order := r.Intn(4)
+			base, err := a.Alloc(order)
+			if errors.Is(err, ErrNoSpace) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag++
+			for _, c := range Cubes(base, order) {
+				if owner[c] != 0 {
+					t.Fatalf("step %d: cube %#x already owned by %d", step, c, owner[c])
+				}
+				owner[c] = tag
+			}
+			live[base] = struct {
+				order int
+				tag   int
+			}{order, tag}
+		} else if len(live) > 0 {
+			// Free a random live allocation.
+			var base uint64
+			k := r.Intn(len(live))
+			for b := range live {
+				if k == 0 {
+					base = b
+					break
+				}
+				k--
+			}
+			info := live[base]
+			delete(live, base)
+			if err := a.Free(base); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range Cubes(base, info.order) {
+				if owner[c] != info.tag {
+					t.Fatalf("step %d: cube %#x owned by %d, want %d", step, c, owner[c], info.tag)
+				}
+				owner[c] = 0
+			}
+		}
+		// Invariant: the allocator's free count equals the bitmap's.
+		freeCount := uint64(0)
+		for _, o := range owner {
+			if o == 0 {
+				freeCount++
+			}
+		}
+		if a.FreeCubes() != freeCount {
+			t.Fatalf("step %d: allocator says %d free, bitmap %d", step, a.FreeCubes(), freeCount)
+		}
+	}
+}
+
+// TestAllocationsAreClosedSubnetworks: crossing any of the low r super-cube
+// dimensions from a cube of an allocation stays inside the allocation — the
+// partition is a self-contained hierarchical machine.
+func TestAllocationsAreClosedSubnetworks(t *testing.T) {
+	a := mustNew(t, 5)
+	base, err := a.Alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubes := Cubes(base, 3)
+	inside := map[uint64]bool{}
+	for _, c := range cubes {
+		inside[c] = true
+	}
+	for _, c := range cubes {
+		for d := 0; d < 3; d++ {
+			if !inside[c^1<<uint(d)] {
+				t.Fatalf("crossing dim %d leaves the allocation", d)
+			}
+		}
+		// And crossing a high dimension always leaves it.
+		if inside[c^1<<4] {
+			t.Fatal("high dimension did not leave the allocation")
+		}
+	}
+	// Pairwise distances confined to the low 3 bits.
+	for _, c1 := range cubes {
+		for _, c2 := range cubes {
+			if hypercube.Hamming(c1, c2) > 3 {
+				t.Fatalf("cubes %#x and %#x too far apart", c1, c2)
+			}
+		}
+	}
+}
+
+func TestFragmentationMetric(t *testing.T) {
+	a := mustNew(t, 3)
+	// Allocate all eight singles, free alternating ones: free space 4, all
+	// shattered into order-0 blocks -> fragmentation 1 - 1/4 = 0.75.
+	bases := make([]uint64, 8)
+	for i := range bases {
+		b, err := a.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases[i] = b
+	}
+	for i := 0; i < 8; i += 2 {
+		if err := a.Free(bases[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Fragmentation(); got != 0.75 {
+		t.Fatalf("fragmentation %.3f, want 0.75", got)
+	}
+	// A request for a pair must fail even though 4 cubes are free.
+	if _, err := a.Alloc(1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("fragmented allocator served an order-1 request: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+package alloc_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/alloc"
+)
+
+// Example shows the buddy life cycle: split on allocation, merge on free.
+func Example() {
+	a, err := alloc.New(4) // 16 son-cubes
+	if err != nil {
+		log.Fatal(err)
+	}
+	quad, err := a.Alloc(2) // 4 cubes
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair, err := a.Alloc(1) // 2 cubes
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("quad at:", quad, "cubes:", alloc.Cubes(quad, 2))
+	fmt.Println("pair at:", pair)
+	fmt.Println("free:", a.FreeCubes(), "largest order:", a.LargestFree())
+	if err := a.Free(quad); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Free(pair); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after frees, largest order:", a.LargestFree())
+	// Output:
+	// quad at: 0 cubes: [0 1 2 3]
+	// pair at: 4
+	// free: 10 largest order: 3
+	// after frees, largest order: 4
+}

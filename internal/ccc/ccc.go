@@ -1,0 +1,172 @@
+// Package ccc implements the cube-connected cycles network CCC(k)
+// (Preparata & Vuillemin, 1981) — the closest relative of the hierarchical
+// hypercube and its standard comparison point: where HHC replaces each
+// hypercube vertex by an m-cube, CCC replaces it by a k-cycle. Both
+// networks delegate each cube dimension to one member of the local group;
+// CCC buys constant degree 3 at the price of connectivity 3 (so containers
+// of width 3 no matter the size), whereas HHC keeps degree and container
+// width growing as m+1.
+package ccc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// MinK and MaxK bound the supported cycle length. k = 2 is degenerate
+// (parallel cycle edges); we start at 3 like the literature.
+const (
+	MinK = 3
+	MaxK = 26
+)
+
+// Node is a CCC node: X is the k-bit cycle address, Pos the position on the
+// cycle (which also names the hypercube dimension this node serves).
+type Node struct {
+	X   uint64
+	Pos uint8
+}
+
+// String formats a node.
+func (u Node) String() string { return fmt.Sprintf("(x=%#x,p=%d)", u.X, u.Pos) }
+
+// Graph is a CCC(k) topology handle.
+type Graph struct {
+	k int
+}
+
+// New returns the CCC(k) topology: k·2^k nodes of degree 3.
+func New(k int) (*Graph, error) {
+	if k < MinK || k > MaxK {
+		return nil, fmt.Errorf("ccc: k = %d out of supported range [%d,%d]", k, MinK, MaxK)
+	}
+	return &Graph{k: k}, nil
+}
+
+// K returns the cycle length (= cube dimension).
+func (g *Graph) K() int { return g.k }
+
+// NumNodes returns k·2^k.
+func (g *Graph) NumNodes() uint64 { return uint64(g.k) << uint(g.k) }
+
+// Degree returns 3 (two cycle edges, one cube edge).
+func (g *Graph) Degree() int { return 3 }
+
+// Contains validates a node.
+func (g *Graph) Contains(u Node) bool {
+	if int(u.Pos) >= g.k {
+		return false
+	}
+	if g.k < 64 && u.X>>uint(g.k) != 0 {
+		return false
+	}
+	return true
+}
+
+// CycleNeighbor returns the cycle neighbor in direction +1 or -1.
+func (g *Graph) CycleNeighbor(u Node, dir int) Node {
+	p := (int(u.Pos) + dir + g.k) % g.k
+	return Node{X: u.X, Pos: uint8(p)}
+}
+
+// CubeNeighbor returns the neighbor across the hypercube dimension this
+// node serves.
+func (g *Graph) CubeNeighbor(u Node) Node {
+	return Node{X: u.X ^ (1 << uint(u.Pos)), Pos: u.Pos}
+}
+
+// Neighbors appends u's 3 neighbors: cycle -1, cycle +1, cube.
+func (g *Graph) Neighbors(u Node, buf []Node) []Node {
+	buf = append(buf, g.CycleNeighbor(u, -1))
+	buf = append(buf, g.CycleNeighbor(u, +1))
+	return append(buf, g.CubeNeighbor(u))
+}
+
+// Adjacent reports whether two nodes are joined by an edge.
+func (g *Graph) Adjacent(u, v Node) bool {
+	if u.X == v.X {
+		d := (int(u.Pos) - int(v.Pos) + g.k) % g.k
+		return d == 1 || d == g.k-1
+	}
+	return u.Pos == v.Pos && u.X^v.X == 1<<uint(u.Pos)
+}
+
+// ID packs a node into 0..k·2^k-1 as x·k + pos.
+func (g *Graph) ID(u Node) uint64 { return u.X*uint64(g.k) + uint64(u.Pos) }
+
+// NodeFromID inverts ID.
+func (g *Graph) NodeFromID(id uint64) Node {
+	return Node{X: id / uint64(g.k), Pos: uint8(id % uint64(g.k))}
+}
+
+// RandomNode draws a uniform node.
+func (g *Graph) RandomNode(r *rand.Rand) Node {
+	var x uint64
+	if g.k == 64 {
+		x = r.Uint64()
+	} else {
+		x = r.Uint64() & (1<<uint(g.k) - 1)
+	}
+	return Node{X: x, Pos: uint8(r.Intn(g.k))}
+}
+
+// MaxDenseK bounds the dense (enumerable) view: CCC(16) already has one
+// million nodes.
+const MaxDenseK = 16
+
+// Dense returns a graph.Graph view for ground-truth traversal.
+func (g *Graph) Dense() (graph.Graph, error) {
+	if g.k > MaxDenseK {
+		return nil, fmt.Errorf("%w: CCC(%d) has %d nodes", graph.ErrTooLarge, g.k, g.NumNodes())
+	}
+	return denseView{g}, nil
+}
+
+type denseView struct{ g *Graph }
+
+func (d denseView) Order() int64   { return int64(d.g.NumNodes()) }
+func (d denseView) MaxDegree() int { return 3 }
+
+func (d denseView) Neighbors(v uint64, buf []uint64) []uint64 {
+	u := d.g.NodeFromID(v)
+	for _, w := range d.g.Neighbors(u, nil) {
+		buf = append(buf, d.g.ID(w))
+	}
+	return buf
+}
+
+// DiameterUpperBound returns the classical bound 2k + floor(k/2) - 2 for
+// k >= 4 (Preparata & Vuillemin give Θ(k); this simple crossing argument
+// bound suffices for the comparison tables).
+func (g *Graph) DiameterUpperBound() int {
+	if g.k == 3 {
+		return 6
+	}
+	return 2*g.k + g.k/2 - 2
+}
+
+// VerifyPath checks a simple path between u and v.
+func (g *Graph) VerifyPath(u, v Node, path []Node) error {
+	if len(path) == 0 {
+		return fmt.Errorf("ccc: empty path")
+	}
+	if path[0] != u || path[len(path)-1] != v {
+		return fmt.Errorf("ccc: path runs %v..%v, want %v..%v", path[0], path[len(path)-1], u, v)
+	}
+	seen := make(map[Node]bool, len(path))
+	for i, w := range path {
+		if !g.Contains(w) {
+			return fmt.Errorf("ccc: invalid node %v", w)
+		}
+		if seen[w] {
+			return fmt.Errorf("ccc: repeated node %v", w)
+		}
+		seen[w] = true
+		if i > 0 && !g.Adjacent(path[i-1], w) {
+			return fmt.Errorf("ccc: %v-%v not adjacent", path[i-1], w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package ccc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+func mustNew(t *testing.T, k int) *Graph {
+	t.Helper()
+	g, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewBounds(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 27, -1} {
+		if _, err := New(k); err == nil {
+			t.Errorf("New(%d): want error", k)
+		}
+	}
+	g := mustNew(t, 4)
+	if g.K() != 4 || g.NumNodes() != 64 || g.Degree() != 3 {
+		t.Fatalf("metadata: k=%d nodes=%d deg=%d", g.K(), g.NumNodes(), g.Degree())
+	}
+}
+
+func TestContains(t *testing.T) {
+	g := mustNew(t, 3)
+	cases := []struct {
+		u  Node
+		ok bool
+	}{
+		{Node{X: 0, Pos: 0}, true},
+		{Node{X: 7, Pos: 2}, true},
+		{Node{X: 8, Pos: 0}, false},
+		{Node{X: 0, Pos: 3}, false},
+	}
+	for _, c := range cases {
+		if got := g.Contains(c.u); got != c.ok {
+			t.Errorf("Contains(%v) = %v, want %v", c.u, got, c.ok)
+		}
+	}
+}
+
+func TestNeighborsAndAdjacency(t *testing.T) {
+	g := mustNew(t, 4)
+	u := Node{X: 0b1010, Pos: 1}
+	nbrs := g.Neighbors(u, nil)
+	if len(nbrs) != 3 {
+		t.Fatalf("degree %d", len(nbrs))
+	}
+	want := []Node{
+		{X: 0b1010, Pos: 0},
+		{X: 0b1010, Pos: 2},
+		{X: 0b1000, Pos: 1}, // cube dimension 1 flips bit 1
+	}
+	for i, w := range want {
+		if nbrs[i] != w {
+			t.Fatalf("neighbor %d = %v, want %v", i, nbrs[i], w)
+		}
+		if !g.Adjacent(u, w) || !g.Adjacent(w, u) {
+			t.Fatalf("adjacency not symmetric for %v-%v", u, w)
+		}
+	}
+	if g.Adjacent(u, u) {
+		t.Fatal("self-adjacent")
+	}
+	if g.Adjacent(u, Node{X: 0b1010, Pos: 3}) {
+		t.Fatal("positions 1 and 3 are not cycle-adjacent in C_4")
+	}
+}
+
+func TestCycleWraps(t *testing.T) {
+	g := mustNew(t, 5)
+	u := Node{X: 3, Pos: 0}
+	if got := g.CycleNeighbor(u, -1); got.Pos != 4 {
+		t.Fatalf("wrap -1 from 0 gives %v", got)
+	}
+	if got := g.CycleNeighbor(Node{X: 3, Pos: 4}, +1); got.Pos != 0 {
+		t.Fatalf("wrap +1 from 4 gives %v", got)
+	}
+	// Cube edge is an involution.
+	if g.CubeNeighbor(g.CubeNeighbor(u)) != u {
+		t.Fatal("cube edge not an involution")
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	g := mustNew(t, 5)
+	prop := func(x uint64, p uint8) bool {
+		u := Node{X: x & 0x1F, Pos: p % 5}
+		return g.NodeFromID(g.ID(u)) == u
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	// IDs are dense 0..N-1 and unique.
+	seen := map[uint64]bool{}
+	for x := uint64(0); x < 32; x++ {
+		for p := uint8(0); p < 5; p++ {
+			id := g.ID(Node{X: x, Pos: p})
+			if id >= g.NumNodes() || seen[id] {
+				t.Fatalf("bad ID %d for (%d,%d)", id, x, p)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestDenseGraphStructure(t *testing.T) {
+	g := mustNew(t, 4)
+	dg, err := g.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Order() != 64 || dg.MaxDegree() != 3 {
+		t.Fatalf("order=%d deg=%d", dg.Order(), dg.MaxDegree())
+	}
+	if err := graph.CheckSymmetric(dg); err != nil {
+		t.Fatalf("CCC(4) adjacency broken: %v", err)
+	}
+	edges, err := graph.CountEdges(dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 64*3/2 {
+		t.Fatalf("edges = %d, want 96", edges)
+	}
+	conn, err := graph.IsConnected(dg)
+	if err != nil || !conn {
+		t.Fatalf("connected = %v, %v", conn, err)
+	}
+	if _, err := mustNew(t, 20).Dense(); err == nil {
+		t.Fatal("CCC(20) dense: want too-large error")
+	}
+}
+
+func TestDiameterWithinBound(t *testing.T) {
+	for _, k := range []int{3, 4, 5, 6} {
+		g := mustNew(t, k)
+		dg, err := g.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var diam int
+		if g.NumNodes() <= 1<<10 {
+			diam, err = graph.Diameter(dg)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			diam, _, err = graph.Eccentricity(dg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if diam > g.DiameterUpperBound() {
+			t.Fatalf("k=%d: diameter %d exceeds bound %d", k, diam, g.DiameterUpperBound())
+		}
+	}
+}
+
+// TestConnectivityIsThree: CCC's container width is stuck at 3 regardless of
+// size — the structural contrast with HHC that E9/E11 quantify.
+func TestConnectivityIsThree(t *testing.T) {
+	for _, k := range []int{3, 4, 5} {
+		g := mustNew(t, k)
+		dg, err := g.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(k)))
+		minK := 4
+		for trial := 0; trial < 15; trial++ {
+			u, v := g.RandomNode(r), g.RandomNode(r)
+			if u == v || g.Adjacent(u, v) {
+				continue
+			}
+			c, err := flow.LocalConnectivity(dg, g.ID(u), g.ID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c < minK {
+				minK = c
+			}
+		}
+		if minK != 3 {
+			t.Fatalf("k=%d: connectivity %d, want 3", k, minK)
+		}
+	}
+}
+
+func TestVerifyPath(t *testing.T) {
+	g := mustNew(t, 3)
+	u := Node{X: 0, Pos: 0}
+	v := Node{X: 1, Pos: 1}
+	good := []Node{u, {X: 1, Pos: 0}, v}
+	if err := g.VerifyPath(u, v, good); err != nil {
+		t.Fatalf("good path rejected: %v", err)
+	}
+	if err := g.VerifyPath(u, v, []Node{u, {X: 3, Pos: 2}, v}); err == nil {
+		t.Fatal("broken path accepted")
+	}
+	if err := g.VerifyPath(u, v, nil); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestRandomNodeValid(t *testing.T) {
+	g := mustNew(t, 6)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		if u := g.RandomNode(r); !g.Contains(u) {
+			t.Fatalf("invalid random node %v", u)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package ccc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRouteExhaustive routes every ordered pair of CCC(3) and CCC(4),
+// validating walks and measuring stretch against BFS.
+func TestRouteExhaustive(t *testing.T) {
+	for _, k := range []int{3, 4} {
+		g := mustNew(t, k)
+		dg, err := g.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumNodes()
+		worst := 0
+		for i := uint64(0); i < n; i++ {
+			u := g.NodeFromID(i)
+			dist, err := graph.BFS(dg, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := uint64(0); j < n; j++ {
+				v := g.NodeFromID(j)
+				p, err := g.Route(u, v)
+				if err != nil {
+					t.Fatalf("Route(%v,%v): %v", u, v, err)
+				}
+				if err := g.VerifyWalk(u, v, p); err != nil {
+					t.Fatalf("Route(%v,%v): %v", u, v, err)
+				}
+				if len(p)-1 > 3*k {
+					t.Fatalf("route length %d above 3k bound", len(p)-1)
+				}
+				if s := (len(p) - 1) - int(dist[j]); s > worst {
+					worst = s
+				}
+			}
+		}
+		t.Logf("CCC(%d): worst additive stretch over BFS = %d", k, worst)
+	}
+}
+
+func TestRouteSelfAndErrors(t *testing.T) {
+	g := mustNew(t, 4)
+	u := Node{X: 5, Pos: 2}
+	p, err := g.Route(u, u)
+	if err != nil || len(p) != 1 {
+		t.Fatalf("self route %v, %v", p, err)
+	}
+	if _, err := g.Route(Node{X: 99, Pos: 0}, u); err == nil {
+		t.Error("invalid source accepted")
+	}
+	if _, err := g.Route(u, Node{X: 0, Pos: 9}); err == nil {
+		t.Error("invalid destination accepted")
+	}
+}
+
+func TestRouteRandomLargeK(t *testing.T) {
+	g := mustNew(t, 16) // one million nodes; router must stay address-local
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		u, v := g.RandomNode(r), g.RandomNode(r)
+		p, err := g.Route(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.VerifyWalk(u, v, p); err != nil {
+			t.Fatal(err)
+		}
+		if len(p)-1 > 3*16 {
+			t.Fatalf("length %d above bound", len(p)-1)
+		}
+	}
+}
+
+func TestVerifyWalkRejections(t *testing.T) {
+	g := mustNew(t, 3)
+	u, v := Node{X: 0, Pos: 0}, Node{X: 0, Pos: 1}
+	if err := g.VerifyWalk(u, v, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if err := g.VerifyWalk(u, v, []Node{u, {X: 7, Pos: 2}, v}); err == nil {
+		t.Error("jump accepted")
+	}
+	if err := g.VerifyWalk(u, v, []Node{u, v}); err != nil {
+		t.Errorf("edge rejected: %v", err)
+	}
+}

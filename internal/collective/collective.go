@@ -1,0 +1,211 @@
+// Package collective implements collective communication on the
+// hierarchical hypercube: spanning broadcast trees derived from the
+// distributed dimension-ordered routing function, with exact minimum-round
+// scheduling under the classical one-port and all-port models.
+//
+// The tree needs no global state: each node's parent is simply its
+// dimension-ordered next hop toward the root, so any node can determine its
+// tree position in O(1) — the property that makes the schedule deployable
+// on real routers. The package materializes the tree (for networks small
+// enough to enumerate) to validate it and to compute optimal round counts.
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hhc"
+)
+
+// Parent returns w's parent in the broadcast tree rooted at root: its
+// dimension-ordered next hop toward root. Parent(root) is root itself.
+func Parent(g *hhc.Graph, w, root hhc.Node) (hhc.Node, error) {
+	return g.NextHopDimOrder(w, root)
+}
+
+// Tree is a materialized broadcast tree.
+type Tree struct {
+	Root     hhc.Node
+	Children map[hhc.Node][]hhc.Node
+	Depth    int
+	Size     int
+}
+
+// MaxTreeM bounds tree materialization (2^20 nodes at m = 4).
+const MaxTreeM = 4
+
+// BuildTree enumerates the spanning tree rooted at root. Only m <= MaxTreeM.
+func BuildTree(g *hhc.Graph, root hhc.Node) (*Tree, error) {
+	if g.M() > MaxTreeM {
+		return nil, fmt.Errorf("collective: cannot materialize tree for m=%d (> %d)", g.M(), MaxTreeM)
+	}
+	if !g.Contains(root) {
+		return nil, fmt.Errorf("collective: invalid root %v", root)
+	}
+	n, _ := g.NumNodes()
+	t := &Tree{Root: root, Children: make(map[hhc.Node][]hhc.Node), Size: int(n)}
+	depth := make(map[hhc.Node]int, n)
+	depth[root] = 0
+	// depthOf resolves a node's depth by walking parents, memoizing along
+	// the way. The walk is guaranteed to terminate by the routing progress
+	// measure.
+	var depthOf func(w hhc.Node) (int, error)
+	depthOf = func(w hhc.Node) (int, error) {
+		if d, ok := depth[w]; ok {
+			return d, nil
+		}
+		p, err := Parent(g, w, root)
+		if err != nil {
+			return 0, err
+		}
+		if p == w {
+			return 0, fmt.Errorf("collective: non-root fixpoint at %v", w)
+		}
+		pd, err := depthOf(p)
+		if err != nil {
+			return 0, err
+		}
+		depth[w] = pd + 1
+		return pd + 1, nil
+	}
+	for id := uint64(0); id < n; id++ {
+		w := g.NodeFromID(id)
+		d, err := depthOf(w)
+		if err != nil {
+			return nil, err
+		}
+		if d > t.Depth {
+			t.Depth = d
+		}
+		if w != root {
+			p, err := Parent(g, w, root)
+			if err != nil {
+				return nil, err
+			}
+			t.Children[p] = append(t.Children[p], w)
+		}
+	}
+	return t, nil
+}
+
+// Validate checks the spanning-tree invariants: every tree edge is a real
+// network edge, every node except the root has exactly one parent, and the
+// tree reaches all 2^n nodes.
+func (t *Tree) Validate(g *hhc.Graph) error {
+	n, ok := g.NumNodes()
+	if !ok {
+		return fmt.Errorf("collective: network too large to validate")
+	}
+	seen := map[hhc.Node]bool{t.Root: true}
+	queue := []hhc.Node{t.Root}
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, c := range t.Children[v] {
+			if !g.Adjacent(v, c) {
+				return fmt.Errorf("collective: tree edge %v-%v is not a network edge", v, c)
+			}
+			if seen[c] {
+				return fmt.Errorf("collective: node %v reached twice", c)
+			}
+			seen[c] = true
+			count++
+			queue = append(queue, c)
+		}
+	}
+	if uint64(count) != n {
+		return fmt.Errorf("collective: tree reaches %d of %d nodes", count, n)
+	}
+	return nil
+}
+
+// AllPortRounds is the broadcast time when an informed node may send to all
+// its tree children simultaneously: the tree depth.
+func (t *Tree) AllPortRounds() int { return t.Depth }
+
+// OnePortRounds computes the exact minimum number of rounds to broadcast
+// over this tree when each informed node can inform at most one neighbor
+// per round. The classical linear-time tree DP applies: a node's broadcast
+// time is max_i (i + b(c_i)) with children sorted by b descending — serving
+// slow subtrees first is optimal (exchange argument).
+func (t *Tree) OnePortRounds() int {
+	memo := make(map[hhc.Node]int, t.Size)
+	var b func(v hhc.Node) int
+	b = func(v hhc.Node) int {
+		if r, ok := memo[v]; ok {
+			return r
+		}
+		kids := t.Children[v]
+		times := make([]int, len(kids))
+		for i, c := range kids {
+			times[i] = b(c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(times)))
+		best := 0
+		for i, bt := range times {
+			if r := i + 1 + bt; r > best {
+				best = r
+			}
+		}
+		memo[v] = best
+		return best
+	}
+	return b(t.Root)
+}
+
+// MaxChildren returns the maximum fan-out in the tree (bounded by the
+// network degree m+1).
+func (t *Tree) MaxChildren() int {
+	best := 0
+	for _, kids := range t.Children {
+		if len(kids) > best {
+			best = len(kids)
+		}
+	}
+	return best
+}
+
+// ReduceRounds returns the minimum one-port rounds to combine a value from
+// every node into the root over this tree: by time-reversal symmetry of the
+// one-port model, exactly the broadcast time.
+func (t *Tree) ReduceRounds() int { return t.OnePortRounds() }
+
+// AllReduceRounds returns the rounds for reduce-then-broadcast over the
+// tree, the straightforward (2× broadcast) allreduce schedule.
+func (t *Tree) AllReduceRounds() int { return 2 * t.OnePortRounds() }
+
+// GatherHops returns the total link traversals of a gather (every node's
+// value forwarded to the root along tree edges, counted per hop): the sum
+// of all node depths. It measures traffic, not rounds.
+func (t *Tree) GatherHops() int64 {
+	var total int64
+	var walk func(v hhc.Node, depth int64)
+	walk = func(v hhc.Node, depth int64) {
+		total += depth
+		for _, c := range t.Children[v] {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return total
+}
+
+// Levels groups the nodes by tree depth: Levels()[d] lists the nodes
+// informed at round d under the all-port model.
+func (t *Tree) Levels() [][]hhc.Node {
+	levels := [][]hhc.Node{{t.Root}}
+	frontier := []hhc.Node{t.Root}
+	for len(frontier) > 0 {
+		var next []hhc.Node
+		for _, v := range frontier {
+			next = append(next, t.Children[v]...)
+		}
+		if len(next) == 0 {
+			break
+		}
+		levels = append(levels, next)
+		frontier = next
+	}
+	return levels
+}

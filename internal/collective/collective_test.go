@@ -1,0 +1,198 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hhc"
+)
+
+func mustGraph(t *testing.T, m int) *hhc.Graph {
+	t.Helper()
+	g, err := hhc.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestTreeSpansEveryRootM2 builds and validates the broadcast tree from
+// every possible root of HHC_6.
+func TestTreeSpansEveryRootM2(t *testing.T) {
+	g := mustGraph(t, 2)
+	n, _ := g.NumNodes()
+	for id := uint64(0); id < n; id++ {
+		root := g.NodeFromID(id)
+		tree, err := BuildTree(g, root)
+		if err != nil {
+			t.Fatalf("BuildTree(root=%v): %v", root, err)
+		}
+		if err := tree.Validate(g); err != nil {
+			t.Fatalf("root %v: %v", root, err)
+		}
+		if tree.Size != int(n) {
+			t.Fatalf("root %v: size %d", root, tree.Size)
+		}
+	}
+}
+
+// TestTreeM3 checks a handful of roots on the 2048-node network and the
+// schedule quality invariants:
+//
+//	ceil(log2 N) <= one-port rounds, depth <= one-port rounds <= depth·(m+1)
+func TestTreeM3(t *testing.T) {
+	g := mustGraph(t, 3)
+	r := rand.New(rand.NewSource(6))
+	n, _ := g.NumNodes()
+	lower := int(math.Ceil(math.Log2(float64(n))))
+	for trial := 0; trial < 5; trial++ {
+		root := g.RandomNode(r)
+		tree, err := BuildTree(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		one := tree.OnePortRounds()
+		if one < lower {
+			t.Fatalf("one-port %d below information lower bound %d", one, lower)
+		}
+		if one < tree.Depth {
+			t.Fatalf("one-port %d below depth %d", one, tree.Depth)
+		}
+		if one > tree.Depth*(g.Degree()) {
+			t.Fatalf("one-port %d implausibly large vs depth %d", one, tree.Depth)
+		}
+		if tree.AllPortRounds() != tree.Depth {
+			t.Fatal("all-port rounds must equal depth")
+		}
+		if mc := tree.MaxChildren(); mc > g.Degree() {
+			t.Fatalf("fan-out %d exceeds degree %d", mc, g.Degree())
+		}
+	}
+}
+
+// TestLevelsPartition: levels form a partition of all nodes with the root
+// alone at level 0 and sizes summing to N.
+func TestLevelsPartition(t *testing.T) {
+	g := mustGraph(t, 2)
+	root := hhc.Node{X: 5, Y: 1}
+	tree, err := BuildTree(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := tree.Levels()
+	if len(levels[0]) != 1 || levels[0][0] != root {
+		t.Fatalf("level 0 = %v", levels[0])
+	}
+	if len(levels)-1 != tree.Depth {
+		t.Fatalf("levels %d vs depth %d", len(levels)-1, tree.Depth)
+	}
+	seen := map[hhc.Node]bool{}
+	total := 0
+	for _, level := range levels {
+		for _, v := range level {
+			if seen[v] {
+				t.Fatalf("node %v in two levels", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	n, _ := g.NumNodes()
+	if total != int(n) {
+		t.Fatalf("levels cover %d of %d nodes", total, n)
+	}
+}
+
+// TestParentIsO1AtHugeM: the distributed parent function works on the
+// 2^70-node network even though the tree cannot be materialized.
+func TestParentIsO1AtHugeM(t *testing.T) {
+	g := mustGraph(t, 6)
+	r := rand.New(rand.NewSource(2))
+	root := g.RandomNode(r)
+	for i := 0; i < 200; i++ {
+		w := g.RandomNode(r)
+		p, err := Parent(g, w, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w == root {
+			if p != root {
+				t.Fatal("root's parent must be itself")
+			}
+			continue
+		}
+		if w != root && !g.Adjacent(w, p) {
+			t.Fatalf("parent %v not adjacent to %v", p, w)
+		}
+	}
+	if _, err := BuildTree(g, root); err == nil {
+		t.Fatal("BuildTree at m=6 should refuse")
+	}
+}
+
+// TestCollectiveWrappers checks the reduce/allreduce/gather identities.
+func TestCollectiveWrappers(t *testing.T) {
+	g := mustGraph(t, 2)
+	tree, err := BuildTree(g, hhc.Node{X: 9, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.ReduceRounds() != tree.OnePortRounds() {
+		t.Fatal("reduce != broadcast rounds")
+	}
+	if tree.AllReduceRounds() != 2*tree.OnePortRounds() {
+		t.Fatal("allreduce != 2x broadcast rounds")
+	}
+	// Gather hops = sum of depths = sum over levels of level×|level|.
+	var want int64
+	for d, level := range tree.Levels() {
+		want += int64(d) * int64(len(level))
+	}
+	if got := tree.GatherHops(); got != want {
+		t.Fatalf("gather hops %d, want %d", got, want)
+	}
+	if tree.GatherHops() < int64(tree.Size-1) {
+		t.Fatal("gather must traverse at least one hop per non-root node")
+	}
+}
+
+func TestBuildTreeRejectsInvalidRoot(t *testing.T) {
+	g := mustGraph(t, 2)
+	if _, err := BuildTree(g, hhc.Node{X: 0, Y: 9}); err == nil {
+		t.Fatal("invalid root accepted")
+	}
+}
+
+// TestOnePortRoundsKnownTree pins the DP on a hand-built tree: a root with
+// two children, one of which has a chain of two below it. Optimal: serve
+// the slow child first => 3 rounds.
+func TestOnePortRoundsKnownTree(t *testing.T) {
+	g := mustGraph(t, 2)
+	root := hhc.Node{X: 0, Y: 0}
+	a := g.LocalNeighbor(root, 0) // (0,1)
+	b := g.LocalNeighbor(root, 1) // (0,2)
+	c := g.LocalNeighbor(a, 1)    // (0,3)
+	d := g.ExternalNeighbor(c)    // (8,3)
+	tree := &Tree{
+		Root: root,
+		Children: map[hhc.Node][]hhc.Node{
+			root: {a, b},
+			a:    {c},
+			c:    {d},
+		},
+		Depth: 3,
+		Size:  5,
+	}
+	// b(c)=1+b(d)=1... b(d)=0, b(c)=1, b(a)=2, b(root)=max(1+2, 2+... with
+	// children sorted by time desc: a(2) then b(0): max(1+2, 2+0)=3.
+	if got := tree.OnePortRounds(); got != 3 {
+		t.Fatalf("one-port rounds = %d, want 3", got)
+	}
+	if tree.AllPortRounds() != 3 {
+		t.Fatalf("all-port = depth = 3")
+	}
+}

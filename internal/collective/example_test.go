@@ -1,0 +1,51 @@
+package collective_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/collective"
+	"repro/internal/hhc"
+)
+
+// ExampleBuildTree analyzes broadcast from a root: tree depth is the
+// all-port round count, and the exact one-port optimum comes from the
+// classical tree DP.
+func ExampleBuildTree() {
+	g, err := hhc.New(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := hhc.Node{X: 0, Y: 0}
+	tree, err := collective.BuildTree(g, root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("spans:", tree.Validate(g) == nil)
+	fmt.Println("nodes:", tree.Size)
+	fmt.Println("all-port rounds:", tree.AllPortRounds())
+	fmt.Println("one-port rounds:", tree.OnePortRounds())
+	// Output:
+	// spans: true
+	// nodes: 64
+	// all-port rounds: 12
+	// one-port rounds: 12
+}
+
+// ExampleParent is O(1) and needs no global state — it works on networks
+// far too large to materialize.
+func ExampleParent() {
+	g, err := hhc.New(6) // 2^70 nodes
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := hhc.Node{X: 0, Y: 0}
+	w := hhc.Node{X: 1 << 40, Y: 13}
+	p, err := collective.Parent(g, w, root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("adjacent:", g.Adjacent(w, p))
+	// Output:
+	// adjacent: true
+}

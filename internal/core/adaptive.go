@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hhc"
+)
+
+// Adaptive fault routing with local information only. RouteAround assumes
+// the source knows every fault up front; a real router discovers faults
+// only when a neighbor stops answering. AdaptiveRoute models that regime:
+// it walks the dimension-ordered next-hop function and, when the preferred
+// hop is faulty (or already visited, to avoid livelock), deflects to the
+// best alternative neighbor — ranked by how much closer it brings the
+// packet — up to a hop budget.
+//
+// Unlike the container-based policies this is a heuristic: with more than
+// m faults or unlucky deflections it can fail, and experiment E6's
+// container numbers are the guaranteed baseline it is compared against.
+
+// AdaptiveResult reports an adaptive routing attempt.
+type AdaptiveResult struct {
+	Path       []hhc.Node
+	Deflection int  // hops taken off the preferred next-hop
+	Delivered  bool // false when the TTL expired or the router got stuck
+}
+
+// AdaptiveRoute walks from u toward v, querying isFaulty only for nodes it
+// is about to step on (local discovery). ttl <= 0 selects 4× the
+// dimension-ordered length bound.
+func AdaptiveRoute(g *hhc.Graph, u, v hhc.Node, isFaulty func(hhc.Node) bool, ttl int) (AdaptiveResult, error) {
+	if !g.Contains(u) || !g.Contains(v) {
+		return AdaptiveResult{}, fmt.Errorf("core: invalid endpoint %v / %v", u, v)
+	}
+	if isFaulty == nil {
+		isFaulty = func(hhc.Node) bool { return false }
+	}
+	if isFaulty(u) {
+		return AdaptiveResult{}, fmt.Errorf("core: source %v is faulty", u)
+	}
+	if isFaulty(v) {
+		return AdaptiveResult{}, fmt.Errorf("core: destination %v is faulty", v)
+	}
+	if ttl <= 0 {
+		ttl = 4 * g.DimOrderLengthBound()
+	}
+	res := AdaptiveResult{Path: []hhc.Node{u}}
+	visited := map[hhc.Node]bool{u: true}
+	cur := u
+	var buf []hhc.Node
+	for cur != v && len(res.Path)-1 < ttl {
+		preferred, err := g.NextHopDimOrder(cur, v)
+		if err != nil {
+			return AdaptiveResult{}, err
+		}
+		next := preferred
+		if isFaulty(next) || visited[next] {
+			// Deflect: among non-faulty, unvisited neighbors pick the one
+			// with the smallest remaining distance estimate.
+			next = hhc.Node{}
+			found := false
+			bestScore := 0
+			buf = g.Neighbors(cur, buf[:0])
+			for _, w := range buf {
+				if isFaulty(w) || visited[w] {
+					continue
+				}
+				d, _, err := g.Distance(w, v)
+				if err != nil {
+					return AdaptiveResult{}, err
+				}
+				if !found || d < bestScore {
+					found, bestScore, next = true, d, w
+				}
+			}
+			if !found {
+				return res, nil // stuck: every way forward is faulty or visited
+			}
+			res.Deflection++
+		}
+		visited[next] = true
+		res.Path = append(res.Path, next)
+		cur = next
+	}
+	res.Delivered = cur == v
+	return res, nil
+}

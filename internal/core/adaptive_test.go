@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hhc"
+)
+
+func TestAdaptiveRouteNoFaults(t *testing.T) {
+	g := mustGraph(t, 3)
+	r := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 300; trial++ {
+		u, v := g.RandomNode(r), g.RandomNode(r)
+		res, err := AdaptiveRoute(g, u, v, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Delivered {
+			t.Fatalf("fault-free adaptive route failed %v->%v", u, v)
+		}
+		if res.Deflection != 0 {
+			t.Fatalf("fault-free route deflected %d times", res.Deflection)
+		}
+		if err := g.VerifyPath(u, v, res.Path); err != nil {
+			t.Fatal(err)
+		}
+		// Without faults the walk IS the dimension-ordered route.
+		dim, err := g.RouteDimOrder(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dim) != len(res.Path) {
+			t.Fatalf("adaptive (%d) != dim-order (%d) without faults", len(res.Path), len(dim))
+		}
+	}
+}
+
+func TestAdaptiveRouteUnderFaults(t *testing.T) {
+	g := mustGraph(t, 3)
+	r := rand.New(rand.NewSource(15))
+	delivered := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		u, v := g.RandomNode(r), g.RandomNode(r)
+		if u == v {
+			continue
+		}
+		faults := gen.FaultSet(g, 10, []hhc.Node{u, v}, int64(trial))
+		res, err := AdaptiveRoute(g, u, v, func(w hhc.Node) bool { return faults[w] }, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered {
+			delivered++
+			if err := g.VerifyPath(u, v, res.Path); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range res.Path {
+				if faults[w] {
+					t.Fatalf("delivered path crosses fault %v", w)
+				}
+			}
+		}
+	}
+	// The heuristic has no guarantee, but on a 2048-node network with 10
+	// random faults it should deliver the overwhelming majority.
+	if delivered < trials*9/10 {
+		t.Fatalf("adaptive routing delivered only %d/%d under 10 faults", delivered, trials)
+	}
+}
+
+func TestAdaptiveRouteSelf(t *testing.T) {
+	g := mustGraph(t, 2)
+	u := hhc.Node{X: 3, Y: 1}
+	res, err := AdaptiveRoute(g, u, u, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || len(res.Path) != 1 {
+		t.Fatalf("self route: %+v", res)
+	}
+}
+
+func TestAdaptiveRouteErrors(t *testing.T) {
+	g := mustGraph(t, 2)
+	u, v := hhc.Node{X: 1, Y: 0}, hhc.Node{X: 2, Y: 1}
+	if _, err := AdaptiveRoute(g, hhc.Node{X: 99, Y: 0}, v, nil, 0); err == nil {
+		t.Error("invalid source accepted")
+	}
+	bad := func(w hhc.Node) bool { return w == u }
+	if _, err := AdaptiveRoute(g, u, v, bad, 0); err == nil {
+		t.Error("faulty source accepted")
+	}
+	badDst := func(w hhc.Node) bool { return w == v }
+	if _, err := AdaptiveRoute(g, u, v, badDst, 0); err == nil {
+		t.Error("faulty destination accepted")
+	}
+}
+
+// TestAdaptiveRouteSurrounded: when every neighbor of the source is faulty
+// the router must report non-delivery gracefully, not loop.
+func TestAdaptiveRouteSurrounded(t *testing.T) {
+	g := mustGraph(t, 2)
+	u, v := hhc.Node{X: 0, Y: 0}, hhc.Node{X: 15, Y: 3}
+	wall := map[hhc.Node]bool{}
+	for _, w := range g.Neighbors(u, nil) {
+		wall[w] = true
+	}
+	res, err := AdaptiveRoute(g, u, v, func(w hhc.Node) bool { return wall[w] }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Fatal("delivered through a sealed source!?")
+	}
+	if len(res.Path) != 1 {
+		t.Fatalf("stuck router should not have moved: %v", res.Path)
+	}
+}
+
+// TestAdaptiveRouteTTL: a tiny TTL forces non-delivery on distant pairs.
+func TestAdaptiveRouteTTL(t *testing.T) {
+	g := mustGraph(t, 3)
+	u := hhc.Node{X: 0, Y: 0}
+	v := hhc.Node{X: 0xFF, Y: 7}
+	res, err := AdaptiveRoute(g, u, v, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Fatal("TTL 2 cannot reach an antipodal-ish pair")
+	}
+	if len(res.Path)-1 > 2 {
+		t.Fatalf("TTL exceeded: %d hops", len(res.Path)-1)
+	}
+}

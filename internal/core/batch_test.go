@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hhc"
+)
+
+func randomPairs(g *hhc.Graph, n int, seed int64) []Pair {
+	r := rand.New(rand.NewSource(seed))
+	pairs := make([]Pair, 0, n)
+	for len(pairs) < n {
+		u, v := g.RandomNode(r), g.RandomNode(r)
+		if u != v {
+			pairs = append(pairs, Pair{U: u, V: v})
+		}
+	}
+	return pairs
+}
+
+func TestBatchMatchesSequential(t *testing.T) {
+	g := mustGraph(t, 3)
+	pairs := randomPairs(g, 120, 5)
+	results := DisjointPathsBatch(g, pairs, Options{}, 8)
+	if len(results) != len(pairs) {
+		t.Fatalf("%d results for %d pairs", len(results), len(pairs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if r.Pair != pairs[i] {
+			t.Fatalf("item %d misaligned", i)
+		}
+		// Determinism: concurrent result equals the sequential one.
+		seq, err := DisjointPaths(g, pairs[i].U, pairs[i].V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(r.Paths) {
+			t.Fatalf("item %d: widths differ", i)
+		}
+		for pi := range seq {
+			if len(seq[pi]) != len(r.Paths[pi]) {
+				t.Fatalf("item %d path %d: lengths differ", i, pi)
+			}
+			for k := range seq[pi] {
+				if seq[pi][k] != r.Paths[pi][k] {
+					t.Fatalf("item %d path %d: node %d differs", i, pi, k)
+				}
+			}
+		}
+	}
+	if err := BatchVerify(g, results); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchCollectsPerPairErrors(t *testing.T) {
+	g := mustGraph(t, 2)
+	u := hhc.Node{X: 1, Y: 1}
+	pairs := []Pair{
+		{U: u, V: hhc.Node{X: 2, Y: 0}},
+		{U: u, V: u},                     // same-node error
+		{U: hhc.Node{X: 99, Y: 0}, V: u}, // invalid node error
+	}
+	results := DisjointPathsBatch(g, pairs, Options{}, 2)
+	if results[0].Err != nil {
+		t.Fatalf("good pair failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil || results[2].Err == nil {
+		t.Fatal("bad pairs did not record errors")
+	}
+	if err := BatchVerify(g, results); err != nil {
+		t.Fatalf("BatchVerify must skip errored items: %v", err)
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	g := mustGraph(t, 2)
+	if got := DisjointPathsBatch(g, nil, Options{}, 4); len(got) != 0 {
+		t.Fatal("empty batch should return empty results")
+	}
+	// workers > len(pairs) and workers <= 0 both fine.
+	pairs := randomPairs(g, 3, 9)
+	for _, workers := range []int{-1, 0, 1, 64} {
+		results := DisjointPathsBatch(g, pairs, Options{}, workers)
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, i, r.Err)
+			}
+		}
+	}
+}
+
+func TestDisjointPathsK(t *testing.T) {
+	g := mustGraph(t, 3)
+	u, v := hhc.Node{X: 0x00, Y: 0}, hhc.Node{X: 0x9c, Y: 5}
+	full, err := DisjointPaths(g, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= g.Degree(); k++ {
+		paths, err := DisjointPathsK(g, u, v, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(paths) != k {
+			t.Fatalf("k=%d: got %d paths", k, len(paths))
+		}
+		if err := VerifyDisjoint(g, u, v, paths); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Sorted shortest-first, never longer than the full family's max.
+		for i := 1; i < len(paths); i++ {
+			if len(paths[i]) < len(paths[i-1]) {
+				t.Fatalf("k=%d: not sorted by length", k)
+			}
+		}
+		if MaxLength(paths) > MaxLength(full) {
+			t.Fatalf("k=%d: longer than the full container", k)
+		}
+	}
+	if _, err := DisjointPathsK(g, u, v, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := DisjointPathsK(g, u, v, g.Degree()+1); err == nil {
+		t.Fatal("k > m+1 accepted")
+	}
+}
+
+func TestDetourStrategies(t *testing.T) {
+	g := mustGraph(t, 4)
+	pairs := randomPairs(g, 300, 77)
+	for _, det := range []DetourStrategy{DetourAscending, DetourNearest} {
+		for _, p := range pairs {
+			paths, err := DisjointPathsOpt(g, p.U, p.V, Options{Detour: det})
+			if err != nil {
+				t.Fatalf("%v: %v", det, err)
+			}
+			if err := VerifyContainer(g, p.U, p.V, paths); err != nil {
+				t.Fatalf("%v %v->%v: %v", det, p.U, p.V, err)
+			}
+		}
+	}
+	if DetourAscending.String() != "det-ascending" || DetourNearest.String() != "det-nearest" {
+		t.Fatal("strategy names wrong")
+	}
+	if DetourStrategy(9).String() == "" {
+		t.Fatal("unknown strategy should format")
+	}
+}
+
+// TestDetourNearestHelpsSameCubeNeighbors: for pairs with few differing
+// super-dimensions (forcing many detours), the nearest strategy must never
+// lose to ascending on total length by a large margin, and should usually
+// win. We assert the aggregate, not each instance.
+func TestDetourNearestAggregateWin(t *testing.T) {
+	g := mustGraph(t, 4)
+	r := rand.New(rand.NewSource(123))
+	totalAsc, totalNear := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		u := g.RandomNode(r)
+		// Single differing super-dimension: the container needs m detours.
+		v := hhc.Node{X: u.X ^ (1 << uint(r.Intn(g.T()))), Y: uint8(r.Intn(g.T()))}
+		pa, err := DisjointPathsOpt(g, u, v, Options{Detour: DetourAscending})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pn, err := DisjointPathsOpt(g, u, v, Options{Detour: DetourNearest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalAsc += TotalLength(pa)
+		totalNear += TotalLength(pn)
+	}
+	if totalNear > totalAsc {
+		t.Fatalf("nearest detours (%d) should not exceed ascending (%d) in aggregate",
+			totalNear, totalAsc)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hhc"
+)
+
+// TestConfineDetoursKeepsMask: with a mask covering enough dimensions, all
+// freely-chosen detours stay inside it (the forced external-port detours
+// dec(α)/dec(β) are exempt by design).
+func TestConfineDetoursKeepsMask(t *testing.T) {
+	g := mustGraph(t, 4)
+	r := rand.New(rand.NewSource(3))
+	mask := uint64(0xFF) // low 8 of 16 dimensions
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		// Endpoints inside the "partition": x-high bits equal, ports in
+		// the mask so even the forced crossings are confined.
+		x := r.Uint64() & 0xFF
+		u := hhc.Node{X: x, Y: uint8(r.Intn(8))}
+		v := hhc.Node{X: r.Uint64() & 0xFF, Y: uint8(r.Intn(8))}
+		if u == v || u.X == v.X {
+			continue
+		}
+		paths, err := DisjointPathsOpt(g, u, v, Options{ConfineDetours: mask})
+		if errors.Is(err, ErrCannotConfine) {
+			continue // legitimate when the mask runs out of candidates
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyContainer(g, u, v, paths); err != nil {
+			t.Fatal(err)
+		}
+		// Every node of every path stays in the low-8-bit cube region.
+		for _, p := range paths {
+			for _, w := range p {
+				if w.X&^mask != 0 {
+					t.Fatalf("node %v escaped the confined region (%v -> %v)", w, u, v)
+				}
+			}
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d confined containers produced", checked)
+	}
+}
+
+// TestConfineDetoursErrors: an impossible mask must fail with
+// ErrCannotConfine, not silently widen.
+func TestConfineDetoursErrors(t *testing.T) {
+	g := mustGraph(t, 4)
+	u := hhc.Node{X: 0b0001, Y: 0}
+	v := hhc.Node{X: 0b0010, Y: 1}
+	// d = 2 differing dims; width 5 needs 3 detours, but the mask allows
+	// only the two differing dimensions.
+	_, err := DisjointPathsOpt(g, u, v, Options{ConfineDetours: 0b0011})
+	if !errors.Is(err, ErrCannotConfine) {
+		t.Fatalf("want ErrCannotConfine, got %v", err)
+	}
+	// Zero mask = unrestricted: must succeed.
+	if _, err := DisjointPathsOpt(g, u, v, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfineDetoursSameAsUnconfinedWhenFull: the full mask changes nothing.
+func TestConfineDetoursSameAsUnconfinedWhenFull(t *testing.T) {
+	g := mustGraph(t, 3)
+	full := uint64(1)<<uint(g.T()) - 1
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		u, v := g.RandomNode(r), g.RandomNode(r)
+		if u == v {
+			continue
+		}
+		a, err := DisjointPathsOpt(g, u, v, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := DisjointPathsOpt(g, u, v, Options{ConfineDetours: full})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatal("full mask changed the container width")
+		}
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				t.Fatal("full mask changed path lengths")
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hhc"
+)
+
+// mustGraph returns the HHC handle or fails the test.
+func mustGraph(t *testing.T, m int) *hhc.Graph {
+	t.Helper()
+	g, err := hhc.New(m)
+	if err != nil {
+		t.Fatalf("hhc.New(%d): %v", m, err)
+	}
+	return g
+}
+
+// allNodes enumerates every node for small m.
+func allNodes(g *hhc.Graph) []hhc.Node {
+	n, ok := g.NumNodes()
+	if !ok {
+		panic("allNodes: too many nodes")
+	}
+	out := make([]hhc.Node, 0, n)
+	for id := uint64(0); id < n; id++ {
+		out = append(out, g.NodeFromID(id))
+	}
+	return out
+}
+
+// TestDisjointPathsExhaustiveSmall verifies the full container property on
+// every ordered node pair of HHC_3 (m=1, 8 nodes) and HHC_6 (m=2, 64 nodes):
+// exactly m+1 paths, individually valid, pairwise internally disjoint, and
+// within the analytic length bound.
+func TestDisjointPathsExhaustiveSmall(t *testing.T) {
+	for _, m := range []int{1, 2} {
+		g := mustGraph(t, m)
+		nodes := allNodes(g)
+		for _, u := range nodes {
+			for _, v := range nodes {
+				if u == v {
+					continue
+				}
+				paths, err := DisjointPaths(g, u, v)
+				if err != nil {
+					t.Fatalf("m=%d DisjointPaths(%v,%v): %v", m, u, v, err)
+				}
+				if err := VerifyContainer(g, u, v, paths); err != nil {
+					t.Fatalf("m=%d container %v->%v: %v", m, u, v, err)
+				}
+				if max, bound := MaxLength(paths), MaxLenBound(g, u, v); max > bound {
+					t.Fatalf("m=%d %v->%v: max length %d exceeds bound %d", m, u, v, max, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestDisjointPathsExhaustiveM3 covers every pair with a fixed source plus a
+// random sample of full pairs on HHC_11 (m=3, 2048 nodes).
+func TestDisjointPathsExhaustiveM3(t *testing.T) {
+	g := mustGraph(t, 3)
+	nodes := allNodes(g)
+	u := hhc.Node{X: 0, Y: 0}
+	for _, v := range nodes {
+		if v == u {
+			continue
+		}
+		paths, err := DisjointPaths(g, u, v)
+		if err != nil {
+			t.Fatalf("DisjointPaths(%v,%v): %v", u, v, err)
+		}
+		if err := VerifyContainer(g, u, v, paths); err != nil {
+			t.Fatalf("container %v->%v: %v", u, v, err)
+		}
+	}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 4000; i++ {
+		a, b := g.RandomNode(r), g.RandomNode(r)
+		if a == b {
+			continue
+		}
+		paths, err := DisjointPaths(g, a, b)
+		if err != nil {
+			t.Fatalf("DisjointPaths(%v,%v): %v", a, b, err)
+		}
+		if err := VerifyContainer(g, a, b, paths); err != nil {
+			t.Fatalf("container %v->%v: %v", a, b, err)
+		}
+	}
+}
+
+// TestDisjointPathsRandomLargeM samples pairs on m = 4, 5, 6 — networks with
+// 2^20, 2^37 and 2^70 nodes — exercising the construction's independence
+// from network size.
+func TestDisjointPathsRandomLargeM(t *testing.T) {
+	for _, tc := range []struct{ m, pairs int }{{4, 2000}, {5, 800}, {6, 300}} {
+		g := mustGraph(t, tc.m)
+		r := rand.New(rand.NewSource(int64(100 + tc.m)))
+		for i := 0; i < tc.pairs; i++ {
+			u, v := g.RandomNode(r), g.RandomNode(r)
+			if u == v {
+				continue
+			}
+			paths, err := DisjointPaths(g, u, v)
+			if err != nil {
+				t.Fatalf("m=%d DisjointPaths(%v,%v): %v", tc.m, u, v, err)
+			}
+			if err := VerifyContainer(g, u, v, paths); err != nil {
+				t.Fatalf("m=%d container %v->%v: %v", tc.m, u, v, err)
+			}
+			if max, bound := MaxLength(paths), MaxLenBound(g, u, v); max > bound {
+				t.Fatalf("m=%d %v->%v: max length %d exceeds bound %d", tc.m, u, v, max, bound)
+			}
+		}
+	}
+}
+
+// TestDisjointPathsAllStrategies checks every order strategy yields a valid
+// container.
+func TestDisjointPathsAllStrategies(t *testing.T) {
+	g := mustGraph(t, 3)
+	r := rand.New(rand.NewSource(7))
+	for _, s := range []OrderStrategy{OrderAscending, OrderGray, OrderNearest} {
+		for i := 0; i < 500; i++ {
+			u, v := g.RandomNode(r), g.RandomNode(r)
+			if u == v {
+				continue
+			}
+			paths, err := DisjointPathsOpt(g, u, v, Options{Order: s})
+			if err != nil {
+				t.Fatalf("strategy %v: %v", s, err)
+			}
+			if err := VerifyContainer(g, u, v, paths); err != nil {
+				t.Fatalf("strategy %v %v->%v: %v", s, u, v, err)
+			}
+		}
+	}
+}
+
+// TestSameNode rejects u == v.
+func TestSameNode(t *testing.T) {
+	g := mustGraph(t, 2)
+	u := hhc.Node{X: 5, Y: 1}
+	if _, err := DisjointPaths(g, u, u); err != ErrSameNode {
+		t.Fatalf("want ErrSameNode, got %v", err)
+	}
+}
+
+// TestAdjacentPairs: adjacent nodes must still get a full container, one of
+// whose paths is the direct edge.
+func TestAdjacentPairs(t *testing.T) {
+	g := mustGraph(t, 2)
+	nodes := allNodes(g)
+	for _, u := range nodes {
+		var buf []hhc.Node
+		for _, v := range g.Neighbors(u, buf) {
+			paths, err := DisjointPaths(g, u, v)
+			if err != nil {
+				t.Fatalf("DisjointPaths(%v,%v): %v", u, v, err)
+			}
+			if err := VerifyContainer(g, u, v, paths); err != nil {
+				t.Fatalf("container %v->%v: %v", u, v, err)
+			}
+			direct := false
+			for _, p := range paths {
+				if len(p) == 2 {
+					direct = true
+				}
+			}
+			if !direct {
+				t.Fatalf("adjacent %v->%v: no direct edge among container paths", u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/hhc"
+)
+
+// TestMatchesFlowBaselineWidth confirms on real instances that the
+// constructed container width m+1 equals the maximum found by max flow —
+// i.e. the construction achieves Menger's bound, so the network connectivity
+// is exactly m+1.
+func TestMatchesFlowBaselineWidth(t *testing.T) {
+	for _, m := range []int{1, 2, 3} {
+		g := mustGraph(t, m)
+		dg, err := g.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(m * 13)))
+		for trial := 0; trial < 25; trial++ {
+			u, v := g.RandomNode(r), g.RandomNode(r)
+			if u == v {
+				continue
+			}
+			paths, err := DisjointPaths(g, u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyContainer(g, u, v, paths); err != nil {
+				t.Fatal(err)
+			}
+			flowPaths, err := flow.VertexDisjointPaths(dg, g.ID(u), g.ID(v), 0, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(flowPaths) != m+1 {
+				t.Fatalf("m=%d: flow finds %d paths, construction %d", m, len(flowPaths), len(paths))
+			}
+		}
+	}
+}
+
+// TestConnectivityIsExactlyDegree proves connectivity m+1 both ways: the
+// construction provides m+1 disjoint paths (lower bound) and any node's
+// neighborhood is a cut of size m+1 (upper bound, via flow on a
+// neighbor-separated pair).
+func TestConnectivityIsExactlyDegree(t *testing.T) {
+	for _, m := range []int{1, 2, 3} {
+		g := mustGraph(t, m)
+		dg, err := g.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pick non-adjacent u, v: local connectivity must be exactly m+1.
+		u := hhc.Node{X: 0, Y: 0}
+		v := hhc.Node{X: (1 << uint(g.T())) - 1, Y: uint8(g.T() - 1)}
+		k, err := flow.LocalConnectivity(dg, g.ID(u), g.ID(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != m+1 {
+			t.Fatalf("m=%d: local connectivity %d, want %d", m, k, m+1)
+		}
+	}
+}
+
+// TestPathLengthReasonable compares container max length against the BFS
+// distance: the slack must stay within the analytic bound and should
+// typically be small.
+func TestPathLengthReasonable(t *testing.T) {
+	g := mustGraph(t, 3)
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		u, v := g.RandomNode(r), g.RandomNode(r)
+		if u == v {
+			continue
+		}
+		paths, err := DisjointPaths(g, u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := g.Distance(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MaxLength(paths) < d {
+			t.Fatalf("container max %d below distance %d!?", MaxLength(paths), d)
+		}
+		if MaxLength(paths) > MaxLenBound(g, u, v) {
+			t.Fatalf("container max %d above bound %d", MaxLength(paths), MaxLenBound(g, u, v))
+		}
+	}
+}
+
+// TestVerifyDisjointFailureInjection mutates valid families in targeted ways
+// and demands rejection — guarding the guard.
+func TestVerifyDisjointFailureInjection(t *testing.T) {
+	g := mustGraph(t, 2)
+	u, v := hhc.Node{X: 0b0001, Y: 0}, hhc.Node{X: 0b1110, Y: 3}
+	paths, err := DisjointPaths(g, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyContainer(g, u, v, paths); err != nil {
+		t.Fatal(err)
+	}
+
+	clone := func() [][]hhc.Node {
+		out := make([][]hhc.Node, len(paths))
+		for i, p := range paths {
+			out[i] = append([]hhc.Node(nil), p...)
+		}
+		return out
+	}
+
+	// Duplicate one path: shares all internals.
+	dup := clone()
+	dup[0] = append([]hhc.Node(nil), dup[1]...)
+	if len(dup[1]) > 2 {
+		if err := VerifyDisjoint(g, u, v, dup); err == nil {
+			t.Error("duplicated path accepted")
+		}
+	}
+
+	// Truncate a path: wrong endpoint.
+	trunc := clone()
+	trunc[0] = trunc[0][:len(trunc[0])-1]
+	if err := VerifyDisjoint(g, u, v, trunc); err == nil {
+		t.Error("truncated path accepted")
+	}
+
+	// Teleport: replace a middle vertex with a non-adjacent one.
+	if len(paths[0]) > 3 {
+		tele := clone()
+		tele[0][1] = hhc.Node{X: tele[0][1].X ^ 0b1111, Y: tele[0][1].Y}
+		if err := VerifyDisjoint(g, u, v, tele); err == nil {
+			t.Error("teleporting path accepted")
+		}
+	}
+
+	// Wrong cardinality for VerifyContainer.
+	if err := VerifyContainer(g, u, v, paths[:2]); err == nil {
+		t.Error("short container accepted")
+	}
+}
+
+// TestRouteAroundGuarantee: for every fault set of size <= m avoiding the
+// endpoints, RouteAround must succeed with a fault-free path.
+func TestRouteAroundGuarantee(t *testing.T) {
+	g := mustGraph(t, 3)
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		u, v := g.RandomNode(r), g.RandomNode(r)
+		if u == v {
+			continue
+		}
+		faults := map[hhc.Node]bool{}
+		for len(faults) < g.M() {
+			f := g.RandomNode(r)
+			if f != u && f != v {
+				faults[f] = true
+			}
+		}
+		p, err := RouteAround(g, u, v, faults)
+		if err != nil {
+			t.Fatalf("RouteAround with %d faults failed: %v", len(faults), err)
+		}
+		if err := g.VerifyPath(u, v, p); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range p {
+			if faults[w] {
+				t.Fatalf("returned path passes through fault %v", w)
+			}
+		}
+	}
+}
+
+// TestRouteAroundAdversarial blocks all but one container path with faults
+// placed directly on the construction's own output, then demands the
+// survivor is returned.
+func TestRouteAroundAdversarial(t *testing.T) {
+	g := mustGraph(t, 2)
+	u, v := hhc.Node{X: 0b0000, Y: 0}, hhc.Node{X: 0b1111, Y: 3}
+	paths, err := DisjointPaths(g, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := map[hhc.Node]bool{}
+	// Put one fault in the middle of every path except the last.
+	for _, p := range paths[:len(paths)-1] {
+		if len(p) > 2 {
+			faults[p[len(p)/2]] = true
+		}
+	}
+	got, err := RouteAround(g, u, v, faults)
+	if err != nil {
+		t.Fatalf("RouteAround: %v", err)
+	}
+	for _, w := range got {
+		if faults[w] {
+			t.Fatalf("survivor hits fault %v", w)
+		}
+	}
+	// Now block every path: must fail with ErrAllPathsFaulty.
+	for _, p := range paths {
+		if len(p) > 2 {
+			faults[p[len(p)/2]] = true
+		}
+	}
+	if _, err := RouteAround(g, u, v, faults); err != ErrAllPathsFaulty {
+		t.Fatalf("want ErrAllPathsFaulty, got %v", err)
+	}
+}
+
+func TestRouteAroundFaultyEndpoints(t *testing.T) {
+	g := mustGraph(t, 2)
+	u, v := hhc.Node{X: 1, Y: 0}, hhc.Node{X: 2, Y: 1}
+	if _, err := RouteAround(g, u, v, map[hhc.Node]bool{u: true}); err == nil {
+		t.Error("faulty source: want error")
+	}
+	if _, err := RouteAround(g, u, v, map[hhc.Node]bool{v: true}); err == nil {
+		t.Error("faulty destination: want error")
+	}
+}
+
+func TestSurvivingPaths(t *testing.T) {
+	g := mustGraph(t, 2)
+	u, v := hhc.Node{X: 0, Y: 0}, hhc.Node{X: 5, Y: 2}
+	paths, err := DisjointPaths(g, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SurvivingPaths(paths, nil); len(got) != len(paths) {
+		t.Fatalf("no faults: %d of %d survive", len(got), len(paths))
+	}
+	faults := map[hhc.Node]bool{paths[0][1]: true}
+	got := SurvivingPaths(paths, faults)
+	if len(got) != len(paths)-1 {
+		t.Fatalf("one fault: %d of %d survive", len(got), len(paths))
+	}
+}

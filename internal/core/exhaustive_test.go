@@ -1,0 +1,53 @@
+package core
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestDisjointPathsExhaustiveM3Full verifies the container theorem on EVERY
+// ordered pair of HHC_11 — 2048 × 2047 ≈ 4.2 million constructions. It
+// takes about a minute, so it only runs when explicitly requested:
+//
+//	HHC_EXHAUSTIVE=1 go test -run ExhaustiveM3Full ./internal/core
+func TestDisjointPathsExhaustiveM3Full(t *testing.T) {
+	if os.Getenv("HHC_EXHAUSTIVE") == "" {
+		t.Skip("set HHC_EXHAUSTIVE=1 to run the 4.2M-pair sweep")
+	}
+	g := mustGraph(t, 3)
+	n, _ := g.NumNodes()
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(w); i < n; i += uint64(workers) {
+				u := g.NodeFromID(i)
+				for j := uint64(0); j < n; j++ {
+					if i == j {
+						continue
+					}
+					v := g.NodeFromID(j)
+					paths, err := DisjointPaths(g, u, v)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if err := VerifyContainer(g, u, v, paths); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/hhc"
+)
+
+// ErrAllPathsFaulty is returned when every path of the container crosses a
+// faulty node. With at most m faults this cannot happen: the m+1 paths are
+// internally disjoint, so m faults can block at most m of them.
+var ErrAllPathsFaulty = errors.New("core: every disjoint path is blocked by faults")
+
+// RouteAround returns a shortest surviving path of the (m+1)-container
+// between u and v that avoids every node in faults. u and v themselves must
+// be fault-free. Because the container has width m+1 = the connectivity,
+// success is guaranteed whenever |faults| <= m; with more faults it degrades
+// gracefully, failing only when all m+1 paths are hit.
+func RouteAround(g *hhc.Graph, u, v hhc.Node, faults map[hhc.Node]bool) ([]hhc.Node, error) {
+	if faults[u] {
+		return nil, fmt.Errorf("core: source %v is faulty", u)
+	}
+	if faults[v] {
+		return nil, fmt.Errorf("core: destination %v is faulty", v)
+	}
+	paths, err := DisjointPaths(g, u, v)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(paths, func(i, j int) bool { return len(paths[i]) < len(paths[j]) })
+	for _, p := range paths {
+		if !pathHitsFault(p, faults) {
+			return p, nil
+		}
+	}
+	return nil, ErrAllPathsFaulty
+}
+
+// SurvivingPaths filters a container down to the paths avoiding all faults.
+func SurvivingPaths(paths [][]hhc.Node, faults map[hhc.Node]bool) [][]hhc.Node {
+	var out [][]hhc.Node
+	for _, p := range paths {
+		if !pathHitsFault(p, faults) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func pathHitsFault(p []hhc.Node, faults map[hhc.Node]bool) bool {
+	for _, w := range p[1 : len(p)-1] {
+		if faults[w] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hhc"
+)
+
+// FuzzDisjointPaths drives the construction with arbitrary addresses and
+// verifies every successful family — the strongest single invariant in the
+// repository. Run long with:
+//
+//	go test -fuzz=FuzzDisjointPaths ./internal/core
+func FuzzDisjointPaths(f *testing.F) {
+	f.Add(uint8(2), uint64(0), uint8(0), uint64(15), uint8(3), uint8(0), uint8(0))
+	f.Add(uint8(3), uint64(0x13), uint8(2), uint64(0xE4), uint8(6), uint8(1), uint8(1))
+	f.Add(uint8(4), uint64(0xFFFF), uint8(15), uint64(0), uint8(0), uint8(2), uint8(0))
+	f.Add(uint8(6), uint64(1)<<63, uint8(63), uint64(7), uint8(9), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, mRaw uint8, x1 uint64, y1 uint8, x2 uint64, y2 uint8, order, detour uint8) {
+		m := int(mRaw%6) + 1
+		g, err := hhc.New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := ^uint64(0)
+		if g.T() < 64 {
+			mask = 1<<uint(g.T()) - 1
+		}
+		u := hhc.Node{X: x1 & mask, Y: y1 & uint8(g.T()-1)}
+		v := hhc.Node{X: x2 & mask, Y: y2 & uint8(g.T()-1)}
+		opt := Options{
+			Order:  OrderStrategy(order % 3),
+			Detour: DetourStrategy(detour % 2),
+		}
+		paths, err := DisjointPathsOpt(g, u, v, opt)
+		if u == v {
+			if err == nil {
+				t.Fatal("same-node pair accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("construction failed for valid pair %v->%v: %v", u, v, err)
+		}
+		if err := VerifyContainer(g, u, v, paths); err != nil {
+			t.Fatalf("invalid container for %v->%v (m=%d, %v): %v", u, v, m, opt, err)
+		}
+		if MaxLength(paths) > MaxLenBound(g, u, v) {
+			t.Fatalf("length bound violated for %v->%v", u, v)
+		}
+	})
+}
+
+// FuzzRouteAgainstBound checks the router on arbitrary pairs: valid path,
+// consistent Distance, never above the diameter bound.
+func FuzzRouteAgainstBound(f *testing.F) {
+	f.Add(uint8(3), uint64(5), uint8(1), uint64(250), uint8(7))
+	f.Add(uint8(5), uint64(1)<<31, uint8(30), uint64(0), uint8(2))
+	f.Fuzz(func(t *testing.T, mRaw uint8, x1 uint64, y1 uint8, x2 uint64, y2 uint8) {
+		m := int(mRaw%6) + 1
+		g, err := hhc.New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := ^uint64(0)
+		if g.T() < 64 {
+			mask = 1<<uint(g.T()) - 1
+		}
+		u := hhc.Node{X: x1 & mask, Y: y1 & uint8(g.T()-1)}
+		v := hhc.Node{X: x2 & mask, Y: y2 & uint8(g.T()-1)}
+		p, err := g.Route(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.VerifyPath(u, v, p); err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := g.Distance(u, v)
+		if err != nil || d != len(p)-1 {
+			t.Fatalf("Distance %d vs route %d (%v)", d, len(p)-1, err)
+		}
+		if len(p)-1 > g.DiameterUpperBound() {
+			t.Fatalf("route length %d above diameter bound %d", len(p)-1, g.DiameterUpperBound())
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/hhc"
+)
+
+// Node-to-set containers: k <= m+1 paths from one source to k distinct
+// targets, pairwise sharing no vertex except the source, with no path
+// passing through another target. The companion notion to the one-to-one
+// container (by the fan version of Menger's theorem such a family exists
+// for any k <= connectivity).
+//
+// Unlike the one-to-one construction, this uses the exact flow solver on
+// the materialized network and is therefore limited to enumerable sizes
+// (m <= hhc.MaxDenseM). A constructive poly(n) one-to-set algorithm is the
+// natural follow-up work; the flow version provides the ground truth it
+// would be tested against.
+
+// DisjointPathsToSet returns len(targets) paths from u to each target,
+// pairwise vertex-disjoint except at u, with no path crossing another
+// target. Requires 1 <= len(targets) <= m+1, distinct targets != u, and
+// m <= hhc.MaxDenseM.
+func DisjointPathsToSet(g *hhc.Graph, u hhc.Node, targets []hhc.Node) ([][]hhc.Node, error) {
+	k := len(targets)
+	if k == 0 {
+		return nil, fmt.Errorf("core: empty target set")
+	}
+	if k > g.Degree() {
+		return nil, fmt.Errorf("core: %d targets exceed container width %d", k, g.Degree())
+	}
+	if !g.Contains(u) {
+		return nil, fmt.Errorf("core: invalid source %v", u)
+	}
+	seen := make(map[hhc.Node]bool, k)
+	for _, t := range targets {
+		if !g.Contains(t) {
+			return nil, fmt.Errorf("core: invalid target %v", t)
+		}
+		if t == u {
+			return nil, fmt.Errorf("core: target equals source %v", u)
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("core: duplicate target %v", t)
+		}
+		seen[t] = true
+	}
+	dg, err := g.Dense()
+	if err != nil {
+		return nil, fmt.Errorf("core: one-to-set needs an enumerable network: %w", err)
+	}
+	ids := make([]uint64, k)
+	for i, t := range targets {
+		ids[i] = g.ID(t)
+	}
+	fan, err := flow.VertexDisjointFan(dg, g.ID(u), ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]hhc.Node, k)
+	for i, p := range fan {
+		out[i] = g.PathFromIDs(p)
+	}
+	return out, nil
+}
+
+// VerifySetContainer checks the one-to-set disjointness property: each path
+// i runs from u to targets[i], paths share only u, and no path contains a
+// foreign target.
+func VerifySetContainer(g *hhc.Graph, u hhc.Node, targets []hhc.Node, paths [][]hhc.Node) error {
+	if len(paths) != len(targets) {
+		return fmt.Errorf("core: %d paths for %d targets", len(paths), len(targets))
+	}
+	targetSet := make(map[hhc.Node]bool, len(targets))
+	for _, t := range targets {
+		targetSet[t] = true
+	}
+	seen := make(map[hhc.Node]int)
+	for i, p := range paths {
+		if err := g.VerifyPath(u, targets[i], p); err != nil {
+			return fmt.Errorf("path %d: %w", i, err)
+		}
+		for _, w := range p[1:] {
+			if w != targets[i] && targetSet[w] {
+				return fmt.Errorf("core: path %d passes through foreign target %v", i, w)
+			}
+		}
+		for _, w := range p[1:] {
+			if prev, ok := seen[w]; ok {
+				return fmt.Errorf("core: paths %d and %d share %v", prev, i, w)
+			}
+			seen[w] = i
+		}
+	}
+	return nil
+}
+
+// SetContainerWidth returns the maximum k for which a one-to-set container
+// from u to a prefix of targets exists, by running the max-flow fan at
+// decreasing sizes. Exposed mainly for analysis tooling.
+func SetContainerWidth(g *hhc.Graph, u hhc.Node, targets []hhc.Node) (int, error) {
+	limit := len(targets)
+	if d := g.Degree(); d < limit {
+		limit = d
+	}
+	for k := limit; k >= 1; k-- {
+		_, err := DisjointPathsToSet(g, u, targets[:k])
+		switch {
+		case err == nil:
+			return k, nil
+		case errors.Is(err, graph.ErrTooLarge):
+			return 0, err
+		}
+	}
+	return 0, nil
+}

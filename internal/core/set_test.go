@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hhc"
+)
+
+func TestSetContainerBasic(t *testing.T) {
+	g := mustGraph(t, 3)
+	u := hhc.Node{X: 0x00, Y: 0}
+	targets := []hhc.Node{
+		{X: 0xFF, Y: 7},
+		{X: 0x0F, Y: 3},
+		{X: 0xA5, Y: 1},
+		{X: 0x01, Y: 0},
+	}
+	paths, err := DisjointPathsToSet(g, u, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySetContainer(g, u, targets, paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetContainerRandom(t *testing.T) {
+	for _, m := range []int{2, 3} {
+		g := mustGraph(t, m)
+		r := rand.New(rand.NewSource(int64(m * 3)))
+		for trial := 0; trial < 40; trial++ {
+			u := g.RandomNode(r)
+			k := 1 + r.Intn(g.Degree())
+			seen := map[hhc.Node]bool{u: true}
+			targets := make([]hhc.Node, 0, k)
+			for len(targets) < k {
+				v := g.RandomNode(r)
+				if !seen[v] {
+					seen[v] = true
+					targets = append(targets, v)
+				}
+			}
+			paths, err := DisjointPathsToSet(g, u, targets)
+			if err != nil {
+				t.Fatalf("m=%d k=%d: %v", m, k, err)
+			}
+			if err := VerifySetContainer(g, u, targets, paths); err != nil {
+				t.Fatalf("m=%d: %v", m, err)
+			}
+		}
+	}
+}
+
+func TestSetContainerErrors(t *testing.T) {
+	g := mustGraph(t, 2)
+	u := hhc.Node{X: 0, Y: 0}
+	a := hhc.Node{X: 5, Y: 1}
+	if _, err := DisjointPathsToSet(g, u, nil); err == nil {
+		t.Error("empty target set accepted")
+	}
+	if _, err := DisjointPathsToSet(g, u, []hhc.Node{a, a}); err == nil {
+		t.Error("duplicate target accepted")
+	}
+	if _, err := DisjointPathsToSet(g, u, []hhc.Node{u}); err == nil {
+		t.Error("target == source accepted")
+	}
+	if _, err := DisjointPathsToSet(g, u, []hhc.Node{{X: 99, Y: 0}}); err == nil {
+		t.Error("invalid target accepted")
+	}
+	too := []hhc.Node{{X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}, {X: 4, Y: 0}}
+	if _, err := DisjointPathsToSet(g, u, too); err == nil {
+		t.Error("width overflow accepted (m+1 = 3)")
+	}
+	// Too-large network.
+	g5 := mustGraph(t, 5)
+	if _, err := DisjointPathsToSet(g5, hhc.Node{}, []hhc.Node{{X: 1, Y: 0}}); err == nil {
+		t.Error("m=5 should refuse (not enumerable)")
+	}
+}
+
+func TestSetContainerWidth(t *testing.T) {
+	g := mustGraph(t, 2)
+	u := hhc.Node{X: 0, Y: 0}
+	targets := []hhc.Node{{X: 9, Y: 2}, {X: 6, Y: 1}, {X: 12, Y: 3}}
+	w, err := SetContainerWidth(g, u, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 {
+		t.Fatalf("width %d, want 3 (HHC_6 is 3-connected)", w)
+	}
+}
+
+func TestVerifySetContainerRejections(t *testing.T) {
+	g := mustGraph(t, 2)
+	u := hhc.Node{X: 0, Y: 0}
+	targets := []hhc.Node{{X: 3, Y: 1}, {X: 12, Y: 2}}
+	paths, err := DisjointPathsToSet(g, u, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cardinality mismatch.
+	if err := VerifySetContainer(g, u, targets, paths[:1]); err == nil {
+		t.Error("short family accepted")
+	}
+	// Swap endpoints: path i no longer ends at targets[i].
+	swapped := [][]hhc.Node{paths[1], paths[0]}
+	if err := VerifySetContainer(g, u, targets, swapped); err == nil {
+		t.Error("swapped family accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package deadlock
+
+import (
+	"testing"
+
+	"repro/internal/hhc"
+)
+
+// TestVirtualChannelsBreakRingCycle: the Dally ring example again, now with
+// the rank-descent discipline — the CDG over virtual channels must be
+// acyclic.
+func TestVirtualChannelsBreakRingCycle(t *testing.T) {
+	g := mustGraph(t, 1)
+	// Plain analysis is cyclic (pinned by TestAnalyzeRouterM1); virtual
+	// analysis must not be.
+	rep, vcs, err := AnalyzeRouterVirtual(g, g.Route, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Acyclic {
+		t.Fatalf("virtual-channel CDG still cyclic: %v", rep.Cycle)
+	}
+	if vcs < 2 {
+		t.Fatalf("a ring cannot be deadlock-free with %d virtual channel(s)", vcs)
+	}
+	t.Logf("ring: %d virtual channels, %d virtual links", vcs, rep.Links)
+}
+
+// TestVirtualChannelsM2BothRouters: both routers become deadlock-free on
+// HHC_6, with a measured (and bounded) channel count.
+func TestVirtualChannelsM2BothRouters(t *testing.T) {
+	g := mustGraph(t, 2)
+	for _, tc := range []struct {
+		name   string
+		router RouterFunc
+	}{
+		{"shortest", g.Route},
+		{"dim-order", g.RouteDimOrder},
+	} {
+		rep, vcs, err := AnalyzeRouterVirtual(g, tc.router, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Acyclic {
+			t.Fatalf("%s: still cyclic with virtual channels", tc.name)
+		}
+		// Descents are bounded by the route length; anything above the
+		// diameter bound would indicate a broken assignment.
+		if vcs < 1 || vcs > g.DiameterUpperBound() {
+			t.Fatalf("%s: implausible virtual channel count %d", tc.name, vcs)
+		}
+		t.Logf("%s: %d virtual channels suffice (%d virtual links, %d deps)",
+			tc.name, vcs, rep.Links, rep.Dependencies)
+	}
+}
+
+// TestAssignVCsMonotone: along every route, (vc, rank) must increase
+// lexicographically — the inductive core of the deadlock-freedom argument.
+func TestAssignVCsMonotone(t *testing.T) {
+	g := mustGraph(t, 2)
+	rank := DefaultRank(g)
+	n, _ := g.NumNodes()
+	for i := uint64(0); i < n; i += 3 {
+		for j := uint64(1); j < n; j += 5 {
+			if i == j {
+				continue
+			}
+			route, err := g.Route(g.NodeFromID(i), g.NodeFromID(j))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vcs := AssignVCs(route, rank)
+			if len(vcs) != len(route)-1 {
+				t.Fatalf("vc assignment length %d for %d hops", len(vcs), len(route)-1)
+			}
+			for k := 1; k < len(vcs); k++ {
+				prevRank := rank(Link{From: route[k-1], To: route[k]})
+				curRank := rank(Link{From: route[k], To: route[k+1]})
+				switch {
+				case vcs[k] == vcs[k-1]:
+					if curRank <= prevRank {
+						t.Fatalf("rank descent without vc bump at hop %d", k)
+					}
+				case vcs[k] == vcs[k-1]+1:
+					// fine: a descent
+				default:
+					t.Fatalf("vc jumped from %d to %d", vcs[k-1], vcs[k])
+				}
+			}
+		}
+	}
+}
+
+func TestAssignVCsDegenerate(t *testing.T) {
+	g := mustGraph(t, 2)
+	rank := DefaultRank(g)
+	if vcs := AssignVCs(nil, rank); vcs != nil {
+		t.Fatal("nil route should yield nil")
+	}
+	u := hhc.Node{X: 0, Y: 0}
+	if vcs := AssignVCs([]hhc.Node{u}, rank); vcs != nil {
+		t.Fatal("single-node route should yield nil")
+	}
+	v := g.LocalNeighbor(u, 0)
+	if vcs := AssignVCs([]hhc.Node{u, v}, rank); len(vcs) != 1 || vcs[0] != 0 {
+		t.Fatalf("single-hop route: %v", vcs)
+	}
+}
+
+func TestNeededVCsEmpty(t *testing.T) {
+	g := mustGraph(t, 2)
+	if got := NeededVCs(nil, DefaultRank(g)); got != 1 {
+		t.Fatalf("no routes need %d vcs, want 1", got)
+	}
+}

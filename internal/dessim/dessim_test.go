@@ -1,0 +1,216 @@
+package dessim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSingleHopSAF(t *testing.T) {
+	done, err := Simulate([]Packet[int]{
+		{Route: []int{1, 2}, Flits: 10, Release: 5, Msg: 0},
+	}, 1, StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 15 {
+		t.Fatalf("done at %d, want release+flits = 15", done[0])
+	}
+}
+
+func TestMultiHopSAF(t *testing.T) {
+	// 3 hops × 4 flits = 12 cycles.
+	done, err := Simulate([]Packet[int]{
+		{Route: []int{0, 1, 2, 3}, Flits: 4, Release: 0, Msg: 0},
+	}, 1, StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 12 {
+		t.Fatalf("done at %d, want 12", done[0])
+	}
+}
+
+func TestMultiHopCutThrough(t *testing.T) {
+	// Head: 3 cycles to reach the destination; tail: +4 flits.
+	done, err := Simulate([]Packet[int]{
+		{Route: []int{0, 1, 2, 3}, Flits: 4, Release: 0, Msg: 0},
+	}, 1, CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 7 {
+		t.Fatalf("done at %d, want hops+flits = 7", done[0])
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	// Two packets share link 0->1; the second must wait.
+	done, err := Simulate([]Packet[int]{
+		{Route: []int{0, 1}, Flits: 10, Release: 0, Msg: 0},
+		{Route: []int{0, 1}, Flits: 10, Release: 0, Msg: 1},
+	}, 2, StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 10 || done[1] != 20 {
+		t.Fatalf("done = %v, want [10 20]", done)
+	}
+}
+
+func TestContentionTieBreakDeterministic(t *testing.T) {
+	// Identical releases: submission order wins, every run.
+	for trial := 0; trial < 5; trial++ {
+		done, err := Simulate([]Packet[string]{
+			{Route: []string{"a", "b"}, Flits: 3, Release: 7, Msg: 0},
+			{Route: []string{"a", "b"}, Flits: 3, Release: 7, Msg: 1},
+			{Route: []string{"a", "b"}, Flits: 3, Release: 7, Msg: 2},
+		}, 3, StoreAndForward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done[0] != 10 || done[1] != 13 || done[2] != 16 {
+			t.Fatalf("done = %v", done)
+		}
+	}
+}
+
+func TestStripedMessageCompletesAtLastPacket(t *testing.T) {
+	// One message split over two disjoint routes of different lengths.
+	done, err := Simulate([]Packet[int]{
+		{Route: []int{0, 1, 9}, Flits: 5, Release: 0, Msg: 0},
+		{Route: []int{0, 2, 3, 9}, Flits: 5, Release: 0, Msg: 0},
+	}, 1, StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 15 { // slower stripe: 3 hops × 5
+		t.Fatalf("message done at %d, want 15", done[0])
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	done, err := Simulate([]Packet[int]{
+		{Route: []int{4}, Flits: 1, Release: 3, Msg: 0},
+	}, 1, StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 3 {
+		t.Fatalf("single-node route done at %d, want release time", done[0])
+	}
+}
+
+func TestNoPacketsMessage(t *testing.T) {
+	done, err := Simulate([]Packet[int]{
+		{Route: []int{0, 1}, Flits: 1, Release: 0, Msg: 1},
+	}, 2, StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != -1 {
+		t.Fatalf("empty message should stay -1, got %d", done[0])
+	}
+	if done[1] != 1 {
+		t.Fatalf("done[1] = %d", done[1])
+	}
+}
+
+// TestLowerBoundProperty: for random workloads, every message completes no
+// earlier than its contention-free minimum (release + flits × hops under
+// store-and-forward; release + hops + flits under cut-through), and no
+// earlier than its release.
+func TestLowerBoundProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(40)
+		packets := make([]Packet[int], n)
+		for i := range packets {
+			hops := 1 + r.Intn(6)
+			route := make([]int, hops+1)
+			route[0] = r.Intn(10)
+			for h := 1; h <= hops; h++ {
+				route[h] = route[h-1] + 1 + r.Intn(5) // strictly increasing: simple
+			}
+			packets[i] = Packet[int]{
+				Route:   route,
+				Flits:   int64(1 + r.Intn(20)),
+				Release: int64(r.Intn(100)),
+				Msg:     i,
+			}
+		}
+		for _, sw := range []Switching{StoreAndForward, CutThrough} {
+			done, err := Simulate(packets, n, sw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range packets {
+				hops := int64(len(p.Route) - 1)
+				var min int64
+				if sw == StoreAndForward {
+					min = p.Release + p.Flits*hops
+				} else {
+					min = p.Release + hops + p.Flits
+				}
+				if done[i] < min {
+					t.Fatalf("trial %d %v: packet %d done at %d, physical minimum %d",
+						trial, sw, i, done[i], min)
+				}
+			}
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Simulate([]Packet[int]{{Route: nil, Flits: 1}}, 1, StoreAndForward); err == nil {
+		t.Error("empty route accepted")
+	}
+	if _, err := Simulate([]Packet[int]{{Route: []int{0}, Flits: 0}}, 1, StoreAndForward); err == nil {
+		t.Error("zero flits accepted")
+	}
+	if _, err := Simulate([]Packet[int]{{Route: []int{0}, Flits: 1, Msg: 5}}, 1, StoreAndForward); err == nil {
+		t.Error("message index out of range accepted")
+	}
+}
+
+// TestLinkStats: SimulateEx reports per-link busy time and crossing counts,
+// hottest first.
+func TestLinkStats(t *testing.T) {
+	_, links, err := SimulateEx([]Packet[int]{
+		{Route: []int{0, 1, 2}, Flits: 10, Release: 0, Msg: 0},
+		{Route: []int{0, 1}, Flits: 10, Release: 0, Msg: 1},
+	}, 2, StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 {
+		t.Fatalf("%d links, want 2", len(links))
+	}
+	// Link 0->1 carried both packets: 20 busy cycles; 1->2 only one.
+	if links[0].From != 0 || links[0].To != 1 || links[0].Busy != 20 || links[0].Packets != 2 {
+		t.Fatalf("hottest link wrong: %+v", links[0])
+	}
+	if links[1].Busy != 10 || links[1].Packets != 1 {
+		t.Fatalf("second link wrong: %+v", links[1])
+	}
+}
+
+// TestCutThroughLinkHoldBlocks: under cut-through the link is held for the
+// full body, so a second worm sharing a link stalls behind the first.
+func TestCutThroughLinkHoldBlocks(t *testing.T) {
+	done, err := Simulate([]Packet[int]{
+		{Route: []int{0, 1, 2}, Flits: 8, Release: 0, Msg: 0},
+		{Route: []int{0, 1, 3}, Flits: 8, Release: 0, Msg: 1},
+	}, 2, CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worm 0: head crosses 0->1 at cycle 1, 1->2 at 2, tail done 2+8=10.
+	if done[0] != 10 {
+		t.Fatalf("worm 0 done at %d, want 10", done[0])
+	}
+	// Worm 1: link 0->1 busy until 8; head crosses at 9, then 1->3 at 10,
+	// done 10+8 = 18.
+	if done[1] != 18 {
+		t.Fatalf("worm 1 done at %d, want 18", done[1])
+	}
+}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hhc"
+	"repro/internal/stats"
+)
+
+// E20Adaptive sweeps fault density and contrasts the guaranteed
+// container-based policy (RouteAround) with the local-information adaptive
+// heuristic: delivery probability, path stretch, and deflection counts. The
+// adaptive router sees only its neighbors' health; the container router
+// needs the global fault set — the experiment quantifies what that
+// knowledge is worth.
+func E20Adaptive(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Fault routing: global-knowledge container vs local-information adaptive",
+		"m", "faults", "trials", "container-ok", "adaptive-ok", "adaptive-stretch", "mean-deflections")
+	ms := []int{3, 4}
+	trials := 400
+	if cfg.Quick {
+		ms = []int{3}
+		trials = 60
+	}
+	for _, m := range ms {
+		g, err := hhc.New(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range []int{0, m, 4 * m, 16 * m} {
+			pairs := gen.Pairs(g, trials, gen.Uniform, cfg.Seed+int64(m*1000+f))
+			containerOK, adaptiveOK := 0, 0
+			var stretchSum float64
+			var deflections, delivered int
+			for i, pr := range pairs {
+				faults := gen.FaultSet(g, f, []hhc.Node{pr.U, pr.V}, cfg.Seed+int64(i*13+f))
+				if _, err := core.RouteAround(g, pr.U, pr.V, faults); err == nil {
+					containerOK++
+				}
+				res, err := core.AdaptiveRoute(g, pr.U, pr.V,
+					func(w hhc.Node) bool { return faults[w] }, 0)
+				if err != nil {
+					return nil, err
+				}
+				if res.Delivered {
+					adaptiveOK++
+					d, _, err := g.Distance(pr.U, pr.V)
+					if err != nil {
+						return nil, err
+					}
+					if d > 0 {
+						stretchSum += float64(len(res.Path)-1) / float64(d)
+					}
+					deflections += res.Deflection
+					delivered++
+				}
+			}
+			stretch := 0.0
+			meanDefl := 0.0
+			if delivered > 0 {
+				stretch = stretchSum / float64(delivered)
+				meanDefl = float64(deflections) / float64(delivered)
+			}
+			tab.AddRow(m, f, trials,
+				float64(containerOK)/float64(trials),
+				float64(adaptiveOK)/float64(trials),
+				stretch, meanDefl)
+		}
+	}
+	return []*stats.Table{tab}, nil
+}

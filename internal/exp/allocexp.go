@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"math/rand"
+
+	"repro/internal/alloc"
+	"repro/internal/stats"
+)
+
+// E18Allocation drives the buddy subcube allocator with a synthetic
+// space-sharing job stream (geometric job sizes, exponential-ish lifetimes)
+// and reports acceptance rate and external fragmentation across offered
+// loads — the standard processor-allocation evaluation for partitionable
+// machines.
+func E18Allocation(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Buddy subcube allocation under a job stream",
+		"t", "target-util", "jobs", "accepted", "rate", "mean-frag", "max-frag")
+	ts := []int{4, 8, 16}
+	steps := 20000
+	if cfg.Quick {
+		ts = []int{4, 8}
+		steps = 2000
+	}
+	for _, t := range ts {
+		for _, util := range []float64{0.3, 0.6, 0.9} {
+			row, err := allocRun(t, util, steps, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRow(t, util, row.jobs, row.accepted,
+				float64(row.accepted)/float64(row.jobs), row.meanFrag, row.maxFrag)
+		}
+	}
+	return []*stats.Table{tab}, nil
+}
+
+type allocStats struct {
+	jobs     int
+	accepted int
+	meanFrag float64
+	maxFrag  float64
+}
+
+// allocRun simulates a job stream targeting the given utilization: each
+// step one job arrives with geometric size, and running jobs depart with a
+// probability tuned so steady-state usage hovers near the target.
+func allocRun(t int, targetUtil float64, steps int, seed int64) (allocStats, error) {
+	a, err := alloc.New(t)
+	if err != nil {
+		return allocStats{}, err
+	}
+	r := rand.New(rand.NewSource(seed + int64(t*100)))
+	type job struct {
+		base    uint64
+		departs int
+	}
+	var running []job
+	var st allocStats
+	var fragSum float64
+	total := uint64(1) << uint(t)
+	// Mean lifetime chosen so offered load ≈ target utilization: each job
+	// holds ~2^(t-3) cubes on average (sizes 0..t/2 geometric), so lifetime
+	// scales with target.
+	meanLife := int(targetUtil*float64(total)) + 1
+	for step := 0; step < steps; step++ {
+		// Departures.
+		keep := running[:0]
+		for _, j := range running {
+			if j.departs <= step {
+				if err := a.Free(j.base); err != nil {
+					return allocStats{}, err
+				}
+			} else {
+				keep = append(keep, j)
+			}
+		}
+		running = keep
+		// One arrival per step: geometric size capped at t/2.
+		order := 0
+		for order < t/2 && r.Intn(2) == 0 {
+			order++
+		}
+		st.jobs++
+		base, err := a.Alloc(order)
+		if err == nil {
+			st.accepted++
+			life := 1 + r.Intn(2*meanLife)
+			running = append(running, job{base: base, departs: step + life})
+		}
+		f := a.Fragmentation()
+		fragSum += f
+		if f > st.maxFrag {
+			st.maxFrag = f
+		}
+	}
+	st.meanFrag = fragSum / float64(steps)
+	return st, nil
+}

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collective"
+	"repro/internal/hhc"
+	"repro/internal/hypercube"
+	"repro/internal/nets"
+	"repro/internal/stats"
+)
+
+// E11Measured is the measured three-way comparison: HHC_n vs Q_n vs
+// CCC(2^m) at *identical* node counts 2^n (the sizes align exactly for
+// n = 2^m + m). Diameters come from BFS where the instance is enumerable,
+// connectivity from max flow — numbers, not formulas.
+func E11Measured(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Measured comparison at equal node count (n = 2^m + m)",
+		"m", "network", "nodes", "degree", "connectivity", "diameter", "deg*diam")
+	ms := []int{2, 3}
+	samples := 6
+	sources := 16
+	if cfg.Quick {
+		ms = []int{2}
+		samples, sources = 3, 4
+	}
+	for _, m := range ms {
+		triple, err := nets.Triple(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range triple {
+			diam, err := nets.MeasuredDiameter(n, sources, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			connCell := fmt.Sprintf("%d (analytic)", n.ContainerWidth())
+			if dg, err := n.Dense(); err == nil && dg.Order() <= 1<<12 {
+				k, err := nets.MeasuredConnectivity(n, samples, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				connCell = fmt.Sprintf("%d (flow)", k)
+			}
+			cost := "n/a"
+			if d := parseLeadingInt(diam); d > 0 {
+				cost = fmt.Sprintf("%d", n.Degree()*d)
+			}
+			tab.AddRow(m, n.Name(), fmt.Sprintf("2^%d", n.LogNodes()),
+				n.Degree(), connCell, diam, cost)
+		}
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// parseLeadingInt extracts the integer from "13", ">=13" or "<=13".
+func parseLeadingInt(s string) int {
+	for len(s) > 0 && (s[0] == '<' || s[0] == '>' || s[0] == '=') {
+		s = s[1:]
+	}
+	v := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v
+}
+
+// E12Broadcast evaluates the distributed broadcast trees: depth (all-port
+// rounds) and exact minimum one-port rounds versus the information-theoretic
+// lower bound ceil(log2 N), across roots.
+func E12Broadcast(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Broadcast on the dimension-ordered spanning tree",
+		"m", "nodes", "roots", "depth(max)", "one-port(max)", "lower-bound", "Qn-binomial", "max-fanout")
+	ms := []int{2, 3, 4}
+	roots := 8
+	if cfg.Quick {
+		ms = []int{2, 3}
+		roots = 3
+	}
+	for _, m := range ms {
+		g, err := hhc.New(m)
+		if err != nil {
+			return nil, err
+		}
+		n, _ := g.NumNodes()
+		lower := int(math.Ceil(math.Log2(float64(n))))
+		maxDepth, maxOne, maxFan := 0, 0, 0
+		count := 0
+		rootList := sampleRoots(g, roots, cfg.Seed)
+		for _, root := range rootList {
+			tree, err := collective.BuildTree(g, root)
+			if err != nil {
+				return nil, err
+			}
+			if err := tree.Validate(g); err != nil {
+				return nil, err
+			}
+			if tree.Depth > maxDepth {
+				maxDepth = tree.Depth
+			}
+			if o := tree.OnePortRounds(); o > maxOne {
+				maxOne = o
+			}
+			if f := tree.MaxChildren(); f > maxFan {
+				maxFan = f
+			}
+			count++
+		}
+		// The hypercube with the same node count broadcasts in exactly n
+		// one-port rounds via the binomial tree — the degree-rich yardstick.
+		tab.AddRow(m, fmt.Sprintf("2^%d", g.N()), count, maxDepth, maxOne, lower,
+			hypercube.BinomialRounds(g.N()), maxFan)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// sampleRoots returns k deterministic distinct roots.
+func sampleRoots(g *hhc.Graph, k int, seed int64) []hhc.Node {
+	n, _ := g.NumNodes()
+	roots := make([]hhc.Node, 0, k)
+	step := n/uint64(k) + 1
+	for id := uint64(seed) % step; id < n && len(roots) < k; id += step {
+		roots = append(roots, g.NodeFromID(id))
+	}
+	if len(roots) == 0 {
+		roots = append(roots, g.NodeFromID(0))
+	}
+	return roots
+}

@@ -1,0 +1,286 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/hhc"
+	"repro/internal/stats"
+)
+
+// containerWorst constructs and verifies one container, returning its
+// longest path length and the analytic bound for the pair.
+func containerWorst(g *hhc.Graph, u, v hhc.Node) (worst, bound int, err error) {
+	paths, err := core.DisjointPaths(g, u, v)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := core.VerifyContainer(g, u, v, paths); err != nil {
+		return 0, 0, fmt.Errorf("exp: verification failed for %v->%v: %w", u, v, err)
+	}
+	return core.MaxLength(paths), core.MaxLenBound(g, u, v), nil
+}
+
+// E2Construct is the theorem check: for every m it constructs containers on
+// an exhaustive or sampled pair population, verifies all of them, and
+// reports the measured length profile against the analytic bound.
+func E2Construct(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Container construction check (all families verified node-disjoint)",
+		"m", "pairs", "verified", "mean-max-len", "worst-len", "analytic-bound", "population")
+	type plan struct {
+		m       int
+		samples int // 0 = exhaustive
+	}
+	plans := []plan{{1, 0}, {2, 0}, {3, 4000}, {4, 2000}, {5, 800}, {6, 300}}
+	if cfg.Quick {
+		plans = []plan{{1, 0}, {2, 0}, {3, 300}, {4, 100}, {5, 50}, {6, 20}}
+	}
+	for _, p := range plans {
+		g, err := hhc.New(p.m)
+		if err != nil {
+			return nil, err
+		}
+		var pairs []gen.Pair
+		population := "sampled"
+		if p.samples == 0 {
+			population = "exhaustive"
+			n, _ := g.NumNodes()
+			for i := uint64(0); i < n; i++ {
+				for j := uint64(0); j < n; j++ {
+					if i != j {
+						pairs = append(pairs, gen.Pair{U: g.NodeFromID(i), V: g.NodeFromID(j)})
+					}
+				}
+			}
+		} else {
+			pairs = gen.Pairs(g, p.samples, gen.Uniform, cfg.Seed+int64(p.m))
+		}
+		var maxLens []int
+		worst, worstBound := 0, 0
+		for _, pr := range pairs {
+			w, b, err := containerWorst(g, pr.U, pr.V)
+			if err != nil {
+				return nil, err
+			}
+			maxLens = append(maxLens, w)
+			if w > worst {
+				worst = w
+			}
+			if b > worstBound {
+				worstBound = b
+			}
+		}
+		s := stats.Summarize(maxLens)
+		tab.AddRow(p.m, len(pairs), fmt.Sprintf("%d/%d", len(pairs), len(pairs)),
+			s.Mean, worst, worstBound, population)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// E3Profile regenerates the path-length figure: container mean/max length
+// and shortest-path distance as the super-distance d = |a⊕b| sweeps 0..2^m.
+func E3Profile(cfg Config) ([]*stats.Table, error) {
+	ms := []int{3, 4}
+	samples := 400
+	if cfg.Quick {
+		ms = []int{3}
+		samples = 60
+	}
+	var tables []*stats.Table
+	for _, m := range ms {
+		g, err := hhc.New(m)
+		if err != nil {
+			return nil, err
+		}
+		tab := stats.NewTable(fmt.Sprintf("Container length vs super-distance (m=%d)", m),
+			"d", "dist-mean", "container-mean", "container-max", "bound")
+		for d := 0; d <= g.T(); d++ {
+			pairs, err := gen.PairsAtSuperDistance(g, samples, d, cfg.Seed+int64(100*m+d))
+			if err != nil {
+				return nil, err
+			}
+			var dists, maxLens []int
+			bound := 0
+			for _, pr := range pairs {
+				dist, _, err := g.Distance(pr.U, pr.V)
+				if err != nil {
+					return nil, err
+				}
+				dists = append(dists, dist)
+				w, b, err := containerWorst(g, pr.U, pr.V)
+				if err != nil {
+					return nil, err
+				}
+				maxLens = append(maxLens, w)
+				if b > bound {
+					bound = b
+				}
+			}
+			ds, ms := stats.Summarize(dists), stats.Summarize(maxLens)
+			tab.AddRow(d, ds.Mean, ms.Mean, ms.Max, bound)
+		}
+		tables = append(tables, tab)
+	}
+	return tables, nil
+}
+
+// E4Baseline races the constructive algorithm against the generic max-flow
+// (Menger) baseline on the same pairs: identical path counts, comparable
+// lengths, and a construction that is orders of magnitude faster because it
+// never touches the 2^n-node graph.
+func E4Baseline(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Construction vs max-flow baseline",
+		"m", "pairs", "width", "flow-width", "maxlen", "flow-maxlen",
+		"construct-us/pair", "flow-us/pair", "speedup")
+	type plan struct{ m, pairs int }
+	plans := []plan{{2, 60}, {3, 40}, {4, 6}}
+	if cfg.Quick {
+		plans = []plan{{2, 10}, {3, 5}}
+	}
+	for _, p := range plans {
+		g, err := hhc.New(p.m)
+		if err != nil {
+			return nil, err
+		}
+		dg, err := g.Dense()
+		if err != nil {
+			return nil, err
+		}
+		pairs := gen.Pairs(g, p.pairs, gen.Uniform, cfg.Seed+int64(p.m))
+
+		start := time.Now()
+		var maxLen, width int
+		for _, pr := range pairs {
+			paths, err := core.DisjointPaths(g, pr.U, pr.V)
+			if err != nil {
+				return nil, err
+			}
+			width = len(paths)
+			if l := core.MaxLength(paths); l > maxLen {
+				maxLen = l
+			}
+		}
+		consTime := time.Since(start)
+
+		start = time.Now()
+		var flowMaxLen, flowWidth int
+		minCost := p.m <= 3
+		for _, pr := range pairs {
+			paths, err := flow.VertexDisjointPaths(dg, g.ID(pr.U), g.ID(pr.V), 0, minCost)
+			if err != nil {
+				return nil, err
+			}
+			flowWidth = len(paths)
+			for _, fp := range paths {
+				if l := len(fp) - 1; l > flowMaxLen {
+					flowMaxLen = l
+				}
+			}
+		}
+		flowTime := time.Since(start)
+
+		consUS := float64(consTime.Microseconds()) / float64(len(pairs))
+		flowUS := float64(flowTime.Microseconds()) / float64(len(pairs))
+		speedup := 0.0
+		if consUS > 0 {
+			speedup = flowUS / consUS
+		}
+		tab.AddRow(p.m, len(pairs), width, flowWidth, maxLen, flowMaxLen,
+			consUS, flowUS, fmt.Sprintf("%.0fx", speedup))
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// E5Scaling shows the headline complexity claim: per-pair construction time
+// stays flat as the network grows from 2^3 to 2^70 nodes, while anything
+// that must traverse the network (BFS shortest path) blows up and becomes
+// impossible past m = 4.
+func E5Scaling(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Construction cost vs network size",
+		"m", "n", "nodes", "construct-us/pair", "bfs-us/pair")
+	reps := 300
+	if cfg.Quick {
+		reps = 40
+	}
+	for m := 1; m <= 6; m++ {
+		g, err := hhc.New(m)
+		if err != nil {
+			return nil, err
+		}
+		pairs := gen.Pairs(g, reps, gen.Uniform, cfg.Seed+int64(m))
+		start := time.Now()
+		for _, pr := range pairs {
+			if _, err := core.DisjointPaths(g, pr.U, pr.V); err != nil {
+				return nil, err
+			}
+		}
+		consUS := float64(time.Since(start).Microseconds()) / float64(len(pairs))
+
+		bfsCell := "n/a (network too large)"
+		if m <= hhc.MaxDenseM {
+			dg, err := g.Dense()
+			if err != nil {
+				return nil, err
+			}
+			bfsPairs := pairs
+			if m == 4 && len(bfsPairs) > 3 {
+				bfsPairs = bfsPairs[:3] // a million-node BFS per pair
+			}
+			start = time.Now()
+			for _, pr := range bfsPairs {
+				if _, err := graphDistance(dg, g.ID(pr.U), g.ID(pr.V)); err != nil {
+					return nil, err
+				}
+			}
+			bfsCell = fmt.Sprintf("%.1f", float64(time.Since(start).Microseconds())/float64(len(bfsPairs)))
+		}
+		tab.AddRow(m, g.N(), fmt.Sprintf("2^%d", g.N()), consUS, bfsCell)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// E8Ablation compares the cyclic-order strategies on identical pair sets.
+func E8Ablation(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Cyclic-order strategy ablation",
+		"m", "strategy", "pairs", "mean-max-len", "worst-len", "mean-total-len")
+	ms := []int{3, 4, 5}
+	samples := 1500
+	if cfg.Quick {
+		ms = []int{3}
+		samples = 150
+	}
+	for _, m := range ms {
+		g, err := hhc.New(m)
+		if err != nil {
+			return nil, err
+		}
+		pairs := gen.Pairs(g, samples, gen.Uniform, cfg.Seed+int64(m))
+		combos := []core.Options{
+			{Order: core.OrderAscending},
+			{Order: core.OrderGray},
+			{Order: core.OrderNearest},
+			{Order: core.OrderNearest, Detour: core.DetourNearest},
+		}
+		for _, opt := range combos {
+			var maxLens, totals []int
+			for _, pr := range pairs {
+				paths, err := core.DisjointPathsOpt(g, pr.U, pr.V, opt)
+				if err != nil {
+					return nil, err
+				}
+				maxLens = append(maxLens, core.MaxLength(paths))
+				totals = append(totals, core.TotalLength(paths))
+			}
+			label := opt.Order.String()
+			if opt.Detour != core.DetourAscending {
+				label += "+" + opt.Detour.String()
+			}
+			ml, tl := stats.Summarize(maxLens), stats.Summarize(totals)
+			tab.AddRow(m, label, len(pairs), ml.Mean, ml.Max, tl.Mean)
+		}
+	}
+	return []*stats.Table{tab}, nil
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/flow"
+	"repro/internal/nets"
+	"repro/internal/stats"
+)
+
+// E21CrossContainers compares the *container quality* of the four rival
+// topologies at equal node counts: for sampled pairs, the maximum family of
+// vertex-disjoint paths (computed exactly by min-cost flow, so the family
+// has minimum total length for its width) — width, average length, and the
+// longest member, which estimates each network's wide diameter. This is the
+// fault-tolerance counterpart of E15's latency comparison: CCC's cheap
+// degree buys only width 3, while HHC and HCN scale width with size.
+func E21CrossContainers(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Maximum disjoint-path families across equal-sized networks (min-cost flow)",
+		"m", "network", "width", "mean-len", "mean-max-len", "worst-len", "pairs")
+	ms := []int{2, 3}
+	pairs := 40
+	if cfg.Quick {
+		ms = []int{2}
+		pairs = 8
+	}
+	for _, m := range ms {
+		candidates, err := nets.Triple(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range candidates {
+			dg, err := n.Dense()
+			if err != nil {
+				return nil, err
+			}
+			r := rand.New(rand.NewSource(cfg.Seed + int64(m)))
+			var widths, worst int
+			var lenSum float64
+			var lenCnt, maxLenSum int
+			sampled := 0
+			for sampled < pairs {
+				s := uint64(r.Int63n(dg.Order()))
+				d := uint64(r.Int63n(dg.Order()))
+				if s == d {
+					continue
+				}
+				fam, err := flow.VertexDisjointPaths(dg, s, d, 0, true)
+				if err != nil {
+					return nil, err
+				}
+				if len(fam) == 0 {
+					continue
+				}
+				sampled++
+				if widths == 0 || len(fam) < widths {
+					widths = len(fam)
+				}
+				localMax := 0
+				for _, p := range fam {
+					l := len(p) - 1
+					lenSum += float64(l)
+					lenCnt++
+					if l > localMax {
+						localMax = l
+					}
+				}
+				maxLenSum += localMax
+				if localMax > worst {
+					worst = localMax
+				}
+			}
+			tab.AddRow(m, n.Name(), fmt.Sprintf(">=%d", widths),
+				lenSum/float64(lenCnt), float64(maxLenSum)/float64(sampled), worst, sampled)
+		}
+	}
+	return []*stats.Table{tab}, nil
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hhc"
+	"repro/internal/stats"
+)
+
+// graphDistance is a tiny wrapper so construct.go can call BFS distance
+// without importing graph there twice.
+func graphDistance(dg graph.Graph, s, t uint64) (int, error) {
+	return graph.Distance(dg, s, t)
+}
+
+// E6Faults sweeps the number of random node faults and measures how often
+// the container keeps at least one usable path. For f <= m the disjointness
+// theorem guarantees 100% survival; past the connectivity the probability
+// decays but stays high because a random fault must land exactly on the few
+// container vertices to hurt.
+func E6Faults(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Container survival under node faults (random and clustered)",
+		"m", "fault-model", "faults", "trials", "survived", "rate", "min-surviving-paths", "guarantee")
+	ms := []int{2, 3, 4}
+	trials := 600
+	if cfg.Quick {
+		ms = []int{3}
+		trials = 80
+	}
+	models := []struct {
+		name string
+		draw func(g *hhc.Graph, count int, protect []hhc.Node, seed int64) map[hhc.Node]bool
+	}{
+		{"random", gen.FaultSet},
+		{"clustered", gen.ClusteredFaultSet},
+	}
+	for _, m := range ms {
+		g, err := hhc.New(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, model := range models {
+			for f := 0; f <= m+2; f++ {
+				pairs := gen.Pairs(g, trials, gen.Uniform, cfg.Seed+int64(1000*m+f))
+				survived := 0
+				minSurvivors := m + 2
+				for i, pr := range pairs {
+					faults := model.draw(g, f, []hhc.Node{pr.U, pr.V}, cfg.Seed+int64(i*7+f))
+					paths, err := core.DisjointPaths(g, pr.U, pr.V)
+					if err != nil {
+						return nil, err
+					}
+					alive := len(core.SurvivingPaths(paths, faults))
+					if alive < minSurvivors {
+						minSurvivors = alive
+					}
+					if alive > 0 {
+						survived++
+					}
+					// Cross-check with the routing policy.
+					_, err = core.RouteAround(g, pr.U, pr.V, faults)
+					if alive > 0 && err != nil {
+						return nil, err
+					}
+					if alive == 0 && !errors.Is(err, core.ErrAllPathsFaulty) {
+						return nil, err
+					}
+				}
+				guarantee := ""
+				if f <= m {
+					guarantee = "guaranteed"
+					if survived != len(pairs) {
+						return nil, errors.New("exp: survival guarantee violated with f <= m")
+					}
+				}
+				tab.AddRow(m, model.name, f, len(pairs), survived,
+					float64(survived)/float64(len(pairs)), minSurvivors, guarantee)
+			}
+		}
+	}
+	return []*stats.Table{tab}, nil
+}

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/hhc"
+	"repro/internal/stats"
+)
+
+// E14Permutation measures link congestion under a full random permutation
+// workload: every node sends one message to a distinct destination, routes
+// are laid down, and the maximum and mean number of routes crossing any
+// directed link is reported — for the optimal centralized router, the
+// distributed dimension-ordered router, and container striping (whose load
+// per path is 1/(m+1) of a message). Congestion is the classical proxy for
+// saturation throughput.
+func E14Permutation(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Link congestion under a full random permutation",
+		"m", "nodes", "router", "max-load", "mean-load", "loaded-links")
+	ms := []int{2, 3}
+	perms := 3
+	if cfg.Quick {
+		ms = []int{2}
+		perms = 1
+	}
+	for _, m := range ms {
+		g, err := hhc.New(m)
+		if err != nil {
+			return nil, err
+		}
+		n, _ := g.NumNodes()
+		for _, router := range []string{"shortest", "dim-order", "multi-path"} {
+			maxLoad, meanSum, linkSum := 0, 0.0, 0
+			for p := 0; p < perms; p++ {
+				loads, err := permutationLoads(g, n, router, cfg.Seed+int64(p))
+				if err != nil {
+					return nil, err
+				}
+				mx, mean := loadStats(loads)
+				if mx > maxLoad {
+					maxLoad = mx
+				}
+				meanSum += mean
+				linkSum += len(loads)
+			}
+			tab.AddRow(m, fmt.Sprintf("2^%d", g.N()), router,
+				maxLoad, meanSum/float64(perms), linkSum/perms)
+		}
+	}
+	return []*stats.Table{tab}, nil
+}
+
+type dirLink struct{ from, to hhc.Node }
+
+// permutationLoads routes a random permutation and counts per-link loads.
+// Multi-path striping contributes 1/(m+1) of a message per container path.
+func permutationLoads(g *hhc.Graph, n uint64, router string, seed int64) (map[dirLink]float64, error) {
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(int(n))
+	loads := make(map[dirLink]float64)
+	addPath := func(p []hhc.Node, weight float64) {
+		for i := 1; i < len(p); i++ {
+			loads[dirLink{p[i-1], p[i]}] += weight
+		}
+	}
+	for src, dst := range perm {
+		if src == dst {
+			continue
+		}
+		u := g.NodeFromID(uint64(src))
+		v := g.NodeFromID(uint64(dst))
+		switch router {
+		case "shortest":
+			p, err := g.Route(u, v)
+			if err != nil {
+				return nil, err
+			}
+			addPath(p, 1)
+		case "dim-order":
+			p, err := g.RouteDimOrder(u, v)
+			if err != nil {
+				return nil, err
+			}
+			addPath(p, 1)
+		case "multi-path":
+			paths, err := core.DisjointPaths(g, u, v)
+			if err != nil {
+				return nil, err
+			}
+			w := 1 / float64(len(paths))
+			for _, p := range paths {
+				addPath(p, w)
+			}
+		default:
+			return nil, fmt.Errorf("exp: unknown router %q", router)
+		}
+	}
+	return loads, nil
+}
+
+func loadStats(loads map[dirLink]float64) (maxLoad int, mean float64) {
+	if len(loads) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	var mx float64
+	for _, l := range loads {
+		sum += l
+		if l > mx {
+			mx = l
+		}
+	}
+	return int(mx + 0.5), sum / float64(len(loads))
+}

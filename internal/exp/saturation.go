@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// E22Saturation locates each routing policy's saturation point: the offered
+// load at which average latency exceeds 3× the unloaded baseline, found by
+// bisection over the arrival rate. Saturation load and the goodput achieved
+// there are the standard single-number summaries of an interconnect's
+// capacity; striping should push both upward by spreading traffic over the
+// container.
+func E22Saturation(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Saturation search (latency > 3x unloaded)",
+		"mode", "unloaded-latency", "saturation-load", "goodput-at-saturation", "latency-at-saturation")
+	flows, msgs := 24, 40
+	iters := 12
+	if cfg.Quick {
+		flows, msgs = 8, 12
+		iters = 6
+	}
+	run := func(mode netsim.RoutingMode, rate float64) (netsim.Result, error) {
+		return netsim.Run(netsim.Config{
+			M: 3, Mode: mode, Flows: flows, MessagesPerFlow: msgs,
+			MessageFlits: 64, ArrivalRate: rate, Seed: cfg.Seed,
+		})
+	}
+	for _, mode := range []netsim.RoutingMode{netsim.SinglePath, netsim.MultiPathStripe} {
+		base, err := run(mode, 1e-5)
+		if err != nil {
+			return nil, err
+		}
+		threshold := 3 * base.AvgLatency
+		lo, hi := 1e-5, 0.2
+		// Make sure hi is actually saturated; if not, report the ceiling.
+		top, err := run(mode, hi)
+		if err != nil {
+			return nil, err
+		}
+		if top.AvgLatency <= threshold {
+			tab.AddRow(mode.String(), base.AvgLatency, ">0.2", top.Throughput, top.AvgLatency)
+			continue
+		}
+		var atSat netsim.Result
+		for i := 0; i < iters; i++ {
+			mid := (lo + hi) / 2
+			res, err := run(mode, mid)
+			if err != nil {
+				return nil, err
+			}
+			if res.AvgLatency > threshold {
+				hi = mid
+				atSat = res
+			} else {
+				lo = mid
+			}
+		}
+		tab.AddRow(mode.String(), base.AvgLatency, hi, atSat.Throughput, atSat.AvgLatency)
+	}
+	return []*stats.Table{tab}, nil
+}

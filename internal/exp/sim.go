@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// E10Netsim regenerates the end-to-end payoff figure: message latency and
+// goodput across an offered-load sweep, for single-path routing versus
+// (m+1)-way disjoint-path striping, on fault-free and faulty networks.
+func E10Netsim(cfg Config) ([]*stats.Table, error) {
+	loadTab := stats.NewTable("DES: latency/goodput vs offered load (m=3, 256-flit messages, fault-free)",
+		"load(msg/cyc/flow)", "mode", "avg-latency", "p95-latency", "goodput(flits/cyc)", "delivered")
+	loads := []float64{0.0002, 0.0005, 0.001, 0.002, 0.004}
+	flows, msgs := 24, 60
+	if cfg.Quick {
+		loads = []float64{0.0005, 0.002}
+		flows, msgs = 8, 15
+	}
+	for _, load := range loads {
+		for _, mode := range []netsim.RoutingMode{netsim.SinglePath, netsim.MultiPathStripe} {
+			res, err := netsim.Run(netsim.Config{
+				M:               3,
+				Mode:            mode,
+				Flows:           flows,
+				MessagesPerFlow: msgs,
+				MessageFlits:    256,
+				ArrivalRate:     load,
+				Seed:            cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			loadTab.AddRow(fmt.Sprintf("%g", load), mode.String(), res.AvgLatency, res.P95Latency,
+				res.Throughput, res.Delivered)
+		}
+	}
+
+	faultTab := stats.NewTable("DES: delivery under node faults (m=3, moderate load)",
+		"faults", "mode", "delivered", "dropped", "avg-latency")
+	faultCounts := []int{0, 3, 12, 48}
+	if cfg.Quick {
+		faultCounts = []int{0, 3}
+	}
+	for _, f := range faultCounts {
+		for _, mode := range []netsim.RoutingMode{netsim.SinglePath, netsim.FaultAwareSingle, netsim.MultiPathStripe, netsim.AdaptiveLocal} {
+			res, err := netsim.Run(netsim.Config{
+				M:               3,
+				Mode:            mode,
+				Flows:           flows,
+				MessagesPerFlow: msgs,
+				MessageFlits:    64,
+				ArrivalRate:     0.001,
+				FaultCount:      f,
+				Seed:            cfg.Seed + int64(f),
+			})
+			if err != nil {
+				return nil, err
+			}
+			faultTab.AddRow(f, mode.String(), res.Delivered, res.Dropped, res.AvgLatency)
+		}
+	}
+
+	switchTab := stats.NewTable("DES: switching model × routing mode (m=3, light load)",
+		"switching", "mode", "avg-latency", "p95-latency", "avg-hops")
+	for _, sw := range []netsim.Switching{netsim.StoreAndForward, netsim.CutThrough} {
+		for _, mode := range []netsim.RoutingMode{netsim.SinglePath, netsim.MultiPathStripe} {
+			res, err := netsim.Run(netsim.Config{
+				M:               3,
+				Mode:            mode,
+				Switch:          sw,
+				Flows:           flows,
+				MessagesPerFlow: msgs,
+				MessageFlits:    256,
+				ArrivalRate:     0.0005,
+				Seed:            cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			switchTab.AddRow(sw.String(), mode.String(), res.AvgLatency, res.P95Latency, res.AvgPathHops)
+		}
+	}
+	return []*stats.Table{loadTab, faultTab, switchTab}, nil
+}

@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ccc"
+	"repro/internal/dessim"
+	"repro/internal/hcn"
+	"repro/internal/hhc"
+	"repro/internal/hypercube"
+	"repro/internal/stats"
+)
+
+// E15CrossNetworkDES races the candidate topologies under identical
+// offered load on the generic discrete-event engine: same number of flows,
+// same Poisson arrivals, same message sizes, each network routing with its
+// own native single-path router. This isolates what topology (diameter,
+// path diversity at equal node count) does to delivered latency.
+func E15CrossNetworkDES(cfg Config) ([]*stats.Table, error) {
+	tab := stats.NewTable("Cross-network DES at equal node count (single-path, store-and-forward)",
+		"m", "network", "nodes", "flows", "avg-hops", "avg-latency", "p95-latency")
+	ms := []int{2, 3}
+	flows, msgs := 24, 40
+	if cfg.Quick {
+		ms = []int{2}
+		flows, msgs = 8, 10
+	}
+	const flits = 32
+	const rate = 0.002
+	for _, m := range ms {
+		routers, err := crossRouters(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, rt := range routers {
+			avgHops, lat, err := simulateNetwork(rt, flows, msgs, flits, rate, cfg.Seed+int64(m))
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s: %w", rt.name, err)
+			}
+			s := stats.SummarizeFloats(lat)
+			p95 := percentileFloat(lat, 0.95)
+			tab.AddRow(m, rt.name, fmt.Sprintf("2^%d", rt.logNodes), flows, avgHops, s.Mean, p95)
+		}
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// crossRouter bundles a network's size and single-path router over IDs.
+type crossRouter struct {
+	name     string
+	logNodes int
+	order    uint64
+	route    func(u, v uint64) ([]uint64, error)
+}
+
+// crossRouters builds the equal-sized candidates for parameter m.
+func crossRouters(m int) ([]crossRouter, error) {
+	hg, err := hhc.New(m)
+	if err != nil {
+		return nil, err
+	}
+	n := hg.N()
+	nodes := uint64(1) << uint(n)
+	out := []crossRouter{
+		{
+			name: hgName(hg), logNodes: n, order: nodes,
+			route: func(u, v uint64) ([]uint64, error) {
+				p, err := hg.Route(hg.NodeFromID(u), hg.NodeFromID(v))
+				if err != nil {
+					return nil, err
+				}
+				return hg.PathIDs(p), nil
+			},
+		},
+		{
+			name: fmt.Sprintf("Q_%d", n), logNodes: n, order: nodes,
+			route: func(u, v uint64) ([]uint64, error) {
+				return hypercube.BitFixPath(u, v), nil
+			},
+		},
+	}
+	// CCC(2^m): same node count; routes with its native sweep router.
+	cg, err := ccc.New(hg.T())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, crossRouter{
+		name: fmt.Sprintf("CCC(%d)", hg.T()), logNodes: n, order: cg.NumNodes(),
+		route: func(u, v uint64) ([]uint64, error) {
+			p, err := cg.Route(cg.NodeFromID(u), cg.NodeFromID(v))
+			if err != nil {
+				return nil, err
+			}
+			ids := make([]uint64, len(p))
+			for i, w := range p {
+				ids[i] = cg.ID(w)
+			}
+			return ids, nil
+		},
+	})
+	// HCN(n/2) exists for even n.
+	if n%2 == 0 {
+		hcg, err := hcn.New(n / 2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, crossRouter{
+			name: fmt.Sprintf("HCN(%d)", n/2), logNodes: n, order: hcg.NumNodes(),
+			route: func(u, v uint64) ([]uint64, error) {
+				p, err := hcg.Route(hcg.NodeFromID(u), hcg.NodeFromID(v))
+				if err != nil {
+					return nil, err
+				}
+				ids := make([]uint64, len(p))
+				for i, w := range p {
+					ids[i] = hcg.ID(w)
+				}
+				return ids, nil
+			},
+		})
+	}
+	return out, nil
+}
+
+func hgName(g *hhc.Graph) string { return fmt.Sprintf("HHC_%d", g.N()) }
+
+// simulateNetwork runs one network under the shared workload shape.
+func simulateNetwork(rt crossRouter, flows, msgs, flits int, rate float64, seed int64) (avgHops float64, latencies []float64, err error) {
+	r := rand.New(rand.NewSource(seed))
+	var packets []dessim.Packet[uint64]
+	var created []int64
+	var hopSum, hopCnt int64
+	msgID := 0
+	for f := 0; f < flows; f++ {
+		u := uint64(r.Int63n(int64(rt.order)))
+		v := uint64(r.Int63n(int64(rt.order)))
+		if u == v {
+			v = (v + 1) % rt.order
+		}
+		route, err := rt.route(u, v)
+		if err != nil {
+			return 0, nil, err
+		}
+		hopSum += int64(len(route) - 1)
+		hopCnt++
+		t := 0.0
+		for k := 0; k < msgs; k++ {
+			t += r.ExpFloat64() / rate
+			packets = append(packets, dessim.Packet[uint64]{
+				Route: route, Flits: int64(flits), Release: int64(t), Msg: msgID,
+			})
+			created = append(created, int64(t))
+			msgID++
+		}
+	}
+	done, err := dessim.Simulate(packets, msgID, dessim.StoreAndForward)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i, d := range done {
+		if d >= 0 {
+			latencies = append(latencies, float64(d-created[i]))
+		}
+	}
+	return float64(hopSum) / float64(hopCnt), latencies, nil
+}
+
+// percentileFloat returns the p-quantile (0..1) by nearest rank.
+func percentileFloat(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}

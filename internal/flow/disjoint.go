@@ -1,0 +1,223 @@
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// splitNetwork builds the node-split transformation of g: every vertex v
+// becomes in(v)=2v and out(v)=2v+1 joined by a unit-capacity edge (infinite
+// for the vertices in unbounded), and every undirected edge {u,v} becomes
+// out(u)->in(v) and out(v)->in(u) with unit capacity. Edge costs are 1 on
+// adjacency edges and 0 on split edges so that min-cost solutions minimize
+// total path length.
+func splitNetwork(g graph.Graph, unbounded map[uint64]bool) (*Network, error) {
+	n := g.Order()
+	if n > graph.MaxDenseOrder/2 {
+		return nil, fmt.Errorf("%w: order %d", graph.ErrTooLarge, n)
+	}
+	nw := NewNetwork(int(2 * n))
+	buf := make([]uint64, 0, g.MaxDegree())
+	const inf = int32(1 << 30)
+	for v := int64(0); v < n; v++ {
+		capV := int32(1)
+		if unbounded[uint64(v)] {
+			capV = inf
+		}
+		nw.AddEdge(int32(2*v), int32(2*v+1), capV, 0)
+		buf = g.Neighbors(uint64(v), buf[:0])
+		for _, w := range buf {
+			nw.AddEdge(int32(2*v+1), int32(2*uint64(w)), 1, 1)
+		}
+	}
+	return nw, nil
+}
+
+// extractPaths decomposes a unit flow on a split network into vertex paths
+// from s to t (original vertex IDs). Each unit of flow yields one path.
+func extractPaths(nw *Network, s, t uint64, units int) [][]uint64 {
+	paths := make([][]uint64, 0, units)
+	// consumed marks edge IDs already claimed by an extracted path.
+	consumed := make(map[int32]bool)
+	for p := 0; p < units; p++ {
+		path := []uint64{s}
+		cur := int32(2*s + 1) // out(s)
+		for {
+			var chosen int32 = -1
+			for e := nw.first[cur]; e != -1; e = nw.next[e] {
+				if e%2 != 0 || consumed[e] {
+					continue // residual twin or already used
+				}
+				if nw.Flow(int(e)) > 0 && nw.cost[e] > 0 { // adjacency edge carrying flow
+					chosen = e
+					break
+				}
+			}
+			if chosen == -1 {
+				break
+			}
+			consumed[chosen] = true
+			next := uint64(nw.to[chosen]) / 2 // in(next) -> original ID
+			path = append(path, next)
+			if next == t {
+				break
+			}
+			cur = int32(2*next + 1)
+		}
+		if len(path) > 1 && path[len(path)-1] == t {
+			paths = append(paths, path)
+		}
+	}
+	return paths
+}
+
+// VertexDisjointPaths returns up to limit pairwise internally vertex-disjoint
+// paths from s to t in g, computed by max flow on the node-split graph
+// (Menger's theorem). limit <= 0 finds the maximum number. When minCost is
+// true the min-cost solver is used, which makes the total length of the
+// returned family minimum for its cardinality; this is only advisable for
+// small graphs.
+func VertexDisjointPaths(g graph.Graph, s, t uint64, limit int, minCost bool) ([][]uint64, error) {
+	if s == t {
+		return nil, fmt.Errorf("flow: source equals target (%d)", s)
+	}
+	if int64(s) >= g.Order() || int64(t) >= g.Order() {
+		return nil, fmt.Errorf("flow: vertex out of range [0,%d)", g.Order())
+	}
+	nw, err := splitNetwork(g, map[uint64]bool{s: true, t: true})
+	if err != nil {
+		return nil, err
+	}
+	src, dst := int32(2*s+1), int32(2*t)
+	var units int32
+	if minCost {
+		units, _ = nw.MinCostFlow(src, dst, int32(limit))
+	} else {
+		units = nw.MaxFlow(src, dst, int32(limit))
+	}
+	return extractPaths(nw, s, t, int(units)), nil
+}
+
+// LocalConnectivity returns the maximum number of internally vertex-disjoint
+// s-t paths, i.e. the size of a minimum s-t vertex cut when s and t are not
+// adjacent (Menger).
+func LocalConnectivity(g graph.Graph, s, t uint64) (int, error) {
+	if s == t {
+		return 0, fmt.Errorf("flow: source equals target (%d)", s)
+	}
+	nw, err := splitNetwork(g, map[uint64]bool{s: true, t: true})
+	if err != nil {
+		return 0, err
+	}
+	return int(nw.MaxFlow(int32(2*s+1), int32(2*t), 0)), nil
+}
+
+// VertexDisjointFan returns len(targets) paths from src to each target,
+// pairwise sharing no vertex except src, and such that no path passes
+// through another target. The family minimizes total length (min-cost flow).
+// Returned paths are ordered to match targets. Targets must be distinct and
+// different from src; an error is returned if no full fan exists (by the fan
+// lemma one always exists when the graph is len(targets)-connected).
+func VertexDisjointFan(g graph.Graph, src uint64, targets []uint64) ([][]uint64, error) {
+	k := len(targets)
+	if k == 0 {
+		return nil, nil
+	}
+	seen := make(map[uint64]bool, k)
+	for _, t := range targets {
+		if t == src {
+			return nil, fmt.Errorf("flow: fan target equals source %d", src)
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("flow: duplicate fan target %d", t)
+		}
+		seen[t] = true
+	}
+	n := g.Order()
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: fan wants order <= 2^20, have %d", graph.ErrTooLarge, n)
+	}
+	nw, err := splitNetwork(g, map[uint64]bool{src: true})
+	if err != nil {
+		return nil, err
+	}
+	// Super-sink collecting one unit from each target's OUT-side. A full fan
+	// saturates every out(t)->super edge, which consumes each target's unit
+	// vertex capacity on termination — so no other path can pass through a
+	// target, giving the strong fan property (paths meet the target set only
+	// at their own endpoints).
+	super := int32(nw.Order())
+	// Grow the network by one vertex: rebuild is avoided by appending heads.
+	nw.first = append(nw.first, -1)
+	nw.n++
+	for _, t := range targets {
+		nw.AddEdge(int32(2*t+1), super, 1, 0)
+	}
+	got, _ := nw.MinCostFlow(int32(2*src+1), super, int32(k))
+	if got != int32(k) {
+		return nil, fmt.Errorf("flow: fan from %d to %d targets: only %d disjoint paths exist", src, k, got)
+	}
+	raw := extractFanPaths(nw, src, targets)
+	if len(raw) != k {
+		return nil, fmt.Errorf("flow: fan decomposition produced %d of %d paths", len(raw), k)
+	}
+	// Order by target.
+	byEnd := make(map[uint64][]uint64, k)
+	for _, p := range raw {
+		byEnd[p[len(p)-1]] = p
+	}
+	out := make([][]uint64, k)
+	for i, t := range targets {
+		p, ok := byEnd[t]
+		if !ok {
+			return nil, fmt.Errorf("flow: fan missing path to target %d", t)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// extractFanPaths walks unit flows from src until a vertex whose in->super
+// edge carries flow is reached.
+func extractFanPaths(nw *Network, src uint64, targets []uint64) [][]uint64 {
+	targetSet := make(map[uint64]bool, len(targets))
+	for _, t := range targets {
+		targetSet[t] = true
+	}
+	var paths [][]uint64
+	consumed := make(map[int32]bool)
+	for range targets {
+		path := []uint64{src}
+		cur := int32(2*src + 1)
+		for {
+			var chosen int32 = -1
+			for e := nw.first[cur]; e != -1; e = nw.next[e] {
+				if e%2 != 0 || consumed[e] {
+					continue
+				}
+				if nw.Flow(int(e)) > 0 && nw.cost[e] > 0 {
+					chosen = e
+					break
+				}
+			}
+			if chosen == -1 {
+				break
+			}
+			consumed[chosen] = true
+			next := uint64(nw.to[chosen]) / 2
+			path = append(path, next)
+			// Every target's out->super edge is saturated in a full fan, so
+			// its single vertex unit is consumed by termination: a reached
+			// target always ends the path.
+			if targetSet[next] {
+				break
+			}
+			cur = int32(2*next + 1)
+		}
+		if len(path) > 1 && targetSet[path[len(path)-1]] {
+			paths = append(paths, path)
+		}
+	}
+	return paths
+}

@@ -1,0 +1,167 @@
+// Package gen produces deterministic, seeded workloads for the experiment
+// harness and the randomized test suites: node pairs with controlled
+// structure (uniform, same son-cube, antipodal, fixed super-distance) and
+// fault sets.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hhc"
+)
+
+// Pair is a source/destination workload item.
+type Pair struct {
+	U, V hhc.Node
+}
+
+// PairKind selects the structure of generated pairs.
+type PairKind int
+
+const (
+	// Uniform draws both endpoints uniformly (conditioned on u != v).
+	Uniform PairKind = iota
+	// SameCube draws endpoints within one son-cube (exercises the
+	// construction's intra-cube case).
+	SameCube
+	// Antipodal pairs complement both coordinates — the worst case for
+	// super-distance and a classic adversarial workload.
+	Antipodal
+	// CrossCube guarantees different son-cubes.
+	CrossCube
+)
+
+// String names the kind.
+func (k PairKind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case SameCube:
+		return "same-cube"
+	case Antipodal:
+		return "antipodal"
+	case CrossCube:
+		return "cross-cube"
+	default:
+		return fmt.Sprintf("PairKind(%d)", int(k))
+	}
+}
+
+// Pairs generates n pairs of the given kind using a private PRNG seeded with
+// seed, so workloads are reproducible across runs and platforms.
+func Pairs(g *hhc.Graph, n int, kind PairKind, seed int64) []Pair {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Pair, 0, n)
+	xmask := ^uint64(0)
+	if g.T() < 64 {
+		xmask = 1<<uint(g.T()) - 1
+	}
+	for len(out) < n {
+		u := g.RandomNode(r)
+		var v hhc.Node
+		switch kind {
+		case SameCube:
+			v = hhc.Node{X: u.X, Y: uint8(r.Intn(g.T()))}
+		case Antipodal:
+			v = hhc.Node{X: ^u.X & xmask, Y: u.Y ^ uint8(g.T()-1)}
+		case CrossCube:
+			v = g.RandomNode(r)
+			if v.X == u.X {
+				v.X ^= 1 << uint(r.Intn(g.T()))
+			}
+		default:
+			v = g.RandomNode(r)
+		}
+		if u == v {
+			continue
+		}
+		out = append(out, Pair{U: u, V: v})
+	}
+	return out
+}
+
+// PairsAtSuperDistance generates pairs whose son-cube addresses differ in
+// exactly d dimensions (0 <= d <= 2^m); processor addresses are uniform.
+// Used by the path-length-profile experiment.
+func PairsAtSuperDistance(g *hhc.Graph, n, d int, seed int64) ([]Pair, error) {
+	if d < 0 || d > g.T() {
+		return nil, fmt.Errorf("gen: super distance %d out of range [0,%d]", d, g.T())
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Pair, 0, n)
+	for len(out) < n {
+		u := g.RandomNode(r)
+		// Flip exactly d random X dimensions.
+		perm := r.Perm(g.T())[:d]
+		x := u.X
+		for _, i := range perm {
+			x ^= 1 << uint(i)
+		}
+		v := hhc.Node{X: x, Y: uint8(r.Intn(g.T()))}
+		if u == v {
+			continue
+		}
+		out = append(out, Pair{U: u, V: v})
+	}
+	return out, nil
+}
+
+// FaultSet draws count distinct faulty nodes, never touching any node in
+// protect (typically the endpoints of the pair under test).
+func FaultSet(g *hhc.Graph, count int, protect []hhc.Node, seed int64) map[hhc.Node]bool {
+	r := rand.New(rand.NewSource(seed))
+	prot := make(map[hhc.Node]bool, len(protect))
+	for _, p := range protect {
+		prot[p] = true
+	}
+	faults := make(map[hhc.Node]bool, count)
+	for len(faults) < count {
+		f := g.RandomNode(r)
+		if !prot[f] && !faults[f] {
+			faults[f] = true
+		}
+	}
+	return faults
+}
+
+// ClusteredFaultSet draws count distinct faulty nodes concentrated around a
+// random seed node: faults grow outward through random neighbors, modeling
+// spatially correlated failures (a dead board / region) — a much harsher
+// test of path diversity than uniform faults, since a fault cluster can
+// locally saturate the container. Protected nodes are skipped.
+func ClusteredFaultSet(g *hhc.Graph, count int, protect []hhc.Node, seed int64) map[hhc.Node]bool {
+	r := rand.New(rand.NewSource(seed))
+	prot := make(map[hhc.Node]bool, len(protect))
+	for _, p := range protect {
+		prot[p] = true
+	}
+	faults := make(map[hhc.Node]bool, count)
+	var frontier []hhc.Node
+	var buf []hhc.Node
+	for len(faults) < count {
+		if len(frontier) == 0 {
+			c := g.RandomNode(r)
+			if prot[c] || faults[c] {
+				continue
+			}
+			faults[c] = true
+			frontier = append(frontier, c)
+			continue
+		}
+		// Expand from a random frontier node.
+		fi := r.Intn(len(frontier))
+		buf = g.Neighbors(frontier[fi], buf[:0])
+		w := buf[r.Intn(len(buf))]
+		if !prot[w] && !faults[w] {
+			faults[w] = true
+			frontier = append(frontier, w)
+		} else if r.Intn(4) == 0 {
+			// Occasionally retire a frontier node so saturated clusters
+			// cannot stall the loop.
+			frontier[fi] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		}
+	}
+	return faults
+}

@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/hhc"
+	"repro/internal/hypercube"
+)
+
+func mustGraph(t *testing.T, m int) *hhc.Graph {
+	t.Helper()
+	g, err := hhc.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPairsValidAndDistinct(t *testing.T) {
+	g := mustGraph(t, 3)
+	for _, kind := range []PairKind{Uniform, SameCube, Antipodal, CrossCube} {
+		pairs := Pairs(g, 200, kind, 42)
+		if len(pairs) != 200 {
+			t.Fatalf("%v: %d pairs", kind, len(pairs))
+		}
+		for _, p := range pairs {
+			if !g.Contains(p.U) || !g.Contains(p.V) {
+				t.Fatalf("%v: invalid node in %v", kind, p)
+			}
+			if p.U == p.V {
+				t.Fatalf("%v: identical endpoints %v", kind, p)
+			}
+		}
+	}
+}
+
+func TestPairsKinds(t *testing.T) {
+	g := mustGraph(t, 3)
+	for _, p := range Pairs(g, 100, SameCube, 1) {
+		if p.U.X != p.V.X {
+			t.Fatalf("same-cube pair crosses cubes: %v", p)
+		}
+	}
+	for _, p := range Pairs(g, 100, CrossCube, 2) {
+		if p.U.X == p.V.X {
+			t.Fatalf("cross-cube pair shares cube: %v", p)
+		}
+	}
+	for _, p := range Pairs(g, 100, Antipodal, 3) {
+		if hypercube.Hamming(p.U.X, p.V.X) != g.T() {
+			t.Fatalf("antipodal pair not antipodal in X: %v", p)
+		}
+		if p.U.Y^p.V.Y != uint8(g.T()-1) {
+			t.Fatalf("antipodal pair not antipodal in Y: %v", p)
+		}
+	}
+}
+
+func TestPairsDeterministic(t *testing.T) {
+	g := mustGraph(t, 2)
+	a := Pairs(g, 50, Uniform, 7)
+	b := Pairs(g, 50, Uniform, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	c := Pairs(g, 50, Uniform, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestPairsAtSuperDistance(t *testing.T) {
+	g := mustGraph(t, 3)
+	for d := 0; d <= g.T(); d++ {
+		pairs, err := PairsAtSuperDistance(g, 50, d, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pairs {
+			if got := hypercube.Hamming(p.U.X, p.V.X); got != d {
+				t.Fatalf("d=%d: pair at super distance %d", d, got)
+			}
+		}
+	}
+	if _, err := PairsAtSuperDistance(g, 1, -1, 0); err == nil {
+		t.Fatal("negative distance: want error")
+	}
+	if _, err := PairsAtSuperDistance(g, 1, g.T()+1, 0); err == nil {
+		t.Fatal("excess distance: want error")
+	}
+}
+
+func TestFaultSet(t *testing.T) {
+	g := mustGraph(t, 2)
+	u, v := hhc.Node{X: 0, Y: 0}, hhc.Node{X: 15, Y: 3}
+	faults := FaultSet(g, 10, []hhc.Node{u, v}, 5)
+	if len(faults) != 10 {
+		t.Fatalf("%d faults, want 10", len(faults))
+	}
+	if faults[u] || faults[v] {
+		t.Fatal("protected node faulted")
+	}
+	for f := range faults {
+		if !g.Contains(f) {
+			t.Fatalf("invalid fault %v", f)
+		}
+	}
+}
+
+func TestClusteredFaultSet(t *testing.T) {
+	g := mustGraph(t, 3)
+	u, v := hhc.Node{X: 0, Y: 0}, hhc.Node{X: 255, Y: 7}
+	faults := ClusteredFaultSet(g, 12, []hhc.Node{u, v}, 5)
+	if len(faults) != 12 {
+		t.Fatalf("%d faults, want 12", len(faults))
+	}
+	if faults[u] || faults[v] {
+		t.Fatal("protected node faulted")
+	}
+	// Clustering: most faults should be adjacent to another fault.
+	adjacentPairs := 0
+	for f := range faults {
+		for _, w := range g.Neighbors(f, nil) {
+			if faults[w] {
+				adjacentPairs++
+				break
+			}
+		}
+	}
+	if adjacentPairs < len(faults)/2 {
+		t.Fatalf("only %d of %d faults touch another fault — not clustered", adjacentPairs, len(faults))
+	}
+	// Determinism.
+	again := ClusteredFaultSet(g, 12, []hhc.Node{u, v}, 5)
+	for f := range faults {
+		if !again[f] {
+			t.Fatal("same seed gave a different cluster")
+		}
+	}
+}
+
+// TestClusteredFaultSetSaturation: asking for more faults than one cluster
+// can hold (a whole protected ring around it) must still terminate by
+// seeding new clusters.
+func TestClusteredFaultSetSaturation(t *testing.T) {
+	g := mustGraph(t, 2) // 64 nodes
+	faults := ClusteredFaultSet(g, 40, nil, 9)
+	if len(faults) != 40 {
+		t.Fatalf("%d faults, want 40", len(faults))
+	}
+}

@@ -1,0 +1,93 @@
+package graph
+
+// FuncGraph adapts a neighbor function to the Graph interface. It is handy
+// in tests and for ad-hoc graphs (grids, rings, mutated networks).
+type FuncGraph struct {
+	N      int64
+	Degree int
+	Fn     func(v uint64, buf []uint64) []uint64
+}
+
+// Order implements Graph.
+func (g FuncGraph) Order() int64 { return g.N }
+
+// MaxDegree implements Graph.
+func (g FuncGraph) MaxDegree() int { return g.Degree }
+
+// Neighbors implements Graph.
+func (g FuncGraph) Neighbors(v uint64, buf []uint64) []uint64 { return g.Fn(v, buf) }
+
+// Induced returns the subgraph of g induced by removing the vertices in
+// banned. Removed vertices keep their IDs but become isolated; traversals
+// simply never reach them. This keeps ID stability, which matters for
+// cross-referencing paths computed on the full graph.
+func Induced(g Graph, banned map[uint64]bool) Graph {
+	return FuncGraph{
+		N:      g.Order(),
+		Degree: g.MaxDegree(),
+		Fn: func(v uint64, buf []uint64) []uint64 {
+			if banned[v] {
+				return buf
+			}
+			tmp := g.Neighbors(v, nil)
+			for _, w := range tmp {
+				if !banned[w] {
+					buf = append(buf, w)
+				}
+			}
+			return buf
+		},
+	}
+}
+
+// CheckSymmetric verifies on small graphs that the neighbor relation is
+// symmetric and irreflexive; it returns the first violation found.
+func CheckSymmetric(g Graph) error {
+	n := g.Order()
+	if n > 1<<16 {
+		return ErrTooLarge
+	}
+	buf := make([]uint64, 0, g.MaxDegree())
+	back := make([]uint64, 0, g.MaxDegree())
+	for v := int64(0); v < n; v++ {
+		buf = g.Neighbors(uint64(v), buf[:0])
+		seen := make(map[uint64]bool, len(buf))
+		for _, w := range buf {
+			if w == uint64(v) {
+				return errSelfLoop(v)
+			}
+			if seen[w] {
+				return errDupNeighbor(v, w)
+			}
+			seen[w] = true
+			back = g.Neighbors(w, back[:0])
+			found := false
+			for _, x := range back {
+				if x == uint64(v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return errAsymmetric(v, w)
+			}
+		}
+	}
+	return nil
+}
+
+type errSelfLoop int64
+
+func (e errSelfLoop) Error() string { return "graph: self loop at vertex" }
+
+type dupErr struct{ v, w uint64 }
+
+func errDupNeighbor(v int64, w uint64) error { return &dupErr{uint64(v), w} }
+
+func (e *dupErr) Error() string { return "graph: duplicate neighbor" }
+
+type asymErr struct{ v, w uint64 }
+
+func errAsymmetric(v int64, w uint64) error { return &asymErr{uint64(v), w} }
+
+func (e *asymErr) Error() string { return "graph: asymmetric adjacency" }

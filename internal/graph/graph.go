@@ -1,0 +1,236 @@
+// Package graph provides a small toolkit for implicit graphs: graphs whose
+// vertex set is 0..Order()-1 and whose edges are produced on demand by a
+// neighbor function. It is the substrate used for ground-truth verification
+// (BFS distances, eccentricities, connectivity) of the interconnection
+// networks built on top of it.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph is an undirected implicit graph over vertex IDs 0..Order()-1.
+//
+// Implementations must be safe for concurrent readers: Neighbors must not
+// mutate shared state.
+type Graph interface {
+	// Order returns the number of vertices. Vertex IDs are 0..Order()-1.
+	Order() int64
+
+	// MaxDegree returns an upper bound on vertex degree, used for buffer
+	// sizing by traversal algorithms.
+	MaxDegree() int
+
+	// Neighbors appends the neighbors of v to buf and returns the extended
+	// slice. The same neighbor must not appear twice, and v itself must not
+	// appear. For an undirected graph, u ∈ Neighbors(v) iff v ∈ Neighbors(u).
+	Neighbors(v uint64, buf []uint64) []uint64
+}
+
+// ErrTooLarge is returned by dense algorithms when the graph's order exceeds
+// the given limit.
+var ErrTooLarge = errors.New("graph: order too large for dense traversal")
+
+// MaxDenseOrder is the largest graph order the dense (array-backed) BFS
+// routines accept. 2^26 vertices at 4 bytes of distance each is 256 MiB,
+// comfortably within a development machine's budget.
+const MaxDenseOrder = 1 << 26
+
+// Unreached marks vertices not reached by a BFS.
+const Unreached = int32(-1)
+
+// BFS computes single-source shortest-path distances from src to every
+// vertex. The result slice is indexed by vertex ID; unreachable vertices
+// hold Unreached.
+func BFS(g Graph, src uint64) ([]int32, error) {
+	n := g.Order()
+	if n > MaxDenseOrder {
+		return nil, fmt.Errorf("%w: order %d > %d", ErrTooLarge, n, MaxDenseOrder)
+	}
+	if int64(src) >= n {
+		return nil, fmt.Errorf("graph: source %d out of range [0,%d)", src, n)
+	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	queue := make([]uint64, 1, 1024)
+	queue[0] = src
+	buf := make([]uint64, 0, g.MaxDegree())
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		dv := dist[v]
+		buf = g.Neighbors(v, buf[:0])
+		for _, w := range buf {
+			if dist[w] == Unreached {
+				dist[w] = dv + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist, nil
+}
+
+// Distance returns the length of a shortest path between src and dst, or an
+// error if dst is unreachable. It runs a BFS that stops as soon as dst is
+// settled, so it is cheaper than BFS when dst is close to src.
+func Distance(g Graph, src, dst uint64) (int, error) {
+	n := g.Order()
+	if n > MaxDenseOrder {
+		return 0, fmt.Errorf("%w: order %d > %d", ErrTooLarge, n, MaxDenseOrder)
+	}
+	if int64(src) >= n || int64(dst) >= n {
+		return 0, fmt.Errorf("graph: vertex out of range [0,%d)", n)
+	}
+	if src == dst {
+		return 0, nil
+	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	queue := make([]uint64, 1, 1024)
+	queue[0] = src
+	buf := make([]uint64, 0, g.MaxDegree())
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		dv := dist[v]
+		buf = g.Neighbors(v, buf[:0])
+		for _, w := range buf {
+			if dist[w] == Unreached {
+				if w == dst {
+					return int(dv) + 1, nil
+				}
+				dist[w] = dv + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return 0, fmt.Errorf("graph: vertex %d unreachable from %d", dst, src)
+}
+
+// ShortestPath returns one shortest path from src to dst as a vertex
+// sequence including both endpoints.
+func ShortestPath(g Graph, src, dst uint64) ([]uint64, error) {
+	n := g.Order()
+	if n > MaxDenseOrder {
+		return nil, fmt.Errorf("%w: order %d > %d", ErrTooLarge, n, MaxDenseOrder)
+	}
+	if int64(src) >= n || int64(dst) >= n {
+		return nil, fmt.Errorf("graph: vertex out of range [0,%d)", n)
+	}
+	if src == dst {
+		return []uint64{src}, nil
+	}
+	const noParent = ^uint64(0)
+	parent := make([]uint64, n)
+	for i := range parent {
+		parent[i] = noParent
+	}
+	parent[src] = src
+	queue := make([]uint64, 1, 1024)
+	queue[0] = src
+	buf := make([]uint64, 0, g.MaxDegree())
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		buf = g.Neighbors(v, buf[:0])
+		for _, w := range buf {
+			if parent[w] == noParent {
+				parent[w] = v
+				if w == dst {
+					// Walk back to src.
+					var rev []uint64
+					for c := dst; ; c = parent[c] {
+						rev = append(rev, c)
+						if c == src {
+							break
+						}
+					}
+					for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+						rev[i], rev[j] = rev[j], rev[i]
+					}
+					return rev, nil
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil, fmt.Errorf("graph: vertex %d unreachable from %d", dst, src)
+}
+
+// Eccentricity returns the greatest BFS distance from src to any reachable
+// vertex, and whether the whole graph was reached.
+func Eccentricity(g Graph, src uint64) (ecc int, connected bool, err error) {
+	dist, err := BFS(g, src)
+	if err != nil {
+		return 0, false, err
+	}
+	connected = true
+	for _, d := range dist {
+		if d == Unreached {
+			connected = false
+			continue
+		}
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc, connected, nil
+}
+
+// Diameter computes the exact diameter by running a BFS from every vertex.
+// It is intended for small graphs (order up to a few thousand).
+func Diameter(g Graph) (int, error) {
+	n := g.Order()
+	const maxExact = 1 << 14
+	if n > maxExact {
+		return 0, fmt.Errorf("%w: exact diameter needs order <= %d, have %d", ErrTooLarge, maxExact, n)
+	}
+	diam := 0
+	for v := int64(0); v < n; v++ {
+		ecc, connected, err := Eccentricity(g, uint64(v))
+		if err != nil {
+			return 0, err
+		}
+		if !connected {
+			return 0, errors.New("graph: disconnected")
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, nil
+}
+
+// IsConnected reports whether every vertex is reachable from vertex 0.
+func IsConnected(g Graph) (bool, error) {
+	if g.Order() == 0 {
+		return true, nil
+	}
+	_, connected, err := Eccentricity(g, 0)
+	return connected, err
+}
+
+// CountEdges returns the number of undirected edges by summing degrees.
+func CountEdges(g Graph) (int64, error) {
+	n := g.Order()
+	if n > MaxDenseOrder {
+		return 0, fmt.Errorf("%w: order %d > %d", ErrTooLarge, n, MaxDenseOrder)
+	}
+	var twice int64
+	buf := make([]uint64, 0, g.MaxDegree())
+	for v := int64(0); v < n; v++ {
+		buf = g.Neighbors(uint64(v), buf[:0])
+		twice += int64(len(buf))
+	}
+	if twice%2 != 0 {
+		return 0, errors.New("graph: neighbor relation is not symmetric (odd degree sum)")
+	}
+	return twice / 2, nil
+}

@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"testing"
+)
+
+// ring returns the n-cycle as a FuncGraph.
+func ring(n int64) Graph {
+	return FuncGraph{
+		N:      n,
+		Degree: 2,
+		Fn: func(v uint64, buf []uint64) []uint64 {
+			next := (v + 1) % uint64(n)
+			prev := (v + uint64(n) - 1) % uint64(n)
+			if next == prev { // n == 2
+				return append(buf, next)
+			}
+			return append(buf, prev, next)
+		},
+	}
+}
+
+// twoTriangles is a disconnected graph: vertices 0-2 and 3-5.
+func twoTriangles() Graph {
+	adj := map[uint64][]uint64{
+		0: {1, 2}, 1: {0, 2}, 2: {0, 1},
+		3: {4, 5}, 4: {3, 5}, 5: {3, 4},
+	}
+	return FuncGraph{N: 6, Degree: 2, Fn: func(v uint64, buf []uint64) []uint64 {
+		return append(buf, adj[v]...)
+	}}
+}
+
+func TestBFSRing(t *testing.T) {
+	g := ring(10)
+	dist, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 1, 2, 3, 4, 5, 4, 3, 2, 1}
+	for v, d := range dist {
+		if d != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	dist, err := BFS(twoTriangles(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 3; v <= 5; v++ {
+		if dist[v] != Unreached {
+			t.Fatalf("dist[%d] = %d, want Unreached", v, dist[v])
+		}
+	}
+	conn, err := IsConnected(twoTriangles())
+	if err != nil || conn {
+		t.Fatalf("IsConnected = %v, %v; want false", conn, err)
+	}
+	conn, err = IsConnected(ring(5))
+	if err != nil || !conn {
+		t.Fatalf("IsConnected(ring) = %v, %v; want true", conn, err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	g := ring(12)
+	d, err := Distance(g, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Fatalf("Distance = %d, want 5", d)
+	}
+	if d, err = Distance(g, 4, 4); err != nil || d != 0 {
+		t.Fatalf("Distance(v,v) = %d, %v", d, err)
+	}
+	if _, err = Distance(twoTriangles(), 0, 4); err == nil {
+		t.Fatal("unreachable: want error")
+	}
+	if _, err = Distance(g, 0, 99); err == nil {
+		t.Fatal("out of range: want error")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := ring(8)
+	p, err := ShortestPath(g, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 5 || p[0] != 1 || p[4] != 5 {
+		t.Fatalf("path = %v", p)
+	}
+	for i := 1; i < len(p); i++ {
+		diff := int64(p[i]) - int64(p[i-1])
+		if diff != 1 && diff != -1 && diff != 7 && diff != -7 {
+			t.Fatalf("path not contiguous: %v", p)
+		}
+	}
+	p, err = ShortestPath(g, 3, 3)
+	if err != nil || len(p) != 1 {
+		t.Fatalf("self path = %v, %v", p, err)
+	}
+	if _, err = ShortestPath(twoTriangles(), 0, 5); err == nil {
+		t.Fatal("unreachable: want error")
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := ring(9)
+	ecc, conn, err := Eccentricity(g, 0)
+	if err != nil || !conn {
+		t.Fatalf("ecc err=%v conn=%v", err, conn)
+	}
+	if ecc != 4 {
+		t.Fatalf("ecc = %d, want 4", ecc)
+	}
+	diam, err := Diameter(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diam != 4 {
+		t.Fatalf("diameter = %d, want 4", diam)
+	}
+	if _, err := Diameter(twoTriangles()); err == nil {
+		t.Fatal("disconnected diameter: want error")
+	}
+}
+
+func TestCountEdges(t *testing.T) {
+	edges, err := CountEdges(ring(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 7 {
+		t.Fatalf("edges = %d, want 7", edges)
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := ring(6)
+	// Removing one ring vertex forces the long way around.
+	sub := Induced(g, map[uint64]bool{3: true})
+	d, err := Distance(sub, 2, 4)
+	if err != nil || d != 4 {
+		t.Fatalf("detour distance = %d, %v; want 4", d, err)
+	}
+	// Removing two opposite-side vertices disconnects 2 from 5.
+	sub2 := Induced(g, map[uint64]bool{3: true, 0: true})
+	if _, err := Distance(sub2, 2, 5); err == nil {
+		t.Fatal("disconnected pair: want error")
+	}
+	// Banned vertices themselves become isolated.
+	if _, err := Distance(sub2, 3, 2); err == nil {
+		t.Fatal("banned source: want error")
+	}
+}
+
+func TestCheckSymmetric(t *testing.T) {
+	if err := CheckSymmetric(ring(6)); err != nil {
+		t.Fatalf("ring: %v", err)
+	}
+	asym := FuncGraph{N: 3, Degree: 2, Fn: func(v uint64, buf []uint64) []uint64 {
+		if v == 0 {
+			return append(buf, 1)
+		}
+		return buf
+	}}
+	if err := CheckSymmetric(asym); err == nil {
+		t.Fatal("asymmetric graph: want error")
+	}
+	selfLoop := FuncGraph{N: 2, Degree: 1, Fn: func(v uint64, buf []uint64) []uint64 {
+		return append(buf, v)
+	}}
+	if err := CheckSymmetric(selfLoop); err == nil {
+		t.Fatal("self loop: want error")
+	}
+	dup := FuncGraph{N: 2, Degree: 2, Fn: func(v uint64, buf []uint64) []uint64 {
+		return append(buf, 1-v, 1-v)
+	}}
+	if err := CheckSymmetric(dup); err == nil {
+		t.Fatal("duplicate neighbor: want error")
+	}
+}
+
+func TestBFSErrors(t *testing.T) {
+	if _, err := BFS(ring(4), 9); err == nil {
+		t.Fatal("source out of range: want error")
+	}
+	huge := FuncGraph{N: MaxDenseOrder + 1, Degree: 1, Fn: func(v uint64, buf []uint64) []uint64 { return buf }}
+	if _, err := BFS(huge, 0); err == nil {
+		t.Fatal("too large: want error")
+	}
+}

@@ -1,0 +1,143 @@
+// Package hcn implements the hierarchical cubic network HCN(n) (Ghose &
+// Desai, 1995), the other classical hierarchical derivative of the
+// hypercube and a frequent comparison point for the hierarchical hypercube:
+// 2^n clusters, each an n-cube, joined by one "swap" link per node.
+//
+// A node is a pair (I, J) of n-bit words: I names the cluster, J the node
+// inside it. Edges:
+//
+//   - local:    (I, J) ~ (I, J⊕e_i)           — the cluster's n-cube;
+//   - swap:     (I, J) ~ (J, I)   for I ≠ J   — mirror across the diagonal;
+//   - diagonal: (I, I) ~ (Ī, Ī)               — complement link for the
+//     2^n diagonal nodes, which would otherwise lack an external edge.
+//
+// Every node has degree n+1, the network has 2^(2n) nodes, and like the
+// hierarchical hypercube it buys near-hypercube diameter with roughly half
+// the address length in degree.
+package hcn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// MinN and MaxN bound the cluster dimension. n = 10 already gives 2^20
+// nodes, the largest dense view we materialize.
+const (
+	MinN = 1
+	MaxN = 31
+)
+
+// Node is an HCN node: I the cluster address, J the in-cluster address.
+type Node struct {
+	I uint32
+	J uint32
+}
+
+// String formats a node.
+func (u Node) String() string { return fmt.Sprintf("(I=%#x,J=%#x)", u.I, u.J) }
+
+// Graph is an HCN(n) topology handle.
+type Graph struct {
+	n    int
+	mask uint32
+}
+
+// New returns HCN(n).
+func New(n int) (*Graph, error) {
+	if n < MinN || n > MaxN {
+		return nil, fmt.Errorf("hcn: n = %d out of range [%d,%d]", n, MinN, MaxN)
+	}
+	return &Graph{n: n, mask: 1<<uint(n) - 1}, nil
+}
+
+// N returns the cluster dimension n.
+func (g *Graph) N() int { return g.n }
+
+// NumNodes returns 2^(2n).
+func (g *Graph) NumNodes() uint64 { return 1 << uint(2*g.n) }
+
+// Degree returns n+1.
+func (g *Graph) Degree() int { return g.n + 1 }
+
+// Contains validates a node.
+func (g *Graph) Contains(u Node) bool {
+	return u.I&^g.mask == 0 && u.J&^g.mask == 0
+}
+
+// LocalNeighbor returns the neighbor across in-cluster dimension i.
+func (g *Graph) LocalNeighbor(u Node, i int) Node {
+	return Node{I: u.I, J: u.J ^ 1<<uint(i)}
+}
+
+// ExternalNeighbor returns the swap neighbor (J, I), or the complement
+// diagonal neighbor for I == J.
+func (g *Graph) ExternalNeighbor(u Node) Node {
+	if u.I == u.J {
+		return Node{I: ^u.I & g.mask, J: ^u.J & g.mask}
+	}
+	return Node{I: u.J, J: u.I}
+}
+
+// Neighbors appends u's n+1 neighbors (locals first, then the external).
+func (g *Graph) Neighbors(u Node, buf []Node) []Node {
+	for i := 0; i < g.n; i++ {
+		buf = append(buf, g.LocalNeighbor(u, i))
+	}
+	return append(buf, g.ExternalNeighbor(u))
+}
+
+// Adjacent reports whether u and v are joined by an edge.
+func (g *Graph) Adjacent(u, v Node) bool {
+	if u.I == v.I {
+		d := u.J ^ v.J
+		return d != 0 && d&(d-1) == 0
+	}
+	if u.I == v.J && u.J == v.I && u.I != u.J {
+		return true
+	}
+	return u.I == u.J && v.I == v.J && v.I == ^u.I&g.mask
+}
+
+// ID packs a node into 0..2^(2n)-1.
+func (g *Graph) ID(u Node) uint64 { return uint64(u.I)<<uint(g.n) | uint64(u.J) }
+
+// NodeFromID inverts ID.
+func (g *Graph) NodeFromID(id uint64) Node {
+	return Node{I: uint32(id>>uint(g.n)) & g.mask, J: uint32(id) & g.mask}
+}
+
+// RandomNode draws a uniform node.
+func (g *Graph) RandomNode(r *rand.Rand) Node {
+	return Node{I: uint32(r.Uint64()) & g.mask, J: uint32(r.Uint64()) & g.mask}
+}
+
+// MaxDenseN bounds dense views (n = 10 → 2^20 nodes).
+const MaxDenseN = 10
+
+// Dense returns a graph.Graph view for ground-truth traversal.
+func (g *Graph) Dense() (graph.Graph, error) {
+	if g.n > MaxDenseN {
+		return nil, fmt.Errorf("%w: HCN(%d) has 2^%d nodes", graph.ErrTooLarge, g.n, 2*g.n)
+	}
+	return denseView{g}, nil
+}
+
+type denseView struct{ g *Graph }
+
+func (d denseView) Order() int64   { return int64(d.g.NumNodes()) }
+func (d denseView) MaxDegree() int { return d.g.n + 1 }
+
+func (d denseView) Neighbors(v uint64, buf []uint64) []uint64 {
+	u := d.g.NodeFromID(v)
+	for _, w := range d.g.Neighbors(u, nil) {
+		buf = append(buf, d.g.ID(w))
+	}
+	return buf
+}
+
+// DiameterUpperBound returns the published bound n + floor((n+1)/3) + 1
+// (Ghose & Desai); we only use it as a sanity ceiling for measured values.
+func (g *Graph) DiameterUpperBound() int { return g.n + (g.n+1)/3 + 1 }

@@ -1,0 +1,185 @@
+package hcn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+func mustNew(t *testing.T, n int) *Graph {
+	t.Helper()
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewBounds(t *testing.T) {
+	for _, n := range []int{0, 32, -1} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d): want error", n)
+		}
+	}
+	g := mustNew(t, 3)
+	if g.N() != 3 || g.NumNodes() != 64 || g.Degree() != 4 {
+		t.Fatalf("metadata: n=%d nodes=%d deg=%d", g.N(), g.NumNodes(), g.Degree())
+	}
+}
+
+func TestContains(t *testing.T) {
+	g := mustNew(t, 3)
+	if !g.Contains(Node{I: 7, J: 7}) {
+		t.Error("max node rejected")
+	}
+	if g.Contains(Node{I: 8, J: 0}) || g.Contains(Node{I: 0, J: 8}) {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestNeighborsStructure(t *testing.T) {
+	g := mustNew(t, 3)
+	// Off-diagonal: swap edge.
+	u := Node{I: 0b101, J: 0b010}
+	nbrs := g.Neighbors(u, nil)
+	if len(nbrs) != 4 {
+		t.Fatalf("degree %d", len(nbrs))
+	}
+	ext := nbrs[3]
+	if ext != (Node{I: 0b010, J: 0b101}) {
+		t.Fatalf("swap neighbor %v", ext)
+	}
+	// Diagonal: complement edge.
+	d := Node{I: 0b011, J: 0b011}
+	ext = g.ExternalNeighbor(d)
+	if ext != (Node{I: 0b100, J: 0b100}) {
+		t.Fatalf("diagonal neighbor %v", ext)
+	}
+	// External edges are involutions in both cases.
+	if g.ExternalNeighbor(g.ExternalNeighbor(u)) != u {
+		t.Fatal("swap not involution")
+	}
+	if g.ExternalNeighbor(g.ExternalNeighbor(d)) != d {
+		t.Fatal("diagonal not involution")
+	}
+}
+
+func TestAdjacentMatchesNeighbors(t *testing.T) {
+	g := mustNew(t, 2)
+	n := g.NumNodes()
+	for i := uint64(0); i < n; i++ {
+		u := g.NodeFromID(i)
+		nbrSet := map[Node]bool{}
+		for _, w := range g.Neighbors(u, nil) {
+			nbrSet[w] = true
+		}
+		for j := uint64(0); j < n; j++ {
+			v := g.NodeFromID(j)
+			if got := g.Adjacent(u, v); got != nbrSet[v] {
+				t.Fatalf("Adjacent(%v,%v) = %v, neighbors say %v", u, v, got, nbrSet[v])
+			}
+		}
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	g := mustNew(t, 5)
+	prop := func(i, j uint32) bool {
+		u := Node{I: i & 0x1F, J: j & 0x1F}
+		return g.NodeFromID(g.ID(u)) == u
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseStructure(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		g := mustNew(t, n)
+		dg, err := g.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.CheckSymmetric(dg); err != nil {
+			t.Fatalf("HCN(%d): %v", n, err)
+		}
+		conn, err := graph.IsConnected(dg)
+		if err != nil || !conn {
+			t.Fatalf("HCN(%d) connected = %v, %v", n, conn, err)
+		}
+		edges, err := graph.CountEdges(dg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(g.NumNodes()) * int64(g.Degree()) / 2
+		if edges != want {
+			t.Fatalf("HCN(%d): %d edges, want %d (regular of degree n+1)", n, edges, want)
+		}
+	}
+	if _, err := mustNew(t, 12).Dense(); err == nil {
+		t.Fatal("HCN(12) dense: want too-large error")
+	}
+}
+
+func TestDiameterWithinBound(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		g := mustNew(t, n)
+		dg, err := g.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diam, err := graph.Diameter(dg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diam > g.DiameterUpperBound() {
+			t.Fatalf("HCN(%d): diameter %d exceeds bound %d", n, diam, g.DiameterUpperBound())
+		}
+		if diam < n {
+			t.Fatalf("HCN(%d): diameter %d below the in-cluster lower bound %d", n, diam, n)
+		}
+	}
+}
+
+// TestConnectivity: the container width of HCN(n) is n+1 (regular and
+// maximally fault-tolerant, like HHC and the hypercube).
+func TestConnectivity(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		g := mustNew(t, n)
+		dg, err := g.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(n)))
+		minK := g.Degree() + 1
+		for trial := 0; trial < 20; trial++ {
+			u, v := g.RandomNode(r), g.RandomNode(r)
+			if u == v || g.Adjacent(u, v) {
+				continue
+			}
+			k, err := flow.LocalConnectivity(dg, g.ID(u), g.ID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k < minK {
+				minK = k
+			}
+		}
+		if minK != g.Degree() {
+			t.Fatalf("HCN(%d): measured connectivity %d, want %d", n, minK, g.Degree())
+		}
+	}
+}
+
+func TestRandomNodeValid(t *testing.T) {
+	g := mustNew(t, 6)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		if u := g.RandomNode(r); !g.Contains(u) {
+			t.Fatalf("invalid %v", u)
+		}
+	}
+}

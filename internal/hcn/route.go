@@ -1,0 +1,126 @@
+package hcn
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Routing in HCN(n). The swap edge (I,J)~(J,I) suggests the canonical
+// two-phase scheme for reaching (K,L) from (I,J):
+//
+//	(I,J) --local--> (I,K) --swap--> (K,I) --local--> (K,L)
+//
+// of length ham(J,K) + 1 + ham(I,L). Three alternatives can be shorter:
+// staying inside the cluster when I == K, the mirrored scheme that swaps
+// first (useful when J is already close to K's mirror), and the
+// diagonal-complement shortcut for far-apart clusters. Route evaluates the
+// candidates and returns the best; it is a constant-stretch heuristic (the
+// classic HCN routing algorithm family), verified against BFS ground truth
+// in the tests.
+
+// Route returns a valid path from u to v.
+func (g *Graph) Route(u, v Node) ([]Node, error) {
+	if !g.Contains(u) || !g.Contains(v) {
+		return nil, fmt.Errorf("hcn: invalid endpoint %v / %v", u, v)
+	}
+	if u == v {
+		return []Node{u}, nil
+	}
+	best := g.routeDirect(u, v)
+	if alt := g.routeSwapFirst(u, v); alt != nil && len(alt) < len(best) {
+		best = alt
+	}
+	if alt := g.routeDiagonal(u, v); alt != nil && len(alt) < len(best) {
+		best = alt
+	}
+	return best, nil
+}
+
+// localWalk appends the greedy in-cluster walk from (I, from) to (I, to),
+// excluding the starting node.
+func (g *Graph) localWalk(path []Node, cluster, from, to uint32) []Node {
+	cur := from
+	diff := from ^ to
+	for diff != 0 {
+		i := uint(bits.TrailingZeros32(diff))
+		cur ^= 1 << i
+		diff &^= 1 << i
+		path = append(path, Node{I: cluster, J: cur})
+	}
+	return path
+}
+
+// routeDirect: walk to K inside the source cluster, swap, walk to L.
+// Degenerates gracefully when I == K (pure local) and when the swap pivot
+// coincides with an endpoint.
+func (g *Graph) routeDirect(u, v Node) []Node {
+	path := []Node{u}
+	if u.I == v.I {
+		return g.localWalk(path, u.I, u.J, v.J)
+	}
+	path = g.localWalk(path, u.I, u.J, v.I)
+	// Swap (I, K) -> (K, I); the swap edge needs I != K, true here.
+	path = append(path, Node{I: v.I, J: u.I})
+	return g.localWalk(path, v.I, u.I, v.J)
+}
+
+// routeSwapFirst: swap out of the source cluster immediately (possible when
+// I != J), then continue with the direct scheme from (J, I).
+func (g *Graph) routeSwapFirst(u, v Node) []Node {
+	if u.I == u.J || u.I == v.I {
+		return nil
+	}
+	start := Node{I: u.J, J: u.I}
+	if start == v {
+		return []Node{u, v}
+	}
+	rest := g.routeDirect(start, v)
+	return append([]Node{u}, rest...)
+}
+
+// routeDiagonal: ride the complement edge of the source cluster's diagonal
+// node — (I,J) ⇝ (I,I) → (Ī,Ī) ⇝ onward — which pays off when the target
+// cluster is nearly the complement of I.
+func (g *Graph) routeDiagonal(u, v Node) []Node {
+	if v.I == u.I {
+		// Leaving and re-entering the source cluster risks revisiting the
+		// initial walk's nodes; the direct scheme handles this case.
+		return nil
+	}
+	diag := Node{I: u.I, J: u.I}
+	comp := Node{I: ^u.I & g.mask, J: ^u.I & g.mask}
+	path := []Node{u}
+	if u != diag {
+		path = g.localWalk(path, u.I, u.J, u.I)
+	}
+	path = append(path, comp)
+	if comp == v {
+		return path
+	}
+	rest := g.routeDirect(comp, v)
+	return append(path, rest[1:]...)
+}
+
+// VerifyPath checks a simple path between u and v.
+func (g *Graph) VerifyPath(u, v Node, path []Node) error {
+	if len(path) == 0 {
+		return fmt.Errorf("hcn: empty path")
+	}
+	if path[0] != u || path[len(path)-1] != v {
+		return fmt.Errorf("hcn: path runs %v..%v, want %v..%v", path[0], path[len(path)-1], u, v)
+	}
+	seen := make(map[Node]bool, len(path))
+	for i, w := range path {
+		if !g.Contains(w) {
+			return fmt.Errorf("hcn: invalid node %v", w)
+		}
+		if seen[w] {
+			return fmt.Errorf("hcn: repeated node %v", w)
+		}
+		seen[w] = true
+		if i > 0 && !g.Adjacent(path[i-1], w) {
+			return fmt.Errorf("hcn: %v-%v not adjacent", path[i-1], w)
+		}
+	}
+	return nil
+}

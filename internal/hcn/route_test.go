@@ -1,0 +1,113 @@
+package hcn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRouteExhaustiveValidity routes every ordered pair of HCN(2) and
+// HCN(3), verifying validity and measuring worst-case stretch vs BFS.
+func TestRouteExhaustiveValidity(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		g := mustNew(t, n)
+		dg, err := g.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := g.NumNodes()
+		worstStretch := 0
+		for i := uint64(0); i < total; i++ {
+			u := g.NodeFromID(i)
+			dist, err := graph.BFS(dg, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := uint64(0); j < total; j++ {
+				v := g.NodeFromID(j)
+				p, err := g.Route(u, v)
+				if err != nil {
+					t.Fatalf("Route(%v,%v): %v", u, v, err)
+				}
+				if err := g.VerifyPath(u, v, p); err != nil {
+					t.Fatalf("Route(%v,%v) invalid: %v", u, v, err)
+				}
+				if s := (len(p) - 1) - int(dist[j]); s > worstStretch {
+					worstStretch = s
+				}
+			}
+		}
+		// The heuristic router is not shortest, but its additive stretch
+		// must stay small (a constant few hops at these sizes).
+		if worstStretch > n+2 {
+			t.Fatalf("HCN(%d): worst additive stretch %d too large", n, worstStretch)
+		}
+	}
+}
+
+func TestRouteRandomLarge(t *testing.T) {
+	g := mustNew(t, 10) // 2^20 nodes: routing must not enumerate anything
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		u, v := g.RandomNode(r), g.RandomNode(r)
+		p, err := g.Route(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.VerifyPath(u, v, p); err != nil {
+			t.Fatal(err)
+		}
+		// Bounded by local + swap + local + diagonal slack.
+		if len(p)-1 > 3*g.N()+3 {
+			t.Fatalf("route length %d implausible", len(p)-1)
+		}
+	}
+}
+
+func TestRouteSelfAndErrors(t *testing.T) {
+	g := mustNew(t, 3)
+	u := Node{I: 5, J: 2}
+	p, err := g.Route(u, u)
+	if err != nil || len(p) != 1 {
+		t.Fatalf("self route: %v, %v", p, err)
+	}
+	if _, err := g.Route(Node{I: 99, J: 0}, u); err == nil {
+		t.Fatal("invalid source accepted")
+	}
+	if _, err := g.Route(u, Node{I: 0, J: 99}); err == nil {
+		t.Fatal("invalid destination accepted")
+	}
+}
+
+func TestRouteUsesDiagonalWhenProfitable(t *testing.T) {
+	g := mustNew(t, 3)
+	// From cluster 0b000 to cluster 0b111 (the complement): the diagonal
+	// edge (0,0)-(7,7) should make this cheap.
+	u := Node{I: 0, J: 0}
+	v := Node{I: 7, J: 7}
+	p, err := g.Route(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p)-1 != 1 {
+		t.Fatalf("complement diagonal pair should be 1 hop, got %d", len(p)-1)
+	}
+}
+
+func TestVerifyPathRejections(t *testing.T) {
+	g := mustNew(t, 2)
+	u, v := Node{I: 0, J: 0}, Node{I: 0, J: 1}
+	if err := g.VerifyPath(u, v, []Node{u, v}); err != nil {
+		t.Fatalf("edge rejected: %v", err)
+	}
+	if err := g.VerifyPath(u, v, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if err := g.VerifyPath(u, v, []Node{u, {I: 3, J: 3}, v}); err == nil {
+		t.Error("jump accepted")
+	}
+	if err := g.VerifyPath(u, v, []Node{u, v, u, v}); err == nil {
+		t.Error("repeat accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package hhc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAutomorphismPreservesAdjacencyExhaustive: for every (a, b) and every
+// edge of HHC_6, the image must again be an edge — proving (by machine
+// check) that the translation family really is a group of automorphisms.
+func TestAutomorphismPreservesAdjacencyExhaustive(t *testing.T) {
+	g := mustNew(t, 2)
+	n, _ := g.NumNodes()
+	for a := uint64(0); a < 1<<uint(g.T()); a++ {
+		for b := uint8(0); int(b) < g.T(); b++ {
+			f, err := g.NewAutomorphism(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := uint64(0); id < n; id++ {
+				u := g.NodeFromID(id)
+				fu := f.Apply(u)
+				if !g.Contains(fu) {
+					t.Fatalf("(a=%#x,b=%d): image %v invalid", a, b, fu)
+				}
+				for _, w := range g.Neighbors(u, nil) {
+					if !g.Adjacent(fu, f.Apply(w)) {
+						t.Fatalf("(a=%#x,b=%d): edge %v-%v mapped to non-edge %v-%v",
+							a, b, u, w, fu, f.Apply(w))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAutomorphismIsBijection: images are pairwise distinct.
+func TestAutomorphismIsBijection(t *testing.T) {
+	g := mustNew(t, 3)
+	f, err := g.NewAutomorphism(0xA5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.NumNodes()
+	seen := make(map[Node]bool, n)
+	for id := uint64(0); id < n; id++ {
+		img := f.Apply(g.NodeFromID(id))
+		if seen[img] {
+			t.Fatalf("image %v hit twice", img)
+		}
+		seen[img] = true
+	}
+}
+
+// TestMappingToIsTransitive: for random pairs, MappingTo's automorphism
+// carries u exactly onto v — vertex-transitivity, constructively.
+func TestMappingToIsTransitive(t *testing.T) {
+	for _, m := range []int{2, 3, 5, 6} {
+		g := mustNew(t, m)
+		r := rand.New(rand.NewSource(int64(m)))
+		for trial := 0; trial < 200; trial++ {
+			u, v := g.RandomNode(r), g.RandomNode(r)
+			f, err := g.MappingTo(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := f.Apply(u); got != v {
+				t.Fatalf("m=%d: %v mapped to %v, want %v", m, u, got, v)
+			}
+			// Spot-check edge preservation around u.
+			for _, w := range g.Neighbors(u, nil) {
+				if !g.Adjacent(f.Apply(u), f.Apply(w)) {
+					t.Fatalf("m=%d: edge %v-%v broken by mapping", m, u, w)
+				}
+			}
+		}
+	}
+}
+
+// TestAutomorphismPreservesDistance: distances are invariant under the
+// group action (checked against the exact router).
+func TestAutomorphismPreservesDistance(t *testing.T) {
+	g := mustNew(t, 3)
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		u, v := g.RandomNode(r), g.RandomNode(r)
+		f, err := g.NewAutomorphism(uint64(r.Intn(256)), uint8(r.Intn(8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, _, err := g.Distance(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, _, err := g.Distance(f.Apply(u), f.Apply(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Fatalf("distance %d -> %d under automorphism", d1, d2)
+		}
+	}
+}
+
+func TestAutomorphismErrors(t *testing.T) {
+	g := mustNew(t, 2)
+	if _, err := g.NewAutomorphism(1<<60, 0); err == nil {
+		t.Error("oversized translation accepted")
+	}
+	if _, err := g.NewAutomorphism(0, 9); err == nil {
+		t.Error("oversized shuffle accepted")
+	}
+	if _, err := g.MappingTo(Node{X: 99, Y: 0}, Node{}); err == nil {
+		t.Error("invalid source accepted")
+	}
+	if _, err := g.MappingTo(Node{}, Node{X: 0, Y: 9}); err == nil {
+		t.Error("invalid target accepted")
+	}
+}
+
+func TestShuffleBitsInvolution(t *testing.T) {
+	// σ_b is an involution: applying twice restores the input.
+	for b := uint8(0); b < 8; b++ {
+		for _, x := range []uint64{0, 0xFF, 0xA5, 0x3C} {
+			if shuffleBits(shuffleBits(x, b, 8), b, 8) != x {
+				t.Fatalf("σ_%d not an involution on %#x", b, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package hhc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Dimension-ordered routing: a stateless, distributed complement to the
+// centralized (and provably shortest) Route. Every node can compute the
+// next hop toward a destination in O(1) from the two addresses alone — no
+// tables, no global knowledge — which is what a hardware router would
+// implement. The rule fixes the differing super-dimensions in ascending
+// order, walking the local son-cube greedily to each required processor:
+//
+//	progress measure (|a⊕b| remaining, Hamming(y, next required processor))
+//
+// strictly decreases lexicographically at every hop, so the route always
+// terminates; its length is at most |D|·(m+1) + m.
+
+// NextHopDimOrder returns the next node on the dimension-ordered route from
+// cur to dst, or cur itself when cur == dst.
+func (g *Graph) NextHopDimOrder(cur, dst Node) (Node, error) {
+	if err := g.check(cur); err != nil {
+		return Node{}, err
+	}
+	if err := g.check(dst); err != nil {
+		return Node{}, err
+	}
+	if cur == dst {
+		return cur, nil
+	}
+	d := cur.X ^ dst.X
+	if d == 0 {
+		// Fix the lowest differing local bit.
+		i := bits.TrailingZeros8(cur.Y ^ dst.Y)
+		return g.LocalNeighbor(cur, i), nil
+	}
+	j := uint8(bits.TrailingZeros64(d))
+	if cur.Y == j {
+		return g.ExternalNeighbor(cur), nil
+	}
+	// Walk toward processor j inside the son-cube.
+	i := bits.TrailingZeros8(cur.Y ^ j)
+	return g.LocalNeighbor(cur, i), nil
+}
+
+// RouteDimOrder assembles the full dimension-ordered route. It is longer
+// than Route (no visiting-order optimization) but computable hop by hop by
+// the nodes themselves.
+func (g *Graph) RouteDimOrder(u, v Node) ([]Node, error) {
+	if err := g.check(u); err != nil {
+		return nil, err
+	}
+	if err := g.check(v); err != nil {
+		return nil, err
+	}
+	path := []Node{u}
+	cur := u
+	limit := g.DimOrderLengthBound() + 1
+	for cur != v {
+		next, err := g.NextHopDimOrder(cur, v)
+		if err != nil {
+			return nil, err
+		}
+		if next == cur {
+			break
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > limit {
+			return nil, fmt.Errorf("hhc: dimension-ordered route exceeded bound %d", limit)
+		}
+	}
+	return path, nil
+}
+
+// DimOrderLengthBound returns the worst-case dimension-ordered route
+// length: each of up to 2^m differing super-dimensions costs at most m
+// local hops plus the external hop, plus a final local correction of m.
+func (g *Graph) DimOrderLengthBound() int { return g.t*(g.m+1) + g.m }

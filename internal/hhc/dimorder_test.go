@@ -1,0 +1,110 @@
+package hhc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDimOrderReachesEveryPairM2 follows the distributed next-hop function
+// from every source to every destination of HHC_6 and checks arrival,
+// validity, and the length bound.
+func TestDimOrderReachesEveryPairM2(t *testing.T) {
+	g := mustNew(t, 2)
+	n, _ := g.NumNodes()
+	for i := uint64(0); i < n; i++ {
+		u := g.NodeFromID(i)
+		for j := uint64(0); j < n; j++ {
+			v := g.NodeFromID(j)
+			p, err := g.RouteDimOrder(u, v)
+			if err != nil {
+				t.Fatalf("RouteDimOrder(%v,%v): %v", u, v, err)
+			}
+			if err := g.VerifyPath(u, v, p); err != nil {
+				t.Fatalf("dim-order path invalid %v->%v: %v", u, v, err)
+			}
+			if len(p)-1 > g.DimOrderLengthBound() {
+				t.Fatalf("dim-order path %v->%v length %d exceeds bound %d",
+					u, v, len(p)-1, g.DimOrderLengthBound())
+			}
+		}
+	}
+}
+
+// TestDimOrderSampledLargeM exercises the distributed rule on networks up
+// to 2^70 nodes.
+func TestDimOrderSampledLargeM(t *testing.T) {
+	for _, m := range []int{3, 4, 5, 6} {
+		g := mustNew(t, m)
+		r := rand.New(rand.NewSource(int64(m)))
+		for trial := 0; trial < 300; trial++ {
+			u, v := g.RandomNode(r), g.RandomNode(r)
+			p, err := g.RouteDimOrder(u, v)
+			if err != nil {
+				t.Fatalf("m=%d RouteDimOrder(%v,%v): %v", m, u, v, err)
+			}
+			if err := g.VerifyPath(u, v, p); err != nil {
+				t.Fatalf("m=%d invalid: %v", m, err)
+			}
+			if len(p)-1 > g.DimOrderLengthBound() {
+				t.Fatalf("m=%d length %d exceeds bound %d", m, len(p)-1, g.DimOrderLengthBound())
+			}
+		}
+	}
+}
+
+// TestDimOrderNeverShorterThanShortest: sanity relation between the two
+// routers. Dimension order is at best equal to the optimal route.
+func TestDimOrderNeverShorterThanShortest(t *testing.T) {
+	g := mustNew(t, 3)
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 400; trial++ {
+		u, v := g.RandomNode(r), g.RandomNode(r)
+		opt, err := g.Route(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dim, err := g.RouteDimOrder(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dim) < len(opt) {
+			t.Fatalf("dim-order route (%d) beat the provably shortest route (%d) for %v->%v",
+				len(dim)-1, len(opt)-1, u, v)
+		}
+	}
+}
+
+func TestNextHopProperties(t *testing.T) {
+	g := mustNew(t, 3)
+	u := Node{X: 0b1010, Y: 3}
+	// Self next hop is self.
+	nh, err := g.NextHopDimOrder(u, u)
+	if err != nil || nh != u {
+		t.Fatalf("self next hop %v, %v", nh, err)
+	}
+	// Next hop is always adjacent.
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		a, b := g.RandomNode(r), g.RandomNode(r)
+		if a == b {
+			continue
+		}
+		nh, err := g.NextHopDimOrder(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Adjacent(a, nh) {
+			t.Fatalf("next hop %v not adjacent to %v", nh, a)
+		}
+	}
+	// Invalid inputs rejected.
+	if _, err := g.NextHopDimOrder(Node{X: 0, Y: 9}, u); err == nil {
+		t.Fatal("invalid cur accepted")
+	}
+	if _, err := g.NextHopDimOrder(u, Node{X: 1 << 60, Y: 0}); err == nil {
+		t.Fatal("invalid dst accepted")
+	}
+	if _, err := g.RouteDimOrder(Node{X: 0, Y: 9}, u); err == nil {
+		t.Fatal("invalid route source accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package hhc
+
+import (
+	"fmt"
+)
+
+// DistanceDistribution returns hist where hist[d] counts the nodes at
+// shortest-path distance exactly d from any fixed node — a topology
+// invariant: the network is vertex-transitive (see Automorphism), so the
+// histogram does not depend on the reference node. Index len(hist)-1 is the
+// diameter and the histogram sums to 2^n. Enumerable instances only
+// (m <= MaxDenseM); computed by BFS from node 0.
+func (g *Graph) DistanceDistribution() ([]int64, error) {
+	dg, err := g.Dense()
+	if err != nil {
+		return nil, err
+	}
+	dist, err := bfsFromZero(dg.Order(), dg.MaxDegree(), dg.Neighbors)
+	if err != nil {
+		return nil, err
+	}
+	maxD := 0
+	for _, d := range dist {
+		if int(d) > maxD {
+			maxD = int(d)
+		}
+	}
+	hist := make([]int64, maxD+1)
+	for _, d := range dist {
+		if d < 0 {
+			return nil, fmt.Errorf("hhc: network unexpectedly disconnected")
+		}
+		hist[d]++
+	}
+	return hist, nil
+}
+
+// MeanDistance returns the average shortest-path distance between distinct
+// nodes — the unloaded average-latency predictor the cross-network DES
+// correlates with. Enumerable instances only.
+func (g *Graph) MeanDistance() (float64, error) {
+	hist, err := g.DistanceDistribution()
+	if err != nil {
+		return 0, err
+	}
+	var sum, count int64
+	for d, c := range hist {
+		if d == 0 {
+			continue
+		}
+		sum += int64(d) * c
+		count += c
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	return float64(sum) / float64(count), nil
+}
+
+// bfsFromZero is a minimal local BFS (avoiding an import cycle with the
+// graph package is unnecessary — this simply keeps the hot loop tight).
+func bfsFromZero(order int64, degree int, neighbors func(uint64, []uint64) []uint64) ([]int32, error) {
+	dist := make([]int32, order)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := make([]uint64, 1, 1024)
+	buf := make([]uint64, 0, degree)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		dv := dist[v]
+		buf = neighbors(v, buf[:0])
+		for _, w := range buf {
+			if dist[w] == -1 {
+				dist[w] = dv + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist, nil
+}

@@ -1,0 +1,92 @@
+package hhc
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDistanceDistributionInvariants(t *testing.T) {
+	for _, m := range []int{1, 2, 3} {
+		g := mustNew(t, m)
+		hist, err := g.DistanceDistribution()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, c := range hist {
+			total += c
+		}
+		n, _ := g.NumNodes()
+		if total != int64(n) {
+			t.Fatalf("m=%d: histogram sums to %d, want %d", m, total, n)
+		}
+		if hist[0] != 1 {
+			t.Fatalf("m=%d: %d nodes at distance 0", m, hist[0])
+		}
+		if hist[1] != int64(g.Degree()) {
+			t.Fatalf("m=%d: %d nodes at distance 1, want degree %d", m, hist[1], g.Degree())
+		}
+		// The histogram's top index is the eccentricity of node 0; by
+		// vertex-transitivity that IS the diameter. Cross-check for m <= 2.
+		if m <= 2 {
+			dg, err := g.Dense()
+			if err != nil {
+				t.Fatal(err)
+			}
+			diam, err := graph.Diameter(dg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hist)-1 != diam {
+				t.Fatalf("m=%d: histogram top %d != diameter %d", m, len(hist)-1, diam)
+			}
+		}
+	}
+}
+
+// TestDistributionMatchesTransitivity: BFS histograms from several sources
+// must coincide — the measurable face of vertex-transitivity.
+func TestDistributionMatchesTransitivity(t *testing.T) {
+	g := mustNew(t, 2)
+	dg, err := g.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := g.DistanceDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []uint64{5, 17, 63} {
+		dist, err := graph.BFS(dg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist := make([]int64, len(ref))
+		for _, d := range dist {
+			hist[d]++
+		}
+		for i := range ref {
+			if hist[i] != ref[i] {
+				t.Fatalf("source %d: histogram differs at distance %d", src, i)
+			}
+		}
+	}
+}
+
+func TestMeanDistance(t *testing.T) {
+	g := mustNew(t, 2)
+	mean, err := g.MeanDistance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HHC_6: diameter 8, so the mean lies strictly between 1 and 8.
+	if mean <= 1 || mean >= 8 {
+		t.Fatalf("mean distance %.2f implausible", mean)
+	}
+	// Too large to enumerate: must error.
+	g5 := mustNew(t, 5)
+	if _, err := g5.MeanDistance(); err == nil {
+		t.Fatal("m=5 accepted")
+	}
+}

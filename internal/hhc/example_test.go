@@ -1,0 +1,82 @@
+package hhc_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hhc"
+)
+
+// ExampleNew shows the basic topology facts.
+func ExampleNew() {
+	g, err := hhc.New(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("address bits:", g.N())
+	fmt.Println("degree:", g.Degree())
+	n, _ := g.NumNodes()
+	fmt.Println("nodes:", n)
+	// Output:
+	// address bits: 11
+	// degree: 4
+	// nodes: 2048
+}
+
+// ExampleGraph_Route computes a provably shortest path.
+func ExampleGraph_Route() {
+	g, err := hhc.New(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := hhc.Node{X: 0b0000, Y: 0}
+	v := hhc.Node{X: 0b0011, Y: 1}
+	p, info, err := g.RouteEx(u, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hops:", len(p)-1)
+	fmt.Println("external:", info.ExternalHops)
+	fmt.Println("exact:", info.Exact)
+	// Output:
+	// hops: 3
+	// external: 2
+	// exact: true
+}
+
+// ExampleGraph_Neighbors lists a node's adjacency.
+func ExampleGraph_Neighbors() {
+	g, err := hhc.New(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := hhc.Node{X: 0b0101, Y: 2}
+	for _, w := range g.Neighbors(u, nil) {
+		fmt.Println(g.FormatNode(w))
+	}
+	// Output:
+	// 0x5:3
+	// 0x5:0
+	// 0x1:2
+}
+
+// ExampleGraph_EmbedRing builds a 32-node ring through 8 son-cubes.
+func ExampleGraph_EmbedRing() {
+	g, err := hhc.New(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dims, err := g.RingDims(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ring, err := g.EmbedRing(0, dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ring length:", len(ring))
+	fmt.Println("valid:", g.VerifyRing(ring) == nil)
+	// Output:
+	// ring length: 32
+	// valid: true
+}

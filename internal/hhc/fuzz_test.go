@@ -1,0 +1,61 @@
+package hhc
+
+import (
+	"testing"
+)
+
+// FuzzParseNode: the parser must never panic and every successful parse
+// must round-trip through FormatNode.
+func FuzzParseNode(f *testing.F) {
+	f.Add("0x2a:3")
+	f.Add("42:0")
+	f.Add("0b101:1")
+	f.Add(":::")
+	f.Add("")
+	f.Add("-1:2")
+	f.Add("0xffffffffffffffff:255")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := New(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := g.ParseNode(s)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if !g.Contains(u) {
+			t.Fatalf("parser accepted out-of-range node %v from %q", u, s)
+		}
+		back, err := g.ParseNode(g.FormatNode(u))
+		if err != nil || back != u {
+			t.Fatalf("round trip failed: %v -> %q -> %v (%v)", u, g.FormatNode(u), back, err)
+		}
+	})
+}
+
+// FuzzDimOrderTermination: the distributed router must reach any valid
+// destination within its bound from any valid source.
+func FuzzDimOrderTermination(f *testing.F) {
+	f.Add(uint8(1), uint64(0), uint8(0), uint64(3), uint8(1))
+	f.Add(uint8(4), uint64(0xABCD), uint8(12), uint64(0x1234), uint8(3))
+	f.Fuzz(func(t *testing.T, mRaw uint8, x1 uint64, y1 uint8, x2 uint64, y2 uint8) {
+		m := int(mRaw%6) + 1
+		g, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := ^uint64(0)
+		if g.T() < 64 {
+			mask = 1<<uint(g.T()) - 1
+		}
+		u := Node{X: x1 & mask, Y: y1 & uint8(g.T()-1)}
+		v := Node{X: x2 & mask, Y: y2 & uint8(g.T()-1)}
+		p, err := g.RouteDimOrder(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.VerifyPath(u, v, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

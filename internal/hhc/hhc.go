@@ -1,0 +1,222 @@
+// Package hhc implements the hierarchical hypercube interconnection network
+// HHC_n (Malluhi & Bayoumi, 1994) for n = 2^m + m: the 2^m-dimensional
+// hypercube in which every vertex is expanded into an m-cube of processors
+// and each of the 2^m cube dimensions is delegated to the processor whose
+// local address equals that dimension's index.
+//
+// A node (x, y) has m "local" neighbors (x, y⊕e_i) inside its son-cube S_x
+// and one "external" neighbor (x⊕e_dec(y), y). Degree and node-connectivity
+// are both m+1; the network has 2^n nodes but an address of only n bits, so
+// all algorithms in this repository work directly on addresses and never
+// materialize the network (except for optional small-m ground-truth views).
+package hhc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// MinM and MaxM bound the supported cube parameter m. MaxM = 6 gives
+// n = 70: addresses no longer fit a single uint64 ID, but all construction
+// and routing algorithms still work on (x, y) pairs.
+const (
+	MinM = 1
+	MaxM = 6
+)
+
+// Node is a network node: X is the 2^m-bit son-cube address, Y the m-bit
+// processor address within the son-cube.
+type Node struct {
+	X uint64
+	Y uint8
+}
+
+// String formats a node as (x=…,y=…).
+func (u Node) String() string { return fmt.Sprintf("(x=%#x,y=%d)", u.X, u.Y) }
+
+// Graph is a hierarchical hypercube topology handle. The zero value is not
+// usable; call New.
+type Graph struct {
+	m int // son-cube dimension
+	t int // 2^m, the super-cube dimension
+	n int // t + m, the address length; the network has 2^n nodes
+}
+
+// New returns the HHC topology with son-cube dimension m (1 <= m <= 6),
+// i.e. the network HHC_n with n = 2^m + m.
+func New(m int) (*Graph, error) {
+	if m < MinM || m > MaxM {
+		return nil, fmt.Errorf("hhc: m = %d out of supported range [%d,%d]", m, MinM, MaxM)
+	}
+	t := 1 << uint(m)
+	return &Graph{m: m, t: t, n: t + m}, nil
+}
+
+// M returns the son-cube dimension m.
+func (g *Graph) M() int { return g.m }
+
+// T returns 2^m, the dimension of the super-cube of son-cube addresses.
+func (g *Graph) T() int { return g.t }
+
+// N returns the address length n = 2^m + m; the network has 2^n nodes.
+func (g *Graph) N() int { return g.n }
+
+// Degree returns the uniform node degree m+1, which equals the network's
+// node-connectivity and hence the maximum possible number of node-disjoint
+// paths between any two nodes.
+func (g *Graph) Degree() int { return g.m + 1 }
+
+// NumNodes returns 2^n when it fits a uint64 (n <= 63); ok reports whether
+// it does.
+func (g *Graph) NumNodes() (count uint64, ok bool) {
+	if g.n > 63 {
+		return 0, false
+	}
+	return 1 << uint(g.n), true
+}
+
+// Contains reports whether u is a valid node address for this topology.
+func (g *Graph) Contains(u Node) bool {
+	if int(u.Y) >= g.t {
+		return false
+	}
+	if g.t < 64 && u.X>>uint(g.t) != 0 {
+		return false
+	}
+	return true
+}
+
+// check returns an error for invalid nodes.
+func (g *Graph) check(u Node) error {
+	if !g.Contains(u) {
+		return fmt.Errorf("hhc: node %v invalid for m=%d", u, g.m)
+	}
+	return nil
+}
+
+// LocalNeighbor returns u's neighbor across local dimension i (0 <= i < m),
+// inside the same son-cube.
+func (g *Graph) LocalNeighbor(u Node, i int) Node {
+	return Node{X: u.X, Y: u.Y ^ (1 << uint(i))}
+}
+
+// ExternalNeighbor returns u's unique external neighbor, across the
+// super-cube dimension indexed by u's own processor address.
+func (g *Graph) ExternalNeighbor(u Node) Node {
+	return Node{X: u.X ^ (1 << uint(u.Y)), Y: u.Y}
+}
+
+// Neighbors appends u's m+1 neighbors (m local, then the external one).
+func (g *Graph) Neighbors(u Node, buf []Node) []Node {
+	for i := 0; i < g.m; i++ {
+		buf = append(buf, g.LocalNeighbor(u, i))
+	}
+	return append(buf, g.ExternalNeighbor(u))
+}
+
+// Adjacent reports whether u and v are joined by an edge.
+func (g *Graph) Adjacent(u, v Node) bool {
+	if u.X == v.X {
+		d := u.Y ^ v.Y
+		return d != 0 && d&(d-1) == 0 // one local bit differs
+	}
+	if u.Y != v.Y {
+		return false
+	}
+	d := u.X ^ v.X
+	return d == 1<<uint(u.Y) // the external dimension delegated to both
+}
+
+// ID packs a node into the canonical n-bit identifier x·2^m + y. Only valid
+// for n <= 64 (every supported m; at m = 6 the full 70-bit space does not
+// fit, so ID must not be used there — see IDsOK).
+func (g *Graph) ID(u Node) uint64 { return u.X<<uint(g.m) | uint64(u.Y) }
+
+// IDsOK reports whether node IDs fit uint64 for this topology.
+func (g *Graph) IDsOK() bool { return g.n <= 64 }
+
+// NodeFromID unpacks an identifier produced by ID.
+func (g *Graph) NodeFromID(id uint64) Node {
+	return Node{X: id >> uint(g.m), Y: uint8(id & uint64(g.t-1))}
+}
+
+// RandomNode draws a uniform node using r.
+func (g *Graph) RandomNode(r *rand.Rand) Node {
+	var x uint64
+	if g.t == 64 {
+		x = r.Uint64()
+	} else {
+		x = r.Uint64() & ((1 << uint(g.t)) - 1)
+	}
+	return Node{X: x, Y: uint8(r.Intn(g.t))}
+}
+
+// VerifyPath checks that path is a simple u→v path in the network.
+func (g *Graph) VerifyPath(u, v Node, path []Node) error {
+	if len(path) == 0 {
+		return fmt.Errorf("hhc: empty path")
+	}
+	if path[0] != u || path[len(path)-1] != v {
+		return fmt.Errorf("hhc: path runs %v..%v, want %v..%v", path[0], path[len(path)-1], u, v)
+	}
+	seen := make(map[Node]bool, len(path))
+	for i, w := range path {
+		if err := g.check(w); err != nil {
+			return fmt.Errorf("hhc: step %d: %w", i, err)
+		}
+		if seen[w] {
+			return fmt.Errorf("hhc: vertex %v repeated in path", w)
+		}
+		seen[w] = true
+		if i > 0 && !g.Adjacent(path[i-1], w) {
+			return fmt.Errorf("hhc: %v and %v not adjacent at step %d", path[i-1], w, i)
+		}
+	}
+	return nil
+}
+
+// MaxDenseM is the largest m for which Dense materializes ID-indexed views
+// (m = 4 gives n = 20, about one million nodes).
+const MaxDenseM = 4
+
+// Dense returns a graph.Graph view over IDs 0..2^n-1, for exact ground-truth
+// computations (BFS distances, diameter, connectivity). Only m <= MaxDenseM.
+func (g *Graph) Dense() (graph.Graph, error) {
+	if g.m > MaxDenseM {
+		return nil, fmt.Errorf("%w: HHC with m=%d has 2^%d nodes", graph.ErrTooLarge, g.m, g.n)
+	}
+	return denseView{g}, nil
+}
+
+type denseView struct{ g *Graph }
+
+func (d denseView) Order() int64   { return 1 << uint(d.g.n) }
+func (d denseView) MaxDegree() int { return d.g.m + 1 }
+
+func (d denseView) Neighbors(v uint64, buf []uint64) []uint64 {
+	u := d.g.NodeFromID(v)
+	for i := 0; i < d.g.m; i++ {
+		buf = append(buf, d.g.ID(d.g.LocalNeighbor(u, i)))
+	}
+	return append(buf, d.g.ID(d.g.ExternalNeighbor(u)))
+}
+
+// PathIDs converts a node path into ID form (n <= 64).
+func (g *Graph) PathIDs(path []Node) []uint64 {
+	out := make([]uint64, len(path))
+	for i, u := range path {
+		out[i] = g.ID(u)
+	}
+	return out
+}
+
+// PathFromIDs converts an ID path back into node form.
+func (g *Graph) PathFromIDs(ids []uint64) []Node {
+	out := make([]Node, len(ids))
+	for i, id := range ids {
+		out[i] = g.NodeFromID(id)
+	}
+	return out
+}

@@ -1,0 +1,341 @@
+package hhc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func mustNew(t *testing.T, m int) *Graph {
+	t.Helper()
+	g, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewBounds(t *testing.T) {
+	for _, m := range []int{0, 7, -3} {
+		if _, err := New(m); err == nil {
+			t.Errorf("New(%d): want error", m)
+		}
+	}
+	for m := MinM; m <= MaxM; m++ {
+		g := mustNew(t, m)
+		if g.M() != m || g.T() != 1<<uint(m) || g.N() != 1<<uint(m)+m {
+			t.Errorf("m=%d: metadata M=%d T=%d N=%d", m, g.M(), g.T(), g.N())
+		}
+		if g.Degree() != m+1 {
+			t.Errorf("m=%d: degree %d", m, g.Degree())
+		}
+	}
+}
+
+func TestNumNodes(t *testing.T) {
+	g := mustNew(t, 2)
+	if n, ok := g.NumNodes(); !ok || n != 64 {
+		t.Fatalf("m=2: NumNodes = %d, %v; want 64", n, ok)
+	}
+	g = mustNew(t, 6) // n = 70 > 63
+	if _, ok := g.NumNodes(); ok {
+		t.Fatal("m=6: NumNodes should not fit uint64")
+	}
+	if g.IDsOK() {
+		t.Fatal("m=6: IDs should not be usable")
+	}
+}
+
+func TestContains(t *testing.T) {
+	g := mustNew(t, 2) // t = 4: X has 4 bits, Y < 4
+	cases := []struct {
+		u  Node
+		ok bool
+	}{
+		{Node{X: 0, Y: 0}, true},
+		{Node{X: 15, Y: 3}, true},
+		{Node{X: 16, Y: 0}, false},
+		{Node{X: 0, Y: 4}, false},
+	}
+	for _, c := range cases {
+		if got := g.Contains(c.u); got != c.ok {
+			t.Errorf("Contains(%v) = %v, want %v", c.u, got, c.ok)
+		}
+	}
+}
+
+func TestNeighborsStructure(t *testing.T) {
+	g := mustNew(t, 3)
+	u := Node{X: 0b10110101, Y: 0b101}
+	nbrs := g.Neighbors(u, nil)
+	if len(nbrs) != 4 {
+		t.Fatalf("degree %d, want 4", len(nbrs))
+	}
+	// Local neighbors share X and differ in one Y bit.
+	for i := 0; i < 3; i++ {
+		w := nbrs[i]
+		if w.X != u.X {
+			t.Errorf("local neighbor %v changed X", w)
+		}
+		d := w.Y ^ u.Y
+		if d == 0 || d&(d-1) != 0 {
+			t.Errorf("local neighbor %v differs in %d Y bits", w, d)
+		}
+	}
+	// External neighbor flips X bit number dec(Y), keeps Y.
+	ext := nbrs[3]
+	if ext.Y != u.Y || ext.X != u.X^(1<<u.Y) {
+		t.Errorf("external neighbor wrong: %v", ext)
+	}
+	// Involution: the external edge is its own inverse.
+	if g.ExternalNeighbor(g.ExternalNeighbor(u)) != u {
+		t.Error("external edge not an involution")
+	}
+}
+
+func TestAdjacentMatchesNeighbors(t *testing.T) {
+	g := mustNew(t, 2)
+	n, _ := g.NumNodes()
+	for i := uint64(0); i < n; i++ {
+		u := g.NodeFromID(i)
+		nbrSet := map[Node]bool{}
+		for _, w := range g.Neighbors(u, nil) {
+			nbrSet[w] = true
+		}
+		for j := uint64(0); j < n; j++ {
+			v := g.NodeFromID(j)
+			if got := g.Adjacent(u, v); got != nbrSet[v] {
+				t.Fatalf("Adjacent(%v,%v) = %v, neighbors say %v", u, v, got, nbrSet[v])
+			}
+		}
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	for m := MinM; m <= 5; m++ {
+		g := mustNew(t, m)
+		prop := func(x uint64, y uint8) bool {
+			u := Node{X: x & (1<<uint(g.T()) - 1), Y: y & uint8(g.T()-1)}
+			return g.NodeFromID(g.ID(u)) == u
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("m=%d: %v", m, err)
+		}
+	}
+}
+
+func TestDenseViewIsValidGraph(t *testing.T) {
+	g := mustNew(t, 2)
+	dg, err := g.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Order() != 64 || dg.MaxDegree() != 3 {
+		t.Fatalf("dense metadata: order=%d deg=%d", dg.Order(), dg.MaxDegree())
+	}
+	if err := graph.CheckSymmetric(dg); err != nil {
+		t.Fatalf("HHC_6 adjacency not symmetric: %v", err)
+	}
+	// Regular of degree m+1: edges = N(m+1)/2.
+	edges, err := graph.CountEdges(dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 64*3/2 {
+		t.Fatalf("edges = %d, want 96", edges)
+	}
+	conn, err := graph.IsConnected(dg)
+	if err != nil || !conn {
+		t.Fatalf("HHC_6 connected = %v, %v", conn, err)
+	}
+	g5 := mustNew(t, 5)
+	if _, err := g5.Dense(); err == nil {
+		t.Fatal("m=5 dense: want too-large error")
+	}
+}
+
+// TestRouteExhaustivelyShortest verifies Route returns a valid path whose
+// length equals the BFS shortest-path distance for EVERY ordered pair of
+// HHC_6 (m=2), and for random pairs of HHC_11 (m=3). This pins down the
+// distance decomposition dist = |D| + minwalk.
+func TestRouteExhaustivelyShortest(t *testing.T) {
+	g := mustNew(t, 2)
+	dg, err := g.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.NumNodes()
+	for i := uint64(0); i < n; i++ {
+		dist, err := graph.BFS(dg, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := g.NodeFromID(i)
+		for j := uint64(0); j < n; j++ {
+			v := g.NodeFromID(j)
+			p, info, err := g.RouteEx(u, v)
+			if err != nil {
+				t.Fatalf("Route(%v,%v): %v", u, v, err)
+			}
+			if err := g.VerifyPath(u, v, p); err != nil {
+				t.Fatalf("Route(%v,%v) invalid: %v", u, v, err)
+			}
+			if !info.Exact {
+				t.Fatalf("m=2 route should be exact")
+			}
+			if got, want := len(p)-1, int(dist[j]); got != want {
+				t.Fatalf("Route(%v,%v) length %d, BFS %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestRouteShortestM3Sampled(t *testing.T) {
+	g := mustNew(t, 3)
+	dg, err := g.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		u := g.RandomNode(r)
+		dist, err := graph.BFS(dg, g.ID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 60; k++ {
+			v := g.RandomNode(r)
+			p, info, err := g.RouteEx(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.VerifyPath(u, v, p); err != nil {
+				t.Fatal(err)
+			}
+			if !info.Exact {
+				t.Fatalf("m=3 (|D| <= 8) should be exact")
+			}
+			if got, want := len(p)-1, int(dist[g.ID(v)]); got != want {
+				t.Fatalf("Route(%v,%v) length %d, BFS %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestDistanceAgreesWithRoute(t *testing.T) {
+	g := mustNew(t, 3)
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		u, v := g.RandomNode(r), g.RandomNode(r)
+		p, err := g.Route(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := g.Distance(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != len(p)-1 {
+			t.Fatalf("Distance %d != route length %d", d, len(p)-1)
+		}
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	g := mustNew(t, 2)
+	u := Node{X: 9, Y: 2}
+	p, err := g.Route(u, u)
+	if err != nil || len(p) != 1 || p[0] != u {
+		t.Fatalf("self route = %v, %v", p, err)
+	}
+}
+
+func TestRouteRejectsInvalid(t *testing.T) {
+	g := mustNew(t, 2)
+	if _, err := g.Route(Node{X: 99, Y: 0}, Node{}); err == nil {
+		t.Fatal("invalid source: want error")
+	}
+	if _, err := g.Route(Node{}, Node{X: 0, Y: 9}); err == nil {
+		t.Fatal("invalid destination: want error")
+	}
+	if _, _, err := g.Distance(Node{X: 99, Y: 0}, Node{}); err == nil {
+		t.Fatal("invalid distance query: want error")
+	}
+}
+
+func TestVerifyPathRejections(t *testing.T) {
+	g := mustNew(t, 2)
+	u, v := Node{X: 0, Y: 0}, Node{X: 0, Y: 1}
+	if err := g.VerifyPath(u, v, []Node{u, v}); err != nil {
+		t.Fatalf("direct edge rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		path []Node
+	}{
+		{"empty", nil},
+		{"wrong endpoints", []Node{v, u}},
+		{"not adjacent", []Node{u, Node{X: 3, Y: 3}, v}},
+		{"repeat", []Node{u, v, u, v}},
+		{"invalid node", []Node{u, Node{X: 0, Y: 9}, v}},
+	}
+	for _, c := range bad {
+		if err := g.VerifyPath(u, v, c.path); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestPathIDsRoundTrip(t *testing.T) {
+	g := mustNew(t, 3)
+	r := rand.New(rand.NewSource(1))
+	u, v := g.RandomNode(r), g.RandomNode(r)
+	p, err := g.Route(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := g.PathFromIDs(g.PathIDs(p))
+	if len(back) != len(p) {
+		t.Fatal("length mismatch")
+	}
+	for i := range p {
+		if back[i] != p[i] {
+			t.Fatalf("round trip differs at %d", i)
+		}
+	}
+}
+
+func TestDiameterUpperBoundHolds(t *testing.T) {
+	// Exact diameters for m = 1, 2 via all-source BFS; bound must hold.
+	for _, m := range []int{1, 2} {
+		g := mustNew(t, m)
+		dg, err := g.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diam, err := graph.Diameter(dg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diam > g.DiameterUpperBound() {
+			t.Fatalf("m=%d: diameter %d exceeds bound %d", m, diam, g.DiameterUpperBound())
+		}
+		if diam <= 0 {
+			t.Fatalf("m=%d: diameter %d", m, diam)
+		}
+	}
+}
+
+func TestRandomNodeValid(t *testing.T) {
+	for m := MinM; m <= MaxM; m++ {
+		g := mustNew(t, m)
+		r := rand.New(rand.NewSource(int64(m)))
+		for i := 0; i < 200; i++ {
+			if u := g.RandomNode(r); !g.Contains(u) {
+				t.Fatalf("m=%d: RandomNode produced invalid %v", m, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package hhc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseNode parses the textual node form "x:y" (e.g. "0x2a:3" or "42:3");
+// x accepts decimal, 0x-hex, or 0b-binary, y is decimal. The parsed node is
+// validated against the topology.
+func (g *Graph) ParseNode(s string) (Node, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return Node{}, fmt.Errorf("hhc: node %q: want x:y", s)
+	}
+	x, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 0, 64)
+	if err != nil {
+		return Node{}, fmt.Errorf("hhc: node %q: bad cube address: %v", s, err)
+	}
+	y, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 0, 8)
+	if err != nil {
+		return Node{}, fmt.Errorf("hhc: node %q: bad processor address: %v", s, err)
+	}
+	u := Node{X: x, Y: uint8(y)}
+	if !g.Contains(u) {
+		return Node{}, fmt.Errorf("hhc: node %q out of range for m=%d (x < 2^%d, y < %d)", s, g.m, g.t, g.t)
+	}
+	return u, nil
+}
+
+// FormatNode renders a node in the same "x:y" form ParseNode accepts.
+func (g *Graph) FormatNode(u Node) string {
+	return fmt.Sprintf("%#x:%d", u.X, u.Y)
+}

@@ -1,0 +1,165 @@
+package hhc
+
+import (
+	"fmt"
+
+	"repro/internal/hypercube"
+)
+
+// Ring embedding: many parallel workloads (pipelines, token protocols,
+// systolic rings) want a long cycle of distinct nodes. In a hierarchical
+// hypercube a cycle that fully consumes each son-cube it visits can be
+// built from three classical ingredients:
+//
+//  1. a closed walk over son-cubes (dimensions d_0 … d_{c-1} whose XOR is
+//     zero and whose prefix cubes are distinct),
+//  2. the fact that the walk enters cube i at processor bin(d_{i-1}) and
+//     leaves at bin(d_i), and
+//  3. Havel's theorem: an m-cube has a Hamiltonian path between two
+//     processors iff their parities differ.
+//
+// So any closed super-walk whose consecutive crossing dimensions alternate
+// label parity yields a simple cycle of exactly c·2^m nodes. RingDims picks
+// such a walk through 2^r son-cubes (a ruler/Gray sequence whose even
+// positions reuse one even-parity dimension), giving rings of length
+// 2^(r+m) for any 1 <= r <= #odd-parity labels + … — large enough to cover
+// 2^(t/2+1+m) nodes.
+
+// EmbedRing returns a simple cycle through all nodes of the son-cubes the
+// closed super-walk visits, starting in cube x0. The result lists the
+// cycle's nodes in order; the last is adjacent to the first.
+func (g *Graph) EmbedRing(x0 uint64, dims []int) ([]Node, error) {
+	c := len(dims)
+	if c < 4 {
+		return nil, fmt.Errorf("hhc: ring needs at least 4 crossings, have %d", c)
+	}
+	if g.t < 64 && x0>>uint(g.t) != 0 {
+		return nil, fmt.Errorf("hhc: start cube %#x out of range", x0)
+	}
+	// Validate the walk: in-range dims, closed, distinct intermediate
+	// cubes, alternating entry/exit parities.
+	var xor uint64
+	cubes := make([]uint64, c)
+	x := x0
+	seen := map[uint64]bool{}
+	for i, d := range dims {
+		if d < 0 || d >= g.t {
+			return nil, fmt.Errorf("hhc: dimension %d out of range [0,%d)", d, g.t)
+		}
+		if seen[x] {
+			return nil, fmt.Errorf("hhc: super-walk revisits cube %#x", x)
+		}
+		seen[x] = true
+		cubes[i] = x
+		xor ^= 1 << uint(d)
+		x ^= 1 << uint(d)
+	}
+	if xor != 0 {
+		return nil, fmt.Errorf("hhc: super-walk is not closed")
+	}
+	for i := 0; i < c; i++ {
+		prev := dims[(i-1+c)%c]
+		if hypercube.Parity(uint64(prev)) == hypercube.Parity(uint64(dims[i])) {
+			return nil, fmt.Errorf("hhc: crossings %d and %d have equal parity — no Hamiltonian path through cube %d", prev, dims[i], i)
+		}
+	}
+	ring := make([]Node, 0, c<<uint(g.m))
+	for i := 0; i < c; i++ {
+		in := uint64(dims[(i-1+c)%c])
+		out := uint64(dims[i])
+		seg, err := hypercube.HamiltonianPath(g.m, in, out)
+		if err != nil {
+			return nil, fmt.Errorf("hhc: cube %d: %w", i, err)
+		}
+		for _, y := range seg {
+			ring = append(ring, Node{X: cubes[i], Y: uint8(y)})
+		}
+	}
+	return ring, nil
+}
+
+// RingDims returns a closed super-walk through 2^r distinct son-cubes
+// whose crossings alternate parity: a ruler sequence over r dimensions
+// where the repeated low dimension has an even-parity label and the others
+// odd-parity labels. Requires 2 <= r <= (number of odd-parity labels) + 1.
+func (g *Graph) RingDims(r int) ([]int, error) {
+	if r < 2 {
+		return nil, fmt.Errorf("hhc: ring exponent %d < 2", r)
+	}
+	// dims[0] must be even parity; the rest odd parity and distinct.
+	chosen := make([]int, 0, r)
+	for d := 0; d < g.t && len(chosen) < 1; d++ {
+		if hypercube.Parity(uint64(d)) == 0 {
+			chosen = append(chosen, d)
+		}
+	}
+	for d := 0; d < g.t && len(chosen) < r; d++ {
+		if hypercube.Parity(uint64(d)) == 1 {
+			chosen = append(chosen, d)
+		}
+	}
+	if len(chosen) < r {
+		return nil, fmt.Errorf("hhc: ring exponent %d too large for m=%d (max %d)",
+			r, g.m, 1+countOddLabels(g.t))
+	}
+	// Ruler (binary-carry) sequence of length 2^r: position k crosses
+	// chosen[ctz(k+1)] and the final, cycle-closing crossing is the top
+	// dimension chosen[r-1] (the standard Gray-cycle flip order). Every
+	// other crossing is chosen[0].
+	walk := make([]int, 1<<uint(r))
+	for k := range walk {
+		idx := trailingZeros(k + 1)
+		if idx > r-1 {
+			idx = r - 1 // k = 2^r - 1: the closing flip
+		}
+		walk[k] = chosen[idx]
+	}
+	return walk, nil
+}
+
+// trailingZeros counts the trailing zero bits of v > 0.
+func trailingZeros(v int) int {
+	i := 0
+	for v&1 == 0 {
+		v >>= 1
+		i++
+	}
+	return i
+}
+
+func countOddLabels(t int) int {
+	n := 0
+	for d := 0; d < t; d++ {
+		if hypercube.Parity(uint64(d)) == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxRingExponent returns the largest r accepted by RingDims: rings of
+// length up to 2^(r+m) nodes.
+func (g *Graph) MaxRingExponent() int { return 1 + countOddLabels(g.t) }
+
+// VerifyRing checks that ring is a simple cycle in the network: all nodes
+// valid and distinct, consecutive nodes adjacent, last adjacent to first.
+func (g *Graph) VerifyRing(ring []Node) error {
+	if len(ring) < 4 {
+		return fmt.Errorf("hhc: ring of %d nodes", len(ring))
+	}
+	seen := make(map[Node]bool, len(ring))
+	for i, w := range ring {
+		if err := g.check(w); err != nil {
+			return err
+		}
+		if seen[w] {
+			return fmt.Errorf("hhc: ring repeats %v", w)
+		}
+		seen[w] = true
+		next := ring[(i+1)%len(ring)]
+		if !g.Adjacent(w, next) {
+			return fmt.Errorf("hhc: ring breaks between %v and %v", w, next)
+		}
+	}
+	return nil
+}

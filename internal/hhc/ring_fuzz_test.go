@@ -1,0 +1,43 @@
+package hhc
+
+import (
+	"testing"
+)
+
+// FuzzEmbedRing: arbitrary dimension sequences must either be rejected with
+// an error or produce a verified simple cycle — never a bad ring, never a
+// panic.
+func FuzzEmbedRing(f *testing.F) {
+	f.Add(uint8(3), uint64(0), []byte{0, 1, 0, 1})
+	f.Add(uint8(2), uint64(5), []byte{0, 1, 0, 2, 0, 1, 0, 2})
+	f.Add(uint8(3), uint64(0), []byte{})
+	f.Add(uint8(4), uint64(9), []byte{3, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, mRaw uint8, x0 uint64, dimBytes []byte) {
+		m := int(mRaw%4) + 1
+		g, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dimBytes) > 64 {
+			dimBytes = dimBytes[:64]
+		}
+		dims := make([]int, len(dimBytes))
+		for i, b := range dimBytes {
+			dims[i] = int(b) % (g.T() + 2) // allow some out-of-range values
+		}
+		mask := ^uint64(0)
+		if g.T() < 64 {
+			mask = 1<<uint(g.T()) - 1
+		}
+		ring, err := g.EmbedRing(x0&mask, dims)
+		if err != nil {
+			return // rejection is the common, correct outcome
+		}
+		if err := g.VerifyRing(ring); err != nil {
+			t.Fatalf("EmbedRing accepted dims %v but produced invalid ring: %v", dims, err)
+		}
+		if len(ring) != len(dims)<<uint(m) {
+			t.Fatalf("ring has %d nodes, want %d", len(ring), len(dims)<<uint(m))
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package hhc
+
+import (
+	"testing"
+)
+
+// TestEmbedRingAllExponents builds and verifies every supported ring size
+// for m = 2, 3, 4 from several start cubes.
+func TestEmbedRingAllExponents(t *testing.T) {
+	for _, m := range []int{2, 3, 4} {
+		g := mustNew(t, m)
+		for r := 2; r <= g.MaxRingExponent(); r++ {
+			dims, err := g.RingDims(r)
+			if err != nil {
+				t.Fatalf("m=%d RingDims(%d): %v", m, r, err)
+			}
+			if len(dims) != 1<<uint(r) {
+				t.Fatalf("m=%d r=%d: %d crossings", m, r, len(dims))
+			}
+			for _, x0 := range []uint64{0, 1, (1 << uint(g.T())) - 1} {
+				ring, err := g.EmbedRing(x0, dims)
+				if err != nil {
+					t.Fatalf("m=%d r=%d x0=%#x: %v", m, r, x0, err)
+				}
+				want := (1 << uint(r)) << uint(m)
+				if len(ring) != want {
+					t.Fatalf("m=%d r=%d: ring covers %d nodes, want %d", m, r, len(ring), want)
+				}
+				if err := g.VerifyRing(ring); err != nil {
+					t.Fatalf("m=%d r=%d: %v", m, r, err)
+				}
+			}
+		}
+	}
+}
+
+// TestEmbedRingCoversWholeCubes: every visited son-cube contributes all 2^m
+// of its processors.
+func TestEmbedRingCoversWholeCubes(t *testing.T) {
+	g := mustNew(t, 3)
+	dims, err := g.RingDims(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := g.EmbedRing(0x5, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCube := map[uint64]map[uint8]bool{}
+	for _, w := range ring {
+		if perCube[w.X] == nil {
+			perCube[w.X] = map[uint8]bool{}
+		}
+		perCube[w.X][w.Y] = true
+	}
+	if len(perCube) != 8 {
+		t.Fatalf("ring visits %d cubes, want 8", len(perCube))
+	}
+	for x, ys := range perCube {
+		if len(ys) != g.T() {
+			t.Fatalf("cube %#x covered %d/%d", x, len(ys), g.T())
+		}
+	}
+}
+
+func TestEmbedRingRejections(t *testing.T) {
+	g := mustNew(t, 3)
+	cases := []struct {
+		name string
+		x0   uint64
+		dims []int
+	}{
+		{"too short", 0, []int{1, 1}},
+		{"not closed", 0, []int{0, 1, 0, 2}},
+		{"dim out of range", 0, []int{0, 99, 0, 99}},
+		// Labels 0 (parity 0) and 3 (parity 0): no Hamiltonian path between
+		// same-parity entry/exit processors.
+		{"equal parities", 0, []int{0, 3, 0, 3}},
+		{"start cube out of range", 1 << 60, []int{0, 1, 0, 1}},
+	}
+	for _, c := range cases {
+		if _, err := g.EmbedRing(c.x0, c.dims); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	// Revisiting a cube: 0,1,0,1 visits a, a^1, a, ... -> revisit.
+	if _, err := g.EmbedRing(0, []int{0, 0, 1, 2, 1, 2}); err == nil {
+		t.Error("revisit not detected")
+	}
+}
+
+func TestRingDimsBounds(t *testing.T) {
+	g := mustNew(t, 2)
+	if _, err := g.RingDims(1); err == nil {
+		t.Error("r=1 accepted")
+	}
+	if _, err := g.RingDims(g.MaxRingExponent() + 1); err == nil {
+		t.Error("oversized r accepted")
+	}
+	// m=2: t=4, odd labels {1, 2}: max exponent 3 -> ring of 2^5 = 32 nodes,
+	// half the 64-node network.
+	if g.MaxRingExponent() != 3 {
+		t.Fatalf("m=2 max exponent = %d, want 3", g.MaxRingExponent())
+	}
+}
+
+func TestVerifyRingRejections(t *testing.T) {
+	g := mustNew(t, 2)
+	dims, _ := g.RingDims(2)
+	ring, err := g.EmbedRing(0, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyRing(ring[:3]); err == nil {
+		t.Error("short ring accepted")
+	}
+	broken := append([]Node(nil), ring...)
+	broken[2], broken[5] = broken[5], broken[2]
+	if err := g.VerifyRing(broken); err == nil {
+		t.Error("shuffled ring accepted")
+	}
+	dup := append([]Node(nil), ring...)
+	dup[1] = dup[3]
+	if err := g.VerifyRing(dup); err == nil {
+		t.Error("duplicated node accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package hhc
+
+import (
+	"fmt"
+
+	"repro/internal/hypercube"
+)
+
+// Routing in a hierarchical hypercube decomposes cleanly: to travel from
+// u = (a, α) to v = (b, β) a path must cross super-cube dimension j (for
+// every j where a and b differ) by standing at processor y = j and taking
+// that node's external edge, and otherwise moves inside son-cubes. A
+// shortest path therefore consists of |D| external hops (D = a⊕b; flipping
+// any dimension an extra even number of times only adds hops, and Hamming
+// distance being a metric means extra intermediate stops never shorten the
+// local walks) plus a minimum-length walk in Q_m that starts at α, visits
+// the processor addresses {j : j ∈ D} in some order, and ends at β — an
+// instance of the fixed-endpoints path-TSP solved by hypercube.SetWalk.
+//
+// dist(u, v) = |D| + minwalk(α, {bin(j) : j ∈ D}, β)
+//
+// SetWalk is exact (Held–Karp) up to MaxExactCities differing dimensions and
+// a 2-opt heuristic beyond, so Route is provably shortest for every pair at
+// m <= 3 and for all pairs with |D| <= 13 at larger m.
+
+// RouteInfo reports how a route was computed.
+type RouteInfo struct {
+	ExternalHops int  // |D|
+	LocalHops    int  // total son-cube walk length
+	Exact        bool // true if the local walk is provably optimal
+}
+
+// Route returns a (near-)shortest path from u to v. See RouteEx for details
+// on optimality.
+func (g *Graph) Route(u, v Node) ([]Node, error) {
+	p, _, err := g.RouteEx(u, v)
+	return p, err
+}
+
+// RouteEx returns the path together with routing metadata.
+func (g *Graph) RouteEx(u, v Node) ([]Node, RouteInfo, error) {
+	if err := g.check(u); err != nil {
+		return nil, RouteInfo{}, err
+	}
+	if err := g.check(v); err != nil {
+		return nil, RouteInfo{}, err
+	}
+	d := u.X ^ v.X
+	dims := hypercube.Dims(d)
+	cities := make([]uint64, len(dims))
+	for i, dim := range dims {
+		cities[i] = uint64(dim)
+	}
+	order, cost, exact := hypercube.SetWalk(uint64(u.Y), uint64(v.Y), cities)
+	path := make([]Node, 1, len(dims)+cost+1)
+	path[0] = u
+	x, y := u.X, uint64(u.Y)
+	for _, idx := range order {
+		c := cities[idx]
+		for _, w := range hypercube.BitFixPath(y, c)[1:] {
+			path = append(path, Node{X: x, Y: uint8(w)})
+		}
+		y = c
+		x ^= 1 << uint(dims[idx])
+		path = append(path, Node{X: x, Y: uint8(y)})
+	}
+	for _, w := range hypercube.BitFixPath(y, uint64(v.Y))[1:] {
+		path = append(path, Node{X: x, Y: uint8(w)})
+	}
+	info := RouteInfo{ExternalHops: len(dims), LocalHops: cost, Exact: exact}
+	if got := path[len(path)-1]; got != v {
+		return nil, info, fmt.Errorf("hhc: internal routing error, reached %v not %v", got, v)
+	}
+	return path, info, nil
+}
+
+// Distance returns the length of the path Route would produce, plus whether
+// that length is provably the exact shortest-path distance.
+func (g *Graph) Distance(u, v Node) (int, bool, error) {
+	if err := g.check(u); err != nil {
+		return 0, false, err
+	}
+	if err := g.check(v); err != nil {
+		return 0, false, err
+	}
+	d := u.X ^ v.X
+	dims := hypercube.Dims(d)
+	cities := make([]uint64, len(dims))
+	for i, dim := range dims {
+		cities[i] = uint64(dim)
+	}
+	_, cost, exact := hypercube.SetWalk(uint64(u.Y), uint64(v.Y), cities)
+	return len(dims) + cost, exact, nil
+}
+
+// DiameterUpperBound returns the classical upper bound on the diameter of
+// HHC_n: the external hops are at most 2^m and the local walk is covered by
+// one trip around a Gray-code Hamiltonian cycle of Q_m plus a final m-step
+// correction, giving 2^(m+1) + m.
+func (g *Graph) DiameterUpperBound() int { return 2*g.t + g.m }

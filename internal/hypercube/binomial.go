@@ -1,0 +1,118 @@
+package hypercube
+
+import "fmt"
+
+// Binomial broadcast trees: the classical recursive-doubling schedule for
+// one-to-all broadcast in Q_k. At round i every informed node forwards
+// across dimension k-1-i; after k rounds all 2^k vertices are informed,
+// matching the ceil(log2 N) information lower bound exactly — the yardstick
+// the hierarchical hypercube's (degree-starved) broadcast is measured
+// against in experiment E12.
+
+// BinomialParent returns w's parent in the binomial broadcast tree rooted
+// at root: w with the highest bit of w⊕root cleared. The root is its own
+// parent.
+func BinomialParent(k int, root, w uint64) (uint64, error) {
+	if err := CheckVertex(k, root); err != nil {
+		return 0, err
+	}
+	if err := CheckVertex(k, w); err != nil {
+		return 0, err
+	}
+	diff := root ^ w
+	if diff == 0 {
+		return w, nil
+	}
+	// Clear the highest set bit of diff.
+	high := diff
+	high |= high >> 1
+	high |= high >> 2
+	high |= high >> 4
+	high |= high >> 8
+	high |= high >> 16
+	high |= high >> 32
+	high = (high >> 1) + 1
+	return w ^ high, nil
+}
+
+// BinomialDepth returns the round at which w becomes informed: the number
+// of dimensions where w and root differ.
+func BinomialDepth(root, w uint64) int { return Hamming(root, w) }
+
+// BinomialRounds returns the one-port broadcast time of Q_k: exactly k.
+func BinomialRounds(k int) int { return k }
+
+// BinomialChildren lists w's children in the tree rooted at root: for each
+// dimension below the lowest set bit of w⊕root (all dimensions when
+// w == root), flipping it moves a step *away* from the root.
+func BinomialChildren(k int, root, w uint64) ([]uint64, error) {
+	if err := CheckVertex(k, root); err != nil {
+		return nil, err
+	}
+	if err := CheckVertex(k, w); err != nil {
+		return nil, err
+	}
+	// parent(child) clears the HIGHEST differing bit, so a child of w must
+	// add a differing bit above all of w's current ones: children flip
+	// dimensions strictly above floor(log2(w⊕root)), or any dimension when
+	// w is the root.
+	diff := root ^ w
+	low := 0
+	if diff != 0 {
+		pos := 0
+		for d := diff; d > 1; d >>= 1 {
+			pos++
+		}
+		low = pos + 1
+	}
+	var children []uint64
+	for i := low; i < k; i++ {
+		children = append(children, w^(1<<uint(i)))
+	}
+	return children, nil
+}
+
+// VerifyBinomialTree checks the tree structure exhaustively for small k:
+// every vertex reaches the root through parents in BinomialDepth steps,
+// and parent/children are mutually consistent.
+func VerifyBinomialTree(k int, root uint64) error {
+	if k > 20 {
+		return fmt.Errorf("hypercube: verify supports k <= 20")
+	}
+	n := uint64(1) << uint(k)
+	for w := uint64(0); w < n; w++ {
+		cur := w
+		steps := 0
+		for cur != root {
+			p, err := BinomialParent(k, root, cur)
+			if err != nil {
+				return err
+			}
+			if Hamming(p, cur) != 1 {
+				return fmt.Errorf("hypercube: parent %#x not adjacent to %#x", p, cur)
+			}
+			cur = p
+			steps++
+			if steps > k {
+				return fmt.Errorf("hypercube: vertex %#x does not reach root", w)
+			}
+		}
+		if steps != BinomialDepth(root, w) {
+			return fmt.Errorf("hypercube: depth of %#x is %d, want %d", w, steps, BinomialDepth(root, w))
+		}
+		children, err := BinomialChildren(k, root, w)
+		if err != nil {
+			return err
+		}
+		for _, c := range children {
+			p, err := BinomialParent(k, root, c)
+			if err != nil {
+				return err
+			}
+			if p != w {
+				return fmt.Errorf("hypercube: child %#x of %#x has parent %#x", c, w, p)
+			}
+		}
+	}
+	return nil
+}

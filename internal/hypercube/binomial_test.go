@@ -1,0 +1,86 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBinomialTreeExhaustive verifies the full tree structure from every
+// root of Q_1..Q_6.
+func TestBinomialTreeExhaustive(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		n := uint64(1) << uint(k)
+		for root := uint64(0); root < n; root++ {
+			if err := VerifyBinomialTree(k, root); err != nil {
+				t.Fatalf("k=%d root=%#x: %v", k, root, err)
+			}
+		}
+	}
+}
+
+func TestBinomialParentBasics(t *testing.T) {
+	// Root is its own parent.
+	p, err := BinomialParent(4, 0b1010, 0b1010)
+	if err != nil || p != 0b1010 {
+		t.Fatalf("root parent = %#x, %v", p, err)
+	}
+	// Highest differing bit is cleared (toward the root).
+	p, err = BinomialParent(4, 0b0000, 0b1010)
+	if err != nil || p != 0b0010 {
+		t.Fatalf("parent(1010) = %#x, want 0010", p)
+	}
+	if _, err := BinomialParent(3, 9, 0); err == nil {
+		t.Fatal("invalid root accepted")
+	}
+	if _, err := BinomialParent(3, 0, 9); err == nil {
+		t.Fatal("invalid vertex accepted")
+	}
+}
+
+func TestBinomialDepthSumsToTreeSize(t *testing.T) {
+	// Sum over w of C(k, depth) layers: level d holds C(k, d) vertices.
+	const k = 5
+	counts := make([]int, k+1)
+	for w := uint64(0); w < 1<<k; w++ {
+		counts[BinomialDepth(0b10101, w)]++
+	}
+	want := []int{1, 5, 10, 10, 5, 1}
+	for d, c := range counts {
+		if c != want[d] {
+			t.Fatalf("level %d holds %d, want %d", d, c, want[d])
+		}
+	}
+}
+
+func TestBinomialRounds(t *testing.T) {
+	for k := 1; k <= 10; k++ {
+		if BinomialRounds(k) != k {
+			t.Fatalf("rounds(%d) = %d", k, BinomialRounds(k))
+		}
+	}
+}
+
+func TestBinomialChildrenRandomConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const k = 16
+	for trial := 0; trial < 200; trial++ {
+		root := r.Uint64() & 0xFFFF
+		w := r.Uint64() & 0xFFFF
+		children, err := BinomialChildren(k, root, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range children {
+			p, err := BinomialParent(k, root, c)
+			if err != nil || p != w {
+				t.Fatalf("child %#x of %#x has parent %#x (%v)", c, w, p, err)
+			}
+			if BinomialDepth(root, c) != BinomialDepth(root, w)+1 {
+				t.Fatalf("child depth not parent+1")
+			}
+		}
+	}
+	if _, err := BinomialChildren(3, 0, 9); err == nil {
+		t.Fatal("invalid vertex accepted")
+	}
+}

@@ -1,0 +1,137 @@
+// Package hypercube implements the binary hypercube Q_k over uint64 vertex
+// labels (k <= 64) together with the classical algorithmic toolkit this
+// repository's hierarchical-hypercube construction is built from: Gray
+// codes, greedy bit-fixing paths, the rotation/detour family of k
+// node-disjoint paths, exact fans (one-to-many disjoint paths), and optimal
+// set-visiting walks.
+//
+// Both "halves" of a hierarchical hypercube are hypercubes — the m-cube of
+// processors inside a son-cube and the 2^m-cube of son-cube addresses — so
+// everything here is exercised at two very different scales by the core
+// construction.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// MaxDim is the largest supported cube dimension: labels are uint64 bit
+// vectors.
+const MaxDim = 64
+
+// CheckDim validates a cube dimension.
+func CheckDim(k int) error {
+	if k < 0 || k > MaxDim {
+		return fmt.Errorf("hypercube: dimension %d out of range [0,%d]", k, MaxDim)
+	}
+	return nil
+}
+
+// CheckVertex validates that v is a k-bit label.
+func CheckVertex(k int, v uint64) error {
+	if err := CheckDim(k); err != nil {
+		return err
+	}
+	if k < 64 && v>>uint(k) != 0 {
+		return fmt.Errorf("hypercube: vertex %#x exceeds %d bits", v, k)
+	}
+	return nil
+}
+
+// Hamming returns the Hamming distance between two labels, which equals the
+// shortest-path distance between the corresponding vertices of any Q_k that
+// contains both.
+func Hamming(a, b uint64) int { return bits.OnesCount64(a ^ b) }
+
+// Neighbors appends the k neighbors of v in Q_k to buf.
+func Neighbors(k int, v uint64, buf []uint64) []uint64 {
+	for i := 0; i < k; i++ {
+		buf = append(buf, v^(1<<uint(i)))
+	}
+	return buf
+}
+
+// Dims returns the positions of the set bits of mask in ascending order.
+func Dims(mask uint64) []int {
+	out := make([]int, 0, bits.OnesCount64(mask))
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		out = append(out, i)
+		mask &= mask - 1
+	}
+	return out
+}
+
+// BitFixPath returns the greedy shortest path from a to b in a hypercube:
+// differing bits are fixed from least significant to most significant. The
+// returned slice includes both endpoints; for a == b it is the single vertex.
+func BitFixPath(a, b uint64) []uint64 {
+	path := make([]uint64, 1, Hamming(a, b)+1)
+	path[0] = a
+	cur := a
+	diff := a ^ b
+	for diff != 0 {
+		i := bits.TrailingZeros64(diff)
+		cur ^= 1 << uint(i)
+		diff &= diff - 1
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Graph adapts Q_k to graph.Graph for dense traversal. Limited to k <= 26
+// so that distance arrays stay reasonable.
+type Graph struct{ k int }
+
+// NewGraph returns the dense view of Q_k.
+func NewGraph(k int) (*Graph, error) {
+	if err := CheckDim(k); err != nil {
+		return nil, err
+	}
+	if k > 26 {
+		return nil, fmt.Errorf("%w: Q_%d has 2^%d vertices", graph.ErrTooLarge, k, k)
+	}
+	return &Graph{k: k}, nil
+}
+
+// Dim returns k.
+func (g *Graph) Dim() int { return g.k }
+
+// Order implements graph.Graph.
+func (g *Graph) Order() int64 { return 1 << uint(g.k) }
+
+// MaxDegree implements graph.Graph.
+func (g *Graph) MaxDegree() int { return g.k }
+
+// Neighbors implements graph.Graph.
+func (g *Graph) Neighbors(v uint64, buf []uint64) []uint64 {
+	return Neighbors(g.k, v, buf)
+}
+
+// VerifyPath checks that path is a simple path in Q_k from a to b.
+func VerifyPath(k int, a, b uint64, path []uint64) error {
+	if len(path) == 0 {
+		return fmt.Errorf("hypercube: empty path")
+	}
+	if path[0] != a || path[len(path)-1] != b {
+		return fmt.Errorf("hypercube: path endpoints %#x..%#x, want %#x..%#x",
+			path[0], path[len(path)-1], a, b)
+	}
+	seen := make(map[uint64]bool, len(path))
+	for i, v := range path {
+		if err := CheckVertex(k, v); err != nil {
+			return err
+		}
+		if seen[v] {
+			return fmt.Errorf("hypercube: vertex %#x repeated in path", v)
+		}
+		seen[v] = true
+		if i > 0 && Hamming(path[i-1], v) != 1 {
+			return fmt.Errorf("hypercube: %#x and %#x not adjacent at step %d", path[i-1], v, i)
+		}
+	}
+	return nil
+}

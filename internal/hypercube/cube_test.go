@@ -1,0 +1,200 @@
+package hypercube
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestCheckDim(t *testing.T) {
+	for _, k := range []int{0, 1, 32, 64} {
+		if err := CheckDim(k); err != nil {
+			t.Errorf("CheckDim(%d): %v", k, err)
+		}
+	}
+	for _, k := range []int{-1, 65, 1000} {
+		if err := CheckDim(k); err == nil {
+			t.Errorf("CheckDim(%d): want error", k)
+		}
+	}
+}
+
+func TestCheckVertex(t *testing.T) {
+	if err := CheckVertex(3, 7); err != nil {
+		t.Errorf("CheckVertex(3,7): %v", err)
+	}
+	if err := CheckVertex(3, 8); err == nil {
+		t.Error("CheckVertex(3,8): want error")
+	}
+	if err := CheckVertex(64, ^uint64(0)); err != nil {
+		t.Errorf("CheckVertex(64,max): %v", err)
+	}
+}
+
+func TestHammingProperties(t *testing.T) {
+	// Metric axioms as quick properties.
+	symmetric := func(a, b uint64) bool { return Hamming(a, b) == Hamming(b, a) }
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+	identity := func(a uint64) bool { return Hamming(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error(err)
+	}
+	triangle := func(a, b, c uint64) bool { return Hamming(a, c) <= Hamming(a, b)+Hamming(b, c) }
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	got := Neighbors(3, 0b101, nil)
+	want := []uint64{0b100, 0b111, 0b001}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDims(t *testing.T) {
+	got := Dims(0b101001)
+	want := []int{0, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Dims: got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Dims: got %v want %v", got, want)
+		}
+	}
+	if d := Dims(0); len(d) != 0 {
+		t.Fatalf("Dims(0) = %v, want empty", d)
+	}
+}
+
+func TestBitFixPathProperties(t *testing.T) {
+	prop := func(a, b uint64) bool {
+		p := BitFixPath(a, b)
+		if len(p) != Hamming(a, b)+1 {
+			return false
+		}
+		if p[0] != a || p[len(p)-1] != b {
+			return false
+		}
+		for i := 1; i < len(p); i++ {
+			if Hamming(p[i-1], p[i]) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphInterface(t *testing.T) {
+	g, err := NewGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Order() != 16 || g.MaxDegree() != 4 || g.Dim() != 4 {
+		t.Fatalf("Q_4 metadata wrong: order=%d deg=%d", g.Order(), g.MaxDegree())
+	}
+	if err := graph.CheckSymmetric(g); err != nil {
+		t.Fatalf("Q_4 not symmetric: %v", err)
+	}
+	edges, err := graph.CountEdges(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 4*16/2 {
+		t.Fatalf("Q_4 has %d edges, want 32", edges)
+	}
+	if _, err := NewGraph(30); err == nil {
+		t.Fatal("NewGraph(30): want too-large error")
+	}
+}
+
+func TestCubeDiameterAndDistance(t *testing.T) {
+	g, err := NewGraph(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diam, err := graph.Diameter(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diam != 5 {
+		t.Fatalf("diameter(Q_5) = %d, want 5", diam)
+	}
+	// BFS distance equals Hamming distance for random pairs.
+	dist, err := graph.BFS(g, 0b10101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 32; v++ {
+		if int(dist[v]) != Hamming(0b10101, v) {
+			t.Fatalf("BFS dist to %#x = %d, want Hamming %d", v, dist[v], Hamming(0b10101, v))
+		}
+	}
+}
+
+func TestVerifyPath(t *testing.T) {
+	good := []uint64{0, 1, 3, 7}
+	if err := VerifyPath(3, 0, 7, good); err != nil {
+		t.Errorf("good path rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		path []uint64
+	}{
+		{"empty", nil},
+		{"wrong start", []uint64{1, 3, 7}},
+		{"wrong end", []uint64{0, 1, 3}},
+		{"jump", []uint64{0, 3, 7}},
+		{"repeat", []uint64{0, 1, 0, 1, 3, 7}},
+		{"out of range", []uint64{0, 8, 7}},
+	}
+	for _, c := range cases {
+		if err := VerifyPath(3, 0, 7, c.path); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestGrayRoundTrip(t *testing.T) {
+	prop := func(i uint64) bool { return GrayRank(Gray(i)) == i }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrayAdjacency(t *testing.T) {
+	seq, err := GraySequence(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 64 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	seen := make(map[uint64]bool)
+	for i, v := range seq {
+		if seen[v] {
+			t.Fatalf("Gray repeats %#x", v)
+		}
+		seen[v] = true
+		next := seq[(i+1)%len(seq)]
+		if Hamming(v, next) != 1 {
+			t.Fatalf("Gray %#x -> %#x not adjacent", v, next)
+		}
+	}
+	if _, err := GraySequence(60); err == nil {
+		t.Fatal("GraySequence(60): want error")
+	}
+}

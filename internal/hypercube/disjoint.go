@@ -1,0 +1,155 @@
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements the classical rotation/detour family of node-disjoint
+// paths between two hypercube vertices a and b. Write D for the set of
+// dimensions where a and b differ and fix one cyclic order σ of D.
+//
+//   - The rotation starting at σ_i flips the dimensions of D in cyclic order
+//     σ_i, σ_{i+1}, …, σ_{i-1}. Its intermediate vertices are a ⊕ (XOR of a
+//     cyclic run of σ that starts at position i); two runs with different
+//     start positions are never equal as sets unless they are the full
+//     circle, so the |D| rotations are pairwise internally disjoint.
+//   - The detour through j ∉ D flips j, then all of D in the base order
+//     σ_0…σ_{d-1}, then j again. All its intermediate vertices differ from a
+//     in bit j, while no rotation vertex does, and two detours through
+//     different j are separated the same way — so the whole family of
+//     rotations plus detours is pairwise internally disjoint.
+//
+// Each path's first and last dimensions are pairwise distinct across the
+// family (rotations take distinct starts/ends inside D, detours take their
+// own j ∉ D at both ends). The hierarchical-hypercube construction in
+// internal/core leans on exactly this port discipline.
+
+// Rotation returns the dimension sequence of the rotation of order starting
+// at index i (order is the cyclic order of the differing dimensions).
+func Rotation(order []int, i int) []int {
+	d := len(order)
+	seq := make([]int, d)
+	for k := 0; k < d; k++ {
+		seq[k] = order[(i+k)%d]
+	}
+	return seq
+}
+
+// Detour returns the dimension sequence j, order…, j for j outside order.
+func Detour(order []int, j int) []int {
+	seq := make([]int, 0, len(order)+2)
+	seq = append(seq, j)
+	seq = append(seq, order...)
+	seq = append(seq, j)
+	return seq
+}
+
+// ApplyDims converts a dimension sequence into the vertex path it traces
+// from a (inclusive of both endpoints).
+func ApplyDims(a uint64, seq []int) []uint64 {
+	path := make([]uint64, len(seq)+1)
+	path[0] = a
+	cur := a
+	for i, d := range seq {
+		cur ^= 1 << uint(d)
+		path[i+1] = cur
+	}
+	return path
+}
+
+// checkOrder validates that order is a permutation of Dims(mask).
+func checkOrder(mask uint64, order []int) error {
+	if len(order) != bits.OnesCount64(mask) {
+		return fmt.Errorf("hypercube: order has %d dims, mask has %d", len(order), bits.OnesCount64(mask))
+	}
+	var seen uint64
+	for _, d := range order {
+		if d < 0 || d >= 64 {
+			return fmt.Errorf("hypercube: dimension %d out of range", d)
+		}
+		bit := uint64(1) << uint(d)
+		if mask&bit == 0 {
+			return fmt.Errorf("hypercube: dimension %d not in mask %#x", d, mask)
+		}
+		if seen&bit != 0 {
+			return fmt.Errorf("hypercube: dimension %d repeated in order", d)
+		}
+		seen |= bit
+	}
+	return nil
+}
+
+// DisjointDimSequences returns count pairwise internally node-disjoint paths
+// from a to b in Q_k as dimension sequences: all |D| rotations of the given
+// cyclic order first (shortest, length |D|), then detours through the
+// smallest dimensions outside D (length |D|+2). order may be nil for the
+// ascending order of D. count must be between 1 and k.
+func DisjointDimSequences(k int, a, b uint64, count int, order []int) ([][]int, error) {
+	if err := CheckVertex(k, a); err != nil {
+		return nil, err
+	}
+	if err := CheckVertex(k, b); err != nil {
+		return nil, err
+	}
+	if a == b {
+		return nil, fmt.Errorf("hypercube: a == b (%#x)", a)
+	}
+	if count < 1 || count > k {
+		return nil, fmt.Errorf("hypercube: count %d out of range [1,%d]", count, k)
+	}
+	mask := a ^ b
+	if order == nil {
+		order = Dims(mask)
+	} else if err := checkOrder(mask, order); err != nil {
+		return nil, err
+	}
+	d := len(order)
+	seqs := make([][]int, 0, count)
+	for i := 0; i < d && len(seqs) < count; i++ {
+		seqs = append(seqs, Rotation(order, i))
+	}
+	for j := 0; j < k && len(seqs) < count; j++ {
+		if mask&(1<<uint(j)) == 0 {
+			seqs = append(seqs, Detour(order, j))
+		}
+	}
+	if len(seqs) < count {
+		return nil, fmt.Errorf("hypercube: only %d disjoint paths available, want %d", len(seqs), count)
+	}
+	return seqs, nil
+}
+
+// DisjointPaths returns count pairwise internally node-disjoint vertex paths
+// between a and b in Q_k (count <= k = the connectivity of Q_k, so the
+// maximum family has count = k). Path lengths are |D| for the first |D|
+// paths and |D|+2 for the rest — at most dist(a,b)+2, which is optimal.
+func DisjointPaths(k int, a, b uint64, count int) ([][]uint64, error) {
+	seqs, err := DisjointDimSequences(k, a, b, count, nil)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([][]uint64, len(seqs))
+	for i, s := range seqs {
+		paths[i] = ApplyDims(a, s)
+	}
+	return paths, nil
+}
+
+// VerifyDisjoint checks that the given vertex paths all run from a to b in
+// Q_k, are individually simple, and share no vertex besides a and b.
+func VerifyDisjoint(k int, a, b uint64, paths [][]uint64) error {
+	seen := make(map[uint64]int)
+	for pi, p := range paths {
+		if err := VerifyPath(k, a, b, p); err != nil {
+			return fmt.Errorf("path %d: %w", pi, err)
+		}
+		for _, v := range p[1 : len(p)-1] {
+			if prev, ok := seen[v]; ok {
+				return fmt.Errorf("hypercube: paths %d and %d share internal vertex %#x", prev, pi, v)
+			}
+			seen[v] = pi
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRotationAndDetour(t *testing.T) {
+	order := []int{2, 5, 7}
+	rot := Rotation(order, 1)
+	want := []int{5, 7, 2}
+	for i := range want {
+		if rot[i] != want[i] {
+			t.Fatalf("Rotation = %v, want %v", rot, want)
+		}
+	}
+	det := Detour(order, 4)
+	wantDet := []int{4, 2, 5, 7, 4}
+	for i := range wantDet {
+		if det[i] != wantDet[i] {
+			t.Fatalf("Detour = %v, want %v", det, wantDet)
+		}
+	}
+}
+
+func TestApplyDims(t *testing.T) {
+	p := ApplyDims(0b000, []int{0, 2, 0})
+	want := []uint64{0b000, 0b001, 0b101, 0b100}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("ApplyDims = %v, want %v", p, want)
+		}
+	}
+}
+
+// TestDisjointPathsExhaustive checks the rotation/detour family on every
+// vertex pair of Q_2..Q_5 at full width k, including the optimal length
+// bound dist+2.
+func TestDisjointPathsExhaustive(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		n := uint64(1) << uint(k)
+		for a := uint64(0); a < n; a++ {
+			for b := uint64(0); b < n; b++ {
+				if a == b {
+					continue
+				}
+				paths, err := DisjointPaths(k, a, b, k)
+				if err != nil {
+					t.Fatalf("k=%d DisjointPaths(%#x,%#x): %v", k, a, b, err)
+				}
+				if len(paths) != k {
+					t.Fatalf("k=%d: got %d paths", k, len(paths))
+				}
+				if err := VerifyDisjoint(k, a, b, paths); err != nil {
+					t.Fatalf("k=%d %#x->%#x: %v", k, a, b, err)
+				}
+				for _, p := range paths {
+					if len(p)-1 > Hamming(a, b)+2 {
+						t.Fatalf("k=%d %#x->%#x: path length %d > dist+2", k, a, b, len(p)-1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDisjointPathsLargeK spot-checks wide cubes (up to Q_64) where labels
+// exercise the full uint64 range.
+func TestDisjointPathsLargeK(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, k := range []int{16, 32, 64} {
+		mask := ^uint64(0)
+		if k < 64 {
+			mask = 1<<uint(k) - 1
+		}
+		for i := 0; i < 50; i++ {
+			a, b := r.Uint64()&mask, r.Uint64()&mask
+			if a == b {
+				continue
+			}
+			count := 8
+			paths, err := DisjointPaths(k, a, b, count)
+			if err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			if len(paths) != count {
+				t.Fatalf("k=%d: got %d paths, want %d", k, len(paths), count)
+			}
+			if err := VerifyDisjoint(k, a, b, paths); err != nil {
+				t.Fatalf("k=%d %#x->%#x: %v", k, a, b, err)
+			}
+		}
+	}
+}
+
+// TestDisjointDimSequencesCustomOrder verifies that any permutation of the
+// differing dimensions works as a cyclic order.
+func TestDisjointDimSequencesCustomOrder(t *testing.T) {
+	a, b := uint64(0b0000), uint64(0b1011)
+	orders := [][]int{{0, 1, 3}, {3, 1, 0}, {1, 3, 0}}
+	for _, ord := range orders {
+		seqs, err := DisjointDimSequences(4, a, b, 4, ord)
+		if err != nil {
+			t.Fatalf("order %v: %v", ord, err)
+		}
+		paths := make([][]uint64, len(seqs))
+		for i, s := range seqs {
+			paths[i] = ApplyDims(a, s)
+		}
+		if err := VerifyDisjoint(4, a, b, paths); err != nil {
+			t.Fatalf("order %v: %v", ord, err)
+		}
+	}
+	// Invalid orders must be rejected.
+	bad := [][]int{{0, 1}, {0, 1, 2}, {0, 1, 1}, {0, 1, 64}}
+	for _, ord := range bad {
+		if _, err := DisjointDimSequences(4, a, b, 4, ord); err == nil {
+			t.Fatalf("order %v: want error", ord)
+		}
+	}
+}
+
+func TestDisjointPathsErrors(t *testing.T) {
+	if _, err := DisjointPaths(3, 1, 1, 3); err == nil {
+		t.Error("a==b: want error")
+	}
+	if _, err := DisjointPaths(3, 1, 2, 0); err == nil {
+		t.Error("count 0: want error")
+	}
+	if _, err := DisjointPaths(3, 1, 2, 4); err == nil {
+		t.Error("count > k: want error")
+	}
+	if _, err := DisjointPaths(3, 9, 2, 2); err == nil {
+		t.Error("vertex out of range: want error")
+	}
+}
+
+// TestVerifyDisjointDetectsSharing is a failure-injection test: families
+// with a shared internal vertex must be rejected.
+func TestVerifyDisjointDetectsSharing(t *testing.T) {
+	a, b := uint64(0b00), uint64(0b11)
+	p1 := []uint64{0b00, 0b01, 0b11}
+	p2 := []uint64{0b00, 0b01, 0b11} // same internals
+	if err := VerifyDisjoint(2, a, b, [][]uint64{p1, p2}); err == nil {
+		t.Fatal("want sharing error")
+	}
+}
+
+// TestRotationDisjointProperty re-proves the classical disjointness claim by
+// randomized property testing in Q_16.
+func TestRotationDisjointProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := r.Uint64() & 0xFFFF
+		b := r.Uint64() & 0xFFFF
+		if a == b {
+			return true
+		}
+		paths, err := DisjointPaths(16, a, b, 16)
+		if err != nil {
+			return false
+		}
+		return VerifyDisjoint(16, a, b, paths) == nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package hypercube_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hypercube"
+)
+
+// ExampleDisjointPaths builds the classical maximum family of node-disjoint
+// paths between two hypercube vertices.
+func ExampleDisjointPaths() {
+	paths, err := hypercube.DisjointPaths(4, 0b0000, 0b0111, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("paths:", len(paths))
+	fmt.Println("disjoint:", hypercube.VerifyDisjoint(4, 0b0000, 0b0111, paths) == nil)
+	// Rotations have length dist = 3; detours dist+2 = 5.
+	for _, p := range paths {
+		fmt.Print(len(p)-1, " ")
+	}
+	fmt.Println()
+	// Output:
+	// paths: 4
+	// disjoint: true
+	// 3 3 3 5
+}
+
+// ExampleHamiltonianPath visits every vertex of Q_4 exactly once between
+// two opposite-parity endpoints (Havel's theorem, constructively).
+func ExampleHamiltonianPath() {
+	p, err := hypercube.HamiltonianPath(4, 0b0000, 0b1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("vertices:", len(p))
+	fmt.Println("start:", p[0], "end:", p[len(p)-1])
+	// Output:
+	// vertices: 16
+	// start: 0 end: 8
+}
+
+// ExampleSetWalk solves the visiting-order problem at the heart of HHC
+// routing: the shortest walk from start to end through all cities.
+func ExampleSetWalk() {
+	order, cost, exact := hypercube.SetWalk(0b000, 0b111, []uint64{0b100, 0b001})
+	fmt.Println("order:", order, "cost:", cost, "exact:", exact)
+	// Output:
+	// order: [1 0] cost: 5 exact: true
+}

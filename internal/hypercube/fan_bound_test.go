@@ -1,0 +1,49 @@
+package hypercube
+
+import (
+	"testing"
+)
+
+// TestFanLengthBoundExhaustive measures the worst individual fan-path
+// length over EVERY (source, full-width target set) instance of Q_2..Q_4:
+// 21,840 fans at m=4. The observed maximum is recorded here as a regression
+// bound — it is what makes the loose 2^m−1 fan term in core.MaxLenBound so
+// conservative in practice (measured: ≤ m+2).
+func TestFanLengthBoundExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive fan sweep")
+	}
+	for k := 2; k <= 4; k++ {
+		n := 1 << uint(k)
+		worst := 0
+		var sweep func(start int, chosen []uint64, src uint64)
+		sweep = func(start int, chosen []uint64, src uint64) {
+			if len(chosen) == k {
+				fan, err := Fan(k, src, chosen)
+				if err != nil {
+					t.Fatalf("k=%d src=%#x targets=%v: %v", k, src, chosen, err)
+				}
+				for _, p := range fan {
+					if l := len(p) - 1; l > worst {
+						worst = l
+					}
+				}
+				return
+			}
+			for v := start; v < n; v++ {
+				if uint64(v) == src {
+					continue
+				}
+				sweep(v+1, append(chosen, uint64(v)), src)
+			}
+		}
+		for src := 0; src < n; src++ {
+			sweep(0, nil, uint64(src))
+		}
+		if worst > k+2 {
+			t.Fatalf("k=%d: worst fan path length %d exceeds the empirical bound k+2=%d",
+				k, worst, k+2)
+		}
+		t.Logf("k=%d: worst fan path length %d (bound used in MaxLenBound: %d)", k, worst, 1<<uint(k)-1)
+	}
+}

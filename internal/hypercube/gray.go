@@ -1,0 +1,36 @@
+package hypercube
+
+// Gray returns the i-th element of the reflected binary Gray code. Successive
+// values differ in exactly one bit, so Gray(0..2^k-1) is a Hamiltonian path
+// of Q_k (and a Hamiltonian cycle, since Gray(2^k-1) and Gray(0) also differ
+// in one bit).
+func Gray(i uint64) uint64 { return i ^ (i >> 1) }
+
+// GrayRank inverts Gray: GrayRank(Gray(i)) == i.
+func GrayRank(g uint64) uint64 {
+	var i uint64
+	for ; g != 0; g >>= 1 {
+		i ^= g
+	}
+	return i
+}
+
+// GraySequence returns the full k-bit Gray sequence, a Hamiltonian cycle
+// of Q_k listed as 2^k vertices.
+func GraySequence(k int) ([]uint64, error) {
+	if err := CheckDim(k); err != nil {
+		return nil, err
+	}
+	if k > 26 {
+		return nil, errGrayTooBig(k)
+	}
+	out := make([]uint64, 1<<uint(k))
+	for i := range out {
+		out[i] = Gray(uint64(i))
+	}
+	return out, nil
+}
+
+type errGrayTooBig int
+
+func (e errGrayTooBig) Error() string { return "hypercube: Gray sequence too large to materialize" }

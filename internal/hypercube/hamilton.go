@@ -1,0 +1,96 @@
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hamiltonian paths in Q_k (Havel's theorem): a Hamiltonian path between
+// vertices a and b exists iff their parities differ (the hypercube is
+// bipartite by parity, and a Hamiltonian path alternates sides, so the two
+// endpoints of a path covering the even number 2^k of vertices must lie on
+// opposite sides). The classical recursive construction splits the cube
+// along a dimension where a and b differ, routes a to a parity-compatible
+// border vertex in its half, crosses, and finishes in the other half.
+//
+// This is the linear-array (and, via closing edges, ring) embedding
+// primitive for son-cubes: any two processors of opposite parity can be
+// joined by a path visiting every processor exactly once.
+
+// Parity returns the bit-parity of a label (0 or 1).
+func Parity(v uint64) int { return bits.OnesCount64(v) & 1 }
+
+// MaxHamiltonDim bounds the materialized path length (2^20 vertices).
+const MaxHamiltonDim = 20
+
+// HamiltonianPath returns a path from a to b visiting every vertex of Q_k
+// exactly once. It errors when k is out of range, a or b is invalid,
+// a == b, or their parities coincide (no such path exists).
+func HamiltonianPath(k int, a, b uint64) ([]uint64, error) {
+	if err := CheckVertex(k, a); err != nil {
+		return nil, err
+	}
+	if err := CheckVertex(k, b); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > MaxHamiltonDim {
+		return nil, fmt.Errorf("hypercube: Hamiltonian path wants 1 <= k <= %d, have %d", MaxHamiltonDim, k)
+	}
+	if a == b {
+		return nil, fmt.Errorf("hypercube: a == b (%#x)", a)
+	}
+	if Parity(a) == Parity(b) {
+		return nil, fmt.Errorf("hypercube: no Hamiltonian path between same-parity vertices %#x and %#x", a, b)
+	}
+	out := make([]uint64, 0, 1<<uint(k))
+	dims := make([]int, k)
+	for i := range dims {
+		dims[i] = i
+	}
+	hamiltonRec(dims, a, b, &out)
+	return out, nil
+}
+
+// hamiltonRec appends the Hamiltonian path from a to b of the subcube
+// spanned by the free dimensions dims (a and b agree on every other bit,
+// which simply rides along). Invariant: a and b have different parity, so
+// they differ in an odd number >= 1 of free dimensions; the invariant is
+// re-established in both recursive calls.
+func hamiltonRec(dims []int, a, b uint64, out *[]uint64) {
+	if len(dims) == 1 {
+		*out = append(*out, a, b)
+		return
+	}
+	// Split along a dimension d where a and b differ.
+	d, di := -1, -1
+	for i, dim := range dims {
+		if (a^b)>>uint(dim)&1 == 1 {
+			d, di = dim, i
+			break
+		}
+	}
+	rest := make([]int, 0, len(dims)-1)
+	rest = append(rest, dims[:di]...)
+	rest = append(rest, dims[di+1:]...)
+
+	// Border vertex c in a's half: flip one free dimension other than d, so
+	// parity(c) != parity(a) — the first recursive call is well-posed. Its
+	// cross-neighbor c' = c^e_d then has parity(c') != parity(b) for the
+	// second call: parity(c) == parity(b) and the d-flip toggles it. The
+	// endpoints never collide: c' == b would need a and b to differ in
+	// exactly two dimensions (rest[0] and d), i.e. have equal parity —
+	// excluded by the invariant.
+	c := a ^ (1 << uint(rest[0]))
+	hamiltonRec(rest, a, c, out)
+	hamiltonRec(rest, c^(1<<uint(d)), b, out)
+}
+
+// HamiltonianCycle returns a cycle visiting every vertex of Q_k exactly
+// once, as a vertex list whose last element is adjacent to the first (the
+// reflected Gray code). k >= 2 (Q_1's "cycle" would reuse its single edge).
+func HamiltonianCycle(k int) ([]uint64, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("hypercube: Hamiltonian cycle needs k >= 2, have %d", k)
+	}
+	return GraySequence(k)
+}

@@ -1,0 +1,120 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// verifyHamiltonianPath checks a covers-everything simple path.
+func verifyHamiltonianPath(t *testing.T, k int, a, b uint64, p []uint64) {
+	t.Helper()
+	if len(p) != 1<<uint(k) {
+		t.Fatalf("path covers %d of %d vertices", len(p), 1<<uint(k))
+	}
+	if p[0] != a || p[len(p)-1] != b {
+		t.Fatalf("endpoints %#x..%#x, want %#x..%#x", p[0], p[len(p)-1], a, b)
+	}
+	seen := make(map[uint64]bool, len(p))
+	for i, v := range p {
+		if err := CheckVertex(k, v); err != nil {
+			t.Fatal(err)
+		}
+		if seen[v] {
+			t.Fatalf("vertex %#x repeated", v)
+		}
+		seen[v] = true
+		if i > 0 && Hamming(p[i-1], v) != 1 {
+			t.Fatalf("not adjacent at step %d: %#x -> %#x", i, p[i-1], v)
+		}
+	}
+}
+
+// TestHamiltonianPathExhaustive builds a Hamiltonian path between every
+// opposite-parity pair of Q_1..Q_5 (Havel's theorem, constructively).
+func TestHamiltonianPathExhaustive(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		n := uint64(1) << uint(k)
+		for a := uint64(0); a < n; a++ {
+			for b := uint64(0); b < n; b++ {
+				if Parity(a) == Parity(b) {
+					continue
+				}
+				p, err := HamiltonianPath(k, a, b)
+				if err != nil {
+					t.Fatalf("k=%d %#x->%#x: %v", k, a, b, err)
+				}
+				verifyHamiltonianPath(t, k, a, b, p)
+			}
+		}
+	}
+}
+
+func TestHamiltonianPathLargeK(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for _, k := range []int{10, 14} {
+		mask := uint64(1<<uint(k) - 1)
+		for trial := 0; trial < 10; trial++ {
+			a := r.Uint64() & mask
+			b := r.Uint64() & mask
+			if Parity(a) == Parity(b) {
+				b ^= 1
+			}
+			p, err := HamiltonianPath(k, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyHamiltonianPath(t, k, a, b, p)
+		}
+	}
+}
+
+func TestHamiltonianPathErrors(t *testing.T) {
+	if _, err := HamiltonianPath(3, 0, 3); err == nil {
+		t.Error("same parity accepted")
+	}
+	if _, err := HamiltonianPath(3, 5, 5); err == nil {
+		t.Error("a == b accepted")
+	}
+	if _, err := HamiltonianPath(3, 9, 0); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, err := HamiltonianPath(MaxHamiltonDim+1, 0, 1); err == nil {
+		t.Error("oversized k accepted")
+	}
+	if _, err := HamiltonianPath(0, 0, 0); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestParity(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 3: 0, 7: 1, 0xFF: 0}
+	for v, want := range cases {
+		if got := Parity(v); got != want {
+			t.Errorf("Parity(%#x) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestHamiltonianCycle(t *testing.T) {
+	cyc, err := HamiltonianCycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cyc) != 32 {
+		t.Fatalf("cycle covers %d", len(cyc))
+	}
+	seen := map[uint64]bool{}
+	for i, v := range cyc {
+		if seen[v] {
+			t.Fatalf("repeat %#x", v)
+		}
+		seen[v] = true
+		next := cyc[(i+1)%len(cyc)]
+		if Hamming(v, next) != 1 {
+			t.Fatalf("cycle breaks at %d", i)
+		}
+	}
+	if _, err := HamiltonianCycle(1); err == nil {
+		t.Fatal("Q_1 cycle accepted")
+	}
+}

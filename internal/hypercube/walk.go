@@ -1,0 +1,205 @@
+package hypercube
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxExactCities is the largest city count routed exactly by SetWalk's
+// Held–Karp dynamic program (2^n · n² table). Beyond it a nearest-neighbor
+// tour refined by 2-opt is used.
+const MaxExactCities = 13
+
+// SetWalk computes an order in which to visit all cities, starting the walk
+// at start and finishing at end, minimizing total Hamming (= hypercube
+// shortest-path) length:
+//
+//	ham(start, c_{o1}) + ham(c_{o1}, c_{o2}) + … + ham(c_{ok}, end)
+//
+// It returns the visiting order as indices into cities, the walk cost, and
+// whether the result is provably optimal (Held–Karp) or heuristic (NN+2-opt,
+// used above MaxExactCities cities).
+//
+// Because Hamming distance is a metric, the minimum walk that visits a set
+// of hypercube vertices never benefits from extra intermediate visits, so
+// this is exactly the local-walk component of shortest-path routing in a
+// hierarchical hypercube.
+func SetWalk(start, end uint64, cities []uint64) (order []int, cost int, exact bool) {
+	n := len(cities)
+	if n == 0 {
+		return nil, Hamming(start, end), true
+	}
+	if n <= MaxExactCities {
+		order, cost = heldKarp(start, end, cities)
+		return order, cost, true
+	}
+	order, cost = nearestNeighbor(start, end, cities)
+	order, cost = twoOpt(start, end, cities, order, cost)
+	return order, cost, false
+}
+
+// heldKarp solves the fixed-endpoints path TSP over cities exactly.
+func heldKarp(start, end uint64, cities []uint64) ([]int, int) {
+	n := len(cities)
+	// Pairwise distances, plus distances from start and to end.
+	d := make([][]int32, n)
+	for i := range d {
+		d[i] = make([]int32, n)
+		for j := range d[i] {
+			d[i][j] = int32(Hamming(cities[i], cities[j]))
+		}
+	}
+	fromStart := make([]int32, n)
+	toEnd := make([]int32, n)
+	for i, c := range cities {
+		fromStart[i] = int32(Hamming(start, c))
+		toEnd[i] = int32(Hamming(c, end))
+	}
+	size := 1 << uint(n)
+	const inf = int32(math.MaxInt32 / 2)
+	dp := make([]int32, size*n)
+	par := make([]int8, size*n)
+	for i := range dp {
+		dp[i] = inf
+	}
+	for i := 0; i < n; i++ {
+		dp[(1<<uint(i))*n+i] = fromStart[i]
+		par[(1<<uint(i))*n+i] = -1
+	}
+	for s := 1; s < size; s++ {
+		base := s * n
+		for last := 0; last < n; last++ {
+			cur := dp[base+last]
+			if cur >= inf || s&(1<<uint(last)) == 0 {
+				continue
+			}
+			for next := 0; next < n; next++ {
+				if s&(1<<uint(next)) != 0 {
+					continue
+				}
+				ns := s | 1<<uint(next)
+				cand := cur + d[last][next]
+				if cand < dp[ns*n+next] {
+					dp[ns*n+next] = cand
+					par[ns*n+next] = int8(last)
+				}
+			}
+		}
+	}
+	full := size - 1
+	best, bestLast := inf, 0
+	for last := 0; last < n; last++ {
+		if c := dp[full*n+last] + toEnd[last]; c < best {
+			best, bestLast = c, last
+		}
+	}
+	// Recover order.
+	order := make([]int, n)
+	s, last := full, bestLast
+	for i := n - 1; i >= 0; i-- {
+		order[i] = last
+		p := par[s*n+last]
+		s &^= 1 << uint(last)
+		last = int(p)
+	}
+	return order, int(best)
+}
+
+// walkCost evaluates an order's total cost.
+func walkCost(start, end uint64, cities []uint64, order []int) int {
+	cost := 0
+	cur := start
+	for _, i := range order {
+		cost += Hamming(cur, cities[i])
+		cur = cities[i]
+	}
+	return cost + Hamming(cur, end)
+}
+
+// nearestNeighbor builds an order greedily from start.
+func nearestNeighbor(start, end uint64, cities []uint64) ([]int, int) {
+	n := len(cities)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	cur := start
+	for len(order) < n {
+		best, bestD := -1, math.MaxInt32
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if h := Hamming(cur, cities[i]); h < bestD {
+				best, bestD = i, h
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		cur = cities[best]
+	}
+	return order, walkCost(start, end, cities, order)
+}
+
+// twoOpt improves an order by segment reversals until a local optimum.
+func twoOpt(start, end uint64, cities []uint64, order []int, cost int) ([]int, int) {
+	n := len(order)
+	if n < 3 {
+		return order, cost
+	}
+	at := func(i int) uint64 {
+		switch {
+		case i < 0:
+			return start
+		case i >= n:
+			return end
+		default:
+			return cities[order[i]]
+		}
+	}
+	improved := true
+	for rounds := 0; improved && rounds < 4*n; rounds++ {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				// Reverse order[i..j]: edges (i-1,i) and (j,j+1) are replaced
+				// by (i-1,j) and (i,j+1).
+				delta := Hamming(at(i-1), at(j)) + Hamming(at(i), at(j+1)) -
+					Hamming(at(i-1), at(i)) - Hamming(at(j), at(j+1))
+				if delta < 0 {
+					for l, r := i, j; l < r; l, r = l+1, r-1 {
+						order[l], order[r] = order[r], order[l]
+					}
+					cost += delta
+					improved = true
+				}
+			}
+		}
+	}
+	return order, cost
+}
+
+// WalkVertices expands a visiting order into the concrete vertex walk
+// through Q_k, gluing greedy bit-fixing paths between consecutive stops.
+// The result includes start and end (even when they coincide with stops).
+func WalkVertices(start, end uint64, cities []uint64, order []int) ([]uint64, error) {
+	if len(order) != len(cities) {
+		return nil, fmt.Errorf("hypercube: order length %d != cities %d", len(order), len(cities))
+	}
+	walk := []uint64{start}
+	cur := start
+	seen := make([]bool, len(cities))
+	for _, i := range order {
+		if i < 0 || i >= len(cities) {
+			return nil, fmt.Errorf("hypercube: order index %d out of range", i)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("hypercube: order visits city %d twice", i)
+		}
+		seen[i] = true
+		seg := BitFixPath(cur, cities[i])
+		walk = append(walk, seg[1:]...)
+		cur = cities[i]
+	}
+	seg := BitFixPath(cur, end)
+	walk = append(walk, seg[1:]...)
+	return walk, nil
+}

@@ -1,0 +1,144 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteWalk computes the optimal visiting cost by trying every permutation
+// (reference implementation for small city counts).
+func bruteWalk(start, end uint64, cities []uint64) int {
+	n := len(cities)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := 1 << 30
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			if c := walkCost(start, end, cities, perm); c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// TestSetWalkMatchesBruteForce compares Held–Karp against exhaustive
+// permutation search for random instances with up to 7 cities.
+func TestSetWalkMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(7)
+		cities := make([]uint64, 0, n)
+		seen := map[uint64]bool{}
+		for len(cities) < n {
+			c := r.Uint64() & 0xFF
+			if !seen[c] {
+				seen[c] = true
+				cities = append(cities, c)
+			}
+		}
+		start, end := r.Uint64()&0xFF, r.Uint64()&0xFF
+		order, cost, exact := SetWalk(start, end, cities)
+		if !exact {
+			t.Fatalf("n=%d should be exact", n)
+		}
+		if got := walkCost(start, end, cities, order); got != cost {
+			t.Fatalf("reported cost %d != recomputed %d", cost, got)
+		}
+		if want := bruteWalk(start, end, cities); cost != want {
+			t.Fatalf("SetWalk cost %d, brute force %d (start=%#x end=%#x cities=%v)",
+				cost, want, start, end, cities)
+		}
+	}
+}
+
+func TestSetWalkEmpty(t *testing.T) {
+	order, cost, exact := SetWalk(0b1010, 0b0110, nil)
+	if len(order) != 0 || !exact {
+		t.Fatalf("empty walk: order=%v exact=%v", order, exact)
+	}
+	if cost != 2 {
+		t.Fatalf("cost = %d, want Hamming 2", cost)
+	}
+}
+
+// TestSetWalkHeuristicSane checks that the heuristic regime (many cities)
+// returns a valid order whose reported cost matches the order, and is never
+// worse than the trivial Gray-cycle bound.
+func TestSetWalkHeuristicSane(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := MaxExactCities + 1 + r.Intn(10)
+		seen := map[uint64]bool{}
+		cities := make([]uint64, 0, n)
+		for len(cities) < n {
+			c := r.Uint64() & 0x1F // 5-bit labels
+			if !seen[c] {
+				seen[c] = true
+				cities = append(cities, c)
+			}
+			if len(seen) == 32 {
+				break
+			}
+		}
+		start, end := r.Uint64()&0x1F, r.Uint64()&0x1F
+		order, cost, _ := SetWalk(start, end, cities)
+		if len(order) != len(cities) {
+			t.Fatalf("order visits %d of %d cities", len(order), len(cities))
+		}
+		if got := walkCost(start, end, cities, order); got != cost {
+			t.Fatalf("reported %d != recomputed %d", cost, got)
+		}
+		// A full 5-bit Gray cycle visits all 32 labels in 32 steps; with the
+		// final correction to end the walk can always be kept below
+		// 2^5 + 5 + slack. The heuristic must never blow past that.
+		if cost > 64 {
+			t.Fatalf("heuristic cost %d implausibly high", cost)
+		}
+	}
+}
+
+// TestWalkVertices expands orders into valid walks.
+func TestWalkVertices(t *testing.T) {
+	cities := []uint64{0b100, 0b001}
+	order, _, _ := SetWalk(0, 0b111, cities)
+	walk, err := WalkVertices(0, 0b111, cities, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walk[0] != 0 || walk[len(walk)-1] != 0b111 {
+		t.Fatalf("walk endpoints wrong: %v", walk)
+	}
+	visited := map[uint64]bool{}
+	for i, w := range walk {
+		visited[w] = true
+		if i > 0 && Hamming(walk[i-1], w) != 1 {
+			t.Fatalf("walk not contiguous at %d: %v", i, walk)
+		}
+	}
+	for _, c := range cities {
+		if !visited[c] {
+			t.Fatalf("walk misses city %#x", c)
+		}
+	}
+	// Error paths.
+	if _, err := WalkVertices(0, 1, cities, []int{0}); err == nil {
+		t.Fatal("short order: want error")
+	}
+	if _, err := WalkVertices(0, 1, cities, []int{0, 0}); err == nil {
+		t.Fatal("repeated city: want error")
+	}
+	if _, err := WalkVertices(0, 1, cities, []int{0, 5}); err == nil {
+		t.Fatal("out-of-range index: want error")
+	}
+}

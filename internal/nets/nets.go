@@ -1,0 +1,294 @@
+// Package nets gives the three networks this reproduction compares — the
+// hierarchical hypercube HHC_n, the ordinary hypercube Q_n, and the
+// cube-connected cycles CCC(2^m) — one uniform face, so the evaluation can
+// measure (not just quote) their degree, diameter, connectivity, and
+// container width on equal node counts.
+//
+// The sizes align exactly: for n = 2^m + m,
+//
+//	|HHC_n| = 2^n,   |Q_n| = 2^n,   |CCC(2^m)| = 2^m·2^(2^m) = 2^n.
+//
+// So for every m the three candidates have identical node counts, and the
+// comparison isolates pure topology effects.
+package nets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ccc"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/hcn"
+	"repro/internal/hhc"
+)
+
+// Network is the uniform comparison face.
+type Network interface {
+	// Name identifies the topology instance, e.g. "HHC_11".
+	Name() string
+	// LogNodes returns log2 of the node count.
+	LogNodes() int
+	// Degree returns the (uniform) node degree.
+	Degree() int
+	// ContainerWidth returns the node-connectivity, i.e. the maximum
+	// container width between any two nodes.
+	ContainerWidth() int
+	// DiameterBound returns an analytic upper bound on the diameter.
+	DiameterBound() int
+	// Dense returns a traversable view, or graph.ErrTooLarge.
+	Dense() (graph.Graph, error)
+}
+
+// --- HHC ---
+
+// HHCNet wraps hhc.Graph.
+type HHCNet struct{ G *hhc.Graph }
+
+// NewHHC builds the HHC instance for parameter m.
+func NewHHC(m int) (HHCNet, error) {
+	g, err := hhc.New(m)
+	if err != nil {
+		return HHCNet{}, err
+	}
+	return HHCNet{G: g}, nil
+}
+
+// Name implements Network.
+func (n HHCNet) Name() string { return fmt.Sprintf("HHC_%d", n.G.N()) }
+
+// LogNodes implements Network.
+func (n HHCNet) LogNodes() int { return n.G.N() }
+
+// Degree implements Network.
+func (n HHCNet) Degree() int { return n.G.Degree() }
+
+// ContainerWidth implements Network.
+func (n HHCNet) ContainerWidth() int { return n.G.Degree() }
+
+// DiameterBound implements Network.
+func (n HHCNet) DiameterBound() int { return n.G.DiameterUpperBound() }
+
+// Dense implements Network.
+func (n HHCNet) Dense() (graph.Graph, error) { return n.G.Dense() }
+
+// --- hypercube ---
+
+// CubeNet is the ordinary hypercube Q_n.
+type CubeNet struct{ N int }
+
+// NewCube builds Q_n.
+func NewCube(n int) (CubeNet, error) {
+	if n < 1 || n > 64 {
+		return CubeNet{}, fmt.Errorf("nets: Q_%d out of range", n)
+	}
+	return CubeNet{N: n}, nil
+}
+
+// Name implements Network.
+func (c CubeNet) Name() string { return fmt.Sprintf("Q_%d", c.N) }
+
+// LogNodes implements Network.
+func (c CubeNet) LogNodes() int { return c.N }
+
+// Degree implements Network.
+func (c CubeNet) Degree() int { return c.N }
+
+// ContainerWidth implements Network.
+func (c CubeNet) ContainerWidth() int { return c.N }
+
+// DiameterBound implements Network.
+func (c CubeNet) DiameterBound() int { return c.N } // exact, in fact
+
+// Dense implements Network.
+func (c CubeNet) Dense() (graph.Graph, error) {
+	if c.N > 20 {
+		return nil, fmt.Errorf("%w: Q_%d", graph.ErrTooLarge, c.N)
+	}
+	return graph.FuncGraph{
+		N:      1 << uint(c.N),
+		Degree: c.N,
+		Fn: func(v uint64, buf []uint64) []uint64 {
+			for i := 0; i < c.N; i++ {
+				buf = append(buf, v^(1<<uint(i)))
+			}
+			return buf
+		},
+	}, nil
+}
+
+// --- CCC ---
+
+// CCCNet wraps ccc.Graph. Note CCC(k)'s node count k·2^k is a power of two
+// exactly when k is, which is the regime the comparison uses (k = 2^m).
+type CCCNet struct{ G *ccc.Graph }
+
+// NewCCC builds CCC(k).
+func NewCCC(k int) (CCCNet, error) {
+	g, err := ccc.New(k)
+	if err != nil {
+		return CCCNet{}, err
+	}
+	return CCCNet{G: g}, nil
+}
+
+// Name implements Network.
+func (n CCCNet) Name() string { return fmt.Sprintf("CCC(%d)", n.G.K()) }
+
+// LogNodes implements Network (exact only for power-of-two k; the
+// comparison tables only instantiate those).
+func (n CCCNet) LogNodes() int {
+	log := 0
+	for c := n.G.NumNodes(); c > 1; c >>= 1 {
+		log++
+	}
+	return log
+}
+
+// Degree implements Network.
+func (n CCCNet) Degree() int { return 3 }
+
+// ContainerWidth implements Network.
+func (n CCCNet) ContainerWidth() int { return 3 }
+
+// DiameterBound implements Network.
+func (n CCCNet) DiameterBound() int { return n.G.DiameterUpperBound() }
+
+// Dense implements Network.
+func (n CCCNet) Dense() (graph.Graph, error) { return n.G.Dense() }
+
+// --- HCN ---
+
+// HCNNet wraps hcn.Graph: the hierarchical cubic network HCN(k), 2^(2k)
+// nodes of degree k+1. Its size matches the HHC/Q_n pair exactly when
+// 2k = 2^m + m (even n only).
+type HCNNet struct{ G *hcn.Graph }
+
+// NewHCN builds HCN(k).
+func NewHCN(k int) (HCNNet, error) {
+	g, err := hcn.New(k)
+	if err != nil {
+		return HCNNet{}, err
+	}
+	return HCNNet{G: g}, nil
+}
+
+// Name implements Network.
+func (n HCNNet) Name() string { return fmt.Sprintf("HCN(%d)", n.G.N()) }
+
+// LogNodes implements Network.
+func (n HCNNet) LogNodes() int { return 2 * n.G.N() }
+
+// Degree implements Network.
+func (n HCNNet) Degree() int { return n.G.Degree() }
+
+// ContainerWidth implements Network.
+func (n HCNNet) ContainerWidth() int { return n.G.Degree() }
+
+// DiameterBound implements Network.
+func (n HCNNet) DiameterBound() int { return n.G.DiameterUpperBound() }
+
+// Dense implements Network.
+func (n HCNNet) Dense() (graph.Graph, error) { return n.G.Dense() }
+
+// --- measured properties ---
+
+// Triple returns the equal-sized candidates for a given m: HHC_n, Q_n and
+// CCC(2^m) always, plus HCN(n/2) when n is even.
+func Triple(m int) ([]Network, error) {
+	h, err := NewHHC(m)
+	if err != nil {
+		return nil, err
+	}
+	q, err := NewCube(h.G.N())
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCCC(h.G.T())
+	if err != nil {
+		return nil, err
+	}
+	out := []Network{h, q, c}
+	if n := h.G.N(); n%2 == 0 {
+		hc, err := NewHCN(n / 2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, hc)
+	}
+	return out, nil
+}
+
+// MeasuredDiameter returns the exact diameter when the network is small
+// enough for all-source BFS, a sampled-eccentricity lower bound marked
+// ">=…" when only single-source BFS is affordable, and the analytic bound
+// marked "<=…" beyond.
+func MeasuredDiameter(n Network, sources int, seed int64) (string, error) {
+	dg, err := n.Dense()
+	if err != nil {
+		return fmt.Sprintf("<=%d", n.DiameterBound()), nil
+	}
+	if dg.Order() <= 1<<12 {
+		d, err := graph.Diameter(dg)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d", d), nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	best := 0
+	for i := 0; i < sources; i++ {
+		src := uint64(r.Int63n(dg.Order()))
+		ecc, _, err := graph.Eccentricity(dg, src)
+		if err != nil {
+			return "", err
+		}
+		if ecc > best {
+			best = ecc
+		}
+	}
+	return fmt.Sprintf(">=%d", best), nil
+}
+
+// MeasuredConnectivity verifies the container width by max flow on sampled
+// non-adjacent pairs; returns the minimum found, which must equal the
+// analytic connectivity on these vertex-transitive networks.
+func MeasuredConnectivity(n Network, samples int, seed int64) (int, error) {
+	dg, err := n.Dense()
+	if err != nil {
+		return 0, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	minK := int(dg.Order()) // effectively +inf
+	found := 0
+	buf := make([]uint64, 0, dg.MaxDegree())
+	for attempts := 0; found < samples && attempts < samples*20; attempts++ {
+		s := uint64(r.Int63n(dg.Order()))
+		t := uint64(r.Int63n(dg.Order()))
+		if s == t {
+			continue
+		}
+		adjacent := false
+		for _, w := range dg.Neighbors(s, buf[:0]) {
+			if w == t {
+				adjacent = true
+				break
+			}
+		}
+		if adjacent {
+			continue
+		}
+		k, err := flow.LocalConnectivity(dg, s, t)
+		if err != nil {
+			return 0, err
+		}
+		if k < minK {
+			minK = k
+		}
+		found++
+	}
+	if found == 0 {
+		return 0, fmt.Errorf("nets: found no non-adjacent sample pairs")
+	}
+	return minK, nil
+}

@@ -1,0 +1,218 @@
+package nets
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTripleSizesAlign(t *testing.T) {
+	// The whole point: |HHC_n| = |Q_n| = |CCC(2^m)| for n = 2^m + m, plus
+	// |HCN(n/2)| when n is even.
+	wantCount := map[int]int{2: 4, 3: 3, 4: 4} // n = 6, 11, 20
+	for m := 2; m <= 4; m++ {
+		nets, err := Triple(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nets) != wantCount[m] {
+			t.Fatalf("m=%d: %d candidates, want %d", m, len(nets), wantCount[m])
+		}
+		want := nets[0].LogNodes()
+		for _, n := range nets {
+			if n.LogNodes() != want {
+				t.Fatalf("m=%d: %s has 2^%d nodes, want 2^%d", m, n.Name(), n.LogNodes(), want)
+			}
+		}
+	}
+}
+
+func TestHCNInTriple(t *testing.T) {
+	nets, err := Triple(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := nets[len(nets)-1]
+	if last.Name() != "HCN(3)" {
+		t.Fatalf("expected HCN(3) for m=2, got %s", last.Name())
+	}
+	if last.Degree() != 4 || last.ContainerWidth() != 4 {
+		t.Fatalf("HCN(3): degree %d width %d", last.Degree(), last.ContainerWidth())
+	}
+	k, err := MeasuredConnectivity(last, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 {
+		t.Fatalf("HCN(3) measured connectivity %d, want 4", k)
+	}
+}
+
+func TestTripleM1Unavailable(t *testing.T) {
+	// m=1 gives CCC(2), below the supported k range.
+	if _, err := Triple(1); err == nil {
+		t.Fatal("Triple(1): want error (CCC(2) is degenerate)")
+	}
+}
+
+func TestNames(t *testing.T) {
+	nets, err := Triple(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"HHC_11", "Q_11", "CCC(8)"} // n = 11 is odd: no HCN row
+	if len(nets) != len(want) {
+		t.Fatalf("%d candidates", len(nets))
+	}
+	for i, n := range nets {
+		if n.Name() != want[i] {
+			t.Fatalf("name %d = %q, want %q", i, n.Name(), want[i])
+		}
+	}
+}
+
+func TestDegreesAndWidths(t *testing.T) {
+	nets, err := Triple(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HHC_11: degree 4; Q_11: degree 11; CCC(8): degree 3.
+	wantDeg := []int{4, 11, 3}
+	for i, n := range nets {
+		if n.Degree() != wantDeg[i] {
+			t.Fatalf("%s degree %d, want %d", n.Name(), n.Degree(), wantDeg[i])
+		}
+		if n.ContainerWidth() != n.Degree() {
+			t.Fatalf("%s width %d != degree %d (all three are maximally connected)",
+				n.Name(), n.ContainerWidth(), n.Degree())
+		}
+	}
+}
+
+func TestDenseViewsSymmetric(t *testing.T) {
+	nets, err := Triple(2) // 64 nodes each
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nets {
+		dg, err := n.Dense()
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+		if dg.Order() != 64 {
+			t.Fatalf("%s order %d", n.Name(), dg.Order())
+		}
+		if err := graph.CheckSymmetric(dg); err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+	}
+}
+
+func TestMeasuredDiameterExactSmall(t *testing.T) {
+	nets, err := Triple(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q_6's diameter is exactly 6; HHC_6's is 8 (measured in E1); CCC(4) is
+	// known to be 9 or less.
+	for _, n := range nets {
+		d, err := MeasuredDiameter(n, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasPrefix(d, "<=") || strings.HasPrefix(d, ">=") {
+			t.Fatalf("%s: expected exact diameter for 64 nodes, got %s", n.Name(), d)
+		}
+	}
+	q, _ := NewCube(6)
+	d, err := MeasuredDiameter(q, 1, 1)
+	if err != nil || d != "6" {
+		t.Fatalf("diameter(Q_6) = %s, %v; want 6", d, err)
+	}
+}
+
+func TestMeasuredDiameterSampledBranch(t *testing.T) {
+	// HCN(7) has 2^14 nodes: enumerable but above the exact-diameter cap,
+	// so the sampled-eccentricity lower bound branch must fire.
+	hc, err := NewHCN(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := MeasuredDiameter(hc, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d, ">=") {
+		t.Fatalf("want sampled lower bound, got %s", d)
+	}
+	if parsed := parseAfterPrefix(d); parsed < 7 || parsed > hc.DiameterBound() {
+		t.Fatalf("sampled diameter %s implausible (bound %d)", d, hc.DiameterBound())
+	}
+}
+
+func parseAfterPrefix(s string) int {
+	v := 0
+	for _, c := range s {
+		if c >= '0' && c <= '9' {
+			v = v*10 + int(c-'0')
+		}
+	}
+	return v
+}
+
+func TestMeasuredConnectivityTooLarge(t *testing.T) {
+	h, err := NewHHC(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasuredConnectivity(h, 2, 1); err == nil {
+		t.Fatal("non-enumerable network accepted")
+	}
+}
+
+func TestMeasuredDiameterBoundFallback(t *testing.T) {
+	h, err := NewHHC(5) // not enumerable
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := MeasuredDiameter(h, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d, "<=") {
+		t.Fatalf("want analytic-bound fallback, got %s", d)
+	}
+}
+
+func TestMeasuredConnectivity(t *testing.T) {
+	nets, err := Triple(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nets {
+		k, err := MeasuredConnectivity(n, 8, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+		if k != n.ContainerWidth() {
+			t.Fatalf("%s measured connectivity %d, want %d", n.Name(), k, n.ContainerWidth())
+		}
+	}
+}
+
+func TestNewCubeBounds(t *testing.T) {
+	if _, err := NewCube(0); err == nil {
+		t.Fatal("Q_0: want error")
+	}
+	if _, err := NewCube(65); err == nil {
+		t.Fatal("Q_65: want error")
+	}
+	c, err := NewCube(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Dense(); err == nil {
+		t.Fatal("Q_25 dense: want too-large error")
+	}
+}

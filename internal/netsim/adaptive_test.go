@@ -1,0 +1,46 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestAdaptiveModeConservation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Mode = AdaptiveLocal
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered+res.Dropped != res.Generated {
+		t.Fatalf("conservation: %+v", res)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("fault-free adaptive dropped %d", res.Dropped)
+	}
+}
+
+// TestAdaptiveModeUnderFaults: the local heuristic should deliver the vast
+// majority under moderate faults — and never crash.
+func TestAdaptiveModeUnderFaults(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Mode = AdaptiveLocal
+	cfg.M = 3
+	cfg.Flows = 40
+	cfg.FaultCount = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered+res.Dropped != res.Generated {
+		t.Fatalf("conservation: %+v", res)
+	}
+	if float64(res.Delivered) < 0.8*float64(res.Generated) {
+		t.Fatalf("adaptive delivered only %d/%d under 8 faults", res.Delivered, res.Generated)
+	}
+}
+
+func TestAdaptiveModeString(t *testing.T) {
+	if AdaptiveLocal.String() != "adaptive-local" {
+		t.Fatal("mode name wrong")
+	}
+}

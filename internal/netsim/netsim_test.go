@@ -1,0 +1,297 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func baseConfig() Config {
+	return Config{
+		M:               3,
+		Mode:            SinglePath,
+		Flows:           8,
+		MessagesPerFlow: 40,
+		MessageFlits:    32,
+		ArrivalRate:     0.01,
+		Seed:            1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.M = 0 },
+		func(c *Config) { c.M = 9 },
+		func(c *Config) { c.Flows = 0 },
+		func(c *Config) { c.MessagesPerFlow = 0 },
+		func(c *Config) { c.MessageFlits = 0 },
+		func(c *Config) { c.ArrivalRate = 0 },
+		func(c *Config) { c.FaultCount = -1 },
+	}
+	for i, mutate := range bad {
+		c := baseConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestConservation(t *testing.T) {
+	for _, mode := range []RoutingMode{SinglePath, MultiPathStripe, FaultAwareSingle} {
+		cfg := baseConfig()
+		cfg.Mode = mode
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Generated != cfg.Flows*cfg.MessagesPerFlow {
+			t.Fatalf("%v: generated %d, want %d", mode, res.Generated, cfg.Flows*cfg.MessagesPerFlow)
+		}
+		if res.Delivered+res.Dropped != res.Generated {
+			t.Fatalf("%v: %d delivered + %d dropped != %d generated",
+				mode, res.Delivered, res.Dropped, res.Generated)
+		}
+		if res.Dropped != 0 {
+			t.Fatalf("%v: dropped %d messages without faults", mode, res.Dropped)
+		}
+		if res.AvgLatency <= 0 || res.MaxLatency <= 0 || res.Makespan <= 0 {
+			t.Fatalf("%v: degenerate metrics %+v", mode, res)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Mode = MultiPathStripe
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 2
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestPerFlowAccounting(t *testing.T) {
+	cfg := baseConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerFlow) != cfg.Flows {
+		t.Fatalf("%d flow entries, want %d", len(res.PerFlow), cfg.Flows)
+	}
+	var gen, del, drop int
+	for _, f := range res.PerFlow {
+		gen += f.Generated
+		del += f.Delivered
+		drop += f.Dropped
+		if f.Generated != cfg.MessagesPerFlow {
+			t.Fatalf("flow generated %d, want %d", f.Generated, cfg.MessagesPerFlow)
+		}
+		if f.Delivered > 0 && f.AvgLatency <= 0 {
+			t.Fatal("delivered flow with zero latency")
+		}
+	}
+	if gen != res.Generated || del != res.Delivered || drop != res.Dropped {
+		t.Fatalf("per-flow sums (%d,%d,%d) != totals (%d,%d,%d)",
+			gen, del, drop, res.Generated, res.Delivered, res.Dropped)
+	}
+}
+
+// TestHottestLinkSaturatesUnderHotspot: funneling every flow into one
+// destination drives the busiest link toward full occupancy, while uniform
+// traffic leaves plenty of slack.
+func TestHottestLinkSaturatesUnderHotspot(t *testing.T) {
+	base := baseConfig()
+	base.Flows = 24
+	base.ArrivalRate = 0.005
+	base.MessageFlits = 64
+
+	uni := base
+	ru, err := Run(uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := base
+	hot.Pattern = PatternHotspot
+	rh, err := Run(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.HottestLinkShare <= ru.HottestLinkShare {
+		t.Fatalf("hotspot hottest-link share %.3f not above uniform %.3f",
+			rh.HottestLinkShare, ru.HottestLinkShare)
+	}
+	if ru.HottestLinkBusy <= 0 || ru.HottestLinkShare > 1.000001 {
+		t.Fatalf("implausible link stats: %+v", ru)
+	}
+}
+
+// TestWarmupExcludesEarlyMessages: with a warmup window past every
+// creation time, no latencies are measured, but conservation still holds.
+func TestWarmupExcludesEarlyMessages(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Warmup = 1 << 40
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgLatency != 0 || res.MaxLatency != 0 {
+		t.Fatalf("warmup did not exclude messages: %+v", res)
+	}
+	if res.Delivered != res.Generated {
+		t.Fatal("warmup must not affect delivery")
+	}
+	cfg.Warmup = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}
+
+// TestStripingBeatsSinglePathForLargeMessages: with big messages and light
+// load, splitting across m+1 disjoint paths must cut latency — the
+// motivating property of the container construction. Store-and-forward
+// latency of an F-flit packet over h hops is F·h, so a (m+1)-way stripe
+// moves roughly F/(m+1) flits over slightly longer paths: a clear win for
+// large F.
+func TestStripingBeatsSinglePathForLargeMessages(t *testing.T) {
+	single := baseConfig()
+	single.MessageFlits = 512
+	single.ArrivalRate = 0.0005 // essentially unloaded
+	multi := single
+	multi.Mode = MultiPathStripe
+	rs, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Run(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.AvgLatency >= rs.AvgLatency {
+		t.Fatalf("striping did not help: multi %.1f vs single %.1f cycles",
+			rm.AvgLatency, rs.AvgLatency)
+	}
+}
+
+// TestFaultModes: with faults present, plain single-path routing drops
+// messages while the fault-aware modes keep delivering everything (fault
+// count <= m guarantees a surviving container path).
+func TestFaultModes(t *testing.T) {
+	cfg := baseConfig()
+	cfg.M = 3
+	cfg.FaultCount = 3 // = m, within the guarantee
+	cfg.Flows = 30
+	cfg.Mode = FaultAwareSingle
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("fault-aware dropped %d messages with f <= m", res.Dropped)
+	}
+	cfg.Mode = MultiPathStripe
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("multi-path dropped %d messages with f <= m", res.Dropped)
+	}
+}
+
+// TestHeavyFaultsDegradeGracefully: far beyond m faults, some flows may be
+// fully blocked, but accounting must stay consistent.
+func TestHeavyFaultsDegradeGracefully(t *testing.T) {
+	cfg := baseConfig()
+	cfg.M = 2 // tiny network (64 nodes) so faults bite
+	cfg.FaultCount = 20
+	cfg.Flows = 20
+	for _, mode := range []RoutingMode{SinglePath, MultiPathStripe, FaultAwareSingle} {
+		cfg.Mode = mode
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Delivered+res.Dropped != res.Generated {
+			t.Fatalf("%v: conservation broken: %+v", mode, res)
+		}
+	}
+}
+
+// TestContentionDelaysSecondMessage: a single flow with messages arriving
+// faster than the line rate must queue, so average latency exceeds the
+// unloaded baseline.
+func TestContentionDelaysSecondMessage(t *testing.T) {
+	slow := baseConfig()
+	slow.Flows = 1
+	slow.MessagesPerFlow = 100
+	slow.MessageFlits = 64
+	slow.ArrivalRate = 0.00001 // fully drained between messages
+
+	fast := slow
+	fast.ArrivalRate = 1.0 // everything at once: deep queues
+
+	rs, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.AvgLatency <= rs.AvgLatency {
+		t.Fatalf("contention did not increase latency: loaded %.1f vs unloaded %.1f",
+			rf.AvgLatency, rs.AvgLatency)
+	}
+}
+
+// TestUnloadedLatencyFormula: one message over one flow has latency exactly
+// flits × hops (store-and-forward, no contention).
+func TestUnloadedLatencyFormula(t *testing.T) {
+	cfg := Config{
+		M:               2,
+		Mode:            SinglePath,
+		Flows:           1,
+		MessagesPerFlow: 1,
+		MessageFlits:    10,
+		ArrivalRate:     0.001,
+		Seed:            7,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLatency := float64(cfg.MessageFlits) * res.AvgPathHops
+	if res.AvgLatency != wantLatency {
+		t.Fatalf("latency %.1f, want flits×hops = %.1f", res.AvgLatency, wantLatency)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if SinglePath.String() != "single-path" ||
+		MultiPathStripe.String() != "multi-path" ||
+		FaultAwareSingle.String() != "fault-aware" {
+		t.Fatal("mode names wrong")
+	}
+	if RoutingMode(99).String() == "" {
+		t.Fatal("unknown mode should still format")
+	}
+}

@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hhc"
+)
+
+func TestPatternsRunAndConserve(t *testing.T) {
+	for _, p := range []TrafficPattern{PatternUniform, PatternHotspot, PatternComplement, PatternBitReverse} {
+		cfg := baseConfig()
+		cfg.Pattern = p
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Delivered+res.Dropped != res.Generated || res.Dropped != 0 {
+			t.Fatalf("%v: %+v", p, res)
+		}
+	}
+}
+
+// TestHotspotCongestsDestination: under identical load, the hotspot pattern
+// must exhibit (much) higher latency than uniform traffic — the shared
+// destination's links serialize everything.
+func TestHotspotCongestsDestination(t *testing.T) {
+	base := baseConfig()
+	base.Flows = 24
+	base.ArrivalRate = 0.002
+	base.MessageFlits = 64
+
+	uni := base
+	uni.Pattern = PatternUniform
+	ru, err := Run(uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := base
+	hot.Pattern = PatternHotspot
+	rh, err := Run(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.AvgLatency <= ru.AvgLatency {
+		t.Fatalf("hotspot (%.1f) not slower than uniform (%.1f)", rh.AvgLatency, ru.AvgLatency)
+	}
+}
+
+func TestBitReversePairsAreMutual(t *testing.T) {
+	cfg := baseConfig()
+	cfg.M = 3
+	cfg.Pattern = PatternBitReverse
+	g, err := hhc.New(cfg.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range flowPairsFor(g, cfg) {
+		// Reversing the destination's ID must give back the source.
+		n := uint(g.N())
+		id := g.ID(p.V)
+		var rev uint64
+		for i := uint(0); i < n; i++ {
+			rev |= (id >> i & 1) << (n - 1 - i)
+		}
+		if g.NodeFromID(rev) != p.U {
+			t.Fatalf("bit-reverse not involutive for %v -> %v", p.U, p.V)
+		}
+	}
+}
+
+func TestBitReverseRejectedAtM6(t *testing.T) {
+	cfg := baseConfig()
+	cfg.M = 6
+	cfg.Pattern = PatternBitReverse
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bit-reverse at m=6 accepted")
+	}
+	cfg.Pattern = TrafficPattern(99)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+// TestExplicitFlowPairs: trace-driven runs use exactly the supplied
+// endpoints and reject malformed pair lists.
+func TestExplicitFlowPairs(t *testing.T) {
+	g, err := hhc.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig()
+	cfg.M = 2
+	cfg.Flows = 2
+	cfg.FlowPairs = []gen.Pair{
+		{U: hhc.Node{X: 0, Y: 0}, V: hhc.Node{X: 15, Y: 3}},
+		{U: hhc.Node{X: 3, Y: 1}, V: hhc.Node{X: 12, Y: 2}},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated != 2*cfg.MessagesPerFlow {
+		t.Fatalf("generated %d", res.Generated)
+	}
+	// Hop count must match the supplied pair's route exactly for flow 0.
+	p0, err := g.Route(cfg.FlowPairs[0].U, cfg.FlowPairs[0].V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := g.Route(cfg.FlowPairs[1].U, cfg.FlowPairs[1].V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64((len(p0)-1)+(len(p1)-1)) / 2
+	if res.AvgPathHops != want {
+		t.Fatalf("avg hops %.2f, want %.2f", res.AvgPathHops, want)
+	}
+
+	// Count mismatch rejected.
+	bad := cfg
+	bad.Flows = 3
+	if _, err := Run(bad); err == nil {
+		t.Fatal("pair/flow count mismatch accepted")
+	}
+	// Invalid pair rejected.
+	bad = cfg
+	bad.FlowPairs = []gen.Pair{
+		{U: hhc.Node{X: 99, Y: 0}, V: hhc.Node{X: 1, Y: 0}},
+		{U: hhc.Node{X: 3, Y: 1}, V: hhc.Node{X: 3, Y: 1}},
+	}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("invalid explicit pair accepted")
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	want := map[TrafficPattern]string{
+		PatternUniform:    "uniform",
+		PatternHotspot:    "hotspot",
+		PatternComplement: "complement",
+		PatternBitReverse: "bit-reverse",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%v != %s", p, s)
+		}
+	}
+	if TrafficPattern(42).String() == "" {
+		t.Fatal("unknown pattern should format")
+	}
+}

@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/hhc"
+)
+
+// TestCutThroughUnloadedFormula: one unloaded message under virtual
+// cut-through has latency exactly hops + flits (head pipelines one hop per
+// cycle, tail streams behind).
+func TestCutThroughUnloadedFormula(t *testing.T) {
+	cfg := Config{
+		M:               2,
+		Mode:            SinglePath,
+		Switch:          CutThrough,
+		Flows:           1,
+		MessagesPerFlow: 1,
+		MessageFlits:    10,
+		ArrivalRate:     0.001,
+		Seed:            7,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.AvgPathHops + float64(cfg.MessageFlits)
+	if res.AvgLatency != want {
+		t.Fatalf("cut-through latency %.1f, want hops+flits = %.1f", res.AvgLatency, want)
+	}
+}
+
+// TestCutThroughBeatsStoreAndForward: for multi-hop paths and non-trivial
+// messages, pipelining must strictly reduce latency.
+func TestCutThroughBeatsStoreAndForward(t *testing.T) {
+	base := Config{
+		M:               3,
+		Mode:            SinglePath,
+		Flows:           12,
+		MessagesPerFlow: 30,
+		MessageFlits:    64,
+		ArrivalRate:     0.0005,
+		Seed:            3,
+	}
+	saf, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := base
+	ct.Switch = CutThrough
+	ctRes, err := Run(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctRes.AvgLatency >= saf.AvgLatency {
+		t.Fatalf("cut-through %.1f did not beat store-and-forward %.1f",
+			ctRes.AvgLatency, saf.AvgLatency)
+	}
+	if ctRes.Delivered != saf.Delivered {
+		t.Fatalf("delivery mismatch: %d vs %d", ctRes.Delivered, saf.Delivered)
+	}
+}
+
+// TestLinkFaultGuarantee: container paths are link-disjoint, so f <= m link
+// faults never block the fault-aware modes.
+func TestLinkFaultGuarantee(t *testing.T) {
+	for _, mode := range []RoutingMode{FaultAwareSingle, MultiPathStripe} {
+		cfg := Config{
+			M:               3,
+			Mode:            mode,
+			Flows:           25,
+			MessagesPerFlow: 10,
+			MessageFlits:    16,
+			ArrivalRate:     0.001,
+			LinkFaultCount:  3, // = m
+			Seed:            11,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Dropped != 0 {
+			t.Fatalf("%v dropped %d messages with <= m link faults", mode, res.Dropped)
+		}
+	}
+}
+
+// TestMixedFaultsConservation: node + link faults together still conserve
+// messages in all modes.
+func TestMixedFaultsConservation(t *testing.T) {
+	for _, mode := range []RoutingMode{SinglePath, FaultAwareSingle, MultiPathStripe} {
+		cfg := Config{
+			M:               2,
+			Mode:            mode,
+			Switch:          CutThrough,
+			Flows:           15,
+			MessagesPerFlow: 10,
+			MessageFlits:    8,
+			ArrivalRate:     0.01,
+			FaultCount:      6,
+			LinkFaultCount:  6,
+			Seed:            4,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Delivered+res.Dropped != res.Generated {
+			t.Fatalf("%v conservation: %+v", mode, res)
+		}
+	}
+}
+
+func TestCanonicalEdge(t *testing.T) {
+	u := hhc.Node{X: 3, Y: 1}
+	v := hhc.Node{X: 3, Y: 0}
+	if canonicalEdge(u, v) != canonicalEdge(v, u) {
+		t.Fatal("edge canonicalization not symmetric")
+	}
+	w := hhc.Node{X: 7, Y: 1}
+	if canonicalEdge(u, w) != canonicalEdge(w, u) {
+		t.Fatal("cross-cube edge canonicalization not symmetric")
+	}
+}
+
+func TestSwitchingValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Switch = Switching(9)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown switching model accepted")
+	}
+	cfg = baseConfig()
+	cfg.LinkFaultCount = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative link faults accepted")
+	}
+	if StoreAndForward.String() != "store-and-forward" || CutThrough.String() != "cut-through" {
+		t.Fatal("switching names wrong")
+	}
+	if Switching(5).String() == "" {
+		t.Fatal("unknown switching should format")
+	}
+}
+
+// TestFaultAwarePicksShortestSurvivor: with no faults at all, fault-aware
+// single-path routing uses the shortest container path, which can be a bit
+// longer than the true shortest path but never shorter.
+func TestFaultAwarePicksShortestSurvivor(t *testing.T) {
+	single := Config{
+		M: 3, Mode: SinglePath, Flows: 10, MessagesPerFlow: 1,
+		MessageFlits: 4, ArrivalRate: 0.001, Seed: 21,
+	}
+	aware := single
+	aware.Mode = FaultAwareSingle
+	rs, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Run(aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.AvgPathHops < rs.AvgPathHops {
+		t.Fatalf("container survivor (%.2f hops) beat the shortest path (%.2f hops)",
+			ra.AvgPathHops, rs.AvgPathHops)
+	}
+}

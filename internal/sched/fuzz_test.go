@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace: the trace parser must never panic, and every accepted
+// trace must survive a write/parse round trip and be schedulable (or fail
+// Run's own validation cleanly).
+func FuzzParseTrace(f *testing.F) {
+	f.Add("id,arrival,order,duration\n1,0,2,10\n")
+	f.Add("id,arrival,order,duration\n")
+	f.Add("id,arrival,order,duration\n1,0,2,10\n2,5,0,1\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("id,arrival,order,duration\n1,-1,2,10\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		jobs, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, j := range jobs {
+			if j.Arrival < 0 || j.Order < 0 || j.Duration <= 0 {
+				t.Fatalf("parser accepted invalid job %+v", j)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, jobs); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(jobs) {
+			t.Fatalf("round trip lost jobs: %d vs %d", len(back), len(jobs))
+		}
+		// Scheduling either works or rejects with a clean error (job too
+		// large for the machine) — never panics or stalls.
+		if _, _, err := Run(4, jobs, Backfill); err == nil {
+			if _, _, err := Run(4, jobs, FCFS); err != nil {
+				t.Fatalf("FCFS failed where backfill succeeded: %v", err)
+			}
+		}
+	})
+}

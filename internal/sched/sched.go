@@ -1,0 +1,266 @@
+// Package sched implements space-sharing job scheduling for a partitionable
+// hierarchical hypercube on top of the buddy subcube allocator: jobs request
+// 2^r son-cubes for a duration, wait in a queue when the machine is full,
+// and are placed by either strict FCFS or EASY-style backfilling (later jobs
+// may jump the queue iff a conservative reservation for the head job is not
+// delayed). The simulator is deterministic and event-free (integer time
+// steps), which keeps the policy comparison exact and testable.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+)
+
+// Policy selects the queueing discipline.
+type Policy int
+
+const (
+	// FCFS places strictly in arrival order: the queue head blocks
+	// everything behind it until it fits.
+	FCFS Policy = iota
+	// Backfill lets later jobs start out of order as long as they do not
+	// delay the queue head's earliest possible start time (EASY
+	// backfilling with one reservation).
+	Backfill
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "fcfs"
+	case Backfill:
+		return "backfill"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Job is one scheduling request.
+type Job struct {
+	ID       int
+	Arrival  int64 // time step the job enters the queue
+	Order    int   // requests 2^Order son-cubes
+	Duration int64 // run time in steps, > 0
+}
+
+// JobResult records one job's fate.
+type JobResult struct {
+	Job
+	Start  int64 // -1 if never started
+	Finish int64
+	Wait   int64
+}
+
+// running pairs a started job with its allocation.
+type running struct {
+	res  *JobResult
+	base uint64
+}
+
+// Metrics aggregates a run.
+type Metrics struct {
+	Jobs        int
+	Finished    int
+	Makespan    int64
+	MeanWait    float64
+	MaxWait     int64
+	Utilization float64 // busy cube-steps / (total cubes × makespan)
+}
+
+// Run simulates the job list (sorted by arrival; ties by ID) to completion
+// under the policy on a machine with super-cube dimension t, and returns
+// per-job results plus aggregate metrics.
+func Run(t int, jobs []Job, policy Policy) ([]JobResult, Metrics, error) {
+	if policy != FCFS && policy != Backfill {
+		return nil, Metrics{}, fmt.Errorf("sched: unknown policy %v", policy)
+	}
+	a, err := alloc.New(t)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	for _, j := range jobs {
+		if j.Order < 0 || j.Order > t {
+			return nil, Metrics{}, fmt.Errorf("sched: job %d order %d out of range [0,%d]", j.ID, j.Order, t)
+		}
+		if j.Duration <= 0 {
+			return nil, Metrics{}, errors.New("sched: job durations must be positive")
+		}
+	}
+	pending := append([]Job(nil), jobs...)
+	sort.SliceStable(pending, func(i, k int) bool {
+		if pending[i].Arrival != pending[k].Arrival {
+			return pending[i].Arrival < pending[k].Arrival
+		}
+		return pending[i].ID < pending[k].ID
+	})
+
+	results := make([]JobResult, 0, len(jobs))
+	var queue []Job
+	var live []running
+	var now int64
+	var busyCubeSteps int64
+	totalCubes := int64(1) << uint(t)
+
+	finishEarliest := func() int64 {
+		earliest := int64(-1)
+		for _, r := range live {
+			if earliest < 0 || r.res.Finish < earliest {
+				earliest = r.res.Finish
+			}
+		}
+		return earliest
+	}
+
+	startJob := func(j Job) bool {
+		base, err := a.Alloc(j.Order)
+		if err != nil {
+			return false
+		}
+		results = append(results, JobResult{Job: j, Start: now, Finish: now + j.Duration, Wait: now - j.Arrival})
+		res := &results[len(results)-1]
+		live = append(live, running{res: res, base: base})
+		busyCubeSteps += int64(1<<uint(j.Order)) * j.Duration
+		return true
+	}
+
+	for len(pending) > 0 || len(queue) > 0 || len(live) > 0 {
+		// Retire finished jobs.
+		keep := live[:0]
+		for _, r := range live {
+			if r.res.Finish <= now {
+				if err := a.Free(r.base); err != nil {
+					return nil, Metrics{}, err
+				}
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		live = keep
+		// Admit arrivals.
+		for len(pending) > 0 && pending[0].Arrival <= now {
+			queue = append(queue, pending[0])
+			pending = pending[1:]
+		}
+		// Place from the queue.
+		for len(queue) > 0 {
+			if startJob(queue[0]) {
+				queue = queue[1:]
+				continue
+			}
+			break
+		}
+		if policy == Backfill && len(queue) > 1 {
+			// Reservation for the head: the earliest time enough space
+			// frees up, assuming no new starts. A backfilled job must
+			// finish by then or use cubes the head cannot (conservatively:
+			// must finish by the reservation).
+			reservation := headReservation(t, live, queue[0])
+			rest := queue[1:]
+			for i := 0; i < len(rest); {
+				j := rest[i]
+				if now+j.Duration <= reservation && startJob(j) {
+					rest = append(rest[:i], rest[i+1:]...)
+					continue
+				}
+				i++
+			}
+			queue = append(queue[:1], rest...)
+		}
+		// Advance time: next event is an arrival or a finish.
+		next := int64(-1)
+		if len(pending) > 0 {
+			next = pending[0].Arrival
+		}
+		if f := finishEarliest(); f >= 0 && (next < 0 || f < next) {
+			next = f
+		}
+		if next < 0 || next <= now {
+			if len(live) == 0 && len(queue) > 0 {
+				// A queued job that fits nowhere even on an empty machine
+				// was validated against above; this cannot happen.
+				return nil, Metrics{}, errors.New("sched: scheduler stalled")
+			}
+			if len(live) == 0 && len(queue) == 0 && len(pending) == 0 {
+				break
+			}
+			next = now + 1
+		}
+		now = next
+	}
+
+	m := Metrics{Jobs: len(jobs), Finished: len(results)}
+	var waitSum int64
+	for _, r := range results {
+		if r.Finish > m.Makespan {
+			m.Makespan = r.Finish
+		}
+		waitSum += r.Wait
+		if r.Wait > m.MaxWait {
+			m.MaxWait = r.Wait
+		}
+	}
+	if len(results) > 0 {
+		m.MeanWait = float64(waitSum) / float64(len(results))
+	}
+	if m.Makespan > 0 {
+		m.Utilization = float64(busyCubeSteps) / float64(totalCubes*m.Makespan)
+	}
+	return results, m, nil
+}
+
+// headReservation estimates the earliest start time of the queue head:
+// walk the running jobs in finish order, releasing their cubes, until an
+// allocation of the head's order would succeed. Conservative (ignores
+// buddy-merge specifics by simulating on a scratch allocator).
+func headReservation(t int, live []running, head Job) int64 {
+	// Free capacity might already admit the head at the next retirement;
+	// simulate releases in finish order on a scratch copy.
+	type rel struct {
+		finish int64
+		base   uint64
+		order  int
+	}
+	rels := make([]rel, 0, len(live))
+	scratch, err := alloc.New(t)
+	if err != nil {
+		return 1 << 62
+	}
+	// Rebuild scratch state: allocate everything the real allocator holds.
+	// Orders are recoverable from the live list's jobs.
+	for _, r := range live {
+		base, err := scratch.Alloc(r.res.Order)
+		if err != nil {
+			return 1 << 62
+		}
+		// The scratch allocator's deterministic lowest-base policy may give
+		// different bases than the live machine; buddy feasibility depends
+		// only on the multiset of allocated orders, so this is safe for a
+		// conservative reservation.
+		rels = append(rels, rel{finish: r.res.Finish, base: base, order: r.res.Order})
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].finish < rels[j].finish })
+	if _, err := scratch.Alloc(head.Order); err == nil {
+		// Fits now in the scratch reconstruction: next loop round will
+		// start it; reserve at the earliest finish to stay conservative.
+		if len(rels) > 0 {
+			return rels[0].finish
+		}
+		return 0
+	} else if !errors.Is(err, alloc.ErrNoSpace) {
+		return 1 << 62
+	}
+	for _, r := range rels {
+		if err := scratch.Free(r.base); err != nil {
+			return 1 << 62
+		}
+		if _, err := scratch.Alloc(head.Order); err == nil {
+			return r.finish
+		}
+	}
+	return 1 << 62
+}

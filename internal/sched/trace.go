@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Job traces are exchanged as CSV with the header
+//
+//	id,arrival,order,duration
+//
+// one line per job — the interchange format used by cmd/hhcsched and easy
+// to produce from real scheduler logs.
+
+// WriteTrace serializes jobs as CSV.
+func WriteTrace(w io.Writer, jobs []Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "arrival", "order", "duration"}); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		rec := []string{
+			strconv.Itoa(j.ID),
+			strconv.FormatInt(j.Arrival, 10),
+			strconv.Itoa(j.Order),
+			strconv.FormatInt(j.Duration, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParseTrace reads a CSV job trace. The header row is required; duplicate
+// IDs, negative fields, and malformed rows are rejected with the offending
+// line number.
+func ParseTrace(r io.Reader) ([]Job, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("sched: trace header: %w", err)
+	}
+	want := []string{"id", "arrival", "order", "duration"}
+	for i, h := range header {
+		if h != want[i] {
+			return nil, fmt.Errorf("sched: trace header %v, want %v", header, want)
+		}
+	}
+	var jobs []Job
+	seen := map[int]bool{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sched: trace line %d: %w", line, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("sched: trace line %d: bad id %q", line, rec[0])
+		}
+		arrival, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil || arrival < 0 {
+			return nil, fmt.Errorf("sched: trace line %d: bad arrival %q", line, rec[1])
+		}
+		order, err := strconv.Atoi(rec[2])
+		if err != nil || order < 0 {
+			return nil, fmt.Errorf("sched: trace line %d: bad order %q", line, rec[2])
+		}
+		duration, err := strconv.ParseInt(rec[3], 10, 64)
+		if err != nil || duration <= 0 {
+			return nil, fmt.Errorf("sched: trace line %d: bad duration %q", line, rec[3])
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("sched: trace line %d: duplicate job id %d", line, id)
+		}
+		seen[id] = true
+		jobs = append(jobs, Job{ID: id, Arrival: arrival, Order: order, Duration: duration})
+	}
+	return jobs, nil
+}

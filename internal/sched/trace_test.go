@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Arrival: 0, Order: 2, Duration: 10},
+		{ID: 7, Arrival: 55, Order: 0, Duration: 3},
+		{ID: 3, Arrival: 12, Order: 4, Duration: 100},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("%d jobs, want %d", len(back), len(jobs))
+	}
+	for i := range jobs {
+		if back[i] != jobs[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, back[i], jobs[i])
+		}
+	}
+}
+
+func TestParseTraceRejections(t *testing.T) {
+	cases := []struct {
+		name, trace string
+	}{
+		{"empty", ""},
+		{"bad header", "a,b,c,d\n1,0,1,1\n"},
+		{"bad id", "id,arrival,order,duration\nx,0,1,1\n"},
+		{"negative arrival", "id,arrival,order,duration\n1,-5,1,1\n"},
+		{"bad order", "id,arrival,order,duration\n1,0,x,1\n"},
+		{"zero duration", "id,arrival,order,duration\n1,0,1,0\n"},
+		{"duplicate id", "id,arrival,order,duration\n1,0,1,1\n1,2,1,1\n"},
+		{"wrong arity", "id,arrival,order,duration\n1,0,1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c.trace)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestParseTraceThenRun(t *testing.T) {
+	trace := "id,arrival,order,duration\n1,0,3,20\n2,1,3,20\n3,2,0,5\n"
+	jobs, err := ParseTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, m, err := Run(3, jobs, Backfill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Finished != 3 {
+		t.Fatalf("finished %d", m.Finished)
+	}
+	verifySchedule(t, 3, results)
+}

@@ -1,0 +1,129 @@
+// Package stats provides the small aggregation and fixed-width table
+// rendering layer used by the experiment harness: summaries (min/mean/max/
+// stddev/percentiles), integer histograms, and plain-text tables that print
+// the same rows the paper's evaluation section reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary aggregates a sample of integers.
+type Summary struct {
+	Count int
+	Min   int
+	Max   int
+	Mean  float64
+	Std   float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []int) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += float64(x)
+		sumSq += float64(x) * float64(x)
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	variance := sumSq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of the sample
+// using nearest-rank; the sample is copied, not mutated.
+func Percentile(xs []int, p float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// SummarizeFloats aggregates a float sample.
+type FloatSummary struct {
+	Count int
+	Min   float64
+	Max   float64
+	Mean  float64
+	Std   float64
+}
+
+// SummarizeFloats computes a FloatSummary.
+func SummarizeFloats(xs []float64) FloatSummary {
+	if len(xs) == 0 {
+		return FloatSummary{}
+	}
+	s := FloatSummary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	variance := sumSq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	return s
+}
+
+// Histogram counts occurrences per value.
+func Histogram(xs []int) map[int]int {
+	h := make(map[int]int)
+	for _, x := range xs {
+		h[x]++
+	}
+	return h
+}
+
+// HistogramString renders a histogram as "value:count value:count …" in
+// ascending value order, for compact logging.
+func HistogramString(h map[int]int) string {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d:%d", k, h[k])
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Mean-5) > 1e-9 {
+		t.Fatalf("mean %f, want 5", s.Mean)
+	}
+	if math.Abs(s.Std-2) > 1e-9 {
+		t.Fatalf("std %f, want 2", s.Std)
+	}
+	if z := Summarize(nil); z.Count != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	prop := func(xs []int16) bool {
+		ints := make([]int, len(xs))
+		for i, x := range xs {
+			ints[i] = int(x)
+		}
+		s := Summarize(ints)
+		if len(ints) == 0 {
+			return s.Count == 0
+		}
+		if s.Min > s.Max || float64(s.Min) > s.Mean || s.Mean > float64(s.Max) {
+			return false
+		}
+		return s.Std >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []int{5, 1, 9, 3, 7}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %d", p)
+	}
+	if p := Percentile(xs, 100); p != 9 {
+		t.Fatalf("p100 = %d", p)
+	}
+	if p := Percentile(xs, 50); p != 5 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("empty percentile = %d", p)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSummarizeFloats(t *testing.T) {
+	s := SummarizeFloats([]float64{1, 2, 3})
+	if s.Count != 3 || s.Min != 1 || s.Max != 3 || math.Abs(s.Mean-2) > 1e-9 {
+		t.Fatalf("%+v", s)
+	}
+	if z := SummarizeFloats(nil); z.Count != 0 {
+		t.Fatalf("%+v", z)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{1, 1, 2, 5, 5, 5})
+	if h[1] != 2 || h[2] != 1 || h[5] != 3 {
+		t.Fatalf("%v", h)
+	}
+	if s := HistogramString(h); s != "1:2 2:1 5:3" {
+		t.Fatalf("%q", s)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("T1: demo", "m", "nodes", "value")
+	tab.AddRow(1, 8, 3.14159)
+	tab.AddRow(2, 64, "n/a")
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T1: demo", "m", "nodes", "value", "3.142", "n/a", "64"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	rows := tab.Rows()
+	if rows[0][2] != "3.142" {
+		t.Fatalf("float formatting: %q", rows[0][2])
+	}
+	// Rows() must be a copy.
+	rows[0][0] = "mutated"
+	if tab.Rows()[0][0] == "mutated" {
+		t.Fatal("Rows leaked internal state")
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tab := NewTable("caption", "a", "b|c")
+	tab.AddRow("x|y", 2)
+	var buf bytes.Buffer
+	if err := tab.RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "**caption**") {
+		t.Fatalf("caption missing:\n%s", out)
+	}
+	if !strings.Contains(out, `b\|c`) || !strings.Contains(out, `x\|y`) {
+		t.Fatalf("pipes not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Fatalf("separator missing:\n%s", out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := NewTable("ignored title", "a", "b")
+	tab.AddRow(1, "x,with,commas")
+	tab.AddRow(2.5, `quote"inside`)
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d CSV lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"x,with,commas"`) {
+		t.Fatalf("comma cell not quoted: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `"quote""inside"`) {
+		t.Fatalf("quote cell not escaped: %q", lines[2])
+	}
+}

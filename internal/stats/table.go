@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders a fixed-width plain-text table, the
+// output format of every experiment in this repository (one Table per paper
+// table/figure series).
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; each cell is formatted with %v, floats with %.3g
+// via Cell helpers when needed.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns the formatted cells (for programmatic inspection in tests).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, width[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// pad right-pads s to width n.
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table with
+// the title as a bold caption line.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	cells := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cells[i] = esc(c)
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as RFC-4180 CSV: a comment-style title row is
+// omitted; the header row carries the column names.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

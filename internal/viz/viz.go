@@ -1,0 +1,110 @@
+// Package viz renders hierarchical hypercube structures as Graphviz DOT:
+// whole (small) topologies clustered by son-cube, and containers with one
+// color per disjoint path. The output is plain DOT text, so no external
+// dependency is needed to produce it — pipe it to `dot -Tsvg` to draw.
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/hhc"
+)
+
+// palette cycles through visually distinct Graphviz color names for paths.
+var palette = []string{
+	"crimson", "royalblue", "forestgreen", "darkorange",
+	"purple", "teal", "goldenrod", "deeppink",
+}
+
+// nodeID formats a DOT-safe node identifier.
+func nodeID(u hhc.Node) string { return fmt.Sprintf("\"x%X_y%d\"", u.X, u.Y) }
+
+// nodeLabel formats the human-readable label.
+func nodeLabel(g *hhc.Graph, u hhc.Node) string { return g.FormatNode(u) }
+
+// TopologyDOT writes the whole network as DOT, one cluster per son-cube.
+// Practical for m <= 2 (64 nodes); larger networks are rejected.
+func TopologyDOT(g *hhc.Graph, w io.Writer) error {
+	if g.M() > 2 {
+		return fmt.Errorf("viz: topology rendering supports m <= 2, have %d", g.M())
+	}
+	n, _ := g.NumNodes()
+	if _, err := fmt.Fprintf(w, "graph hhc%d {\n  layout=neato;\n  node [shape=circle fontsize=9];\n", g.N()); err != nil {
+		return err
+	}
+	// Clusters per son-cube.
+	for x := uint64(0); x < 1<<uint(g.T()); x++ {
+		fmt.Fprintf(w, "  subgraph cluster_x%X {\n    label=\"S_%X\";\n", x, x)
+		for y := 0; y < g.T(); y++ {
+			u := hhc.Node{X: x, Y: uint8(y)}
+			fmt.Fprintf(w, "    %s [label=\"%s\"];\n", nodeID(u), nodeLabel(g, u))
+		}
+		fmt.Fprintf(w, "  }\n")
+	}
+	// Undirected edges, emitted once per pair.
+	for id := uint64(0); id < n; id++ {
+		u := g.NodeFromID(id)
+		for _, v := range g.Neighbors(u, nil) {
+			if g.ID(v) > id {
+				style := ""
+				if u.X != v.X {
+					style = " [style=bold color=gray40]"
+				}
+				fmt.Fprintf(w, "  %s -- %s%s;\n", nodeID(u), nodeID(v), style)
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// ContainerDOT writes a container as DOT: the union of the given paths,
+// one color per path, endpoints doubled.
+func ContainerDOT(g *hhc.Graph, u, v hhc.Node, paths [][]hhc.Node, w io.Writer) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("viz: no paths")
+	}
+	if _, err := fmt.Fprintf(w, "graph container {\n  rankdir=LR;\n  node [shape=box fontsize=9];\n"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %s [label=\"%s\" peripheries=2 style=filled fillcolor=lightyellow];\n",
+		nodeID(u), nodeLabel(g, u))
+	fmt.Fprintf(w, "  %s [label=\"%s\" peripheries=2 style=filled fillcolor=lightyellow];\n",
+		nodeID(v), nodeLabel(g, v))
+	emitted := map[hhc.Node]bool{u: true, v: true}
+	for pi, p := range paths {
+		color := palette[pi%len(palette)]
+		for _, node := range p {
+			if !emitted[node] {
+				emitted[node] = true
+				fmt.Fprintf(w, "  %s [label=\"%s\" color=%s];\n", nodeID(node), nodeLabel(g, node), color)
+			}
+		}
+		for i := 1; i < len(p); i++ {
+			fmt.Fprintf(w, "  %s -- %s [color=%s penwidth=2];\n", nodeID(p[i-1]), nodeID(p[i]), color)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// RingDOT writes an embedded ring as a cycle of colored edges.
+func RingDOT(g *hhc.Graph, ring []hhc.Node, w io.Writer) error {
+	if len(ring) < 3 {
+		return fmt.Errorf("viz: ring too short (%d)", len(ring))
+	}
+	if _, err := fmt.Fprintf(w, "graph ring {\n  layout=circo;\n  node [shape=point];\n"); err != nil {
+		return err
+	}
+	for i, node := range ring {
+		next := ring[(i+1)%len(ring)]
+		color := "royalblue"
+		if node.X != next.X {
+			color = "crimson" // external hop
+		}
+		fmt.Fprintf(w, "  %s -- %s [color=%s];\n", nodeID(node), nodeID(next), color)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

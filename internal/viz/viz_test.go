@@ -1,0 +1,98 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hhc"
+)
+
+func mustGraph(t *testing.T, m int) *hhc.Graph {
+	t.Helper()
+	g, err := hhc.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTopologyDOT(t *testing.T) {
+	g := mustGraph(t, 2)
+	var buf bytes.Buffer
+	if err := TopologyDOT(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph hhc6 {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a DOT graph:\n%.120s", out)
+	}
+	// 16 son-cube clusters, 96 edges.
+	if got := strings.Count(out, "subgraph cluster_"); got != 16 {
+		t.Fatalf("%d clusters, want 16", got)
+	}
+	if got := strings.Count(out, " -- "); got != 96 {
+		t.Fatalf("%d edges, want 96", got)
+	}
+	// Larger m refused.
+	if err := TopologyDOT(mustGraph(t, 3), &buf); err == nil {
+		t.Fatal("m=3 topology should be refused")
+	}
+}
+
+func TestContainerDOT(t *testing.T) {
+	g := mustGraph(t, 3)
+	u, v := hhc.Node{X: 0x01, Y: 0}, hhc.Node{X: 0xF0, Y: 6}
+	paths, err := core.DisjointPaths(g, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ContainerDOT(g, u, v, paths, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "peripheries=2") {
+		t.Fatal("endpoints not highlighted")
+	}
+	edges := strings.Count(out, " -- ")
+	if edges != core.TotalLength(paths) {
+		t.Fatalf("%d edges rendered, container has %d", edges, core.TotalLength(paths))
+	}
+	for _, color := range []string{"crimson", "royalblue", "forestgreen", "darkorange"} {
+		if !strings.Contains(out, color) {
+			t.Fatalf("path color %s missing (4 paths expected)", color)
+		}
+	}
+	if err := ContainerDOT(g, u, v, nil, &buf); err == nil {
+		t.Fatal("empty container accepted")
+	}
+}
+
+func TestRingDOT(t *testing.T) {
+	g := mustGraph(t, 2)
+	dims, err := g.RingDims(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := g.EmbedRing(0, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RingDOT(g, ring, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, " -- "); got != len(ring) {
+		t.Fatalf("%d edges, want %d (a cycle)", got, len(ring))
+	}
+	// External hops are highlighted; a ring through 4 cubes has 4 of them.
+	if got := strings.Count(out, "crimson"); got != 4 {
+		t.Fatalf("%d external hops highlighted, want 4", got)
+	}
+	if err := RingDOT(g, ring[:2], &buf); err == nil {
+		t.Fatal("short ring accepted")
+	}
+}
