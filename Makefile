@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench exps exps-csv fuzz exhaustive fmt tools
+.PHONY: all test vet race bench exps exps-csv fuzz exhaustive fmt tools
 
 all: vet test
 
@@ -11,6 +11,10 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Race-detector pass; exercises the container cache's concurrent paths.
+race:
+	$(GO) test -race ./...
 
 # Quick-mode benchmarks, one per evaluation table/figure plus primitives.
 bench:

@@ -16,6 +16,7 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/collective"
 	"repro/internal/hhc"
 )
@@ -26,13 +27,19 @@ func main() {
 	levels := flag.Bool("levels", false, "print per-level node counts")
 	flag.Parse()
 
-	if err := run(os.Stdout, *m, *rootSpec, *levels); err != nil {
+	if err := run(os.Stdout, flag.Args(), *m, *rootSpec, *levels); err != nil {
 		fmt.Fprintln(os.Stderr, "hhcbcast:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, m int, rootSpec string, showLevels bool) error {
+func run(w io.Writer, args []string, m int, rootSpec string, showLevels bool) error {
+	if err := cliutil.NoTrailingArgs(args); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateM(m); err != nil {
+		return err
+	}
 	g, err := hhc.New(m)
 	if err != nil {
 		return err

@@ -8,7 +8,7 @@ import (
 
 func TestRunBasic(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, "0x0:0", false); err != nil {
+	if err := run(&buf, nil, 2, "0x0:0", false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +21,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunLevels(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, "0x3:1", true); err != nil {
+	if err := run(&buf, nil, 2, "0x3:1", true); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -36,13 +36,27 @@ func TestRunLevels(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 6, "0x0:0", false); err == nil {
+	if err := run(&buf, nil, 6, "0x0:0", false); err == nil {
 		t.Error("m=6 tree materialization accepted")
 	}
-	if err := run(&buf, 2, "junk", false); err == nil {
+	if err := run(&buf, nil, 2, "junk", false); err == nil {
 		t.Error("bad root accepted")
 	}
-	if err := run(&buf, 0, "0x0:0", false); err == nil {
+	if err := run(&buf, nil, 0, "0x0:0", false); err == nil {
 		t.Error("bad m accepted")
+	}
+}
+
+// TestRunArgValidation: trailing positional args are rejected and -m is
+// validated up front with an actionable message.
+func TestRunArgValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"stray"}, 2, "0x0:0", false); err == nil ||
+		!strings.Contains(err.Error(), "stray") {
+		t.Errorf("trailing args not rejected: %v", err)
+	}
+	if err := run(&buf, nil, -1, "0x0:0", false); err == nil ||
+		!strings.Contains(err.Error(), "1..6") {
+		t.Errorf("-m validation not actionable: %v", err)
 	}
 }

@@ -12,7 +12,7 @@ func quick() exp.Config { return exp.Config{Quick: true, Seed: 5} }
 
 func TestRunSingleExperimentText(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "E9", quick(), "text"); err != nil {
+	if err := run(&buf, nil, "E9", quick(), "text", false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -23,7 +23,7 @@ func TestRunSingleExperimentText(t *testing.T) {
 
 func TestRunSingleExperimentCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "E9", quick(), "csv"); err != nil {
+	if err := run(&buf, nil, "E9", quick(), "csv", false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -37,10 +37,41 @@ func TestRunSingleExperimentCSV(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "E99", quick(), "text"); err == nil {
+	if err := run(&buf, nil, "E99", quick(), "text", false); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run(&buf, "E9", quick(), "yaml"); err == nil {
+	if err := run(&buf, nil, "E9", quick(), "yaml", false); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// TestRunCacheReport: -cache emits per-mode rows with hit-rate counters and
+// a speedup figure for each canonicalization mode.
+func TestRunCacheReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, nil, "all", quick(), "text", true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"container cache report",
+		"uncached",
+		"canon=off", "canon=exact", "canon=full",
+		"speedup",
+		"hit-rate=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cache report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunArgValidation: trailing positional args are rejected with a usage
+// error naming the offending argument.
+func TestRunArgValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"stray"}, "E9", quick(), "text", false); err == nil ||
+		!strings.Contains(err.Error(), "stray") {
+		t.Errorf("trailing args not rejected: %v", err)
 	}
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, nil, 3, 8, 5, 4, 256, "exact", 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"canon=exact",
+		"bit-identical    yes",
+		"hit-rate=",
+		"speedup",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFullAndOff(t *testing.T) {
+	for _, canon := range []string{"full", "off"} {
+		var buf bytes.Buffer
+		if err := run(&buf, nil, 2, 6, 4, 2, -1, canon, 0, 3); err != nil {
+			t.Fatalf("canon=%s: %v", canon, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "verified") || strings.Contains(out, "bit-identical") {
+			t.Errorf("canon=%s output wrong:\n%s", canon, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, nil, 3, 8, 5, 4, 256, "banana", 0, 1); err == nil {
+		t.Error("unknown canon mode accepted")
+	}
+	if err := run(&buf, nil, 3, 0, 5, 4, 256, "exact", 0, 1); err == nil {
+		t.Error("-pairs 0 accepted")
+	}
+	if err := run(&buf, nil, 3, 8, 0, 4, 256, "exact", 0, 1); err == nil {
+		t.Error("-rounds 0 accepted")
+	}
+}
+
+// TestRunArgValidation: trailing positional args are rejected and -m is
+// validated up front with an actionable message.
+func TestRunArgValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"stray"}, 3, 8, 5, 4, 256, "exact", 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "stray") {
+		t.Errorf("trailing args not rejected: %v", err)
+	}
+	if err := run(&buf, nil, 99, 8, 5, 4, 256, "exact", 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "1..6") {
+		t.Errorf("-m validation not actionable: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/graph"
 	"repro/internal/hhc"
 )
@@ -25,13 +26,19 @@ func main() {
 	dist := flag.Bool("dist", false, "print the exact distance distribution (m <= 4)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *m, *nodeSpec, *exact, *dist); err != nil {
+	if err := run(os.Stdout, flag.Args(), *m, *nodeSpec, *exact, *dist); err != nil {
 		fmt.Fprintln(os.Stderr, "hhcinfo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, m int, nodeSpec string, exact, dist bool) error {
+func run(w io.Writer, args []string, m int, nodeSpec string, exact, dist bool) error {
+	if err := cliutil.NoTrailingArgs(args); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateM(m); err != nil {
+		return err
+	}
 	g, err := hhc.New(m)
 	if err != nil {
 		return err

@@ -8,7 +8,7 @@ import (
 
 func TestRunBasic(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 3, "", false, false); err != nil {
+	if err := run(&buf, nil, 3, "", false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +21,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunExactDiameter(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, "", true, false); err != nil {
+	if err := run(&buf, nil, 2, "", true, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "diameter (exact)         8") {
@@ -31,7 +31,7 @@ func TestRunExactDiameter(t *testing.T) {
 
 func TestRunNodeNeighborhood(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, "0x5:1", false, false); err != nil {
+	if err := run(&buf, nil, 2, "0x5:1", false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -42,7 +42,7 @@ func TestRunNodeNeighborhood(t *testing.T) {
 
 func TestRunDistanceDistribution(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, "", false, true); err != nil {
+	if err := run(&buf, nil, 2, "", false, true); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -50,20 +50,34 @@ func TestRunDistanceDistribution(t *testing.T) {
 		t.Fatalf("distribution output wrong:\n%s", out)
 	}
 	// m=5 cannot be enumerated.
-	if err := run(&buf, 5, "", false, true); err == nil {
+	if err := run(&buf, nil, 5, "", false, true); err == nil {
 		t.Fatal("m=5 distribution accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 9, "", false, false); err == nil {
+	if err := run(&buf, nil, 9, "", false, false); err == nil {
 		t.Error("m=9 accepted")
 	}
-	if err := run(&buf, 2, "zzz", false, false); err == nil {
+	if err := run(&buf, nil, 2, "zzz", false, false); err == nil {
 		t.Error("bad node accepted")
 	}
-	if err := run(&buf, 4, "", true, false); err == nil {
+	if err := run(&buf, nil, 4, "", true, false); err == nil {
 		t.Error("exact diameter at m=4 accepted (too large)")
+	}
+}
+
+// TestRunArgValidation: trailing positional args are rejected and -m is
+// validated up front with an actionable message.
+func TestRunArgValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"stray"}, 3, "", false, false); err == nil ||
+		!strings.Contains(err.Error(), "stray") {
+		t.Errorf("trailing args not rejected: %v", err)
+	}
+	if err := run(&buf, nil, 0, "", false, false); err == nil ||
+		!strings.Contains(err.Error(), "1..6") {
+		t.Errorf("-m validation not actionable: %v", err)
 	}
 }

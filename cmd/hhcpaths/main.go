@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/hhc"
 )
@@ -30,7 +31,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the container as JSON for external tooling")
 	flag.Parse()
 
-	if err := run(os.Stdout, *m, *uSpec, *vSpec, *strategy, *route, *jsonOut); err != nil {
+	if err := run(os.Stdout, flag.Args(), *m, *uSpec, *vSpec, *strategy, *route, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "hhcpaths:", err)
 		os.Exit(1)
 	}
@@ -49,7 +50,13 @@ func parseStrategy(s string) (core.OrderStrategy, error) {
 	}
 }
 
-func run(w io.Writer, m int, uSpec, vSpec, strategyName string, route, jsonOut bool) error {
+func run(w io.Writer, args []string, m int, uSpec, vSpec, strategyName string, route, jsonOut bool) error {
+	if err := cliutil.NoTrailingArgs(args); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateM(m); err != nil {
+		return err
+	}
 	g, err := hhc.New(m)
 	if err != nil {
 		return err

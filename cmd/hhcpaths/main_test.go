@@ -9,7 +9,7 @@ import (
 
 func TestRunContainer(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 3, "0x00:0", "0xff:5", "ascending", false, false); err != nil {
+	if err := run(&buf, nil, 3, "0x00:0", "0xff:5", "ascending", false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -26,7 +26,7 @@ func TestRunContainer(t *testing.T) {
 
 func TestRunRoute(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 3, "0x00:0", "0xff:5", "", true, false); err != nil {
+	if err := run(&buf, nil, 3, "0x00:0", "0xff:5", "", true, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "provably shortest") {
@@ -37,7 +37,7 @@ func TestRunRoute(t *testing.T) {
 func TestRunStrategies(t *testing.T) {
 	for _, s := range []string{"ascending", "gray", "nearest"} {
 		var buf bytes.Buffer
-		if err := run(&buf, 2, "0x0:0", "0xf:3", s, false, false); err != nil {
+		if err := run(&buf, nil, 2, "0x0:0", "0xf:3", s, false, false); err != nil {
 			t.Fatalf("strategy %s: %v", s, err)
 		}
 	}
@@ -45,7 +45,7 @@ func TestRunStrategies(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, "0x0:0", "0xf:3", "ascending", false, true); err != nil {
+	if err := run(&buf, nil, 2, "0x0:0", "0xf:3", "ascending", false, true); err != nil {
 		t.Fatal(err)
 	}
 	var got struct {
@@ -68,22 +68,43 @@ func TestRunJSON(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 3, "", "", "ascending", false, false); err == nil {
+	if err := run(&buf, nil, 3, "", "", "ascending", false, false); err == nil {
 		t.Error("missing endpoints accepted")
 	}
-	if err := run(&buf, 3, "0x0:0", "0x1:0", "bogus", false, false); err == nil {
+	if err := run(&buf, nil, 3, "0x0:0", "0x1:0", "bogus", false, false); err == nil {
 		t.Error("bogus strategy accepted")
 	}
-	if err := run(&buf, 3, "0x0:0", "0x0:0", "ascending", false, false); err == nil {
+	if err := run(&buf, nil, 3, "0x0:0", "0x0:0", "ascending", false, false); err == nil {
 		t.Error("same node accepted")
 	}
-	if err := run(&buf, 3, "junk", "0x1:0", "ascending", false, false); err == nil {
+	if err := run(&buf, nil, 3, "junk", "0x1:0", "ascending", false, false); err == nil {
 		t.Error("bad source accepted")
 	}
-	if err := run(&buf, 3, "0x1:0", "junk", "ascending", false, false); err == nil {
+	if err := run(&buf, nil, 3, "0x1:0", "junk", "ascending", false, false); err == nil {
 		t.Error("bad destination accepted")
 	}
-	if err := run(&buf, 99, "0x1:0", "0x2:0", "ascending", false, false); err == nil {
+	if err := run(&buf, nil, 99, "0x1:0", "0x2:0", "ascending", false, false); err == nil {
 		t.Error("bad m accepted")
+	}
+}
+
+// TestRunArgValidation: trailing positional arguments are rejected with a
+// usage error instead of being silently ignored, and -m is validated up
+// front with an actionable message.
+func TestRunArgValidation(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"stray"}, 3, "0x0:0", "0x1:0", "ascending", false, false)
+	if err == nil {
+		t.Fatal("trailing args accepted")
+	}
+	if !strings.Contains(err.Error(), "stray") {
+		t.Errorf("error does not name the stray argument: %v", err)
+	}
+	err = run(&buf, nil, 0, "0x0:0", "0x1:0", "ascending", false, false)
+	if err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if !strings.Contains(err.Error(), "-m") || !strings.Contains(err.Error(), "1..6") {
+		t.Errorf("-m error not actionable: %v", err)
 	}
 }

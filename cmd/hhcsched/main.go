@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/sched"
 )
 
@@ -30,13 +31,19 @@ func main() {
 	emit := flag.Bool("emit", false, "print the synthetic trace as CSV and exit")
 	flag.Parse()
 
-	if err := run(os.Stdout, *t, *tracePath, *synthetic, *seed, *emit); err != nil {
+	if err := run(os.Stdout, flag.Args(), *t, *tracePath, *synthetic, *seed, *emit); err != nil {
 		fmt.Fprintln(os.Stderr, "hhcsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, t int, tracePath string, synthetic int, seed int64, emit bool) error {
+func run(w io.Writer, args []string, t int, tracePath string, synthetic int, seed int64, emit bool) error {
+	if err := cliutil.NoTrailingArgs(args); err != nil {
+		return err
+	}
+	if t < 1 || t > 30 {
+		return fmt.Errorf("-t %d out of range: the machine dimension must be 1..30 (2^t son-cubes)", t)
+	}
 	var jobs []sched.Job
 	switch {
 	case tracePath != "" && synthetic > 0:

@@ -10,7 +10,7 @@ import (
 
 func TestRunSynthetic(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 6, "", 100, 3, false); err != nil {
+	if err := run(&buf, nil, 6, "", 100, 3, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -24,7 +24,7 @@ func TestRunSynthetic(t *testing.T) {
 
 func TestRunEmitThenSchedule(t *testing.T) {
 	var trace bytes.Buffer
-	if err := run(&trace, 5, "", 40, 9, true); err != nil {
+	if err := run(&trace, nil, 5, "", 40, 9, true); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(trace.String(), "id,arrival,order,duration") {
@@ -36,7 +36,7 @@ func TestRunEmitThenSchedule(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, 5, path, 0, 0, false); err != nil {
+	if err := run(&buf, nil, 5, path, 0, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "40 jobs") {
@@ -46,13 +46,13 @@ func TestRunEmitThenSchedule(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 6, "", 0, 0, false); err == nil {
+	if err := run(&buf, nil, 6, "", 0, 0, false); err == nil {
 		t.Error("no input accepted")
 	}
-	if err := run(&buf, 6, "x.csv", 10, 0, false); err == nil {
+	if err := run(&buf, nil, 6, "x.csv", 10, 0, false); err == nil {
 		t.Error("both inputs accepted")
 	}
-	if err := run(&buf, 6, "/nonexistent/file.csv", 0, 0, false); err == nil {
+	if err := run(&buf, nil, 6, "/nonexistent/file.csv", 0, 0, false); err == nil {
 		t.Error("missing file accepted")
 	}
 	// Malformed trace file.
@@ -60,7 +60,7 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(path, []byte("nope\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&buf, 6, path, 0, 0, false); err == nil {
+	if err := run(&buf, nil, 6, path, 0, 0, false); err == nil {
 		t.Error("malformed trace accepted")
 	}
 	// Jobs too large for the machine.
@@ -68,7 +68,21 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(path2, []byte("id,arrival,order,duration\n1,0,30,5\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&buf, 6, path2, 0, 0, false); err == nil {
+	if err := run(&buf, nil, 6, path2, 0, 0, false); err == nil {
 		t.Error("oversized job accepted")
+	}
+}
+
+// TestRunArgValidation: trailing positional args are rejected and -t is
+// validated up front with an actionable message.
+func TestRunArgValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"stray"}, 6, "", 10, 1, false); err == nil ||
+		!strings.Contains(err.Error(), "stray") {
+		t.Errorf("trailing args not rejected: %v", err)
+	}
+	if err := run(&buf, nil, 0, "", 10, 1, false); err == nil ||
+		!strings.Contains(err.Error(), "1..30") {
+		t.Errorf("-t validation not actionable: %v", err)
 	}
 }

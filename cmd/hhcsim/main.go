@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/netsim"
 )
 
@@ -38,7 +39,7 @@ func main() {
 		rate: *rate, faults: *faults, linkFaults: *linkFaults, seed: *seed,
 		switching: *switching, pattern: *pattern,
 	}
-	if err := run(os.Stdout, opts); err != nil {
+	if err := run(os.Stdout, flag.Args(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "hhcsim:", err)
 		os.Exit(1)
 	}
@@ -93,7 +94,13 @@ func parsePattern(s string) (netsim.TrafficPattern, error) {
 	}
 }
 
-func run(w io.Writer, o simOpts) error {
+func run(w io.Writer, args []string, o simOpts) error {
+	if err := cliutil.NoTrailingArgs(args); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateM(o.m); err != nil {
+		return err
+	}
 	mode, err := parseMode(o.mode)
 	if err != nil {
 		return err

@@ -18,7 +18,7 @@ func TestRunAllModes(t *testing.T) {
 		o := baseOpts()
 		o.mode = mode
 		var buf bytes.Buffer
-		if err := run(&buf, o); err != nil {
+		if err := run(&buf, nil, o); err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}
 		if !strings.Contains(buf.String(), "delivered        20") {
@@ -32,7 +32,7 @@ func TestRunSwitchAndPattern(t *testing.T) {
 	o.switching = "cut-through"
 	o.pattern = "hotspot"
 	var buf bytes.Buffer
-	if err := run(&buf, o); err != nil {
+	if err := run(&buf, nil, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "switch=cut-through pattern=hotspot") {
@@ -47,7 +47,7 @@ func TestRunWithFaults(t *testing.T) {
 	o.faults = 3
 	o.linkFaults = 2
 	var buf bytes.Buffer
-	if err := run(&buf, o); err != nil {
+	if err := run(&buf, nil, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "dropped          0") {
@@ -59,22 +59,38 @@ func TestParseErrors(t *testing.T) {
 	var buf bytes.Buffer
 	o := baseOpts()
 	o.mode = "warp"
-	if err := run(&buf, o); err == nil {
+	if err := run(&buf, nil, o); err == nil {
 		t.Error("bad mode accepted")
 	}
 	o = baseOpts()
 	o.switching = "quantum"
-	if err := run(&buf, o); err == nil {
+	if err := run(&buf, nil, o); err == nil {
 		t.Error("bad switching accepted")
 	}
 	o = baseOpts()
 	o.pattern = "chaos"
-	if err := run(&buf, o); err == nil {
+	if err := run(&buf, nil, o); err == nil {
 		t.Error("bad pattern accepted")
 	}
 	o = baseOpts()
 	o.flows = 0
-	if err := run(&buf, o); err == nil {
+	if err := run(&buf, nil, o); err == nil {
 		t.Error("invalid config accepted")
+	}
+}
+
+// TestRunArgValidation: trailing positional args are rejected and -m is
+// validated up front with an actionable message.
+func TestRunArgValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"stray"}, baseOpts()); err == nil ||
+		!strings.Contains(err.Error(), "stray") {
+		t.Errorf("trailing args not rejected: %v", err)
+	}
+	o := baseOpts()
+	o.m = 42
+	if err := run(&buf, nil, o); err == nil ||
+		!strings.Contains(err.Error(), "1..6") {
+		t.Errorf("-m validation not actionable: %v", err)
 	}
 }

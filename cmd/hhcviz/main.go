@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/hhc"
 	"repro/internal/viz"
@@ -28,13 +29,19 @@ func main() {
 	ring := flag.Int("ring", 0, "render the ring through 2^r son-cubes (r >= 2)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *m, *topology, *uSpec, *vSpec, *ring); err != nil {
+	if err := run(os.Stdout, flag.Args(), *m, *topology, *uSpec, *vSpec, *ring); err != nil {
 		fmt.Fprintln(os.Stderr, "hhcviz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, m int, topology bool, uSpec, vSpec string, ring int) error {
+func run(w io.Writer, args []string, m int, topology bool, uSpec, vSpec string, ring int) error {
+	if err := cliutil.NoTrailingArgs(args); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateM(m); err != nil {
+		return err
+	}
 	g, err := hhc.New(m)
 	if err != nil {
 		return err

@@ -8,7 +8,7 @@ import (
 
 func TestRunTopology(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, true, "", "", 0); err != nil {
+	if err := run(&buf, nil, 2, true, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "graph hhc6 {") {
@@ -18,7 +18,7 @@ func TestRunTopology(t *testing.T) {
 
 func TestRunContainer(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 3, false, "0x00:0", "0xff:5", 0); err != nil {
+	if err := run(&buf, nil, 3, false, "0x00:0", "0xff:5", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "graph container {") {
@@ -28,7 +28,7 @@ func TestRunContainer(t *testing.T) {
 
 func TestRunRing(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 3, false, "", "", 3); err != nil {
+	if err := run(&buf, nil, 3, false, "", "", 3); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -43,22 +43,36 @@ func TestRunRing(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, false, "", "", 0); err == nil {
+	if err := run(&buf, nil, 2, false, "", "", 0); err == nil {
 		t.Error("no action accepted")
 	}
-	if err := run(&buf, 3, true, "", "", 0); err == nil {
+	if err := run(&buf, nil, 3, true, "", "", 0); err == nil {
 		t.Error("m=3 topology accepted")
 	}
-	if err := run(&buf, 2, false, "bad", "0x0:0", 0); err == nil {
+	if err := run(&buf, nil, 2, false, "bad", "0x0:0", 0); err == nil {
 		t.Error("bad node accepted")
 	}
-	if err := run(&buf, 2, false, "0x0:0", "bad", 0); err == nil {
+	if err := run(&buf, nil, 2, false, "0x0:0", "bad", 0); err == nil {
 		t.Error("bad node accepted")
 	}
-	if err := run(&buf, 2, false, "", "", 99); err == nil {
+	if err := run(&buf, nil, 2, false, "", "", 99); err == nil {
 		t.Error("oversized ring accepted")
 	}
-	if err := run(&buf, 99, true, "", "", 0); err == nil {
+	if err := run(&buf, nil, 99, true, "", "", 0); err == nil {
 		t.Error("bad m accepted")
+	}
+}
+
+// TestRunArgValidation: trailing positional args are rejected and -m is
+// validated up front with an actionable message.
+func TestRunArgValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"stray"}, 2, true, "", "", 0); err == nil ||
+		!strings.Contains(err.Error(), "stray") {
+		t.Errorf("trailing args not rejected: %v", err)
+	}
+	if err := run(&buf, nil, 7, true, "", "", 0); err == nil ||
+		!strings.Contains(err.Error(), "1..6") {
+		t.Errorf("-m validation not actionable: %v", err)
 	}
 }

@@ -1,0 +1,393 @@
+// Package cache is a sharded, memoizing front-end for the container
+// construction of internal/core. The paper's algorithm is poly(n) per pair,
+// but serving workloads (fault-tolerant routing tables, repeated multi-path
+// requests) ask for the same or symmetric pairs over and over; memoizing
+// turns the hot path from microseconds of construction into a map lookup
+// plus a copy.
+//
+// # Keying and canonicalization
+//
+// Entries are keyed by (m, order strategy, detour strategy, confine mask,
+// canonical pair). Before lookup every request pair (u, v) is mapped
+// through a network automorphism (internal/hhc/automorphism.go) onto a
+// canonical representative, so symmetric pairs share one entry:
+//
+//   - CanonExact (default) translates by u.X, canonicalizing (u, v) to
+//     ((0, u.Y), (u.X⊕v.X, v.Y)). All 2^t X-translates of a pair collapse
+//     onto one entry. The construction is exactly equivariant under
+//     X-translation — it consumes the pair only through d = u.X⊕v.X and
+//     XOR-accumulates cube addresses — so cached answers are bit-identical
+//     to direct DisjointPathsOpt output (asserted by tests).
+//   - CanonFull composes an X-translation with the position-shuffle
+//     Y-translation, mapping u onto (0, 0): every pair with the same
+//     relative offset shares one entry (2^t·t-fold collapsing). The mapped
+//     container is a valid verified container, but because the order and
+//     detour strategies rank dimensions by absolute index, it need not be
+//     the byte-for-byte output of the direct construction.
+//   - CanonOff disables canonicalization (for measuring its benefit).
+//
+// A non-zero Options.ConfineDetours mask names absolute super-dimensions,
+// which X-translation preserves but the position shuffle does not, so
+// CanonFull silently degrades to CanonExact for confined requests.
+//
+// # Concurrency
+//
+// The cache is safe for concurrent use. Requests hash to one of the
+// shards; each shard serializes its map under a mutex and evicts LRU
+// beyond its capacity. Identical in-flight constructions are deduplicated
+// (singleflight): the first requester constructs, later ones wait on the
+// same result. Every caller — hit, miss, or coalesced waiter — receives a
+// freshly allocated copy of the paths, so callers may mutate their result
+// freely. Hit/miss/eviction/in-flight counters are exposed through
+// internal/stats.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hhc"
+	"repro/internal/stats"
+)
+
+// Canon selects the canonicalization applied to request pairs before
+// keying. See the package comment for the trade-offs.
+type Canon int
+
+const (
+	// CanonExact canonicalizes by X-translation only: maximal sharing that
+	// keeps cached results bit-identical to the direct construction.
+	CanonExact Canon = iota
+	// CanonFull canonicalizes by the full translation group (u maps to the
+	// origin): more sharing, containers valid but possibly different from
+	// the direct construction's byte-for-byte output.
+	CanonFull
+	// CanonOff stores every requested pair under its own key.
+	CanonOff
+)
+
+// String names the mode.
+func (c Canon) String() string {
+	switch c {
+	case CanonExact:
+		return "exact"
+	case CanonFull:
+		return "full"
+	case CanonOff:
+		return "off"
+	default:
+		return fmt.Sprintf("Canon(%d)", int(c))
+	}
+}
+
+// ParseCanon parses the CLI spelling of a Canon mode.
+func ParseCanon(s string) (Canon, error) {
+	switch s {
+	case "exact", "":
+		return CanonExact, nil
+	case "full":
+		return CanonFull, nil
+	case "off", "none":
+		return CanonOff, nil
+	default:
+		return 0, fmt.Errorf("cache: unknown canonicalization %q (want exact|full|off)", s)
+	}
+}
+
+// Options tunes a Cache.
+type Options struct {
+	// Shards is the number of independent lock domains; rounded up to a
+	// power of two. Zero selects DefaultShards.
+	Shards int
+	// Capacity bounds the total number of stored containers across all
+	// shards (each shard holds Capacity/Shards, at least 1). Zero selects
+	// DefaultCapacity; negative means unbounded.
+	Capacity int
+	// Canon selects pair canonicalization. Zero value = CanonExact.
+	Canon Canon
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultShards   = 16
+	DefaultCapacity = 4096
+)
+
+// key identifies one stored container. The canonical source cube address
+// is folded into cx (CanonExact and CanonFull both translate it to 0;
+// CanonOff keeps u.X).
+type key struct {
+	order   core.OrderStrategy
+	detour  core.DetourStrategy
+	confine uint64
+	m       uint8
+	uy, vy  uint8
+	ux, vx  uint64
+}
+
+// entry is one cached container; paths is immutable once stored.
+type entry struct {
+	k     key
+	paths [][]hhc.Node
+}
+
+// call is an in-flight construction other requesters can wait on.
+type call struct {
+	done  chan struct{}
+	paths [][]hhc.Node
+	err   error
+}
+
+// shard is one lock domain: an LRU-ordered map plus the in-flight table.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[key]*list.Element // element value: *entry
+	lru      *list.List            // front = most recently used
+	inflight map[key]*call
+}
+
+// Cache memoizes container constructions for one topology.
+type Cache struct {
+	g        *hhc.Graph
+	shards   []*shard
+	mask     uint64
+	perShard int // max entries per shard; <0 = unbounded
+	canon    Canon
+	counters stats.CacheCounters
+}
+
+// New builds a cache bound to topology g.
+func New(g *hhc.Graph, opts Options) (*Cache, error) {
+	if g == nil {
+		return nil, fmt.Errorf("cache: nil topology")
+	}
+	n := opts.Shards
+	if n == 0 {
+		n = DefaultShards
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("cache: %d shards out of range", n)
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	cap := opts.Capacity
+	if cap == 0 {
+		cap = DefaultCapacity
+	}
+	perShard := -1
+	if cap > 0 {
+		perShard = (cap + pow - 1) / pow
+	}
+	switch opts.Canon {
+	case CanonExact, CanonFull, CanonOff:
+	default:
+		return nil, fmt.Errorf("cache: unknown canonicalization mode %d", int(opts.Canon))
+	}
+	c := &Cache{
+		g:        g,
+		shards:   make([]*shard, pow),
+		mask:     uint64(pow - 1),
+		perShard: perShard,
+		canon:    opts.Canon,
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			entries:  make(map[key]*list.Element),
+			lru:      list.New(),
+			inflight: make(map[key]*call),
+		}
+	}
+	return c, nil
+}
+
+// M returns the son-cube dimension of the bound topology.
+func (c *Cache) M() int { return c.g.M() }
+
+// Canon returns the configured canonicalization mode.
+func (c *Cache) CanonMode() Canon { return c.canon }
+
+// Len returns the number of stored containers.
+func (c *Cache) Len() int {
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += len(s.entries)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Snapshot reads the counters plus the current size.
+func (c *Cache) Snapshot() stats.CacheSnapshot {
+	return c.counters.Snapshot(int64(c.Len()))
+}
+
+// canonicalize maps (u, v) to the canonical pair under the configured mode
+// and returns the automorphism carrying the canonical container back onto
+// the requested one. Confined requests degrade CanonFull to CanonExact
+// because the detour mask names absolute dimensions.
+func (c *Cache) canonicalize(u, v hhc.Node, opt core.Options) (cu, cv hhc.Node, back hhc.Automorphism, err error) {
+	mode := c.canon
+	if mode == CanonFull && opt.ConfineDetours != 0 {
+		mode = CanonExact
+	}
+	switch mode {
+	case CanonOff:
+		back, err = c.g.NewAutomorphism(0, 0) // identity
+		return u, v, back, err
+	case CanonExact:
+		// Translate by u.X: an involution, so the map back is the map there.
+		back, err = c.g.NewAutomorphism(u.X, 0)
+		if err != nil {
+			return
+		}
+		return hhc.Node{X: 0, Y: u.Y}, hhc.Node{X: u.X ^ v.X, Y: v.Y}, back, nil
+	default: // CanonFull
+		var to hhc.Automorphism
+		to, err = c.g.MappingTo(u, hhc.Node{})
+		if err != nil {
+			return
+		}
+		return hhc.Node{}, to.Apply(v), to.Inverse(), nil
+	}
+}
+
+// keyFor builds the shard key for a canonical pair.
+func (c *Cache) keyFor(cu, cv hhc.Node, opt core.Options) key {
+	return key{
+		order:   opt.Order,
+		detour:  opt.Detour,
+		confine: opt.ConfineDetours,
+		m:       uint8(c.g.M()),
+		uy:      cu.Y,
+		vy:      cv.Y,
+		ux:      cu.X,
+		vx:      cv.X,
+	}
+}
+
+// shardFor hashes a key onto its shard (FNV-1a over the key fields).
+func (c *Cache) shardFor(k key) *shard {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	mix(k.ux)
+	mix(k.vx)
+	mix(k.confine)
+	mix(uint64(k.uy) | uint64(k.vy)<<8 | uint64(k.m)<<16 |
+		uint64(k.order)<<24 | uint64(k.detour)<<32)
+	return c.shards[h&c.mask]
+}
+
+// Paths returns the (m+1)-wide container between u and v, serving from the
+// cache when possible. The result is always a fresh copy the caller owns.
+// Invalid requests (unknown nodes, u == v) bypass the cache and report the
+// construction's own error.
+func (c *Cache) Paths(u, v hhc.Node, opt core.Options) ([][]hhc.Node, error) {
+	if !c.g.Contains(u) || !c.g.Contains(v) || u == v {
+		return core.DisjointPathsOpt(c.g, u, v, opt)
+	}
+	cu, cv, back, err := c.canonicalize(u, v, opt)
+	if err != nil {
+		return nil, fmt.Errorf("cache: canonicalize: %w", err)
+	}
+	k := c.keyFor(cu, cv, opt)
+	s := c.shardFor(k)
+
+	s.mu.Lock()
+	if el, ok := s.entries[k]; ok {
+		s.lru.MoveToFront(el)
+		paths := el.Value.(*entry).paths
+		s.mu.Unlock()
+		c.counters.Hits.Inc()
+		return mapPaths(back, paths), nil
+	}
+	if cl, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		c.counters.InflightWaits.Inc()
+		<-cl.done
+		if cl.err != nil {
+			return nil, cl.err
+		}
+		return mapPaths(back, cl.paths), nil
+	}
+	cl := &call{done: make(chan struct{})}
+	s.inflight[k] = cl
+	s.mu.Unlock()
+	c.counters.Misses.Inc()
+
+	cl.paths, cl.err = core.DisjointPathsOpt(c.g, cu, cv, opt)
+
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if cl.err == nil {
+		s.insert(k, cl.paths, c.perShard, &c.counters)
+	}
+	s.mu.Unlock()
+	close(cl.done)
+
+	if cl.err != nil {
+		return nil, cl.err
+	}
+	return mapPaths(back, cl.paths), nil
+}
+
+// insert stores a container and evicts LRU entries beyond the per-shard
+// capacity (cap < 0 = unbounded). Caller holds the shard lock.
+func (s *shard) insert(k key, paths [][]hhc.Node, cap int, counters *stats.CacheCounters) {
+	if el, ok := s.entries[k]; ok {
+		// A concurrent miss for the same key already stored it; keep the
+		// newer value (identical by determinism) and refresh recency.
+		el.Value.(*entry).paths = paths
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[k] = s.lru.PushFront(&entry{k: k, paths: paths})
+	for cap >= 0 && s.lru.Len() > cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*entry).k)
+		counters.Evictions.Inc()
+	}
+}
+
+// mapPaths maps a stored container through the automorphism into fresh
+// slices — the stored value is never aliased by returned results.
+func mapPaths(back hhc.Automorphism, paths [][]hhc.Node) [][]hhc.Node {
+	out := make([][]hhc.Node, len(paths))
+	for i, p := range paths {
+		out[i] = back.ApplyPath(p)
+	}
+	return out
+}
+
+// Constructor adapts the cache to the core.Constructor signature, so it
+// drops into DisjointPathsBatchFunc and internal/netsim. A graph argument
+// with a different m than the cache's topology bypasses the cache.
+func (c *Cache) Constructor() core.Constructor {
+	return func(g *hhc.Graph, u, v hhc.Node, opt core.Options) ([][]hhc.Node, error) {
+		if g.M() != c.g.M() {
+			return core.DisjointPathsOpt(g, u, v, opt)
+		}
+		return c.Paths(u, v, opt)
+	}
+}
+
+// Batch constructs containers for every pair through the cache, with the
+// same concurrency and result shape as core.DisjointPathsBatch.
+func (c *Cache) Batch(pairs []core.Pair, opt core.Options, workers int) []core.BatchResult {
+	return core.DisjointPathsBatchFunc(c.g, pairs, opt, workers, c.Constructor())
+}

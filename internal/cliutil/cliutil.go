@@ -1,0 +1,33 @@
+// Package cliutil holds the small argument-validation helpers shared by
+// the cmd/ binaries, so every tool rejects malformed invocations the same
+// way instead of silently ignoring them.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hhc"
+)
+
+// NoTrailingArgs rejects unexpected positional arguments left over after
+// flag parsing. Every tool in cmd/ is flag-driven; a stray positional
+// argument is almost always a typo (a missing "-u", a flag after an
+// operand) that would otherwise be silently ignored.
+func NoTrailingArgs(args []string) error {
+	if len(args) == 0 {
+		return nil
+	}
+	return fmt.Errorf("unexpected argument(s) %q: all inputs are flags, see -h", strings.Join(args, " "))
+}
+
+// ValidateM checks the son-cube dimension flag up front, so the user gets
+// an actionable message naming the flag and the supported range instead of
+// a failure from deep inside graph construction.
+func ValidateM(m int) error {
+	if m < hhc.MinM || m > hhc.MaxM {
+		return fmt.Errorf("-m %d out of range: the son-cube dimension must be %d..%d (HHC_%d..HHC_%d)",
+			m, hhc.MinM, hhc.MaxM, 1<<uint(hhc.MinM)+hhc.MinM, 1<<uint(hhc.MaxM)+hhc.MaxM)
+	}
+	return nil
+}

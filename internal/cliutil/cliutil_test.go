@@ -1,0 +1,40 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNoTrailingArgs(t *testing.T) {
+	if err := NoTrailingArgs(nil); err != nil {
+		t.Errorf("nil args rejected: %v", err)
+	}
+	if err := NoTrailingArgs([]string{}); err != nil {
+		t.Errorf("empty args rejected: %v", err)
+	}
+	err := NoTrailingArgs([]string{"stray", "extra"})
+	if err == nil {
+		t.Fatal("trailing args accepted")
+	}
+	if !strings.Contains(err.Error(), `"stray extra"`) {
+		t.Errorf("error does not name the offenders: %v", err)
+	}
+}
+
+func TestValidateM(t *testing.T) {
+	for _, m := range []int{1, 3, 6} {
+		if err := ValidateM(m); err != nil {
+			t.Errorf("m=%d rejected: %v", m, err)
+		}
+	}
+	for _, m := range []int{0, -1, 7, 99} {
+		err := ValidateM(m)
+		if err == nil {
+			t.Errorf("m=%d accepted", m)
+			continue
+		}
+		if !strings.Contains(err.Error(), "1..6") {
+			t.Errorf("m=%d: error not actionable: %v", m, err)
+		}
+	}
+}

@@ -30,16 +30,16 @@ type AdaptiveResult struct {
 // dimension-ordered length bound.
 func AdaptiveRoute(g *hhc.Graph, u, v hhc.Node, isFaulty func(hhc.Node) bool, ttl int) (AdaptiveResult, error) {
 	if !g.Contains(u) || !g.Contains(v) {
-		return AdaptiveResult{}, fmt.Errorf("core: invalid endpoint %v / %v", u, v)
+		return AdaptiveResult{}, fmt.Errorf("core: invalid endpoint %s / %s", g.FormatNode(u), g.FormatNode(v))
 	}
 	if isFaulty == nil {
 		isFaulty = func(hhc.Node) bool { return false }
 	}
 	if isFaulty(u) {
-		return AdaptiveResult{}, fmt.Errorf("core: source %v is faulty", u)
+		return AdaptiveResult{}, fmt.Errorf("core: source %s is faulty", g.FormatNode(u))
 	}
 	if isFaulty(v) {
-		return AdaptiveResult{}, fmt.Errorf("core: destination %v is faulty", v)
+		return AdaptiveResult{}, fmt.Errorf("core: destination %s is faulty", g.FormatNode(v))
 	}
 	if ttl <= 0 {
 		ttl = 4 * g.DimOrderLengthBound()

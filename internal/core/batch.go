@@ -26,10 +26,22 @@ type BatchResult struct {
 	Err   error
 }
 
+// Constructor is the signature shared by DisjointPathsOpt and by memoizing
+// front-ends (internal/cache): anything that produces an (m+1)-wide
+// container for a pair. Batch helpers accept one so callers can swap the
+// direct construction for a cached one without a dependency cycle.
+type Constructor func(g *hhc.Graph, u, v hhc.Node, opt Options) ([][]hhc.Node, error)
+
 // DisjointPathsBatch constructs containers for every pair concurrently
 // using up to workers goroutines (workers <= 0 selects GOMAXPROCS).
 // Results are index-aligned with pairs.
 func DisjointPathsBatch(g *hhc.Graph, pairs []Pair, opt Options, workers int) []BatchResult {
+	return DisjointPathsBatchFunc(g, pairs, opt, workers, DisjointPathsOpt)
+}
+
+// DisjointPathsBatchFunc is DisjointPathsBatch with an explicit constructor;
+// construct must be safe for concurrent use.
+func DisjointPathsBatchFunc(g *hhc.Graph, pairs []Pair, opt Options, workers int, construct Constructor) []BatchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -52,7 +64,7 @@ func DisjointPathsBatch(g *hhc.Graph, pairs []Pair, opt Options, workers int) []
 					return
 				}
 				p := pairs[i]
-				paths, err := DisjointPathsOpt(g, p.U, p.V, opt)
+				paths, err := construct(g, p.U, p.V, opt)
 				results[i] = BatchResult{Pair: p, Paths: paths, Err: err}
 			}
 		}()
@@ -70,7 +82,7 @@ func BatchVerify(g *hhc.Graph, results []BatchResult) error {
 			continue
 		}
 		if err := VerifyContainer(g, r.Pair.U, r.Pair.V, r.Paths); err != nil {
-			return fmt.Errorf("core: batch item %d (%v->%v): %w", i, r.Pair.U, r.Pair.V, err)
+			return fmt.Errorf("core: batch item %d (%s -> %s): %w", i, g.FormatNode(r.Pair.U), g.FormatNode(r.Pair.V), err)
 		}
 	}
 	return nil

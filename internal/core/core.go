@@ -152,7 +152,7 @@ func DisjointPathsK(g *hhc.Graph, u, v hhc.Node, k int) ([][]hhc.Node, error) {
 // DisjointPathsOpt is DisjointPaths with explicit options.
 func DisjointPathsOpt(g *hhc.Graph, u, v hhc.Node, opt Options) ([][]hhc.Node, error) {
 	if !g.Contains(u) || !g.Contains(v) {
-		return nil, fmt.Errorf("core: invalid node for m=%d: %v / %v", g.M(), u, v)
+		return nil, fmt.Errorf("core: invalid node for m=%d: %s / %s", g.M(), g.FormatNode(u), g.FormatNode(v))
 	}
 	if u == v {
 		return nil, ErrSameNode

@@ -20,10 +20,10 @@ var ErrAllPathsFaulty = errors.New("core: every disjoint path is blocked by faul
 // gracefully, failing only when all m+1 paths are hit.
 func RouteAround(g *hhc.Graph, u, v hhc.Node, faults map[hhc.Node]bool) ([]hhc.Node, error) {
 	if faults[u] {
-		return nil, fmt.Errorf("core: source %v is faulty", u)
+		return nil, fmt.Errorf("core: source %s is faulty", g.FormatNode(u))
 	}
 	if faults[v] {
-		return nil, fmt.Errorf("core: destination %v is faulty", v)
+		return nil, fmt.Errorf("core: destination %s is faulty", g.FormatNode(v))
 	}
 	paths, err := DisjointPaths(g, u, v)
 	if err != nil {

@@ -83,7 +83,7 @@ func realize(g *hhc.Graph, u, v hhc.Node, seqs [][]int) ([][]hhc.Node, error) {
 			}
 		}
 		if got := path[len(path)-1]; got != v {
-			return nil, fmt.Errorf("core: internal: path %d ends at %v, want %v", i, got, v)
+			return nil, fmt.Errorf("core: internal: path %d ends at %s, want %s", i, g.FormatNode(got), g.FormatNode(v))
 		}
 		paths[i] = path
 	}

@@ -34,18 +34,18 @@ func DisjointPathsToSet(g *hhc.Graph, u hhc.Node, targets []hhc.Node) ([][]hhc.N
 		return nil, fmt.Errorf("core: %d targets exceed container width %d", k, g.Degree())
 	}
 	if !g.Contains(u) {
-		return nil, fmt.Errorf("core: invalid source %v", u)
+		return nil, fmt.Errorf("core: invalid source %s", g.FormatNode(u))
 	}
 	seen := make(map[hhc.Node]bool, k)
 	for _, t := range targets {
 		if !g.Contains(t) {
-			return nil, fmt.Errorf("core: invalid target %v", t)
+			return nil, fmt.Errorf("core: invalid target %s", g.FormatNode(t))
 		}
 		if t == u {
-			return nil, fmt.Errorf("core: target equals source %v", u)
+			return nil, fmt.Errorf("core: target equals source %s", g.FormatNode(u))
 		}
 		if seen[t] {
-			return nil, fmt.Errorf("core: duplicate target %v", t)
+			return nil, fmt.Errorf("core: duplicate target %s", g.FormatNode(t))
 		}
 		seen[t] = true
 	}
@@ -86,12 +86,12 @@ func VerifySetContainer(g *hhc.Graph, u hhc.Node, targets []hhc.Node, paths [][]
 		}
 		for _, w := range p[1:] {
 			if w != targets[i] && targetSet[w] {
-				return fmt.Errorf("core: path %d passes through foreign target %v", i, w)
+				return fmt.Errorf("core: path %d passes through foreign target %s", i, g.FormatNode(w))
 			}
 		}
 		for _, w := range p[1:] {
 			if prev, ok := seen[w]; ok {
-				return fmt.Errorf("core: paths %d and %d share %v", prev, i, w)
+				return fmt.Errorf("core: paths %d and %d share %s", prev, i, g.FormatNode(w))
 			}
 			seen[w] = i
 		}

@@ -20,7 +20,7 @@ func VerifyDisjoint(g *hhc.Graph, u, v hhc.Node, paths [][]hhc.Node) error {
 		}
 		for _, w := range p[1 : len(p)-1] {
 			if prev, ok := seen[w]; ok {
-				return fmt.Errorf("core: paths %d and %d share internal vertex %v", prev, pi, w)
+				return fmt.Errorf("core: paths %d and %d share internal vertex %s", prev, pi, g.FormatNode(w))
 			}
 			seen[w] = pi
 		}

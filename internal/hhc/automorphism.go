@@ -41,6 +41,24 @@ func (f Automorphism) Apply(u Node) Node {
 	return Node{X: x, Y: u.Y ^ f.b}
 }
 
+// Inverse returns the automorphism undoing f. The position shuffle σ_b is
+// an involution (i ↦ i⊕b twice is the identity) and XOR-linear, so the
+// inverse of x ↦ σ_b(x) ⊕ a is x ↦ σ_b(x ⊕ a) = σ_b(x) ⊕ σ_b(a): the same
+// b with the translation parameter shuffled.
+func (f Automorphism) Inverse() Automorphism {
+	return Automorphism{g: f.g, a: shuffleBits(f.a, f.b, f.g.t), b: f.b}
+}
+
+// ApplyPath maps every node of a path through the automorphism into a fresh
+// slice; the input is not modified.
+func (f Automorphism) ApplyPath(path []Node) []Node {
+	out := make([]Node, len(path))
+	for i, u := range path {
+		out[i] = f.Apply(u)
+	}
+	return out
+}
+
 // shuffleBits permutes the t bit positions of x by i -> i XOR b.
 func shuffleBits(x uint64, b uint8, t int) uint64 {
 	if b == 0 {

@@ -102,6 +102,74 @@ func TestAutomorphismPreservesDistance(t *testing.T) {
 	}
 }
 
+// TestAutomorphismInverse: Inverse undoes Apply for every (a, b) on m=2
+// exhaustively and for random parameters at larger m.
+func TestAutomorphismInverse(t *testing.T) {
+	g := mustNew(t, 2)
+	n, _ := g.NumNodes()
+	for a := uint64(0); a < 1<<uint(g.T()); a++ {
+		for b := uint8(0); int(b) < g.T(); b++ {
+			f, err := g.NewAutomorphism(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inv := f.Inverse()
+			for id := uint64(0); id < n; id++ {
+				u := g.NodeFromID(id)
+				if got := inv.Apply(f.Apply(u)); got != u {
+					t.Fatalf("(a=%#x,b=%d): inverse(apply(%v)) = %v", a, b, u, got)
+				}
+				if got := f.Apply(inv.Apply(u)); got != u {
+					t.Fatalf("(a=%#x,b=%d): apply(inverse(%v)) = %v", a, b, u, got)
+				}
+			}
+		}
+	}
+	for _, m := range []int{3, 5, 6} {
+		gm := mustNew(t, m)
+		r := rand.New(rand.NewSource(int64(100 + m)))
+		for trial := 0; trial < 200; trial++ {
+			u, v := gm.RandomNode(r), gm.RandomNode(r)
+			f, err := gm.MappingTo(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := gm.RandomNode(r)
+			if got := f.Inverse().Apply(f.Apply(w)); got != w {
+				t.Fatalf("m=%d: inverse broken at %v", m, w)
+			}
+		}
+	}
+}
+
+// TestApplyPathFreshSlice: ApplyPath leaves the input intact and returns an
+// independent slice.
+func TestApplyPathFreshSlice(t *testing.T) {
+	g := mustNew(t, 3)
+	f, err := g.NewAutomorphism(0x5A, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []Node{{X: 1, Y: 0}, {X: 1, Y: 1}, {X: 3, Y: 1}}
+	orig := append([]Node(nil), in...)
+	out := f.ApplyPath(in)
+	if len(out) != len(in) {
+		t.Fatalf("length changed: %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i] != orig[i] {
+			t.Fatal("input mutated")
+		}
+		if out[i] != f.Apply(in[i]) {
+			t.Fatalf("element %d not mapped", i)
+		}
+	}
+	out[0] = Node{X: 99, Y: 0}
+	if in[0] != orig[0] {
+		t.Fatal("output aliases input")
+	}
+}
+
 func TestAutomorphismErrors(t *testing.T) {
 	g := mustNew(t, 2)
 	if _, err := g.NewAutomorphism(1<<60, 0); err == nil {

@@ -1,6 +1,7 @@
 package hhc
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -8,7 +9,10 @@ import (
 
 // ParseNode parses the textual node form "x:y" (e.g. "0x2a:3" or "42:3");
 // x accepts decimal, 0x-hex, or 0b-binary, y is decimal. The parsed node is
-// validated against the topology.
+// validated against the topology: syntactically valid addresses whose
+// coordinates exceed the topology limits — including values too large for
+// the machine integer types — all report the same "out of range" error
+// naming the actual bounds x < 2^t, y < t (t = 2^m).
 func (g *Graph) ParseNode(s string) (Node, error) {
 	parts := strings.SplitN(s, ":", 2)
 	if len(parts) != 2 {
@@ -16,17 +20,35 @@ func (g *Graph) ParseNode(s string) (Node, error) {
 	}
 	x, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 0, 64)
 	if err != nil {
+		if errors.Is(err, strconv.ErrRange) {
+			return Node{}, g.rangeError(s)
+		}
 		return Node{}, fmt.Errorf("hhc: node %q: bad cube address: %v", s, err)
 	}
-	y, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 0, 8)
+	// Parse y at full width so an oversized processor address (say "0:300")
+	// is reported as a topology range violation, not a strconv overflow.
+	y, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 0, 64)
 	if err != nil {
+		if errors.Is(err, strconv.ErrRange) {
+			return Node{}, g.rangeError(s)
+		}
 		return Node{}, fmt.Errorf("hhc: node %q: bad processor address: %v", s, err)
+	}
+	if y >= uint64(g.t) {
+		return Node{}, g.rangeError(s)
 	}
 	u := Node{X: x, Y: uint8(y)}
 	if !g.Contains(u) {
-		return Node{}, fmt.Errorf("hhc: node %q out of range for m=%d (x < 2^%d, y < %d)", s, g.m, g.t, g.t)
+		return Node{}, g.rangeError(s)
 	}
 	return u, nil
+}
+
+// rangeError is the single out-of-range diagnostic for every coordinate
+// limit violation: x must fit t = 2^m bits and y must name one of the t
+// processors of a son-cube.
+func (g *Graph) rangeError(s string) error {
+	return fmt.Errorf("hhc: node %q out of range for m=%d (need x < 2^%d, y < %d)", s, g.m, g.t, g.t)
 }
 
 // FormatNode renders a node in the same "x:y" form ParseNode accepts.

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dessim"
 	"repro/internal/gen"
@@ -141,6 +142,12 @@ type Config struct {
 	// FlowPairs, when non-empty, supplies the flow endpoints explicitly
 	// (trace-driven runs); it overrides Pattern and must have Flows entries.
 	FlowPairs []gen.Pair
+	// Cache, when non-nil, serves container constructions through the
+	// memoizing cache instead of building each flow's container directly.
+	// It must be bound to a topology with the same M. With the default
+	// exact canonicalization the simulation result is bit-identical to an
+	// uncached run; sharing the cache across runs amortizes construction.
+	Cache *cache.Cache
 }
 
 // FlowStats aggregates one flow's traffic.
@@ -213,6 +220,9 @@ func (cfg Config) Validate() error {
 	}
 	if len(cfg.FlowPairs) > 0 && len(cfg.FlowPairs) != cfg.Flows {
 		return fmt.Errorf("netsim: %d explicit flow pairs for %d flows", len(cfg.FlowPairs), cfg.Flows)
+	}
+	if cfg.Cache != nil && cfg.Cache.M() != cfg.M {
+		return fmt.Errorf("netsim: cache bound to m=%d, config has M=%d", cfg.Cache.M(), cfg.M)
 	}
 	return nil
 }
@@ -292,12 +302,17 @@ func Run(cfg Config) (Result, error) {
 		linkFaults = randomLinkFaults(g, cfg.LinkFaultCount, protect, cfg.Seed^0x11f4)
 	}
 
-	// Precompute the path set of each flow according to the mode.
+	// Precompute the path set of each flow according to the mode, through
+	// the memoizing cache when one is configured.
+	construct := core.Constructor(core.DisjointPathsOpt)
+	if cfg.Cache != nil {
+		construct = cfg.Cache.Constructor()
+	}
 	flowPaths := make([][][]hhc.Node, cfg.Flows)
 	var res Result
 	var hopSum, hopCnt int64
 	for i, p := range pairs {
-		paths, err := flowRoutes(g, p.U, p.V, cfg.Mode, faults, linkFaults)
+		paths, err := flowRoutes(g, p.U, p.V, cfg.Mode, faults, linkFaults, construct)
 		if err != nil {
 			return Result{}, err
 		}
@@ -449,7 +464,7 @@ func randomLinkFaults(g *hhc.Graph, count int, protect []hhc.Node, seed int64) m
 // an empty set means the flow is completely blocked by faults. The m+1
 // container paths are node-disjoint, hence also link-disjoint, so the
 // f <= m survival guarantee covers link faults too.
-func flowRoutes(g *hhc.Graph, u, v hhc.Node, mode RoutingMode, faults map[hhc.Node]bool, linkFaults map[edgeKey]bool) ([][]hhc.Node, error) {
+func flowRoutes(g *hhc.Graph, u, v hhc.Node, mode RoutingMode, faults map[hhc.Node]bool, linkFaults map[edgeKey]bool, construct core.Constructor) ([][]hhc.Node, error) {
 	switch mode {
 	case SinglePath:
 		p, err := g.Route(u, v)
@@ -461,7 +476,7 @@ func flowRoutes(g *hhc.Graph, u, v hhc.Node, mode RoutingMode, faults map[hhc.No
 		}
 		return [][]hhc.Node{p}, nil
 	case FaultAwareSingle:
-		paths, err := containerSurvivors(g, u, v, faults, linkFaults)
+		paths, err := containerSurvivors(g, u, v, faults, linkFaults, construct)
 		if err != nil || len(paths) == 0 {
 			return nil, err
 		}
@@ -473,7 +488,7 @@ func flowRoutes(g *hhc.Graph, u, v hhc.Node, mode RoutingMode, faults map[hhc.No
 		}
 		return [][]hhc.Node{best}, nil
 	case MultiPathStripe:
-		return containerSurvivors(g, u, v, faults, linkFaults)
+		return containerSurvivors(g, u, v, faults, linkFaults, construct)
 	case AdaptiveLocal:
 		res, err := core.AdaptiveRoute(g, u, v, func(w hhc.Node) bool { return faults[w] }, 0)
 		if err != nil {
@@ -490,8 +505,8 @@ func flowRoutes(g *hhc.Graph, u, v hhc.Node, mode RoutingMode, faults map[hhc.No
 
 // containerSurvivors constructs the container and filters out paths hit by
 // node or link faults.
-func containerSurvivors(g *hhc.Graph, u, v hhc.Node, faults map[hhc.Node]bool, linkFaults map[edgeKey]bool) ([][]hhc.Node, error) {
-	paths, err := core.DisjointPaths(g, u, v)
+func containerSurvivors(g *hhc.Graph, u, v hhc.Node, faults map[hhc.Node]bool, linkFaults map[edgeKey]bool, construct core.Constructor) ([][]hhc.Node, error) {
+	paths, err := construct(g, u, v, core.Options{})
 	if err != nil {
 		return nil, err
 	}

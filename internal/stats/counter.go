@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counter is a lock-free monotonic event counter, safe for concurrent use.
+// The zero value is ready.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// CacheCounters groups the standard metrics of a memoizing cache. All
+// fields are updated atomically and may be read while the cache is serving.
+type CacheCounters struct {
+	Hits          Counter // lookups answered from a stored entry
+	Misses        Counter // lookups that ran the underlying construction
+	Evictions     Counter // entries displaced by capacity pressure
+	InflightWaits Counter // lookups coalesced onto an in-flight construction
+}
+
+// Snapshot captures the counters plus the current entry count.
+func (c *CacheCounters) Snapshot(size int64) CacheSnapshot {
+	return CacheSnapshot{
+		Hits:          c.Hits.Load(),
+		Misses:        c.Misses.Load(),
+		Evictions:     c.Evictions.Load(),
+		InflightWaits: c.InflightWaits.Load(),
+		Size:          size,
+	}
+}
+
+// CacheSnapshot is a point-in-time reading of CacheCounters. Lookups
+// serviced by piggybacking on an in-flight construction count as
+// InflightWaits, not as hits or misses.
+type CacheSnapshot struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	InflightWaits int64
+	Size          int64
+}
+
+// Lookups returns the total number of serviced lookups.
+func (s CacheSnapshot) Lookups() int64 {
+	return s.Hits + s.Misses + s.InflightWaits
+}
+
+// HitRate returns the fraction of lookups that avoided a construction
+// (hits plus in-flight coalescing), or 0 for an idle cache.
+func (s CacheSnapshot) HitRate() float64 {
+	total := s.Lookups()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.InflightWaits) / float64(total)
+}
+
+// String renders the snapshot on one line for CLI reports.
+func (s CacheSnapshot) String() string {
+	return fmt.Sprintf("hits=%d misses=%d inflight-waits=%d evictions=%d size=%d hit-rate=%.1f%%",
+		s.Hits, s.Misses, s.InflightWaits, s.Evictions, s.Size, 100*s.HitRate())
+}

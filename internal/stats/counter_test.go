@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1005 {
+		t.Fatalf("count = %d, want %d", got, 8*1005)
+	}
+}
+
+func TestCacheSnapshot(t *testing.T) {
+	var cc CacheCounters
+	cc.Hits.Add(90)
+	cc.Misses.Add(8)
+	cc.InflightWaits.Add(2)
+	cc.Evictions.Add(3)
+	s := cc.Snapshot(7)
+	if s.Lookups() != 100 {
+		t.Fatalf("lookups = %d, want 100", s.Lookups())
+	}
+	if got := s.HitRate(); got != 0.92 {
+		t.Fatalf("hit rate = %v, want 0.92", got)
+	}
+	if s.Size != 7 || s.Evictions != 3 {
+		t.Fatalf("snapshot fields wrong: %+v", s)
+	}
+	str := s.String()
+	for _, want := range []string{"hits=90", "misses=8", "inflight-waits=2", "evictions=3", "size=7", "92.0%"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q: %s", want, str)
+		}
+	}
+}
+
+func TestCacheSnapshotIdle(t *testing.T) {
+	var cc CacheCounters
+	if got := cc.Snapshot(0).HitRate(); got != 0 {
+		t.Fatalf("idle hit rate = %v, want 0", got)
+	}
+}
