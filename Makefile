@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet race bench exps exps-csv fuzz exhaustive fmt tools
+.PHONY: all test vet race bench profile exps exps-csv fuzz exhaustive fmt tools
 
 all: vet test
 
@@ -19,6 +19,13 @@ race:
 # Quick-mode benchmarks, one per evaluation table/figure plus primitives.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Construction benchmarks under the CPU profiler; prints the top-10 by
+# cumulative time so hot spots are visible without opening the web UI.
+profile:
+	$(GO) test -bench='BenchmarkConstruct|BenchmarkBatch' -benchmem \
+		-cpuprofile=cpu.prof -o bench.test .
+	$(GO) tool pprof -top -nodecount=10 bench.test cpu.prof
 
 # Full-fidelity evaluation (regenerates every table in EXPERIMENTS.md).
 exps:

@@ -25,9 +25,17 @@ func main() {
 	m := flag.Int("m", 3, "son-cube dimension m (tree materialization needs m <= 4)")
 	rootSpec := flag.String("root", "0x0:0", "broadcast root x:y")
 	levels := flag.Bool("levels", false, "print per-level node counts")
+	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, flag.Args(), *m, *rootSpec, *levels); err != nil {
+	err := obsf.Activate()
+	if err == nil {
+		err = run(os.Stdout, flag.Args(), *m, *rootSpec, *levels)
+	}
+	if cerr := obsf.Close(os.Stdout); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hhcbcast:", err)
 		os.Exit(1)
 	}

@@ -33,6 +33,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text, csv, or md")
 	list := flag.Bool("list", false, "list the experiment catalogue and exit")
 	cacheReport := flag.Bool("cache", false, "benchmark the memoizing container cache (hit rate, cold vs warm speedup) and exit")
+	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -46,7 +47,22 @@ func main() {
 		return
 	}
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
-	if err := run(os.Stdout, flag.Args(), *expID, cfg, *format, *cacheReport); err != nil {
+	err := obsf.Activate()
+	if err == nil {
+		err = run(os.Stdout, flag.Args(), *expID, cfg, *format, *cacheReport)
+	}
+	if err == nil && obsf.Registry != nil {
+		// With instrumentation on, summarize the per-phase construction
+		// latency histograms before the raw dump: the headline numbers a
+		// perf PR wants, without parsing exposition format.
+		fmt.Println("observability summary (per-phase construction latency):")
+		err = obsf.Registry.WriteSummary(os.Stdout)
+		fmt.Println()
+	}
+	if cerr := obsf.Close(os.Stdout); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hhcbench:", err)
 		os.Exit(1)
 	}

@@ -33,9 +33,17 @@ func main() {
 	canon := flag.String("canon", "exact", "canonicalization: exact|full|off")
 	workers := flag.Int("workers", 0, "batch workers (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, flag.Args(), *m, *pairs, *rounds, *shards, *capacity, *canon, *workers, *seed); err != nil {
+	err := obsf.Activate()
+	if err == nil {
+		err = run(os.Stdout, flag.Args(), *m, *pairs, *rounds, *shards, *capacity, *canon, *workers, *seed)
+	}
+	if cerr := obsf.Close(os.Stdout); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hhccache:", err)
 		os.Exit(1)
 	}

@@ -24,9 +24,17 @@ func main() {
 	nodeSpec := flag.String("node", "", "optional node x:y whose neighborhood to print")
 	exact := flag.Bool("exact", false, "compute the exact diameter by all-source BFS (m <= 2)")
 	dist := flag.Bool("dist", false, "print the exact distance distribution (m <= 4)")
+	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, flag.Args(), *m, *nodeSpec, *exact, *dist); err != nil {
+	err := obsf.Activate()
+	if err == nil {
+		err = run(os.Stdout, flag.Args(), *m, *nodeSpec, *exact, *dist)
+	}
+	if cerr := obsf.Close(os.Stdout); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hhcinfo:", err)
 		os.Exit(1)
 	}

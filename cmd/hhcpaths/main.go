@@ -29,9 +29,17 @@ func main() {
 	strategy := flag.String("strategy", "ascending", "cyclic-order strategy: ascending|gray|nearest")
 	route := flag.Bool("route", false, "print one shortest path instead of the disjoint container")
 	jsonOut := flag.Bool("json", false, "emit the container as JSON for external tooling")
+	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, flag.Args(), *m, *uSpec, *vSpec, *strategy, *route, *jsonOut); err != nil {
+	err := obsf.Activate()
+	if err == nil {
+		err = run(os.Stdout, flag.Args(), *m, *uSpec, *vSpec, *strategy, *route, *jsonOut)
+	}
+	if cerr := obsf.Close(os.Stdout); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hhcpaths:", err)
 		os.Exit(1)
 	}

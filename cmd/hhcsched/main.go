@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hhcsched -t 8 -trace jobs.csv
+//	hhcsched -t 8 -jobs jobs.csv
 //	hhcsched -t 8 -synthetic 300 -seed 7       # generate & schedule
 //	hhcsched -t 8 -synthetic 300 -emit          # print the trace as CSV
 //
@@ -25,13 +25,23 @@ import (
 
 func main() {
 	t := flag.Int("t", 8, "super-cube dimension: the machine has 2^t son-cubes")
-	tracePath := flag.String("trace", "", "CSV job trace to schedule")
+	// The job-trace flag is -jobs (not -trace): -trace is the shared
+	// observability flag that streams JSONL spans.
+	tracePath := flag.String("jobs", "", "CSV job trace to schedule")
 	synthetic := flag.Int("synthetic", 0, "generate N synthetic jobs instead of reading a trace")
 	seed := flag.Int64("seed", 1, "synthetic trace seed")
 	emit := flag.Bool("emit", false, "print the synthetic trace as CSV and exit")
+	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, flag.Args(), *t, *tracePath, *synthetic, *seed, *emit); err != nil {
+	err := obsf.Activate()
+	if err == nil {
+		err = run(os.Stdout, flag.Args(), *t, *tracePath, *synthetic, *seed, *emit)
+	}
+	if cerr := obsf.Close(os.Stdout); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hhcsched:", err)
 		os.Exit(1)
 	}
@@ -47,7 +57,7 @@ func run(w io.Writer, args []string, t int, tracePath string, synthetic int, see
 	var jobs []sched.Job
 	switch {
 	case tracePath != "" && synthetic > 0:
-		return fmt.Errorf("pick one of -trace or -synthetic")
+		return fmt.Errorf("pick one of -jobs or -synthetic")
 	case tracePath != "":
 		f, err := os.Open(tracePath)
 		if err != nil {
@@ -61,7 +71,7 @@ func run(w io.Writer, args []string, t int, tracePath string, synthetic int, see
 	case synthetic > 0:
 		jobs = syntheticJobs(t, synthetic, seed)
 	default:
-		return fmt.Errorf("provide -trace FILE or -synthetic N")
+		return fmt.Errorf("provide -jobs FILE or -synthetic N")
 	}
 
 	if emit {

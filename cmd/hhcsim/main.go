@@ -7,17 +7,22 @@
 //
 //	hhcsim -m 3 -mode multi -flows 24 -msgs 60 -flits 256 -rate 0.001
 //	hhcsim -m 3 -mode fault-aware -faults 3
+//	hhcsim -m 4 -listen :6060          # live /metrics, /debug/vars, pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/cliutil"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,14 +37,43 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	switching := flag.String("switch", "saf", "switching: saf|cut-through")
 	pattern := flag.String("pattern", "uniform", "traffic: uniform|hotspot|complement|bit-reverse")
+	perflow := flag.Bool("perflow", true, "print the per-flow latency percentile table")
+	listen := flag.String("listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
+	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
+	// A listener needs the registry even without file sinks.
+	obsf.Force = *listen != ""
+	err := obsf.Activate()
+	var srv *http.Server
+	if err == nil && *listen != "" {
+		var addr string
+		srv, addr, err = cliutil.ServeObs(*listen, obsf.Registry)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "hhcsim: serving http://%s/metrics (also /debug/vars, /debug/pprof/)\n", addr)
+		}
+	}
 	opts := simOpts{
 		m: *m, mode: *mode, flows: *flows, msgs: *msgs, flits: *flits,
 		rate: *rate, faults: *faults, linkFaults: *linkFaults, seed: *seed,
-		switching: *switching, pattern: *pattern,
+		switching: *switching, pattern: *pattern, perflow: *perflow,
+		reg: obsf.Registry, tracer: obsf.Tracer,
 	}
-	if err := run(os.Stdout, flag.Args(), opts); err != nil {
+	if err == nil {
+		err = run(os.Stdout, flag.Args(), opts)
+	}
+	if err == nil && srv != nil {
+		// Keep the endpoints scrapeable after the run; Ctrl-C exits.
+		fmt.Fprintln(os.Stderr, "hhcsim: run complete, still serving (Ctrl-C to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		srv.Close()
+	}
+	if cerr := obsf.Close(os.Stdout); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hhcsim:", err)
 		os.Exit(1)
 	}
@@ -51,6 +85,9 @@ type simOpts struct {
 	rate                                      float64
 	seed                                      int64
 	mode, switching, pattern                  string
+	perflow                                   bool
+	reg                                       *obs.Registry
+	tracer                                    *obs.Tracer
 }
 
 func parseMode(s string) (netsim.RoutingMode, error) {
@@ -125,6 +162,8 @@ func run(w io.Writer, args []string, o simOpts) error {
 		FaultCount:      o.faults,
 		LinkFaultCount:  o.linkFaults,
 		Seed:            o.seed,
+		Obs:             o.reg,
+		Tracer:          o.tracer,
 	}
 	res, err := netsim.Run(cfg)
 	if err != nil {
@@ -136,10 +175,18 @@ func run(w io.Writer, args []string, o simOpts) error {
 	fmt.Fprintf(w, "  delivered        %d\n", res.Delivered)
 	fmt.Fprintf(w, "  dropped          %d (fault-blocked flows: %d)\n", res.Dropped, res.FaultBlocked)
 	fmt.Fprintf(w, "  avg latency      %.1f cycles\n", res.AvgLatency)
-	fmt.Fprintf(w, "  p95 latency      %d cycles\n", res.P95Latency)
+	fmt.Fprintf(w, "  latency p50/p95/p99  %d / %d / %d cycles\n", res.P50Latency, res.P95Latency, res.P99Latency)
 	fmt.Fprintf(w, "  max latency      %d cycles\n", res.MaxLatency)
 	fmt.Fprintf(w, "  makespan         %d cycles\n", res.Makespan)
 	fmt.Fprintf(w, "  goodput          %.3f flits/cycle\n", res.Throughput)
 	fmt.Fprintf(w, "  avg path hops    %.2f\n", res.AvgPathHops)
+	if o.perflow && len(res.PerFlow) > 0 {
+		fmt.Fprintf(w, "\n  %-5s %9s %9s %7s %8s %8s %8s\n",
+			"flow", "generated", "delivered", "dropped", "p50", "p95", "p99")
+		for i, fs := range res.PerFlow {
+			fmt.Fprintf(w, "  %-5d %9d %9d %7d %8d %8d %8d\n",
+				i, fs.Generated, fs.Delivered, fs.Dropped, fs.P50Latency, fs.P95Latency, fs.P99Latency)
+		}
+	}
 	return nil
 }

@@ -27,9 +27,19 @@ func main() {
 	uSpec := flag.String("u", "", "container source x:y")
 	vSpec := flag.String("v", "", "container destination x:y")
 	ring := flag.Int("ring", 0, "render the ring through 2^r son-cubes (r >= 2)")
+	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, flag.Args(), *m, *topology, *uSpec, *vSpec, *ring); err != nil {
+	err := obsf.Activate()
+	if err == nil {
+		err = run(os.Stdout, flag.Args(), *m, *topology, *uSpec, *vSpec, *ring)
+	}
+	// DOT goes to stdout, so pipelines should give -metrics a file path
+	// rather than '-' (which would interleave the dump with the graph).
+	if cerr := obsf.Close(os.Stdout); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hhcviz:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,64 @@
+package cache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hhc"
+	"repro/internal/obs"
+)
+
+// TestRegisterExportsCounters: Register re-exports the cache's own
+// counters through a registry via callbacks — snapshots must reflect live
+// values without the cache doing any double bookkeeping.
+func TestRegisterExportsCounters(t *testing.T) {
+	g, err := hhc.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.Register(reg)
+
+	u := hhc.Node{X: 0x00, Y: 0}
+	v := hhc.Node{X: 0x2a, Y: 3}
+	if _, err := c.Paths(u, v, core.Options{}); err != nil {
+		t.Fatal(err) // miss
+	}
+	if _, err := c.Paths(u, v, core.Options{}); err != nil {
+		t.Fatal(err) // hit
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"cache_hits_total 1",
+		"cache_misses_total 1",
+		"cache_entries 1",
+		"cache_hit_rate 0.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The callbacks are live: further traffic shows up on the next
+	// snapshot with no re-registration.
+	if _, err := c.Paths(u, v, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cache_hits_total 2") {
+		t.Errorf("second snapshot not live:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,133 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Obs is the shared observability wiring of the cmd/ binaries: the
+// -metrics and -trace flags, the registry and tracer behind them, and the
+// end-of-run dump. Usage pattern in every main:
+//
+//	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
+//	flag.Parse()
+//	obsf.Activate()                  // after parse, before work
+//	err := run(...)
+//	err = errors.Join(err, obsf.Close(os.Stdout))
+//
+// With neither flag given (and Force unset) the whole layer stays off:
+// Activate is a no-op, the construction hot path keeps its uninstrumented
+// branch, and Close does nothing.
+type Obs struct {
+	// MetricsPath is the -metrics value: a file to write the Prometheus
+	// text dump to on exit, or "-" for stdout.
+	MetricsPath string
+	// TracePath is the -trace value: a file that receives every completed
+	// span as one JSON line, streamed live, or "-" for stderr.
+	TracePath string
+	// Force activates the layer even without file sinks — set it before
+	// Activate when another consumer (an HTTP listener) needs the registry.
+	Force bool
+
+	// Registry and Tracer are non-nil after a successful Activate that
+	// found the layer enabled; nil otherwise.
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
+
+	traceFile *os.File
+}
+
+// RegisterObsFlags registers -metrics and -trace on fs and returns the
+// holder the binary activates after parsing.
+func RegisterObsFlags(fs *flag.FlagSet) *Obs {
+	o := &Obs{}
+	fs.StringVar(&o.MetricsPath, "metrics", "",
+		"write a metrics dump (Prometheus text format) to this file on exit; '-' = stdout")
+	fs.StringVar(&o.TracePath, "trace", "",
+		"stream construction-phase spans as JSON Lines to this file; '-' = stderr")
+	return o
+}
+
+// Enabled reports whether any observability sink was requested.
+func (o *Obs) Enabled() bool {
+	return o.MetricsPath != "" || o.TracePath != "" || o.Force
+}
+
+// Activate builds the registry and tracer and instruments the container
+// construction layer process-wide. A no-op when nothing was requested.
+func (o *Obs) Activate() error {
+	if !o.Enabled() {
+		return nil
+	}
+	o.Registry = obs.NewRegistry()
+	o.Tracer = obs.NewTracer(0)
+	switch o.TracePath {
+	case "":
+	case "-":
+		o.Tracer.StreamTo(os.Stderr)
+	default:
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		o.traceFile = f
+		o.Tracer.StreamTo(f)
+	}
+	core.SetObserver(core.NewObserver(o.Registry, o.Tracer))
+	return nil
+}
+
+// Close uninstalls the instrumentation, writes the metrics dump, and
+// closes the trace stream. stdout is the writer "-" dumps to (the tests
+// pass a buffer). Safe to call when Activate never ran.
+func (o *Obs) Close(stdout io.Writer) error {
+	if o.Registry == nil {
+		return nil
+	}
+	core.SetObserver(nil)
+	var firstErr error
+	switch o.MetricsPath {
+	case "":
+	case "-":
+		firstErr = o.Registry.WritePrometheus(stdout)
+	default:
+		f, err := os.Create(o.MetricsPath)
+		if err == nil {
+			err = o.Registry.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			firstErr = fmt.Errorf("-metrics: %w", err)
+		}
+	}
+	if o.traceFile != nil {
+		if err := o.traceFile.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("-trace: %w", err)
+		}
+		o.traceFile = nil
+	}
+	return firstErr
+}
+
+// ServeObs mounts reg's debug mux (/metrics, /debug/vars, /debug/pprof)
+// on addr and serves it in a background goroutine. It returns once the
+// listener is bound, so callers can print the resolved address (addr may
+// use port 0) before starting work.
+func ServeObs(addr string, reg *obs.Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("-listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: obs.Mux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hhc"
+	"repro/internal/obs"
 )
 
 // Batch construction: the per-pair work is small (tens of microseconds) but
@@ -52,24 +55,49 @@ func DisjointPathsBatchFunc(g *hhc.Graph, pairs []Pair, opt Options, workers int
 	if len(pairs) == 0 {
 		return results
 	}
+	o := observer.Load()
+	var batchStart time.Time
+	var sp *obs.Active
+	if o != nil {
+		batchStart = time.Now()
+		sp = o.Tracer.Start("batch",
+			obs.String("pairs", strconv.Itoa(len(pairs))),
+			obs.String("workers", strconv.Itoa(workers)))
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			if o != nil {
+				o.BatchWorkers.Inc()
+				defer o.BatchWorkers.Dec()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(pairs) {
 					return
 				}
 				p := pairs[i]
+				if o == nil {
+					paths, err := construct(g, p.U, p.V, opt)
+					results[i] = BatchResult{Pair: p, Paths: paths, Err: err}
+					continue
+				}
+				// Queue wait is measured from batch start to pickup: it
+				// grows along the queue and exposes worker starvation.
+				o.BatchQueueWait.ObserveDuration(time.Since(batchStart))
+				t0 := time.Now()
 				paths, err := construct(g, p.U, p.V, opt)
+				o.BatchBusyNanos.Add(int64(time.Since(t0)))
+				o.BatchItems.Inc()
 				results[i] = BatchResult{Pair: p, Paths: paths, Err: err}
 			}
 		}()
 	}
 	wg.Wait()
+	sp.End()
 	return results
 }
 

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/hhc"
 	"repro/internal/hypercube"
+	"repro/internal/obs"
 )
 
 // ErrSameNode is returned when asked to connect a node to itself.
@@ -157,14 +158,20 @@ func DisjointPathsOpt(g *hhc.Graph, u, v hhc.Node, opt Options) ([][]hhc.Node, e
 	if u == v {
 		return nil, ErrSameNode
 	}
+	o := observer.Load()
 	if u.X == v.X {
-		return sameCubePaths(g, u, v)
+		return sameCubePaths(g, u, v, o)
 	}
-	return crossCubePaths(g, u, v, opt)
+	return crossCubePaths(g, u, v, opt, o)
 }
 
-// sameCubePaths handles u = (a, α), v = (a, β), α ≠ β.
-func sameCubePaths(g *hhc.Graph, u, v hhc.Node) ([][]hhc.Node, error) {
+// sameCubePaths handles u = (a, α), v = (a, β), α ≠ β. The observed
+// variant lives in its own function so the uninstrumented body stays small
+// (no defer, no cold instrumentation code diluting the hot layout).
+func sameCubePaths(g *hhc.Graph, u, v hhc.Node, o *Observer) ([][]hhc.Node, error) {
+	if o != nil {
+		return sameCubePathsObserved(g, u, v, o)
+	}
 	m := g.M()
 	inner, err := hypercube.DisjointPaths(m, uint64(u.Y), uint64(v.Y), m)
 	if err != nil {
@@ -176,6 +183,20 @@ func sameCubePaths(g *hhc.Graph, u, v hhc.Node) ([][]hhc.Node, error) {
 	}
 	paths = append(paths, outsidePath(g, u, v))
 	return paths, nil
+}
+
+// sameCubePathsObserved wraps the plain construction in a span and the
+// same-cube latency histogram.
+func sameCubePathsObserved(g *hhc.Graph, u, v hhc.Node, o *Observer) ([][]hhc.Node, error) {
+	done := o.startPhase("construct", o.SameCube,
+		obs.String("kind", "same-cube"),
+		obs.String("u", g.FormatNode(u)), obs.String("v", g.FormatNode(v)))
+	defer done()
+	paths, err := sameCubePaths(g, u, v, nil)
+	if err != nil {
+		o.Errors.Inc()
+	}
+	return paths, err
 }
 
 // liftLocal embeds a Q_m vertex path into son-cube S_x.
@@ -210,20 +231,65 @@ func outsidePath(g *hhc.Graph, u, v hhc.Node) []hhc.Node {
 	return path
 }
 
-// crossCubePaths handles u = (a, α), v = (b, β) with a ≠ b.
-func crossCubePaths(g *hhc.Graph, u, v hhc.Node, opt Options) ([][]hhc.Node, error) {
+// crossCubePaths handles u = (a, α), v = (b, β) with a ≠ b. With no
+// observer installed this is exactly the original construction; the
+// per-phase instrumented variant is a separate function so the hot path
+// pays one branch and no extra code in its body.
+func crossCubePaths(g *hhc.Graph, u, v hhc.Node, opt Options, o *Observer) ([][]hhc.Node, error) {
+	if o != nil {
+		return crossCubePathsObserved(g, u, v, opt, o)
+	}
 	m, t := g.M(), g.T()
 	d := u.X ^ v.X
 	order := cyclicOrder(d, uint64(u.Y), opt.Order)
 	pref := detourPreference(t, uint64(u.Y), uint64(v.Y), opt.Detour, opt.ConfineDetours)
 	seqs, err := selectSupers(t, m+1, d, order, int(u.Y), int(v.Y), pref)
 	if err != nil {
-		if opt.ConfineDetours != 0 {
-			return nil, fmt.Errorf("%w: %v", ErrCannotConfine, err)
-		}
-		return nil, err
+		return nil, confineErr(opt, err)
 	}
 	return realize(g, u, v, seqs)
+}
+
+// crossCubePathsObserved is crossCubePaths with each phase timed into its
+// histogram and traced as a span.
+func crossCubePathsObserved(g *hhc.Graph, u, v hhc.Node, opt Options, o *Observer) ([][]hhc.Node, error) {
+	m, t := g.M(), g.T()
+	d := u.X ^ v.X
+
+	total := o.startPhase("construct", o.CrossCube,
+		obs.String("kind", "cross-cube"),
+		obs.String("u", g.FormatNode(u)), obs.String("v", g.FormatNode(v)))
+	defer total()
+
+	done := o.startPhase("derive", o.Derive)
+	order := cyclicOrder(d, uint64(u.Y), opt.Order)
+	pref := detourPreference(t, uint64(u.Y), uint64(v.Y), opt.Detour, opt.ConfineDetours)
+	done()
+
+	done = o.startPhase("select", o.Select)
+	seqs, err := selectSupers(t, m+1, d, order, int(u.Y), int(v.Y), pref)
+	done()
+	if err != nil {
+		o.Errors.Inc()
+		return nil, confineErr(opt, err)
+	}
+
+	done = o.startPhase("realize", o.Realize)
+	paths, err := realize(g, u, v, seqs)
+	done()
+	if err != nil {
+		o.Errors.Inc()
+	}
+	return paths, err
+}
+
+// confineErr tags selection failures of confined requests with
+// ErrCannotConfine so callers can distinguish "mask too tight" from bugs.
+func confineErr(opt Options, err error) error {
+	if opt.ConfineDetours != 0 {
+		return fmt.Errorf("%w: %v", ErrCannotConfine, err)
+	}
+	return err
 }
 
 // detourPreference orders the candidate detour dimensions by the strategy;

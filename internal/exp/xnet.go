@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/ccc"
 	"repro/internal/dessim"
@@ -40,7 +39,7 @@ func E15CrossNetworkDES(cfg Config) ([]*stats.Table, error) {
 				return nil, fmt.Errorf("exp: %s: %w", rt.name, err)
 			}
 			s := stats.SummarizeFloats(lat)
-			p95 := percentileFloat(lat, 0.95)
+			p95 := stats.Percentiles(lat, 95)[0]
 			tab.AddRow(m, rt.name, fmt.Sprintf("2^%d", rt.logNodes), flows, avgHops, s.Mean, p95)
 		}
 	}
@@ -165,18 +164,4 @@ func simulateNetwork(rt crossRouter, flows, msgs, flits int, rate float64, seed 
 		}
 	}
 	return float64(hopSum) / float64(hopCnt), latencies, nil
-}
-
-// percentileFloat returns the p-quantile (0..1) by nearest rank.
-func percentileFloat(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	idx := int(p*float64(len(sorted))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return sorted[idx]
 }

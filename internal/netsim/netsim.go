@@ -19,13 +19,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dessim"
 	"repro/internal/gen"
 	"repro/internal/hhc"
+	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // RoutingMode selects how messages are mapped onto paths.
@@ -148,14 +149,28 @@ type Config struct {
 	// exact canonicalization the simulation result is bit-identical to an
 	// uncached run; sharing the cache across runs amortizes construction.
 	Cache *cache.Cache
+	// Obs, when non-nil, receives the run's metrics under the netsim_*
+	// namespace: message counters, the delivered-latency histogram,
+	// fault-induced path prunes, and in-flight message occupancy. The
+	// metrics are registered when Run starts, so a live /metrics endpoint
+	// shows the run progressing. Nil disables metric collection entirely.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records one span per run phase (route
+	// precompute, workload build, simulate, aggregate).
+	Tracer *obs.Tracer
 }
 
-// FlowStats aggregates one flow's traffic.
+// FlowStats aggregates one flow's traffic. Latency percentiles are
+// nearest-rank over the flow's measured (post-warmup) deliveries, in
+// cycles; all zero when the flow had no measured delivery.
 type FlowStats struct {
 	Generated  int
 	Delivered  int
 	Dropped    int
 	AvgLatency float64 // over measured (post-warmup) deliveries; 0 if none
+	P50Latency int64
+	P95Latency int64
+	P99Latency int64
 }
 
 // Result aggregates a run.
@@ -164,7 +179,9 @@ type Result struct {
 	Delivered    int     // messages fully received
 	Dropped      int     // messages lost to faults
 	AvgLatency   float64 // mean delivery latency in cycles
+	P50Latency   int64   // median latency
 	P95Latency   int64   // 95th percentile latency
+	P99Latency   int64   // 99th percentile latency
 	MaxLatency   int64   // worst delivery latency
 	Makespan     int64   // cycle of last delivery
 	FlitsMoved   int64   // total flit·hops of delivered traffic
@@ -278,6 +295,12 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	metrics := newRunMetrics(cfg.Obs)
+	runSpan := cfg.Tracer.Start("netsim.run",
+		obs.String("mode", cfg.Mode.String()),
+		obs.String("m", fmt.Sprint(cfg.M)),
+		obs.String("flows", fmt.Sprint(cfg.Flows)))
+	defer runSpan.End()
 	r := rand.New(rand.NewSource(cfg.Seed))
 
 	// Flows: fixed endpoint pairs drawn per the traffic pattern.
@@ -288,6 +311,9 @@ func Run(cfg Config) (Result, error) {
 				return Result{}, fmt.Errorf("netsim: explicit flow pair %d invalid: %v -> %v", i, pr.U, pr.V)
 			}
 		}
+	}
+	if metrics != nil {
+		metrics.flows.Set(float64(cfg.Flows))
 	}
 	var protect []hhc.Node
 	for _, p := range pairs {
@@ -308,26 +334,30 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Cache != nil {
 		construct = cfg.Cache.Constructor()
 	}
+	routeSpan := cfg.Tracer.Start("netsim.routes")
 	flowPaths := make([][][]hhc.Node, cfg.Flows)
 	var res Result
 	var hopSum, hopCnt int64
 	for i, p := range pairs {
-		paths, err := flowRoutes(g, p.U, p.V, cfg.Mode, faults, linkFaults, construct)
+		paths, pruned, err := flowRoutes(g, p.U, p.V, cfg.Mode, faults, linkFaults, construct)
 		if err != nil {
 			return Result{}, err
 		}
+		metrics.addPrunes(int64(pruned))
 		flowPaths[i] = paths
 		for _, path := range paths {
 			hopSum += int64(len(path) - 1)
 			hopCnt++
 		}
 	}
+	routeSpan.End()
 	if hopCnt > 0 {
 		res.AvgPathHops = float64(hopSum) / float64(hopCnt)
 	}
 
 	// Build the packet workload (Poisson arrivals per flow) for the generic
 	// discrete-event engine; message metadata stays on this side.
+	workloadSpan := cfg.Tracer.Start("netsim.workload")
 	type msgMeta struct {
 		flow     int
 		created  int64
@@ -370,7 +400,12 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	workloadSpan.End()
+
+	simSpan := cfg.Tracer.Start("netsim.simulate",
+		obs.String("packets", fmt.Sprint(len(packets))))
 	done, links, err := dessim.SimulateEx(packets, len(metas), dessimSwitch(cfg.Switch))
+	simSpan.End()
 	if err != nil {
 		return Result{}, err
 	}
@@ -378,18 +413,22 @@ func Run(cfg Config) (Result, error) {
 		res.HottestLinkBusy = links[0].Busy
 	}
 
-	var latencies []int64
-	flowLatSum := make([]int64, cfg.Flows)
-	flowLatCnt := make([]int64, cfg.Flows)
+	aggSpan := cfg.Tracer.Start("netsim.aggregate")
+	var latencies []float64
+	flowLats := make([][]float64, cfg.Flows)
+	createdAt := make([]int64, len(metas))
 	for id, meta := range metas {
 		doneAt := done[id]
+		createdAt[id] = meta.created
 		res.Delivered++
 		res.PerFlow[meta.flow].Delivered++
 		lat := doneAt - meta.created
 		if meta.measured {
-			latencies = append(latencies, lat)
-			flowLatSum[meta.flow] += lat
-			flowLatCnt[meta.flow]++
+			latencies = append(latencies, float64(lat))
+			flowLats[meta.flow] = append(flowLats[meta.flow], float64(lat))
+			if metrics != nil {
+				metrics.latency.Observe(float64(lat))
+			}
 			if lat > res.MaxLatency {
 				res.MaxLatency = lat
 			}
@@ -400,27 +439,43 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	if len(latencies) > 0 {
-		var sum int64
+		var sum float64
 		for _, l := range latencies {
 			sum += l
 		}
-		res.AvgLatency = float64(sum) / float64(len(latencies))
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		idx := int(float64(len(latencies))*0.95) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		res.P95Latency = latencies[idx]
+		res.AvgLatency = sum / float64(len(latencies))
+		qs := stats.Percentiles(latencies, 50, 95, 99)
+		res.P50Latency, res.P95Latency, res.P99Latency = int64(qs[0]), int64(qs[1]), int64(qs[2])
 	}
 	if res.Makespan > 0 {
 		res.Throughput = float64(res.Delivered*cfg.MessageFlits) / float64(res.Makespan)
 		res.HottestLinkShare = float64(res.HottestLinkBusy) / float64(res.Makespan)
 	}
 	for i := range res.PerFlow {
-		if flowLatCnt[i] > 0 {
-			res.PerFlow[i].AvgLatency = float64(flowLatSum[i]) / float64(flowLatCnt[i])
+		lats := flowLats[i]
+		if len(lats) == 0 {
+			continue
 		}
+		var sum float64
+		for _, l := range lats {
+			sum += l
+		}
+		res.PerFlow[i].AvgLatency = sum / float64(len(lats))
+		qs := stats.Percentiles(lats, 50, 95, 99)
+		res.PerFlow[i].P50Latency = int64(qs[0])
+		res.PerFlow[i].P95Latency = int64(qs[1])
+		res.PerFlow[i].P99Latency = int64(qs[2])
 	}
+	if metrics != nil {
+		metrics.generated.Add(int64(res.Generated))
+		metrics.delivered.Add(int64(res.Delivered))
+		metrics.dropped.Add(int64(res.Dropped))
+		metrics.faultBlocked.Add(int64(res.FaultBlocked))
+		metrics.makespan.Set(float64(res.Makespan))
+		metrics.throughput.Set(res.Throughput)
+		metrics.occupancy(createdAt, done)
+	}
+	aggSpan.End()
 	return res, nil
 }
 
@@ -461,24 +516,26 @@ func randomLinkFaults(g *hhc.Graph, count int, protect []hhc.Node, seed int64) m
 }
 
 // flowRoutes computes the path set used by one flow under the given mode;
-// an empty set means the flow is completely blocked by faults. The m+1
-// container paths are node-disjoint, hence also link-disjoint, so the
-// f <= m survival guarantee covers link faults too.
-func flowRoutes(g *hhc.Graph, u, v hhc.Node, mode RoutingMode, faults map[hhc.Node]bool, linkFaults map[edgeKey]bool, construct core.Constructor) ([][]hhc.Node, error) {
+// an empty set means the flow is completely blocked by faults. pruned
+// counts the paths faults removed from consideration — the fault-induced
+// reroutes the observability layer reports. The m+1 container paths are
+// node-disjoint, hence also link-disjoint, so the f <= m survival
+// guarantee covers link faults too.
+func flowRoutes(g *hhc.Graph, u, v hhc.Node, mode RoutingMode, faults map[hhc.Node]bool, linkFaults map[edgeKey]bool, construct core.Constructor) (paths [][]hhc.Node, pruned int, err error) {
 	switch mode {
 	case SinglePath:
 		p, err := g.Route(u, v)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if pathBlocked(p, faults, linkFaults) {
-			return nil, nil
+			return nil, 1, nil
 		}
-		return [][]hhc.Node{p}, nil
+		return [][]hhc.Node{p}, 0, nil
 	case FaultAwareSingle:
-		paths, err := containerSurvivors(g, u, v, faults, linkFaults, construct)
+		paths, pruned, err := containerSurvivors(g, u, v, faults, linkFaults, construct)
 		if err != nil || len(paths) == 0 {
-			return nil, err
+			return nil, pruned, err
 		}
 		best := paths[0]
 		for _, p := range paths[1:] {
@@ -486,29 +543,29 @@ func flowRoutes(g *hhc.Graph, u, v hhc.Node, mode RoutingMode, faults map[hhc.No
 				best = p
 			}
 		}
-		return [][]hhc.Node{best}, nil
+		return [][]hhc.Node{best}, pruned, nil
 	case MultiPathStripe:
 		return containerSurvivors(g, u, v, faults, linkFaults, construct)
 	case AdaptiveLocal:
 		res, err := core.AdaptiveRoute(g, u, v, func(w hhc.Node) bool { return faults[w] }, 0)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if !res.Delivered || pathBlocked(res.Path, nil, linkFaults) {
-			return nil, nil
+			return nil, 1, nil
 		}
-		return [][]hhc.Node{res.Path}, nil
+		return [][]hhc.Node{res.Path}, 0, nil
 	default:
-		return nil, fmt.Errorf("netsim: unknown mode %v", mode)
+		return nil, 0, fmt.Errorf("netsim: unknown mode %v", mode)
 	}
 }
 
 // containerSurvivors constructs the container and filters out paths hit by
-// node or link faults.
-func containerSurvivors(g *hhc.Graph, u, v hhc.Node, faults map[hhc.Node]bool, linkFaults map[edgeKey]bool, construct core.Constructor) ([][]hhc.Node, error) {
+// node or link faults, reporting how many were pruned.
+func containerSurvivors(g *hhc.Graph, u, v hhc.Node, faults map[hhc.Node]bool, linkFaults map[edgeKey]bool, construct core.Constructor) ([][]hhc.Node, int, error) {
 	paths, err := construct(g, u, v, core.Options{})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var out [][]hhc.Node
 	for _, p := range paths {
@@ -516,7 +573,7 @@ func containerSurvivors(g *hhc.Graph, u, v hhc.Node, faults map[hhc.Node]bool, l
 			out = append(out, p)
 		}
 	}
-	return out, nil
+	return out, len(paths) - len(out), nil
 }
 
 func pathBlocked(p []hhc.Node, faults map[hhc.Node]bool, linkFaults map[edgeKey]bool) bool {

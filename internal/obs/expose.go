@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series within a family
+// sorted by label string, HELP strings and label values escaped, histogram
+// buckets cumulative with a trailing +Inf bucket plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, ls := range f.sortedLabels() {
+			s := f.series[ls]
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(bw, "%s %d\n", seriesName(f.name, ls, ""), s.counter.Load())
+			case s.counterFn != nil:
+				fmt.Fprintf(bw, "%s %d\n", seriesName(f.name, ls, ""), s.counterFn())
+			case s.gauge != nil:
+				fmt.Fprintf(bw, "%s %s\n", seriesName(f.name, ls, ""), formatFloat(s.gauge.Load()))
+			case s.gaugeFn != nil:
+				fmt.Fprintf(bw, "%s %s\n", seriesName(f.name, ls, ""), formatFloat(s.gaugeFn()))
+			case s.histogram != nil:
+				writeHistogram(bw, f.name, ls, s.histogram.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// seriesName renders name{labels,extra} with empty parts elided.
+func seriesName(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	default:
+		return base + "{" + labels + "," + extra + "}"
+	}
+}
+
+// writeHistogram emits the cumulative bucket series for one histogram.
+func writeHistogram(w io.Writer, base, labels string, s HistogramSnapshot) {
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		le := `le="` + formatFloat(bound) + `"`
+		fmt.Fprintf(w, "%s %d\n", seriesName(base+"_bucket", labels, le), cum)
+	}
+	fmt.Fprintf(w, "%s %d\n", seriesName(base+"_bucket", labels, `le="+Inf"`), s.Count)
+	fmt.Fprintf(w, "%s %s\n", seriesName(base+"_sum", labels, ""), formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s %d\n", seriesName(base+"_count", labels, ""), s.Count)
+}
+
+// jsonHistogram is the JSON shape of a histogram snapshot.
+type jsonHistogram struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+	P99     float64   `json:"p99"`
+}
+
+// WriteJSON renders an expvar-style JSON snapshot: one object keyed by
+// series name (labels included), counters and gauges as numbers,
+// histograms as {count, sum, bounds, buckets, p50, p95, p99}. Keys are
+// sorted (encoding/json sorts map keys), so output is stable.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := map[string]any{}
+	r.mu.RLock()
+	for _, f := range r.sortedFamilies() {
+		for _, ls := range f.sortedLabels() {
+			s := f.series[ls]
+			name := seriesName(f.name, ls, "")
+			switch {
+			case s.counter != nil:
+				out[name] = s.counter.Load()
+			case s.counterFn != nil:
+				out[name] = s.counterFn()
+			case s.gauge != nil:
+				out[name] = jsonFloat(s.gauge.Load())
+			case s.gaugeFn != nil:
+				out[name] = jsonFloat(s.gaugeFn())
+			case s.histogram != nil:
+				snap := s.histogram.Snapshot()
+				qs := snap.Percentiles(50, 95, 99)
+				out[name] = jsonHistogram{
+					Count: snap.Count, Sum: snap.Sum,
+					Bounds: snap.Bounds, Buckets: snap.Counts,
+					P50: jsonFloat(qs[0]), P95: jsonFloat(qs[1]), P99: jsonFloat(qs[2]),
+				}
+			}
+		}
+	}
+	r.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonFloat maps ±Inf (unrepresentable in JSON) onto the largest finite
+// float so encoding never fails.
+func jsonFloat(v float64) float64 {
+	const max = 1.7976931348623157e308
+	if v > max {
+		return max
+	}
+	if v < -max {
+		return -max
+	}
+	return v
+}
+
+// WriteSummary renders a compact human-readable report: counters and
+// gauges one per line, histograms with count, mean, and P50/P95/P99
+// estimated from the bucket counts (the percentile satellite of the
+// registry). Intended for `-metrics -` dumps read by people, not scrapers.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, f := range r.sortedFamilies() {
+		for _, ls := range f.sortedLabels() {
+			s := f.series[ls]
+			name := seriesName(f.name, ls, "")
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(bw, "%-12s %s = %d\n", "counter", name, s.counter.Load())
+			case s.counterFn != nil:
+				fmt.Fprintf(bw, "%-12s %s = %d\n", "counter", name, s.counterFn())
+			case s.gauge != nil:
+				fmt.Fprintf(bw, "%-12s %s = %s\n", "gauge", name, formatFloat(s.gauge.Load()))
+			case s.gaugeFn != nil:
+				fmt.Fprintf(bw, "%-12s %s = %s\n", "gauge", name, formatFloat(s.gaugeFn()))
+			case s.histogram != nil:
+				snap := s.histogram.Snapshot()
+				qs := snap.Percentiles(50, 95, 99)
+				fmt.Fprintf(bw, "%-12s %s: count=%d mean=%s p50=%s p95=%s p99=%s\n",
+					"histogram", name, snap.Count,
+					strconv.FormatFloat(snap.Mean(), 'g', 4, 64),
+					formatFloat(qs[0]), formatFloat(qs[1]), formatFloat(qs[2]))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SeriesNames returns every series name currently registered, sorted.
+// Handy for tests asserting a metric exists without parsing exposition.
+func (r *Registry) SeriesNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var names []string
+	for _, f := range r.families {
+		for ls := range f.series {
+			names = append(names, seriesName(f.name, ls, ""))
+		}
+	}
+	sort.Strings(names)
+	return names
+}

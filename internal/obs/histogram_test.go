@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestHistogramLeSemantics(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	h.Observe(0.5) // le=1
+	h.Observe(1)   // le=1: bounds are inclusive, Prometheus convention
+	h.Observe(1.5) // le=2
+	h.Observe(5)   // le=5
+	h.Observe(7)   // overflow
+	s := h.Snapshot()
+	if want := []int64{2, 1, 1, 1}; !reflect.DeepEqual(s.Counts, want) {
+		t.Errorf("bucket counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 15 {
+		t.Errorf("sum = %g, want 15", s.Sum)
+	}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("mean = %g, want 3", got)
+	}
+}
+
+func TestHistogramSortsBounds(t *testing.T) {
+	h := NewHistogram([]float64{5, 1, 2})
+	if want := []float64{1, 2, 5}; !reflect.DeepEqual(h.Snapshot().Bounds, want) {
+		t.Errorf("bounds = %v, want %v", h.Snapshot().Bounds, want)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(1.5)
+	}
+	h.Observe(100)
+	qs := h.Snapshot().Percentiles(50, 95, 99, 100)
+	// Estimates are bucket upper bounds: p50 -> le=1, p95/p99 -> le=2,
+	// p100 -> the overflow bucket, reported as +Inf.
+	if qs[0] != 1 || qs[1] != 2 || qs[2] != 2 {
+		t.Errorf("p50/p95/p99 = %v, want [1 2 2 ...]", qs)
+	}
+	if !math.IsInf(qs[3], 1) {
+		t.Errorf("p100 = %g, want +Inf (overflow bucket)", qs[3])
+	}
+}
+
+func TestHistogramEmptyPercentiles(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if qs := h.Snapshot().Percentiles(50, 99); qs[0] != 0 || qs[1] != 0 {
+		t.Errorf("empty histogram percentiles = %v, want zeros", qs)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 1})
+	h.ObserveDuration(2 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Counts[1] != 1 {
+		t.Errorf("2ms landed in %v, want le=1 bucket", s.Counts)
+	}
+	if math.Abs(s.Sum-0.002) > 1e-12 {
+		t.Errorf("sum = %g, want 0.002", s.Sum)
+	}
+}
+
+func TestBucketGenerators(t *testing.T) {
+	if got, want := ExponentialBuckets(1, 2, 4), []float64{1, 2, 4, 8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ExponentialBuckets = %v, want %v", got, want)
+	}
+	if got, want := LinearBuckets(10, 5, 3), []float64{10, 15, 20}; !reflect.DeepEqual(got, want) {
+		t.Errorf("LinearBuckets = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the registry as Prometheus text exposition.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves the expvar-style JSON snapshot.
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// Mux builds the standard debug mux for a long-running binary:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/vars    JSON snapshot of reg
+//	/debug/pprof/  the net/http/pprof profiler (heap, profile, trace, …)
+//
+// The pprof handlers are mounted explicitly so the binary never depends on
+// http.DefaultServeMux (which third-party imports can pollute).
+func Mux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.Handle("/debug/vars", reg.VarsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "A demo counter.").Add(3)
+	mux := Mux(reg)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, rec.Code)
+		}
+		return rec
+	}
+
+	rec := get("/metrics")
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "demo_total 3") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+
+	rec = get("/debug/vars")
+	var vars map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars["demo_total"] != float64(3) {
+		t.Errorf("/debug/vars demo_total = %v", vars["demo_total"])
+	}
+
+	if body := get("/debug/pprof/").Body.String(); !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%.200s", body)
+	}
+}

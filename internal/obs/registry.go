@@ -1,0 +1,344 @@
+// Package obs is the repository's dependency-free observability layer: a
+// concurrent registry of named counters, gauges, and fixed-bucket
+// histograms, plus a bounded span tracer for construction-phase timing.
+//
+// The registry renders two wire formats from one metric set: Prometheus
+// text exposition (for scraping a live binary) and an expvar-style JSON
+// snapshot (for /debug/vars and file dumps). Metric names may carry a
+// static label set in the usual brace syntax — "core_phase_seconds{phase=
+// \"realize\"}" — and every series with the same base name forms one
+// family sharing a TYPE and HELP line.
+//
+// All metric operations (Inc, Add, Set, Observe) are atomic, safe for
+// concurrent use, and nil-receiver safe: instrumented code may hold nil
+// metric pointers when observability is disabled and call them
+// unconditionally, so hot paths pay a single nil check instead of
+// branching per site.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event counter.
+// A nil Counter ignores writes and loads as zero.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative for a well-formed counter).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current count.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can move both ways.
+// A nil Gauge ignores writes and loads as zero.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (CAS loop; safe under concurrent Add/Set).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// kind discriminates metric families.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance within a family. Exactly one of the value
+// fields is set; fn-backed series are read at snapshot time.
+type series struct {
+	labels    string // canonical rendering, "" or `k="v",k2="v2"`
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+	counterFn func() int64
+	gaugeFn   func() float64
+}
+
+// family groups all series sharing a base metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series map[string]*series // keyed by canonical label string
+	order  []string           // label strings in first-registration order
+}
+
+// Registry is a concurrent collection of metric families. The zero value
+// is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// splitName separates "base{k=\"v\"}" into the base name and a canonical
+// label string. Labels are sorted by key so spelling order never creates
+// duplicate series.
+func splitName(name string) (base, labels string, err error) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, "", nil
+	}
+	if !strings.HasSuffix(name, "}") {
+		return "", "", fmt.Errorf("obs: malformed metric name %q", name)
+	}
+	base = name[:i]
+	inner := name[i+1 : len(name)-1]
+	if inner == "" {
+		return base, "", nil
+	}
+	pairs, err := parseLabels(inner)
+	if err != nil {
+		return "", "", fmt.Errorf("obs: metric %q: %w", name, err)
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a][0] < pairs[b][0] })
+	parts := make([]string, len(pairs))
+	for j, p := range pairs {
+		parts[j] = p[0] + `="` + escapeLabel(p[1]) + `"`
+	}
+	return base, strings.Join(parts, ","), nil
+}
+
+// parseLabels parses `k="v",k2="v2"`. Values may contain escaped quotes.
+func parseLabels(s string) ([][2]string, error) {
+	var pairs [][2]string
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("label list %q: missing '='", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("label %q: value must be quoted", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("label %q: unterminated value", key)
+		}
+		pairs = append(pairs, [2]string{key, val.String()})
+		rest = rest[i+1:]
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		s = strings.TrimSpace(rest)
+	}
+	return pairs, nil
+}
+
+// escapeLabel escapes a label value for text exposition.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string for text exposition.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// getOrCreate returns the series for name, creating family and series as
+// needed. build constructs the value on first registration. A name
+// registered twice with a different kind panics: that is a programming
+// error, the same class as a duplicate expvar name.
+func (r *Registry) getOrCreate(name, help string, k kind, build func() *series) *series {
+	base, labels, err := splitName(name)
+	if err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[base]
+	if !ok {
+		f = &family{name: base, help: help, kind: k, series: make(map[string]*series)}
+		r.families[base] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", base, f.kind, k))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	s, ok := f.series[labels]
+	if !ok {
+		s = build()
+		s.labels = labels
+		f.series[labels] = s
+		f.order = append(f.order, labels)
+	}
+	return s
+}
+
+// Counter returns the counter named name (optionally labeled), creating it
+// on first use. help is recorded on first registration.
+func (r *Registry) Counter(name, help string) *Counter {
+	s := r.getOrCreate(name, help, kindCounter, func() *series {
+		return &series{counter: &Counter{}}
+	})
+	if s.counter == nil {
+		panic(fmt.Sprintf("obs: counter %q already registered as a callback", name))
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge named name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	s := r.getOrCreate(name, help, kindGauge, func() *series {
+		return &series{gauge: &Gauge{}}
+	})
+	if s.gauge == nil {
+		panic(fmt.Sprintf("obs: gauge %q already registered as a callback", name))
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram named name with the given bucket upper
+// bounds (ascending; an implicit +Inf overflow bucket is appended),
+// creating it on first use. Later calls ignore buckets and return the
+// existing histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	s := r.getOrCreate(name, help, kindHistogram, func() *series {
+		return &series{histogram: NewHistogram(buckets)}
+	})
+	return s.histogram
+}
+
+// CounterFunc registers a callback-backed counter: fn is read at snapshot
+// time. Use it to re-export counters owned by another layer (the container
+// cache) without double bookkeeping. fn must not touch the registry.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.getOrCreate(name, help, kindCounter, func() *series {
+		return &series{counterFn: fn}
+	})
+}
+
+// GaugeFunc registers a callback-backed gauge (e.g. a cache's live size).
+// fn must not touch the registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.getOrCreate(name, help, kindGauge, func() *series {
+		return &series{gaugeFn: fn}
+	})
+}
+
+// sortedFamilies snapshots the family list in name order.
+// Caller must hold at least the read lock.
+func (r *Registry) sortedFamilies() []*family {
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedLabels returns a family's label strings in sorted order, so
+// exposition is stable regardless of registration order.
+func (f *family) sortedLabels() []string {
+	ls := append([]string(nil), f.order...)
+	sort.Strings(ls)
+	return ls
+}
+
+// formatFloat renders a sample value the way Prometheus clients do.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every series shape the
+// exposition writer handles: plain and labeled counters, gauges, callback
+// metrics, escaping in HELP and label values, and a histogram whose
+// buckets must render cumulatively.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("requests_total", "Requests served.").Add(42)
+	// Registered in non-sorted label spelling; exposition must canonicalize.
+	r.Counter(`rpc_total{zone="west",method="get"}`, "RPCs by site.").Add(7)
+	r.Counter(`rpc_total{method="put",zone="east"}`, "").Add(3)
+	r.Gauge(`temperature{sensor="a\"b\\c"}`, "Escaping: quote and backslash.").Set(-1.5)
+	r.CounterFunc("cache_hits_total", "Callback-backed counter.", func() int64 { return 11 })
+	r.GaugeFunc("cache_entries", "Callback-backed gauge.", func() float64 { return 5 })
+	h := r.Histogram("latency_seconds", `Help with a backslash \ in it.`, []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 7} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update ./internal/obs` to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// Rendering twice must be byte-identical: map iteration order must not
+	// leak into the output.
+	var again bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renderings of the same metric set differ")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if got := out["requests_total"]; got != float64(42) {
+		t.Errorf("requests_total = %v, want 42", got)
+	}
+	if got := out["cache_hits_total"]; got != float64(11) {
+		t.Errorf("cache_hits_total = %v, want 11", got)
+	}
+	hist, ok := out["latency_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("latency_seconds = %T, want object", out["latency_seconds"])
+	}
+	if hist["count"] != float64(4) {
+		t.Errorf("histogram count = %v, want 4", hist["count"])
+	}
+	// p50 of {0.5,1,1.5,7} in buckets {1,2,5,+Inf}: rank 2 lands in the
+	// le=1 bucket, p99 lands in the overflow bucket, clamped to max finite.
+	if hist["p50"] != float64(1) {
+		t.Errorf("histogram p50 = %v, want 1", hist["p50"])
+	}
+}
+
+func TestLabelCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(`x_total{b="2",a="1"}`, "")
+	b := r.Counter(`x_total{a="1",b="2"}`, "")
+	if a != b {
+		t.Error("label spelling order created two series")
+	}
+	a.Inc()
+	if b.Load() != 1 {
+		t.Error("canonicalized series do not share state")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name as two kinds did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestMalformedNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("malformed metric name did not panic")
+		}
+	}()
+	r.Counter(`broken{a="1"`, "")
+}
+
+func TestSeriesNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "")
+	r.Counter(`a_total{k="v"}`, "")
+	want := []string{`a_total{k="v"}`, "b_total"}
+	if got := r.SeriesNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("SeriesNames() = %v, want %v", got, want)
+	}
+}
+
+// TestNilMetricsSafe: disabled instrumentation holds nil metric pointers
+// and calls them unconditionally; none of that may crash or misbehave.
+func TestNilMetricsSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Error("nil counter loads nonzero")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	g.Inc()
+	g.Dec()
+	if g.Load() != 0 {
+		t.Error("nil gauge loads nonzero")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(0)
+	if h.Count() != 0 {
+		t.Error("nil histogram counts")
+	}
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Error("nil histogram snapshot not empty")
+	}
+}

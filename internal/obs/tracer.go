@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"-"`
+	Value string `json:"-"`
+}
+
+// String builds an Attr (named after the OpenTelemetry helper it mirrors).
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one completed named phase.
+type Span struct {
+	Name  string `json:"name"`
+	Start int64  `json:"start_ns"` // wall-clock unix nanoseconds
+	Dur   int64  `json:"dur_ns"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// MarshalJSON renders Attrs as a flat object, so JSONL lines read
+// {"name":"realize","start_ns":...,"dur_ns":...,"attrs":{"u":"0x2a:3"}}.
+func (s Span) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Name  string            `json:"name"`
+		Start int64             `json:"start_ns"`
+		Dur   int64             `json:"dur_ns"`
+		Attrs map[string]string `json:"attrs,omitempty"`
+	}
+	a := alias{Name: s.Name, Start: s.Start, Dur: s.Dur}
+	if len(s.Attrs) > 0 {
+		a.Attrs = make(map[string]string, len(s.Attrs))
+		for _, at := range s.Attrs {
+			a.Attrs[at.Key] = at.Value
+		}
+	}
+	return json.Marshal(a)
+}
+
+// Tracer records named phases into a bounded in-memory ring and, when a
+// stream writer is attached, emits each completed span as one JSON line.
+// All methods are safe for concurrent use and safe on a nil receiver, so
+// instrumented code never branches on whether tracing is enabled.
+type Tracer struct {
+	mu     sync.Mutex
+	ring   []Span
+	next   int // ring insertion cursor
+	total  int64
+	stream *json.Encoder
+	flush  func() error
+}
+
+// NewTracer creates a tracer whose ring keeps the last capacity completed
+// spans (capacity <= 0 selects 4096).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{ring: make([]Span, 0, capacity)}
+}
+
+// StreamTo attaches a JSONL sink: every span completed from now on is
+// written as one JSON object per line. The tracer serializes writes; w
+// need not be concurrency-safe. Pass nil to detach.
+func (t *Tracer) StreamTo(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w == nil {
+		t.stream = nil
+		t.flush = nil
+		return
+	}
+	t.stream = json.NewEncoder(w)
+	if f, ok := w.(interface{ Flush() error }); ok {
+		t.flush = f.Flush
+	} else {
+		t.flush = nil
+	}
+}
+
+// Active is an in-flight span returned by Start. End completes it.
+// A nil Active (from a nil Tracer) ignores all calls.
+type Active struct {
+	t     *Tracer
+	span  Span
+	start time.Time
+}
+
+// Start opens a span. The returned Active must be completed with End;
+// attrs set at Start are recorded on the completed span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Active {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	return &Active{t: t, start: now, span: Span{Name: name, Start: now.UnixNano(), Attrs: attrs}}
+}
+
+// SetAttr adds an annotation to an in-flight span.
+func (a *Active) SetAttr(key, value string) {
+	if a == nil {
+		return
+	}
+	a.span.Attrs = append(a.span.Attrs, Attr{Key: key, Value: value})
+}
+
+// End completes the span, recording it in the ring and streaming it if a
+// sink is attached.
+func (a *Active) End() {
+	if a == nil {
+		return
+	}
+	a.span.Dur = int64(time.Since(a.start))
+	a.t.record(a.span)
+}
+
+// record appends a completed span.
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	if t.stream != nil {
+		// A broken sink must not take down the instrumented program; the
+		// ring still retains the span.
+		_ = t.stream.Encode(s)
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans oldest-first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Total returns the number of spans ever completed (including those the
+// ring has dropped).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// WriteJSONL dumps the retained spans to w, one JSON object per line —
+// for end-of-run dumps when no live stream was attached.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes the attached stream sink, if it supports flushing.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	f := t.flush
+	t.mu.Unlock()
+	if f != nil {
+		return f()
+	}
+	return nil
+}

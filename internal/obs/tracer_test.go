@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		sp := tr.Start("s" + strconv.Itoa(i))
+		sp.End()
+	}
+	if tr.Total() != 6 {
+		t.Errorf("Total = %d, want 6", tr.Total())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := "s" + strconv.Itoa(i+2); s.Name != want {
+			t.Errorf("spans[%d] = %q, want %q (oldest-first after wrap)", i, s.Name, want)
+		}
+	}
+}
+
+func TestTracerStreamJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(8)
+	tr.StreamTo(&buf)
+	sp := tr.Start("realize", String("u", "0x2a:3"))
+	sp.SetAttr("v", "0x07:1")
+	sp.End()
+	tr.Start("verify").End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("streamed %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var got struct {
+		Name  string            `json:"name"`
+		Start int64             `json:"start_ns"`
+		Dur   int64             `json:"dur_ns"`
+		Attrs map[string]string `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("line is not JSON: %v\n%s", err, lines[0])
+	}
+	if got.Name != "realize" || got.Start == 0 || got.Dur < 0 {
+		t.Errorf("span = %+v", got)
+	}
+	if got.Attrs["u"] != "0x2a:3" || got.Attrs["v"] != "0x07:1" {
+		t.Errorf("attrs = %v, want flat object with u and v", got.Attrs)
+	}
+}
+
+func TestTracerWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Start("a").End()
+	tr.Start("b").End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Errorf("dump has %d lines, want 2:\n%s", n, buf.String())
+	}
+}
+
+func TestTracerStreamDetach(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(8)
+	tr.StreamTo(&buf)
+	tr.Start("kept").End()
+	tr.StreamTo(nil)
+	tr.Start("dropped").End()
+	if strings.Contains(buf.String(), "dropped") {
+		t.Error("span streamed after detach")
+	}
+	if len(tr.Spans()) != 2 {
+		t.Errorf("ring lost spans on detach: %d", len(tr.Spans()))
+	}
+}
+
+// TestNilTracerSafe: a nil tracer and the nil Active it returns must
+// absorb the whole span API.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.StreamTo(nil)
+	sp := tr.Start("x", String("k", "v"))
+	sp.SetAttr("k2", "v2")
+	sp.End()
+	if tr.Spans() != nil || tr.Total() != 0 {
+		t.Error("nil tracer retained spans")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Error(err)
+	}
+}

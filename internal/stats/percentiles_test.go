@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestPercentilesNearestRank(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	got := Percentiles(xs, 5, 30, 40, 50, 100)
+	// Nearest rank: ceil(p/100 * 5) -> ranks 1, 2, 2, 3, 5.
+	want := []float64{15, 20, 20, 35, 50}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Percentiles = %v, want %v", got, want)
+	}
+}
+
+func TestPercentilesEdges(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := Percentiles(xs, 0, -5, 100, 150)
+	if want := []float64{1, 1, 3, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("edge percentiles = %v, want %v", got, want)
+	}
+	if got := Percentiles(nil, 50, 99); !reflect.DeepEqual(got, []float64{0, 0}) {
+		t.Errorf("empty sample = %v, want zeros", got)
+	}
+	// Input must not be mutated (sorted copy).
+	if !reflect.DeepEqual(xs, []float64{3, 1, 2}) {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+// TestWeightedMatchesExpanded: weighted percentiles must agree with the
+// plain implementation on the expanded sample, for any percentile.
+func TestWeightedMatchesExpanded(t *testing.T) {
+	values := []float64{10, 1, 5}
+	weights := []int64{3, 2, 4}
+	var expanded []float64
+	for i, v := range values {
+		for k := int64(0); k < weights[i]; k++ {
+			expanded = append(expanded, v)
+		}
+	}
+	ps := []float64{1, 10, 25, 50, 75, 90, 99, 100}
+	got := WeightedPercentiles(values, weights, ps...)
+	want := Percentiles(expanded, ps...)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("weighted %v != expanded %v", got, want)
+	}
+}
+
+func TestWeightedPercentilesZeroWeights(t *testing.T) {
+	got := WeightedPercentiles([]float64{1, 2, 3}, []int64{0, 5, 0}, 50, 100)
+	if want := []float64{2, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("zero-weight values leaked in: %v, want %v", got, want)
+	}
+	if got := WeightedPercentiles([]float64{1}, []int64{0}, 50); got[0] != 0 {
+		t.Errorf("all-zero weights = %v, want 0", got)
+	}
+}
+
+func TestWeightedPercentilesInfinity(t *testing.T) {
+	// The obs histogram overflow bucket reports +Inf; the tail percentile
+	// must surface it rather than a finite bound.
+	got := WeightedPercentiles([]float64{1, math.Inf(1)}, []int64{99, 1}, 50, 100)
+	if got[0] != 1 || !math.IsInf(got[1], 1) {
+		t.Errorf("got %v, want [1 +Inf]", got)
+	}
+}
+
+func TestWeightedPercentilesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	WeightedPercentiles([]float64{1, 2}, []int64{1}, 50)
+}
+
+// TestPercentileDelegation: the original int API is now a veneer over
+// Percentiles and must keep its nearest-rank behavior.
+func TestPercentileDelegation(t *testing.T) {
+	xs := []int{9, 1, 5, 3, 7}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("Percentile(50) = %d, want 5", got)
+	}
+	if got := Percentile(xs, 100); got != 9 {
+		t.Errorf("Percentile(100) = %d, want 9", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(empty) = %d, want 0", got)
+	}
+}

@@ -51,19 +51,94 @@ func Percentile(xs []int, p float64) int {
 	if len(xs) == 0 {
 		return 0
 	}
-	sorted := append([]int(nil), xs...)
-	sort.Ints(sorted)
-	if p <= 0 {
-		return sorted[0]
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
 	}
-	if p >= 100 {
-		return sorted[len(sorted)-1]
+	return int(Percentiles(fs, p)[0])
+}
+
+// Percentiles returns the requested percentiles (0 <= p <= 100) of the
+// sample by nearest rank, one result per requested p. The sample is
+// copied, not mutated. An empty sample yields zeros. This is the single
+// percentile implementation of the repository: Summary tables, the netsim
+// latency report, and obs histogram snapshots all route through it.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	if len(xs) == 0 {
+		return make([]float64, len(ps))
 	}
-	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if rank < 0 {
-		rank = 0
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	weights := make([]int64, len(sorted))
+	for i := range weights {
+		weights[i] = 1
 	}
-	return sorted[rank]
+	return weightedFromSorted(sorted, weights, ps)
+}
+
+// WeightedPercentiles returns nearest-rank percentiles over a weighted
+// sample: values[i] occurs weights[i] times. This is how fixed-bucket
+// histograms (internal/obs) estimate percentiles — each bucket's upper
+// bound weighted by its count. Values need not be sorted; zero-weight
+// values are ignored. values and weights must have equal length.
+func WeightedPercentiles(values []float64, weights []int64, ps ...float64) []float64 {
+	if len(values) != len(weights) {
+		panic("stats: WeightedPercentiles: len(values) != len(weights)")
+	}
+	type vw struct {
+		v float64
+		w int64
+	}
+	pairs := make([]vw, 0, len(values))
+	for i, v := range values {
+		if weights[i] > 0 {
+			pairs = append(pairs, vw{v, weights[i]})
+		}
+	}
+	if len(pairs) == 0 {
+		return make([]float64, len(ps))
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	vs := make([]float64, len(pairs))
+	ws := make([]int64, len(pairs))
+	for i, p := range pairs {
+		vs[i], ws[i] = p.v, p.w
+	}
+	return weightedFromSorted(vs, ws, ps)
+}
+
+// weightedFromSorted resolves nearest-rank percentiles over values sorted
+// ascending with positive weights: the p-th percentile is the first value
+// whose cumulative weight reaches ceil(p/100 × total).
+func weightedFromSorted(values []float64, weights []int64, ps []float64) []float64 {
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	out := make([]float64, len(ps))
+	for k, p := range ps {
+		switch {
+		case p <= 0:
+			out[k] = values[0]
+			continue
+		case p >= 100:
+			out[k] = values[len(values)-1]
+			continue
+		}
+		rank := int64(math.Ceil(p / 100 * float64(total)))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum int64
+		for i, w := range weights {
+			cum += w
+			if cum >= rank {
+				out[k] = values[i]
+				break
+			}
+		}
+	}
+	return out
 }
 
 // SummarizeFloats aggregates a float sample.
