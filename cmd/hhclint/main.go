@@ -1,0 +1,136 @@
+// Command hhclint runs the repository's invariant analyzers over Go
+// packages and reports findings in the conventional file:line:col form.
+//
+// Usage:
+//
+//	hhclint [-json] [packages...]
+//
+// Package patterns are resolved by `go list` (default "./..."). The exit
+// status is 0 when the tree is clean, 1 when any analyzer fired, and 2
+// when packages failed to load or type-check. Findings can be suppressed
+// line-by-line with a justified directive:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// Unlike the other cmd/ binaries, hhclint takes positional arguments (the
+// package patterns) and carries no -metrics/-trace flags: it is a build
+// tool, not a workload.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicalign"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/layering"
+	"repro/internal/analysis/nodefmt"
+	"repro/internal/analysis/obscost"
+)
+
+// analyzers is the shipped rule suite.
+var analyzers = []*analysis.Analyzer{
+	atomicalign.Analyzer,
+	determinism.Analyzer,
+	layering.Analyzer,
+	nodefmt.Analyzer,
+	obscost.Analyzer,
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (for dashboards and CI tooling)")
+	flag.Usage = usage
+	flag.Parse()
+	code, err := run(os.Stdout, flag.Args(), *jsonOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hhclint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "usage: hhclint [-json] [packages...]\n\nAnalyzers:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+	flag.PrintDefaults()
+}
+
+// jsonFinding is the -json wire form: the position is flattened so
+// consumers need no knowledge of go/token.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// run executes the suite and writes findings to w. The int is the process
+// exit code for a successful run (0 clean, 1 findings); a non-nil error
+// means the analysis itself could not complete.
+func run(w io.Writer, patterns []string, jsonOut bool) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.Errs) > 0 {
+			return 0, fmt.Errorf("%s does not type-check: %w", pkg.Path, pkg.Errs[0])
+		}
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	if jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     relPath(f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, f := range findings {
+			f.Pos.Filename = relPath(f.Pos.Filename)
+			fmt.Fprintln(w, f)
+		}
+	}
+	if len(findings) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// relPath shortens an absolute position to a working-directory-relative
+// one when possible, keeping output stable across checkouts.
+func relPath(p string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return p
+	}
+	if rel, err := filepath.Rel(wd, p); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return p
+}

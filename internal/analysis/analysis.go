@@ -1,0 +1,115 @@
+// Package analysis is a minimal, dependency-free static-analysis framework
+// for this repository's own invariants: the conventions the compiler cannot
+// see but the correctness story rests on (layering, observability cost
+// discipline, simulator determinism, node formatting, atomic alignment).
+//
+// It deliberately does not depend on golang.org/x/tools — packages are
+// enumerated with `go list -json`, parsed with go/parser, and type-checked
+// with go/types over the stdlib source importer, keeping go.mod free of
+// external requirements. The shape mirrors x/tools/go/analysis (Analyzer,
+// Pass, Reportf) so analyzers could migrate if the zero-dep policy is ever
+// relaxed.
+//
+// Findings can be suppressed at the offending line (or the line above it)
+// with a staticcheck-style directive naming the analyzer and a reason:
+//
+//	//lint:ignore nodefmt the raw word is the whole point here
+//
+// A directive with no reason is ignored, so suppressions stay auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and lint:ignore directives.
+	Name string
+	// Doc is the one-line rule statement shown by hhclint's usage text.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the import path the package was checked under. Analyzers
+	// scope their rules by it (e.g. obscost only guards repro/internal/).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one diagnostic: which analyzer fired, where, and why.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+// String renders the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package, drops suppressed findings,
+// and returns the rest sorted by position. Analyzer errors (not findings —
+// failures of the analyzer itself) are returned after all packages ran.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	var firstErr error
+	for _, pkg := range pkgs {
+		sup := newSuppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(f Finding) {
+				if !sup.suppressed(f) {
+					findings = append(findings, f)
+				}
+			}
+			if err := a.Run(pass); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, firstErr
+}

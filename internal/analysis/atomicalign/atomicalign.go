@@ -1,0 +1,132 @@
+// Package atomicalign guards the 32-bit builds. On 386 and 32-bit ARM the
+// sync/atomic 64-bit operations fault unless their operand is 64-bit
+// aligned, and the compiler only guarantees that for the first word of an
+// allocation — a struct field at offset 4 compiles everywhere and crashes
+// on the first Add. The analyzer finds every &struct.field handed to a
+// 64-bit sync/atomic function and checks the field's offset under 386
+// layout rules, whatever GOARCH the analysis itself runs on.
+//
+// The typed wrappers (atomic.Int64, atomic.Uint64) carry their own
+// alignment and are always safe; this rule only concerns the raw
+// *int64/*uint64 function forms.
+package atomicalign
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// banned64 are the sync/atomic functions whose operand must be 8-aligned.
+var banned64 = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// sizes32 computes layout the way the gc compiler does on GOARCH=386.
+var sizes32 = types.SizesFor("gc", "386")
+
+// Analyzer is the 32-bit alignment rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit sync/atomic operands that are struct fields must be 64-bit aligned on 32-bit targets",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !banned64[fn.Name()] {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			fieldSel, ok := addr.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pass.Info.Selections[fieldSel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			off, ok := exprOffset386(pass, fieldSel)
+			if ok && off%8 != 0 {
+				pass.Reportf(call.Pos(),
+					"atomic.%s on field %s at 386 offset %d (not 64-bit aligned); move 64-bit fields first or pad, or use atomic.Int64/Uint64",
+					fn.Name(), selection.Obj().Name(), off)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exprOffset386 resolves the selected field's byte offset within the
+// allocation that contains it under 32-bit layout. Implicit embedding is
+// handled by the selection's index chain; explicit chains through struct
+// values (o.in.v) are nested single-step selections, so the base
+// selector's own offset is accumulated recursively. A pointer hop — base
+// of pointer type — starts a fresh allocation, whose first word is the
+// one placement the runtime does guarantee to be aligned.
+func exprOffset386(pass *analysis.Pass, sel *ast.SelectorExpr) (int64, bool) {
+	selection := pass.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return 0, false
+	}
+	off, ok := chainOffset386(selection)
+	if !ok {
+		return 0, false
+	}
+	if base, isSel := sel.X.(*ast.SelectorExpr); isSel {
+		bt := pass.Info.Types[base].Type
+		if bt != nil {
+			if _, isPtr := bt.Underlying().(*types.Pointer); !isPtr {
+				if boff, bok := exprOffset386(pass, base); bok {
+					off += boff
+				}
+			}
+		}
+	}
+	return off, true
+}
+
+// chainOffset386 resolves one selection's byte offset relative to its
+// receiver, following the (possibly embedded) index chain.
+func chainOffset386(sel *types.Selection) (int64, bool) {
+	t := sel.Recv()
+	var off int64
+	for _, idx := range sel.Index() {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			// An embedded-pointer hop is a separate allocation; the offset
+			// chain restarts and the outer layout no longer matters.
+			t = p.Elem()
+			off = 0
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		off += sizes32.Offsetsof(fields)[idx]
+		t = st.Field(idx).Type()
+	}
+	return off, true
+}

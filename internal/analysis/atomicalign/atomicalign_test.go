@@ -1,0 +1,23 @@
+package atomicalign_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicalign"
+)
+
+func TestAlignment(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/align", "repro/internal/fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := analysis.CheckWant(pkg, atomicalign.Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

@@ -1,0 +1,60 @@
+// Package align exercises the 386 offset computation.
+package align
+
+import "sync/atomic"
+
+type bad struct {
+	ready int32
+	n     int64 // offset 4 on 386: int64 aligns to 4 there
+}
+
+func Add(b *bad) {
+	atomic.AddInt64(&b.n, 1) // want `atomic\.AddInt64 on field n at 386 offset 4`
+}
+
+type worse struct {
+	a, b, c int32
+	hits    uint64 // offset 12 on 386
+}
+
+func Load(w *worse) uint64 {
+	return atomic.LoadUint64(&w.hits) // want `atomic\.LoadUint64 on field hits at 386 offset 12`
+}
+
+type outer struct {
+	tag int32
+	in  inner // starts at offset 4
+}
+
+type inner struct {
+	v int64
+}
+
+func Nested(o *outer) {
+	atomic.StoreInt64(&o.in.v, 9) // want `atomic\.StoreInt64 on field v at 386 offset 4`
+}
+
+type good struct {
+	n     int64 // first word of the allocation: guaranteed aligned
+	ready int32
+}
+
+func Ok(g *good) {
+	atomic.AddInt64(&g.n, 1)
+}
+
+type wrapped struct {
+	pad int32
+	v   atomic.Int64 // typed wrapper self-aligns; always safe
+}
+
+func OkWrapped(w *wrapped) {
+	w.v.Add(1)
+}
+
+var global int64
+
+// OkGlobal: package-level words are 8-aligned by the linker.
+func OkGlobal() {
+	atomic.AddInt64(&global, 1)
+}

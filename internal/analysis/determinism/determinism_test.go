@@ -1,0 +1,37 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+)
+
+var loader = analysis.NewLoader()
+
+func runCase(t *testing.T, dir, path string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := analysis.CheckWant(pkg, determinism.Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestGuardedPackage covers the positive findings, the seeded-generator
+// negative, and the lint:ignore suppression path of the framework (the
+// Suppressed helper carries no want comment: if suppression broke, its
+// finding would fail the harness as unexpected).
+func TestGuardedPackage(t *testing.T) {
+	runCase(t, "testdata/src/sim", "repro/internal/netsim")
+}
+
+func TestUnguardedPackage(t *testing.T) {
+	runCase(t, "testdata/src/other", "repro/internal/exp")
+}

@@ -1,0 +1,15 @@
+// Package other is checked under repro/internal/exp, which is not a
+// guarded simulation package: measurement harnesses are allowed to read
+// the wall clock — no findings expected.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Elapsed() time.Duration {
+	t := time.Now()
+	_ = rand.Intn(3)
+	return time.Since(t)
+}

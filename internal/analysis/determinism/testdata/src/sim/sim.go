@@ -1,0 +1,29 @@
+// Package sim is checked under repro/internal/netsim, a guarded
+// simulation package.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reaches for every banned ambient-state source.
+func Bad() int64 {
+	t := time.Now()       // want `time\.Now reads the wall clock`
+	_ = time.Since(t)     // want `time\.Since reads the wall clock`
+	_ = rand.Intn(10)     // want `global rand\.Intn is shared process state`
+	return rand.Int63n(7) // want `global rand\.Int63n is shared process state`
+}
+
+// Good draws from an explicitly seeded generator — the sanctioned way.
+func Good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Suppressed shows the escape hatch: a justified lint:ignore on the line
+// above silences exactly this analyzer here.
+func Suppressed() time.Time {
+	//lint:ignore determinism this helper feeds a log banner, not the simulation
+	return time.Now()
+}

@@ -1,0 +1,62 @@
+// Package layering enforces the repository's import DAG: topology
+// packages sit below the service layers, and flag parsing stays in the
+// binaries. The compiler only prevents cycles; these rules prevent the
+// inversions that a cycle-free graph still allows.
+package layering
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// topology packages model the networks themselves (addresses, adjacency,
+// routing). They must stay importable by everything, so they may not
+// reach up into construction, caching, simulation, or observability.
+var topology = map[string]bool{
+	"repro/internal/hhc":       true,
+	"repro/internal/hypercube": true,
+	"repro/internal/hcn":       true,
+	"repro/internal/ccc":       true,
+	"repro/internal/graph":     true,
+}
+
+// services are the layers topology packages must not depend on.
+var services = map[string]bool{
+	"repro/internal/core":   true,
+	"repro/internal/cache":  true,
+	"repro/internal/netsim": true,
+	"repro/internal/obs":    true,
+}
+
+// Analyzer is the layering rule set.
+var Analyzer = &analysis.Analyzer{
+	Name: "layering",
+	Doc:  "topology packages must not import service layers; only cmd/ and cliutil may import flag",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	fromTopology := topology[pass.Path]
+	flagAllowed := strings.HasPrefix(pass.Path, "repro/cmd/") || pass.Path == "repro/internal/cliutil"
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if fromTopology && services[ipath] {
+				pass.Reportf(imp.Pos(),
+					"topology package %s must not import service layer %s",
+					pass.Path, ipath)
+			}
+			if ipath == "flag" && !flagAllowed {
+				pass.Reportf(imp.Pos(),
+					"only cmd/ binaries and internal/cliutil may import flag; %s must take configuration as arguments",
+					pass.Path)
+			}
+		}
+	}
+	return nil
+}

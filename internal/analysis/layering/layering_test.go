@@ -1,0 +1,52 @@
+package layering_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/layering"
+)
+
+var loader = analysis.NewLoader()
+
+func runCase(t *testing.T, dir, path string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := analysis.CheckWant(pkg, layering.Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestTopologyImports(t *testing.T) {
+	runCase(t, "testdata/src/topo", "repro/internal/hhc")
+}
+
+func TestCmdMayImportServices(t *testing.T) {
+	runCase(t, "testdata/src/cmdok", "repro/cmd/fake")
+}
+
+// TestNonTopologyMayImportServices checks the rule is scoped to the
+// topology set: the same file set under a service-layer path is clean.
+func TestNonTopologyMayImportServices(t *testing.T) {
+	pkg, err := loader.LoadDir("testdata/src/cmdok", "repro/internal/netsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{layering.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flag import must still fire outside cmd/; the service-layer
+	// imports must not (netsim is not a topology package).
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "may import flag") {
+		t.Fatalf("want exactly the flag finding, got %v", findings)
+	}
+}

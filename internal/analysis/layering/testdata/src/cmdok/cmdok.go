@@ -1,0 +1,10 @@
+// Package cmdok is checked under the path repro/cmd/fake: a binary may
+// import flag and the service layers freely — no findings expected.
+package cmdok
+
+import (
+	_ "flag"
+
+	_ "repro/internal/core"
+	_ "repro/internal/obs"
+)

@@ -1,0 +1,12 @@
+// Package topo is checked under the path repro/internal/hhc, so the
+// topology-layer import bans apply to it.
+package topo
+
+import (
+	_ "flag" // want `only cmd/ binaries and internal/cliutil may import flag`
+
+	_ "repro/internal/core" // want `topology package repro/internal/hhc must not import service layer repro/internal/core`
+	_ "repro/internal/obs"  // want `topology package repro/internal/hhc must not import service layer repro/internal/obs`
+
+	_ "repro/internal/graph" // a sibling topology package is fine
+)

@@ -1,0 +1,175 @@
+// Package nodefmt enforces the error-message contract for node addresses
+// and causes. User-facing errors render hhc.Node values through
+// Graph.FormatNode — the "x:y" form ParseNode accepts back — never by
+// handing the raw node word to a fmt verb (%d, %x, %v, or the Stringer
+// debug form), so every address a user sees is one they can paste into a
+// -u/-v flag. And a wrapped cause must travel through %w, not %v/%s, so
+// callers keep errors.Is/errors.As.
+package nodefmt
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the error-formatting rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodefmt",
+	Doc:  "fmt.Errorf must render hhc.Node via FormatNode and wrap causes with %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Ellipsis.IsValid() || len(call.Args) < 2 {
+				return true
+			}
+			if !isErrorf(pass, call) {
+				return true
+			}
+			// Raw nodes: any hhc.Node argument is a violation no matter
+			// the verb — there is no verb that renders the x:y form.
+			for _, arg := range call.Args[1:] {
+				if t := pass.Info.Types[arg].Type; t != nil && isNode(t) {
+					pass.Reportf(arg.Pos(),
+						"raw hhc.Node passed to fmt.Errorf; render it with g.FormatNode so the address is parseable")
+				}
+			}
+			// Dropped causes: an error formatted with %v/%s/%q loses the
+			// chain; only %w keeps errors.Is and errors.As working.
+			format, ok := constString(pass, call.Args[0])
+			if !ok {
+				return true
+			}
+			for _, va := range parseVerbs(format) {
+				i := 1 + va.argIndex
+				if i <= 0 || i >= len(call.Args) {
+					continue
+				}
+				if va.verb != 'v' && va.verb != 's' && va.verb != 'q' {
+					continue
+				}
+				t := pass.Info.Types[call.Args[i]].Type
+				if t != nil && implementsError(t) {
+					pass.Reportf(call.Args[i].Pos(),
+						"cause formatted with %%%c; wrap it with %%w so callers keep errors.Is/errors.As",
+						va.verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isErrorf(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf"
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv := pass.Info.Types[e]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func isNode(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/hhc" && obj.Name() == "Node"
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	if b, ok := t.(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+// verbArg maps one conversion in a format string to the variadic argument
+// it consumes (0-based, before the +1 shift past the format itself).
+type verbArg struct {
+	verb     byte
+	argIndex int
+}
+
+// parseVerbs scans a Printf-style format. It handles %%, flags,
+// *-consuming width/precision, and explicit [n] argument indexes — the
+// full grammar fmt documents, minus nothing the repo uses.
+func parseVerbs(format string) []verbArg {
+	var out []verbArg
+	arg := 0
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) && isFlag(format[i]) {
+			i++
+		}
+		i, arg = starOrDigits(format, i, arg)
+		if i < len(format) && format[i] == '.' {
+			i++
+			i, arg = starOrDigits(format, i, arg)
+		}
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			num := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				num = num*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && num > 0 {
+				arg = num - 1
+				i = j + 1
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		out = append(out, verbArg{verb: format[i], argIndex: arg})
+		arg++
+		i++
+	}
+	return out
+}
+
+func isFlag(c byte) bool {
+	return c == '+' || c == '-' || c == '#' || c == ' ' || c == '0'
+}
+
+// starOrDigits advances past a width or precision: a literal number
+// consumes no argument, a '*' consumes one.
+func starOrDigits(format string, i, arg int) (int, int) {
+	if i < len(format) && format[i] == '*' {
+		return i + 1, arg + 1
+	}
+	for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+		i++
+	}
+	return i, arg
+}

@@ -1,0 +1,38 @@
+// Package errs exercises the error-formatting contract. The rule is
+// path-independent, so the checked import path does not matter.
+package errs
+
+import (
+	"fmt"
+
+	"repro/internal/hhc"
+)
+
+// BadNode hands raw node words to fmt verbs.
+func BadNode(g *hhc.Graph, u, v hhc.Node) error {
+	if u == v {
+		return fmt.Errorf("self pair %v", u) // want `raw hhc\.Node passed to fmt\.Errorf`
+	}
+	return fmt.Errorf("pair %x -> %d bad", u, v) // want `raw hhc\.Node` `raw hhc\.Node`
+}
+
+// BadCause drops the error chain.
+func BadCause(err error) error {
+	return fmt.Errorf("construct failed: %v", err) // want `cause formatted with %v; wrap it with %w`
+}
+
+// BadCauseString drops it through %s just the same.
+func BadCauseString(err error) error {
+	return fmt.Errorf("at offset %06d: %s", 42, err) // want `cause formatted with %s; wrap it with %w`
+}
+
+// Good renders nodes with FormatNode and wraps the cause.
+func Good(g *hhc.Graph, u hhc.Node, err error) error {
+	return fmt.Errorf("node %s: %w", g.FormatNode(u), err)
+}
+
+// GoodWords: the coordinates are plain integers once unpacked, and the
+// rule does not second-guess genuinely numeric formatting.
+func GoodWords(u hhc.Node) error {
+	return fmt.Errorf("x word %#x, processor %d", u.X, u.Y)
+}

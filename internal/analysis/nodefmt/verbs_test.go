@@ -1,0 +1,29 @@
+package nodefmt
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verbArg
+	}{
+		{"plain", nil},
+		{"%d", []verbArg{{'d', 0}}},
+		{"a %s b %v", []verbArg{{'s', 0}, {'v', 1}}},
+		{"100%% %d", []verbArg{{'d', 0}}},
+		{"%06d %-8s", []verbArg{{'d', 0}, {'s', 1}}},
+		{"%*d", []verbArg{{'d', 1}}},
+		{"%.*f %s", []verbArg{{'f', 1}, {'s', 2}}},
+		{"%[2]v %[1]v", []verbArg{{'v', 1}, {'v', 0}}},
+		{"%#x:%d", []verbArg{{'x', 0}, {'d', 1}}},
+		{"trailing %", nil},
+	}
+	for _, c := range cases {
+		if got := parseVerbs(c.format); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseVerbs(%q) = %v, want %v", c.format, got, c.want)
+		}
+	}
+}

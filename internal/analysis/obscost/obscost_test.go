@@ -1,0 +1,33 @@
+package obscost_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/obscost"
+)
+
+var loader = analysis.NewLoader()
+
+func runCase(t *testing.T, dir, path string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := analysis.CheckWant(pkg, obscost.Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestLibraryCode(t *testing.T) {
+	runCase(t, "testdata/src/hot", "repro/internal/fake")
+}
+
+func TestCmdWiringExempt(t *testing.T) {
+	runCase(t, "testdata/src/wiring", "repro/cmd/fake")
+}

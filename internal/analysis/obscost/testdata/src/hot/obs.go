@@ -1,0 +1,8 @@
+package hot
+
+import "repro/internal/obs"
+
+// Wire lives in obs.go, the designated wiring file: direct calls allowed.
+func Wire() *Holder {
+	return &Holder{Reg: obs.NewRegistry(), Tracer: obs.NewTracer(0)}
+}

@@ -1,0 +1,10 @@
+// Package wiring is checked under repro/cmd/fake: binaries are the
+// wiring layer and may call obs directly — no findings expected.
+package wiring
+
+import "repro/internal/obs"
+
+func Main() {
+	reg := obs.NewRegistry()
+	reg.Counter("x_total", "demo").Inc()
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// suppressions indexes lint:ignore directives of one package. A directive
+//
+//	//lint:ignore name1,name2 reason
+//
+// silences findings of the named analyzers on the directive's own line
+// (trailing comment) and on the line immediately below it (comment-only
+// line above the offending statement). The reason is mandatory — a bare
+// //lint:ignore name is not a directive.
+type suppressions struct {
+	// byLine maps file -> line -> analyzer names ignored there.
+	byLine map[string]map[int][]string
+}
+
+func newSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return s
+}
+
+// parseIgnore extracts the analyzer names from a lint:ignore comment,
+// requiring a non-empty reason after them.
+func parseIgnore(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "lint:ignore")
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // names + at least one word of reason
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+func (s *suppressions) suppressed(f Finding) bool {
+	for _, name := range s.byLine[f.Pos.Filename][f.Pos.Line] {
+		if name == f.Analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// wantRx matches one quoted expectation inside a want comment — either a
+// double-quoted Go string or a backquoted raw string (the usual form,
+// since patterns are regexps full of backslashes).
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one // want entry: a message regexp anchored to a line.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// CheckWant runs the analyzers over the package and compares findings
+// against `// want "regexp"` comments in its sources: every finding must
+// match a want on its line, every want must be consumed by a finding.
+// Returned problems are human-readable mismatch descriptions; an empty
+// slice means the package behaved exactly as annotated.
+//
+// This is the testdata harness: analyzer tests load a directory with
+// Loader.LoadDir (choosing the import path the scope rules should see) and
+// fail on any returned problem.
+func CheckWant(pkg *Package, analyzers ...*Analyzer) ([]string, error) {
+	if len(pkg.Errs) > 0 {
+		return nil, fmt.Errorf("testdata must type-check: %w", pkg.Errs[0])
+	}
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := cutWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRx.FindAllString(rest, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want string %s: %w", pos.Filename, pos.Line, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %w", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	findings, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+findings:
+	for _, f := range findings {
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+				w.matched = true
+				continue findings
+			}
+		}
+		problems = append(problems, fmt.Sprintf("unexpected finding: %s", f))
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no finding matched want %q", w.file, w.line, w.rx))
+		}
+	}
+	return problems, nil
+}
+
+// cutWant returns the comment text after a "// want" marker.
+func cutWant(text string) (string, bool) {
+	const marker = "// want "
+	for i := 0; i+len(marker) <= len(text); i++ {
+		if text[i:i+len(marker)] == marker {
+			return text[i+len(marker):], true
+		}
+	}
+	return "", false
+}
