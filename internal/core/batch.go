@@ -3,13 +3,11 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/hhc"
-	"repro/internal/obs"
 )
 
 // Batch construction: the per-pair work is small (tens of microseconds) but
@@ -55,49 +53,35 @@ func DisjointPathsBatchFunc(g *hhc.Graph, pairs []Pair, opt Options, workers int
 	if len(pairs) == 0 {
 		return results
 	}
-	o := observer.Load()
-	var batchStart time.Time
-	var sp *obs.Active
-	if o != nil {
-		batchStart = time.Now()
-		sp = o.Tracer.Start("batch",
-			obs.String("pairs", strconv.Itoa(len(pairs))),
-			obs.String("workers", strconv.Itoa(workers)))
-	}
+	b := observer.Load().startBatch(len(pairs), workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			if o != nil {
-				o.BatchWorkers.Inc()
-				defer o.BatchWorkers.Dec()
-			}
+			b.workerEnter()
+			defer b.workerExit()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(pairs) {
 					return
 				}
 				p := pairs[i]
-				if o == nil {
+				if b == nil {
 					paths, err := construct(g, p.U, p.V, opt)
 					results[i] = BatchResult{Pair: p, Paths: paths, Err: err}
 					continue
 				}
-				// Queue wait is measured from batch start to pickup: it
-				// grows along the queue and exposes worker starvation.
-				o.BatchQueueWait.ObserveDuration(time.Since(batchStart))
-				t0 := time.Now()
+				pickup := time.Now()
 				paths, err := construct(g, p.U, p.V, opt)
-				o.BatchBusyNanos.Add(int64(time.Since(t0)))
-				o.BatchItems.Inc()
+				b.item(pickup, time.Since(pickup))
 				results[i] = BatchResult{Pair: p, Paths: paths, Err: err}
 			}
 		}()
 	}
 	wg.Wait()
-	sp.End()
+	b.end()
 	return results
 }
 

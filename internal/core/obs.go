@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -101,4 +102,58 @@ func (o *Observer) startPhase(name string, h *obs.Histogram, attrs ...obs.Attr) 
 		h.ObserveDuration(time.Since(t0))
 		sp.End()
 	}
+}
+
+// batchSpan is the batch pipeline's handle on its instrumentation: the
+// whole obs surface DisjointPathsBatchFunc needs, quarantined here so the
+// batch code itself never calls into internal/obs (the obscost analyzer
+// enforces that split). A nil *batchSpan is the disabled path and every
+// method is nil-receiver safe.
+type batchSpan struct {
+	o     *Observer
+	start time.Time
+	sp    *obs.Active
+}
+
+// startBatch opens the batch trace span. Returns nil when instrumentation
+// is off, so callers can keep a zero-cost fast path behind one nil check.
+func (o *Observer) startBatch(pairs, workers int) *batchSpan {
+	if o == nil {
+		return nil
+	}
+	return &batchSpan{
+		o:     o,
+		start: time.Now(),
+		sp: o.Tracer.Start("batch",
+			obs.String("pairs", strconv.Itoa(pairs)),
+			obs.String("workers", strconv.Itoa(workers))),
+	}
+}
+
+func (b *batchSpan) end() {
+	if b != nil {
+		b.sp.End()
+	}
+}
+
+// workerEnter / workerExit track the live worker gauge.
+func (b *batchSpan) workerEnter() {
+	if b != nil {
+		b.o.BatchWorkers.Inc()
+	}
+}
+
+func (b *batchSpan) workerExit() {
+	if b != nil {
+		b.o.BatchWorkers.Dec()
+	}
+}
+
+// item records one processed pair: queue wait is measured from batch start
+// to pickup (it grows along the queue and exposes worker starvation), busy
+// is the construction time itself.
+func (b *batchSpan) item(pickup time.Time, busy time.Duration) {
+	b.o.BatchQueueWait.ObserveDuration(pickup.Sub(b.start))
+	b.o.BatchBusyNanos.Add(int64(busy))
+	b.o.BatchItems.Inc()
 }
