@@ -1,0 +1,25 @@
+package cache
+
+import "repro/internal/obs"
+
+// Register re-exports the cache's counters through an obs registry under
+// the cache_* namespace. The stats.CacheCounters stay the single source of
+// truth (the cache keeps updating them as before); the registry reads them
+// through callbacks at snapshot time, so there is no double bookkeeping
+// and no extra cost on the lookup path.
+func (c *Cache) Register(reg *obs.Registry) {
+	reg.CounterFunc("cache_hits_total",
+		"Lookups answered from a stored entry.", c.counters.Hits.Load)
+	reg.CounterFunc("cache_misses_total",
+		"Lookups that ran the underlying construction.", c.counters.Misses.Load)
+	reg.CounterFunc("cache_evictions_total",
+		"Entries displaced by capacity pressure.", c.counters.Evictions.Load)
+	reg.CounterFunc("cache_inflight_waits_total",
+		"Lookups coalesced onto an in-flight construction.", c.counters.InflightWaits.Load)
+	reg.GaugeFunc("cache_entries",
+		"Containers currently stored across all shards.",
+		func() float64 { return float64(c.Len()) })
+	reg.GaugeFunc("cache_hit_rate",
+		"Fraction of lookups that avoided a construction.",
+		func() float64 { return c.Snapshot().HitRate() })
+}
