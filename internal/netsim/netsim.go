@@ -296,11 +296,11 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	metrics := newRunMetrics(cfg.Obs)
-	runSpan := cfg.Tracer.Start("netsim.run",
-		obs.String("mode", cfg.Mode.String()),
-		obs.String("m", fmt.Sprint(cfg.M)),
-		obs.String("flows", fmt.Sprint(cfg.Flows)))
-	defer runSpan.End()
+	runSpan := cfg.startSpan("netsim.run",
+		"mode", cfg.Mode.String(),
+		"m", fmt.Sprint(cfg.M),
+		"flows", fmt.Sprint(cfg.Flows))
+	defer runSpan.end()
 	r := rand.New(rand.NewSource(cfg.Seed))
 
 	// Flows: fixed endpoint pairs drawn per the traffic pattern.
@@ -308,13 +308,11 @@ func Run(cfg Config) (Result, error) {
 	if len(cfg.FlowPairs) > 0 {
 		for i, pr := range pairs {
 			if !g.Contains(pr.U) || !g.Contains(pr.V) || pr.U == pr.V {
-				return Result{}, fmt.Errorf("netsim: explicit flow pair %d invalid: %v -> %v", i, pr.U, pr.V)
+				return Result{}, fmt.Errorf("netsim: explicit flow pair %d invalid: %s -> %s", i, g.FormatNode(pr.U), g.FormatNode(pr.V))
 			}
 		}
 	}
-	if metrics != nil {
-		metrics.flows.Set(float64(cfg.Flows))
-	}
+	metrics.setFlows(cfg.Flows)
 	var protect []hhc.Node
 	for _, p := range pairs {
 		protect = append(protect, p.U, p.V)
@@ -334,7 +332,7 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Cache != nil {
 		construct = cfg.Cache.Constructor()
 	}
-	routeSpan := cfg.Tracer.Start("netsim.routes")
+	routeSpan := cfg.startSpan("netsim.routes")
 	flowPaths := make([][][]hhc.Node, cfg.Flows)
 	var res Result
 	var hopSum, hopCnt int64
@@ -350,14 +348,14 @@ func Run(cfg Config) (Result, error) {
 			hopCnt++
 		}
 	}
-	routeSpan.End()
+	routeSpan.end()
 	if hopCnt > 0 {
 		res.AvgPathHops = float64(hopSum) / float64(hopCnt)
 	}
 
 	// Build the packet workload (Poisson arrivals per flow) for the generic
 	// discrete-event engine; message metadata stays on this side.
-	workloadSpan := cfg.Tracer.Start("netsim.workload")
+	workloadSpan := cfg.startSpan("netsim.workload")
 	type msgMeta struct {
 		flow     int
 		created  int64
@@ -400,12 +398,11 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	workloadSpan.End()
+	workloadSpan.end()
 
-	simSpan := cfg.Tracer.Start("netsim.simulate",
-		obs.String("packets", fmt.Sprint(len(packets))))
+	simSpan := cfg.startSpan("netsim.simulate", "packets", fmt.Sprint(len(packets)))
 	done, links, err := dessim.SimulateEx(packets, len(metas), dessimSwitch(cfg.Switch))
-	simSpan.End()
+	simSpan.end()
 	if err != nil {
 		return Result{}, err
 	}
@@ -413,7 +410,7 @@ func Run(cfg Config) (Result, error) {
 		res.HottestLinkBusy = links[0].Busy
 	}
 
-	aggSpan := cfg.Tracer.Start("netsim.aggregate")
+	aggSpan := cfg.startSpan("netsim.aggregate")
 	var latencies []float64
 	flowLats := make([][]float64, cfg.Flows)
 	createdAt := make([]int64, len(metas))
@@ -426,9 +423,7 @@ func Run(cfg Config) (Result, error) {
 		if meta.measured {
 			latencies = append(latencies, float64(lat))
 			flowLats[meta.flow] = append(flowLats[meta.flow], float64(lat))
-			if metrics != nil {
-				metrics.latency.Observe(float64(lat))
-			}
+			metrics.observeLatency(lat)
 			if lat > res.MaxLatency {
 				res.MaxLatency = lat
 			}
@@ -466,16 +461,8 @@ func Run(cfg Config) (Result, error) {
 		res.PerFlow[i].P95Latency = int64(qs[1])
 		res.PerFlow[i].P99Latency = int64(qs[2])
 	}
-	if metrics != nil {
-		metrics.generated.Add(int64(res.Generated))
-		metrics.delivered.Add(int64(res.Delivered))
-		metrics.dropped.Add(int64(res.Dropped))
-		metrics.faultBlocked.Add(int64(res.FaultBlocked))
-		metrics.makespan.Set(float64(res.Makespan))
-		metrics.throughput.Set(res.Throughput)
-		metrics.occupancy(createdAt, done)
-	}
-	aggSpan.End()
+	metrics.record(res, createdAt, done)
+	aggSpan.end()
 	return res, nil
 }
 

@@ -62,6 +62,50 @@ func newRunMetrics(reg *obs.Registry) *runMetrics {
 	}
 }
 
+// span is the simulator's handle on one tracer span, so Run itself never
+// calls into internal/obs (the obscost analyzer keeps that split honest).
+type span struct{ a *obs.Active }
+
+func (s span) end() { s.a.End() }
+
+// startSpan opens a named span with alternating key/value attribute pairs.
+// Nil tracers are fine: obs spans are nil-receiver safe.
+func (cfg Config) startSpan(name string, kv ...string) span {
+	attrs := make([]obs.Attr, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		attrs = append(attrs, obs.String(kv[i], kv[i+1]))
+	}
+	return span{a: cfg.Tracer.Start(name, attrs...)}
+}
+
+// setFlows records the run's concurrent-flow count.
+func (m *runMetrics) setFlows(n int) {
+	if m != nil {
+		m.flows.Set(float64(n))
+	}
+}
+
+// observeLatency records one measured end-to-end latency.
+func (m *runMetrics) observeLatency(lat int64) {
+	if m != nil {
+		m.latency.Observe(float64(lat))
+	}
+}
+
+// record publishes the run's aggregate result plus the occupancy replay.
+func (m *runMetrics) record(res Result, created, done []int64) {
+	if m == nil {
+		return
+	}
+	m.generated.Add(int64(res.Generated))
+	m.delivered.Add(int64(res.Delivered))
+	m.dropped.Add(int64(res.Dropped))
+	m.faultBlocked.Add(int64(res.FaultBlocked))
+	m.makespan.Set(float64(res.Makespan))
+	m.throughput.Set(res.Throughput)
+	m.occupancy(created, done)
+}
+
 // addPrunes counts fault-pruned paths when metrics are on.
 func (m *runMetrics) addPrunes(n int64) {
 	if m != nil {
