@@ -40,7 +40,7 @@ func BuildTree(g *hhc.Graph, root hhc.Node) (*Tree, error) {
 		return nil, fmt.Errorf("collective: cannot materialize tree for m=%d (> %d)", g.M(), MaxTreeM)
 	}
 	if !g.Contains(root) {
-		return nil, fmt.Errorf("collective: invalid root %v", root)
+		return nil, fmt.Errorf("collective: invalid root %s", g.FormatNode(root))
 	}
 	n, _ := g.NumNodes()
 	t := &Tree{Root: root, Children: make(map[hhc.Node][]hhc.Node), Size: int(n)}
@@ -59,7 +59,7 @@ func BuildTree(g *hhc.Graph, root hhc.Node) (*Tree, error) {
 			return 0, err
 		}
 		if p == w {
-			return 0, fmt.Errorf("collective: non-root fixpoint at %v", w)
+			return 0, fmt.Errorf("collective: non-root fixpoint at %s", g.FormatNode(w))
 		}
 		pd, err := depthOf(p)
 		if err != nil {
@@ -104,10 +104,10 @@ func (t *Tree) Validate(g *hhc.Graph) error {
 		queue = queue[1:]
 		for _, c := range t.Children[v] {
 			if !g.Adjacent(v, c) {
-				return fmt.Errorf("collective: tree edge %v-%v is not a network edge", v, c)
+				return fmt.Errorf("collective: tree edge %s-%s is not a network edge", g.FormatNode(v), g.FormatNode(c))
 			}
 			if seen[c] {
-				return fmt.Errorf("collective: node %v reached twice", c)
+				return fmt.Errorf("collective: node %s reached twice", g.FormatNode(c))
 			}
 			seen[c] = true
 			count++

@@ -19,7 +19,7 @@ func containerWorst(g *hhc.Graph, u, v hhc.Node) (worst, bound int, err error) {
 		return 0, 0, err
 	}
 	if err := core.VerifyContainer(g, u, v, paths); err != nil {
-		return 0, 0, fmt.Errorf("exp: verification failed for %v->%v: %w", u, v, err)
+		return 0, 0, fmt.Errorf("exp: verification failed for %s->%s: %w", g.FormatNode(u), g.FormatNode(v), err)
 	}
 	return core.MaxLength(paths), core.MaxLenBound(g, u, v), nil
 }

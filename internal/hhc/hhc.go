@@ -91,7 +91,7 @@ func (g *Graph) Contains(u Node) bool {
 // check returns an error for invalid nodes.
 func (g *Graph) check(u Node) error {
 	if !g.Contains(u) {
-		return fmt.Errorf("hhc: node %v invalid for m=%d", u, g.m)
+		return fmt.Errorf("hhc: node %s invalid for m=%d", g.FormatNode(u), g.m)
 	}
 	return nil
 }
@@ -159,7 +159,8 @@ func (g *Graph) VerifyPath(u, v Node, path []Node) error {
 		return fmt.Errorf("hhc: empty path")
 	}
 	if path[0] != u || path[len(path)-1] != v {
-		return fmt.Errorf("hhc: path runs %v..%v, want %v..%v", path[0], path[len(path)-1], u, v)
+		return fmt.Errorf("hhc: path runs %s..%s, want %s..%s",
+			g.FormatNode(path[0]), g.FormatNode(path[len(path)-1]), g.FormatNode(u), g.FormatNode(v))
 	}
 	seen := make(map[Node]bool, len(path))
 	for i, w := range path {
@@ -167,11 +168,11 @@ func (g *Graph) VerifyPath(u, v Node, path []Node) error {
 			return fmt.Errorf("hhc: step %d: %w", i, err)
 		}
 		if seen[w] {
-			return fmt.Errorf("hhc: vertex %v repeated in path", w)
+			return fmt.Errorf("hhc: vertex %s repeated in path", g.FormatNode(w))
 		}
 		seen[w] = true
 		if i > 0 && !g.Adjacent(path[i-1], w) {
-			return fmt.Errorf("hhc: %v and %v not adjacent at step %d", path[i-1], w, i)
+			return fmt.Errorf("hhc: %s and %s not adjacent at step %d", g.FormatNode(path[i-1]), g.FormatNode(w), i)
 		}
 	}
 	return nil

@@ -153,12 +153,12 @@ func (g *Graph) VerifyRing(ring []Node) error {
 			return err
 		}
 		if seen[w] {
-			return fmt.Errorf("hhc: ring repeats %v", w)
+			return fmt.Errorf("hhc: ring repeats %s", g.FormatNode(w))
 		}
 		seen[w] = true
 		next := ring[(i+1)%len(ring)]
 		if !g.Adjacent(w, next) {
-			return fmt.Errorf("hhc: ring breaks between %v and %v", w, next)
+			return fmt.Errorf("hhc: ring breaks between %s and %s", g.FormatNode(w), g.FormatNode(next))
 		}
 	}
 	return nil

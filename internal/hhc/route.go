@@ -69,7 +69,7 @@ func (g *Graph) RouteEx(u, v Node) ([]Node, RouteInfo, error) {
 	}
 	info := RouteInfo{ExternalHops: len(dims), LocalHops: cost, Exact: exact}
 	if got := path[len(path)-1]; got != v {
-		return nil, info, fmt.Errorf("hhc: internal routing error, reached %v not %v", got, v)
+		return nil, info, fmt.Errorf("hhc: internal routing error, reached %s not %s", g.FormatNode(got), g.FormatNode(v))
 	}
 	return path, info, nil
 }
