@@ -287,7 +287,7 @@ func crossCubePathsObserved(g *hhc.Graph, u, v hhc.Node, opt Options, o *Observe
 // ErrCannotConfine so callers can distinguish "mask too tight" from bugs.
 func confineErr(opt Options, err error) error {
 	if opt.ConfineDetours != 0 {
-		return fmt.Errorf("%w: %v", ErrCannotConfine, err)
+		return fmt.Errorf("%w: %w", ErrCannotConfine, err)
 	}
 	return err
 }

@@ -23,7 +23,7 @@ func (g *Graph) ParseNode(s string) (Node, error) {
 		if errors.Is(err, strconv.ErrRange) {
 			return Node{}, g.rangeError(s)
 		}
-		return Node{}, fmt.Errorf("hhc: node %q: bad cube address: %v", s, err)
+		return Node{}, fmt.Errorf("hhc: node %q: bad cube address: %w", s, err)
 	}
 	// Parse y at full width so an oversized processor address (say "0:300")
 	// is reported as a topology range violation, not a strconv overflow.
@@ -32,7 +32,7 @@ func (g *Graph) ParseNode(s string) (Node, error) {
 		if errors.Is(err, strconv.ErrRange) {
 			return Node{}, g.rangeError(s)
 		}
-		return Node{}, fmt.Errorf("hhc: node %q: bad processor address: %v", s, err)
+		return Node{}, fmt.Errorf("hhc: node %q: bad processor address: %w", s, err)
 	}
 	if y >= uint64(g.t) {
 		return Node{}, g.rangeError(s)
