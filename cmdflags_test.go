@@ -1,0 +1,74 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestToolFlagHygiene builds every binary under cmd/ and checks the shared
+// CLI contract end to end, as a user would hit it:
+//
+//   - a trailing positional argument is rejected with an actionable error
+//     and a non-zero exit, never silently ignored;
+//   - the observability flags -metrics and -trace are registered (the
+//     cliutil.RegisterObsFlags wiring is in place).
+//
+// cmd/hhclint is exempt from both checks by design: it is a build tool,
+// not a workload — it takes package patterns as positional arguments
+// (like go vet) and deliberately has no observability layer.
+func TestToolFlagHygiene(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every cmd/ binary")
+	}
+	exempt := map[string]string{
+		"hhclint": "takes positional package patterns; no obs flags by design",
+	}
+
+	bin := t.TempDir()
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/...").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		tool := e.Name()
+		if why, ok := exempt[tool]; ok {
+			t.Logf("cmd/%s exempt: %s", tool, why)
+			continue
+		}
+		t.Run(tool, func(t *testing.T) {
+			path := filepath.Join(bin, tool)
+
+			// A stray positional argument must fail fast with the shared
+			// cliutil message, before any real work starts.
+			var stderr strings.Builder
+			cmd := exec.Command(path, "stray-operand")
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			if err == nil {
+				t.Errorf("%s accepted a trailing positional argument", tool)
+			} else if _, ok := err.(*exec.ExitError); !ok {
+				t.Fatalf("%s did not run: %v", tool, err)
+			}
+			if !strings.Contains(stderr.String(), "unexpected argument") {
+				t.Errorf("%s stderr does not name the stray argument:\n%s", tool, stderr.String())
+			}
+
+			// -h usage must list the shared observability flags.
+			help, _ := exec.Command(path, "-h").CombinedOutput()
+			for _, flag := range []string{"-metrics", "-trace"} {
+				if !strings.Contains(string(help), flag) {
+					t.Errorf("%s -h does not list %s:\n%s", tool, flag, help)
+				}
+			}
+		})
+	}
+}
