@@ -2,15 +2,25 @@
 
 GO ?= go
 
-.PHONY: all test vet race bench profile exps exps-csv fuzz exhaustive fmt tools
+.PHONY: all check test vet lint race bench profile exps exps-csv fuzz exhaustive fmt tools
 
-all: vet test
+all: check
+
+# The full local gate: what CI runs, minus the race pass.
+check: vet lint test
 
 test:
 	$(GO) test ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo invariants: formatting plus the in-tree hhclint analyzers
+# (layering, obscost, determinism, nodefmt, atomicalign).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+	$(GO) run ./cmd/hhclint ./...
 
 # Race-detector pass; exercises the container cache's concurrent paths.
 race:
