@@ -26,9 +26,12 @@ lint:
 race:
 	$(GO) test -race ./...
 
-# Quick-mode benchmarks, one per evaluation table/figure plus primitives.
+# Quick-mode benchmarks, one per evaluation table/figure plus primitives,
+# then a short self-served load run against the path-query daemon.
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) run ./cmd/hhcload -selfserve -m 3 -duration 2s -conns 8 -pairs 16 \
+		-json BENCH_pathsvc.json
 
 # Construction benchmarks under the CPU profiler; prints the top-10 by
 # cumulative time so hot spots are visible without opening the web UI.
@@ -52,6 +55,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseNode -fuzztime=10s ./internal/hhc
 	$(GO) test -fuzz=FuzzEmbedRing -fuzztime=15s ./internal/hhc
 	$(GO) test -fuzz=FuzzParseTrace -fuzztime=10s ./internal/sched
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/pathsvc
 
 # The 4.2M-pair full verification of the container theorem on HHC_11 (~90s).
 exhaustive:

@@ -1,0 +1,129 @@
+// Command hhcd is the disjoint-path query daemon: it serves the
+// length-prefixed JSON protocol of internal/pathsvc over TCP, backed by
+// the container cache, with bounded admission, per-request deadlines,
+// in-flight coalescing of identical queries, and width degradation under
+// queue pressure. SIGINT/SIGTERM triggers a graceful drain: in-flight and
+// queued requests are answered before the process exits 0.
+//
+// Usage:
+//
+//	hhcd -m 4                                # serve on the default address
+//	hhcd -m 4 -addr :9091 -listen :6060      # plus live /metrics and pprof
+//	hhcd -m 3 -queue 64 -admission block     # backpressure instead of shedding
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cliutil"
+	"repro/internal/pathsvc"
+)
+
+func main() {
+	m := flag.Int("m", 4, "son-cube dimension m (1..6)")
+	addr := flag.String("addr", "127.0.0.1:9091", "TCP address to serve path queries on")
+	workers := flag.Int("workers", 0, "construction workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", pathsvc.DefaultQueueDepth, "admission queue depth")
+	admission := flag.String("admission", "reject", "full-queue policy: reject|block")
+	retryAfter := flag.Duration("retry-after", pathsvc.DefaultRetryAfter, "back-off hint sent with overload rejections")
+	timeout := flag.Duration("timeout", pathsvc.DefaultRequestTimeout, "default per-request deadline")
+	shed := flag.Float64("shed", pathsvc.DefaultShedThreshold, "queue-fill fraction beyond which responses degrade (0..1]")
+	degradeK := flag.Int("k", pathsvc.DefaultDegradeWidth, "container width served while degraded")
+	capacity := flag.Int("cache-capacity", cache.DefaultCapacity, "max cached containers (<0 = unbounded)")
+	canon := flag.String("canon", "exact", "cache canonicalization: exact|full|off")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	duration := flag.Duration("duration", 0, "serve for this long then drain and exit (0 = until signaled)")
+	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
+	obsf.RegisterListenFlag(flag.CommandLine)
+	flag.Parse()
+
+	err := run(flag.Args(), obsf, *m, *addr, *workers, *queue, *admission,
+		*retryAfter, *timeout, *shed, *degradeK, *capacity, *canon, *drain, *duration)
+	if cerr := obsf.Close(os.Stdout); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hhcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue int,
+	admission string, retryAfter, timeout time.Duration, shed float64, degradeK, capacity int,
+	canon string, drain, duration time.Duration) error {
+	if err := cliutil.NoTrailingArgs(args); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateM(m); err != nil {
+		return err
+	}
+	policy, err := pathsvc.ParseAdmission(admission)
+	if err != nil {
+		return err
+	}
+	mode, err := cache.ParseCanon(canon)
+	if err != nil {
+		return err
+	}
+	if err := obsf.Activate(); err != nil {
+		return err
+	}
+	srv, err := pathsvc.New(pathsvc.Config{
+		M:              m,
+		Workers:        workers,
+		QueueDepth:     queue,
+		Admission:      policy,
+		RetryAfter:     retryAfter,
+		DefaultTimeout: timeout,
+		ShedThreshold:  shed,
+		DegradeWidth:   degradeK,
+		Cache:          cache.Options{Capacity: capacity, Canon: mode},
+		Reg:            obsf.Registry,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-addr %s: %w", addr, err)
+	}
+	fmt.Fprintf(os.Stderr, "hhcd: serving path queries on %s (m=%d, width=%d, queue=%d, admission=%s)\n",
+		ln.Addr(), m, m+1, queue, policy)
+	if _, err := obsf.StartListener("hhcd"); err != nil {
+		_ = ln.Close()
+		return err
+	}
+
+	// Drain on SIGINT/SIGTERM or after -duration, whichever comes first.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		if duration > 0 {
+			select {
+			case <-sig:
+			case <-time.After(duration):
+			}
+		} else {
+			<-sig
+		}
+		fmt.Fprintln(os.Stderr, "hhcd: draining (in-flight and queued requests will be answered)")
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "hhcd: drain incomplete:", err)
+		}
+	}()
+
+	err = srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "hhcd: drained: %s\n", srv.Counters())
+	fmt.Fprintf(os.Stderr, "hhcd: cache: %s\n", srv.CacheSnapshot())
+	return err
+}

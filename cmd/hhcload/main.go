@@ -1,0 +1,394 @@
+// Command hhcload drives a pathsvc server (cmd/hhcd) with a configurable
+// workload and reports throughput plus latency percentiles. It runs closed
+// loop (every connection fires back to back) or open loop (-qps paces
+// arrivals against a target rate), and doubles as the CI smoke client: it
+// exits non-zero when no query completes or any protocol error occurs —
+// control outcomes (overload, deadline, shutdown) are expected under
+// pressure and reported separately.
+//
+// Usage:
+//
+//	hhcload -addr 127.0.0.1:9091 -conns 8 -duration 3s
+//	hhcload -addr 127.0.0.1:9091 -qps 2000 -pairs 4        # open loop, hot pair set
+//	hhcload -selfserve -m 4 -duration 2s -json BENCH_pathsvc.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/gen"
+	"repro/internal/hhc"
+	"repro/internal/pathsvc"
+	"repro/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9091", "pathsvc server address")
+	selfserve := flag.Bool("selfserve", false, "start an in-process server on a loopback port and load it (no hhcd needed)")
+	m := flag.Int("m", 4, "son-cube dimension of the -selfserve server (ignored with a remote -addr)")
+	queue := flag.Int("queue", pathsvc.DefaultQueueDepth, "admission queue depth of the -selfserve server")
+	conns := flag.Int("conns", 8, "concurrent client connections")
+	qps := flag.Float64("qps", 0, "target offered load in queries/sec across all connections (0 = closed loop)")
+	duration := flag.Duration("duration", 2*time.Second, "load duration")
+	pairs := flag.Int("pairs", 16, "distinct source/destination pairs in the pool (small pools create duplicate in-flight queries)")
+	op := flag.String("op", "paths", "query kind: paths|route|batch")
+	batch := flag.Int("batch", 8, "pairs per request when -op batch")
+	faults := flag.Int("faults", 2, "declared faults per request when -op route")
+	maxPaths := flag.Int("maxpaths", 0, "request only the first k container paths (0 = all)")
+	deadline := flag.Duration("deadline", 0, "per-request deadline sent to the server (0 = server default)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	jsonPath := flag.String("json", "", "write the report as JSON to this file ('-' = stdout)")
+	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
+	flag.Parse()
+
+	err := obsf.Activate()
+	if err == nil {
+		err = run(os.Stdout, flag.Args(), loadOpts{
+			addr: *addr, selfserve: *selfserve, m: *m, queue: *queue,
+			conns: *conns, qps: *qps, duration: *duration, pairs: *pairs,
+			op: *op, batch: *batch, faults: *faults, maxPaths: *maxPaths,
+			deadline: *deadline, seed: *seed, jsonPath: *jsonPath,
+		})
+	}
+	if cerr := obsf.Close(os.Stdout); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hhcload:", err)
+		os.Exit(1)
+	}
+}
+
+type loadOpts struct {
+	addr          string
+	selfserve     bool
+	m, queue      int
+	conns         int
+	qps           float64
+	duration      time.Duration
+	pairs         int
+	op            string
+	batch, faults int
+	maxPaths      int
+	deadline      time.Duration
+	seed          int64
+	jsonPath      string
+}
+
+// report is the machine-readable run summary (the BENCH_pathsvc.json shape).
+type report struct {
+	Op             string  `json:"op"`
+	Conns          int     `json:"conns"`
+	TargetQPS      float64 `json:"target_qps"`
+	DurationSec    float64 `json:"duration_sec"`
+	Sent           int64   `json:"sent"`
+	Completed      int64   `json:"completed"`
+	Degraded       int64   `json:"degraded"`
+	Overload       int64   `json:"overload"`
+	Deadline       int64   `json:"deadline"`
+	Shutdown       int64   `json:"shutdown"`
+	Failed         int64   `json:"failed"`
+	ProtocolErrors int64   `json:"protocol_errors"`
+	AchievedQPS    float64 `json:"achieved_qps"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MeanMs         float64 `json:"mean_ms"`
+}
+
+// tally is the shared outcome ledger the workers update atomically.
+type tally struct {
+	sent, completed, degraded    atomic.Int64
+	overload, deadline, shutdown atomic.Int64
+	failed, protocolErrors       atomic.Int64
+}
+
+func run(w io.Writer, args []string, o loadOpts) error {
+	if err := cliutil.NoTrailingArgs(args); err != nil {
+		return err
+	}
+	switch o.op {
+	case "paths", "route", "batch":
+	default:
+		return fmt.Errorf("-op %q: want paths|route|batch", o.op)
+	}
+	if o.conns < 1 || o.pairs < 1 || o.duration <= 0 {
+		return fmt.Errorf("-conns %d / -pairs %d / -duration %s out of range: all must be positive",
+			o.conns, o.pairs, o.duration)
+	}
+
+	addr := o.addr
+	var local *pathsvc.Server
+	if o.selfserve {
+		if err := cliutil.ValidateM(o.m); err != nil {
+			return err
+		}
+		srv, ln, err := startLocal(o.m, o.queue)
+		if err != nil {
+			return err
+		}
+		local = srv
+		addr = ln
+		fmt.Fprintf(w, "hhcload: self-serving m=%d on %s\n", o.m, addr)
+	}
+
+	// Discover the served topology so the pair pool matches it.
+	probe, err := pathsvc.Dial(addr)
+	if err != nil {
+		return err
+	}
+	info, err := probe.Info()
+	if err != nil {
+		probe.Close()
+		return fmt.Errorf("info query: %w", err)
+	}
+	_ = probe.Close()
+	g, err := hhc.New(info.M)
+	if err != nil {
+		return err
+	}
+	pool := gen.Pairs(g, o.pairs, gen.Uniform, o.seed)
+
+	clients := make([]*pathsvc.Client, o.conns)
+	for i := range clients {
+		if clients[i], err = pathsvc.Dial(addr); err != nil {
+			return err
+		}
+		defer clients[i].Close()
+	}
+
+	// Open-loop pacing: one token per intended arrival. Closed loop skips
+	// the pacer and lets every connection fire back to back.
+	var tokens chan struct{}
+	stop := make(chan struct{})
+	if o.qps > 0 {
+		tokens = make(chan struct{}, 4096)
+		go pace(tokens, stop, o.qps)
+	}
+
+	var tl tally
+	latencies := make([][]float64, o.conns)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	end := begin.Add(o.duration)
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			latencies[i] = drive(clients[i], g, pool, o, &tl, tokens, end, o.seed+int64(i)+1)
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	elapsed := time.Since(begin)
+
+	var all []float64
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	rep := report{
+		Op: o.op, Conns: o.conns, TargetQPS: o.qps,
+		DurationSec:    elapsed.Seconds(),
+		Sent:           tl.sent.Load(),
+		Completed:      tl.completed.Load(),
+		Degraded:       tl.degraded.Load(),
+		Overload:       tl.overload.Load(),
+		Deadline:       tl.deadline.Load(),
+		Shutdown:       tl.shutdown.Load(),
+		Failed:         tl.failed.Load(),
+		ProtocolErrors: tl.protocolErrors.Load(),
+	}
+	rep.AchievedQPS = float64(rep.Completed) / elapsed.Seconds()
+	if len(all) > 0 {
+		ps := stats.Percentiles(all, 50, 95, 99)
+		rep.P50Ms, rep.P95Ms, rep.P99Ms = ps[0], ps[1], ps[2]
+		rep.MeanMs = stats.SummarizeFloats(all).Mean
+	}
+	printReport(w, rep)
+
+	if local != nil {
+		if err := drainLocal(w, local); err != nil {
+			return err
+		}
+	}
+	if o.jsonPath != "" {
+		if err := writeJSON(w, o.jsonPath, rep); err != nil {
+			return err
+		}
+	}
+	if rep.ProtocolErrors > 0 {
+		return fmt.Errorf("%d protocol errors", rep.ProtocolErrors)
+	}
+	if rep.Completed == 0 {
+		return errors.New("no query completed")
+	}
+	return nil
+}
+
+// startLocal binds an in-process server on a loopback port. A deliberately
+// aggressive shed threshold makes the control behaviors visible even in a
+// short self-contained run.
+func startLocal(m, queue int) (*pathsvc.Server, string, error) {
+	srv, err := pathsvc.New(pathsvc.Config{M: m, QueueDepth: queue})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}
+
+// drainLocal gracefully shuts the self-served instance down and prints its
+// side of the story.
+func drainLocal(w io.Writer, srv *pathsvc.Server) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("selfserve drain: %w", err)
+	}
+	fmt.Fprintf(w, "  server   %s\n", srv.Counters())
+	fmt.Fprintf(w, "  cache    %s\n", srv.CacheSnapshot())
+	return nil
+}
+
+// pace emits one token per intended arrival at the target rate, absorbing
+// scheduler jitter by sleeping toward absolute deadlines.
+func pace(tokens chan<- struct{}, stop <-chan struct{}, qps float64) {
+	interval := time.Duration(float64(time.Second) / qps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	next := time.Now()
+	for {
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case <-stop:
+			return
+		case tokens <- struct{}{}:
+		default:
+			// Client-side buffer full: the server is slower than the offered
+			// rate; dropping the token keeps the pacer honest.
+		}
+	}
+}
+
+// drive runs one connection's request loop until the deadline.
+func drive(c *pathsvc.Client, g *hhc.Graph, pool []gen.Pair, o loadOpts,
+	tl *tally, tokens <-chan struct{}, end time.Time, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	var lat []float64
+	for time.Now().Before(end) {
+		if tokens != nil {
+			select {
+			case <-tokens:
+			case <-time.After(time.Until(end)):
+				return lat
+			}
+		}
+		p := pool[r.Intn(len(pool))]
+		tl.sent.Add(1)
+		start := time.Now()
+		resp, err := issue(c, g, p, pool, o, r)
+		elapsed := time.Since(start)
+		switch {
+		case err == nil:
+			tl.completed.Add(1)
+			lat = append(lat, float64(elapsed)/float64(time.Millisecond))
+			if resp != nil && resp.Degraded {
+				tl.degraded.Add(1)
+			}
+		case errors.Is(err, pathsvc.ErrOverload):
+			tl.overload.Add(1)
+		case errors.Is(err, pathsvc.ErrDeadlineExceeded):
+			tl.deadline.Add(1)
+		case errors.Is(err, pathsvc.ErrShutdown):
+			tl.shutdown.Add(1)
+			return lat
+		default:
+			var srvErr *pathsvc.ServerError
+			if errors.As(err, &srvErr) {
+				tl.failed.Add(1)
+				continue
+			}
+			// Transport- or framing-level failure: the smoke must notice.
+			tl.protocolErrors.Add(1)
+			return lat
+		}
+	}
+	return lat
+}
+
+// issue sends one request of the configured kind.
+func issue(c *pathsvc.Client, g *hhc.Graph, p gen.Pair, pool []gen.Pair,
+	o loadOpts, r *rand.Rand) (*pathsvc.Response, error) {
+	u, v := g.FormatNode(p.U), g.FormatNode(p.V)
+	switch o.op {
+	case "route":
+		var fs []string
+		for len(fs) < o.faults {
+			f := g.RandomNode(r)
+			if f != p.U && f != p.V {
+				fs = append(fs, g.FormatNode(f))
+			}
+		}
+		return c.Route(u, v, fs, o.deadline)
+	case "batch":
+		bp := make([][2]string, 0, o.batch)
+		for len(bp) < o.batch {
+			q := pool[r.Intn(len(pool))]
+			bp = append(bp, [2]string{g.FormatNode(q.U), g.FormatNode(q.V)})
+		}
+		return c.Batch(bp, o.deadline)
+	default:
+		return c.Paths(u, v, o.maxPaths, o.deadline)
+	}
+}
+
+func printReport(w io.Writer, r report) {
+	fmt.Fprintf(w, "hhcload op=%s conns=%d target-qps=%g duration=%.2fs\n",
+		r.Op, r.Conns, r.TargetQPS, r.DurationSec)
+	fmt.Fprintf(w, "  sent       %d\n", r.Sent)
+	fmt.Fprintf(w, "  completed  %d (%.0f qps)\n", r.Completed, r.AchievedQPS)
+	fmt.Fprintf(w, "  degraded   %d\n", r.Degraded)
+	fmt.Fprintf(w, "  overload   %d\n", r.Overload)
+	fmt.Fprintf(w, "  deadline   %d\n", r.Deadline)
+	fmt.Fprintf(w, "  shutdown   %d\n", r.Shutdown)
+	fmt.Fprintf(w, "  failed     %d\n", r.Failed)
+	fmt.Fprintf(w, "  proto errs %d\n", r.ProtocolErrors)
+	fmt.Fprintf(w, "  latency    p50 %.3fms  p95 %.3fms  p99 %.3fms  mean %.3fms\n",
+		r.P50Ms, r.P95Ms, r.P99Ms, r.MeanMs)
+}
+
+func writeJSON(w io.Writer, path string, r report) error {
+	payload, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	if path == "-" {
+		_, err = w.Write(payload)
+		return err
+	}
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	return nil
+}

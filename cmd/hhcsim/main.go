@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,20 +37,16 @@ func main() {
 	switching := flag.String("switch", "saf", "switching: saf|cut-through")
 	pattern := flag.String("pattern", "uniform", "traffic: uniform|hotspot|complement|bit-reverse")
 	perflow := flag.Bool("perflow", true, "print the per-flow latency percentile table")
-	listen := flag.String("listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
 	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
+	obsf.RegisterListenFlag(flag.CommandLine)
 	flag.Parse()
 
-	// A listener needs the registry even without file sinks.
-	obsf.Force = *listen != ""
 	err := obsf.Activate()
-	var srv *http.Server
-	if err == nil && *listen != "" {
+	serving := false
+	if err == nil {
 		var addr string
-		srv, addr, err = cliutil.ServeObs(*listen, obsf.Registry)
-		if err == nil {
-			fmt.Fprintf(os.Stderr, "hhcsim: serving http://%s/metrics (also /debug/vars, /debug/pprof/)\n", addr)
-		}
+		addr, err = obsf.StartListener("hhcsim")
+		serving = addr != ""
 	}
 	opts := simOpts{
 		m: *m, mode: *mode, flows: *flows, msgs: *msgs, flits: *flits,
@@ -62,13 +57,13 @@ func main() {
 	if err == nil {
 		err = run(os.Stdout, flag.Args(), opts)
 	}
-	if err == nil && srv != nil {
-		// Keep the endpoints scrapeable after the run; Ctrl-C exits.
+	if err == nil && serving {
+		// Keep the endpoints scrapeable after the run; Ctrl-C exits
+		// (obsf.Close shuts the listener down).
 		fmt.Fprintln(os.Stderr, "hhcsim: run complete, still serving (Ctrl-C to exit)")
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
-		srv.Close()
 	}
 	if cerr := obsf.Close(os.Stdout); err == nil {
 		err = cerr

@@ -32,6 +32,9 @@ type Obs struct {
 	// TracePath is the -trace value: a file that receives every completed
 	// span as one JSON line, streamed live, or "-" for stderr.
 	TracePath string
+	// ListenAddr is the -listen value (see RegisterListenFlag): an address
+	// for the live debug HTTP server. A non-empty value enables the layer.
+	ListenAddr string
 	// Force activates the layer even without file sinks — set it before
 	// Activate when another consumer (an HTTP listener) needs the registry.
 	Force bool
@@ -42,6 +45,7 @@ type Obs struct {
 	Tracer   *obs.Tracer
 
 	traceFile *os.File
+	srv       *http.Server
 }
 
 // RegisterObsFlags registers -metrics and -trace on fs and returns the
@@ -55,9 +59,18 @@ func RegisterObsFlags(fs *flag.FlagSet) *Obs {
 	return o
 }
 
+// RegisterListenFlag registers -listen on fs for the long-running binaries
+// (hhcsim, hhcd) that serve their registry live over HTTP. A non-empty
+// -listen enables the observability layer even without file sinks; call
+// StartListener after Activate to bind and serve.
+func (o *Obs) RegisterListenFlag(fs *flag.FlagSet) {
+	fs.StringVar(&o.ListenAddr, "listen", "",
+		"serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
+}
+
 // Enabled reports whether any observability sink was requested.
 func (o *Obs) Enabled() bool {
-	return o.MetricsPath != "" || o.TracePath != "" || o.Force
+	return o.MetricsPath != "" || o.TracePath != "" || o.ListenAddr != "" || o.Force
 }
 
 // Activate builds the registry and tracer and instruments the container
@@ -84,12 +97,33 @@ func (o *Obs) Activate() error {
 	return nil
 }
 
-// Close uninstalls the instrumentation, writes the metrics dump, and
-// closes the trace stream. stdout is the writer "-" dumps to (the tests
-// pass a buffer). Safe to call when Activate never ran.
+// StartListener serves the registry's debug mux (/metrics, /debug/vars,
+// /debug/pprof) on the -listen address in a background goroutine and
+// prints the resolved URL to stderr under the tool's name. A no-op
+// returning "" when -listen was not given. Close shuts the server down.
+func (o *Obs) StartListener(name string) (string, error) {
+	if o.ListenAddr == "" {
+		return "", nil
+	}
+	srv, addr, err := ServeObs(o.ListenAddr, o.Registry)
+	if err != nil {
+		return "", err
+	}
+	o.srv = srv
+	fmt.Fprintf(os.Stderr, "%s: serving http://%s/metrics (also /debug/vars, /debug/pprof/)\n", name, addr)
+	return addr, nil
+}
+
+// Close uninstalls the instrumentation, stops the -listen server, writes
+// the metrics dump, and closes the trace stream. stdout is the writer "-"
+// dumps to (the tests pass a buffer). Safe to call when Activate never ran.
 func (o *Obs) Close(stdout io.Writer) error {
 	if o.Registry == nil {
 		return nil
+	}
+	if o.srv != nil {
+		_ = o.srv.Close()
+		o.srv = nil
 	}
 	core.SetObserver(nil)
 	var firstErr error

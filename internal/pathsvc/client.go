@@ -1,0 +1,129 @@
+package pathsvc
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ServerError is a non-OK response surfaced as an error. It unwraps to the
+// typed sentinel matching its code, so errors.Is(err, ErrOverload) and
+// friends work on the client side exactly as on the server side.
+type ServerError struct {
+	Code       string
+	Msg        string
+	RetryAfter time.Duration
+}
+
+// Error renders the code and server-side detail.
+func (e *ServerError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("pathsvc: server answered %q", e.Code)
+	}
+	return e.Msg
+}
+
+// Unwrap maps the wire code back onto the package's typed errors.
+func (e *ServerError) Unwrap() error {
+	switch e.Code {
+	case CodeOverload:
+		return ErrOverload
+	case CodeDeadline:
+		return ErrDeadlineExceeded
+	case CodeShutdown:
+		return ErrShutdown
+	default:
+		return nil
+	}
+}
+
+// Client is a synchronous pathsvc connection: one request in flight at a
+// time (Do holds the lock across write and read, so responses trivially
+// match requests). For concurrency, open one Client per goroutine — the
+// server's worker pool, not the connection count, bounds its parallelism.
+type Client struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	mu       sync.Mutex
+	nextID   uint64
+	maxFrame int
+}
+
+// Dial connects to a pathsvc server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pathsvc: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (the tests drive net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), maxFrame: DefaultMaxFrame}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and waits for its response. The protocol version
+// and correlation id are filled in; a response that is not CodeOK is
+// returned alongside a *ServerError carrying the code.
+func (c *Client) Do(req Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req.Ver, req.ID = ProtocolVersion, c.nextID
+	if err := WriteFrame(c.conn, &req, c.maxFrame); err != nil {
+		return nil, err
+	}
+	payload, err := ReadFrame(c.br, c.maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("pathsvc: response id %d does not match request id %d", resp.ID, req.ID)
+	}
+	if resp.Code != CodeOK {
+		return &resp, &ServerError{
+			Code:       resp.Code,
+			Msg:        resp.Err,
+			RetryAfter: time.Duration(resp.RetryAfterMS) * time.Millisecond,
+		}
+	}
+	return &resp, nil
+}
+
+// Paths requests the disjoint-path container between u and v ("x:y" form).
+// maxPaths > 0 truncates the answer; timeout > 0 sets a per-request
+// deadline.
+func (c *Client) Paths(u, v string, maxPaths int, timeout time.Duration) (*Response, error) {
+	return c.Do(Request{Op: OpPaths, U: u, V: v, MaxPaths: maxPaths, TimeoutMS: timeout.Milliseconds()})
+}
+
+// Route requests one shortest container path from u to v avoiding faults.
+func (c *Client) Route(u, v string, faults []string, timeout time.Duration) (*Response, error) {
+	return c.Do(Request{Op: OpRoute, U: u, V: v, Faults: faults, TimeoutMS: timeout.Milliseconds()})
+}
+
+// Batch requests containers for every [source, destination] pair.
+func (c *Client) Batch(pairs [][2]string, timeout time.Duration) (*Response, error) {
+	return c.Do(Request{Op: OpBatch, Pairs: pairs, TimeoutMS: timeout.Milliseconds()})
+}
+
+// Info reports the served topology.
+func (c *Client) Info() (*Response, error) {
+	return c.Do(Request{Op: OpInfo})
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.Do(Request{Op: OpPing})
+	return err
+}

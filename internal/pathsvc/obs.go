@@ -1,0 +1,74 @@
+package pathsvc
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// svcMetrics is the server's obs wiring, quarantined here per the obscost
+// convention. The stats.Counters on Server stay the single source of truth
+// (always on, atomic); the registry reads them through callbacks at
+// snapshot time. Only the latency histograms are obs-native, and their
+// observation sites route through the nil-safe methods below.
+type svcMetrics struct {
+	requestSeconds   *obs.Histogram
+	queueWaitSeconds *obs.Histogram
+}
+
+// newSvcMetrics registers the pathsvc_* metric set in reg and returns the
+// histogram handles the serving path feeds.
+func newSvcMetrics(reg *obs.Registry, s *Server) *svcMetrics {
+	reg.CounterFunc("pathsvc_conns_total",
+		"Client connections accepted.", s.counters.Conns.Load)
+	reg.CounterFunc("pathsvc_requests_total",
+		"Requests decoded from the wire (any op).", s.counters.Requests.Load)
+	reg.CounterFunc("pathsvc_admitted_total",
+		"Requests that entered the work queue.", s.counters.Admitted.Load)
+	reg.CounterFunc("pathsvc_shed_total",
+		"Requests rejected at admission because the queue was full.", s.counters.Shed.Load)
+	reg.CounterFunc("pathsvc_coalesced_total",
+		"Requests answered by piggybacking on an identical in-flight query.", s.counters.Coalesced.Load)
+	reg.CounterFunc("pathsvc_degraded_total",
+		"Responses truncated below full container width by queue pressure.", s.counters.Degraded.Load)
+	reg.CounterFunc("pathsvc_deadline_exceeded_total",
+		"Requests that missed their deadline in queue or in flight.", s.counters.Deadline.Load)
+	reg.CounterFunc("pathsvc_failed_total",
+		"Requests answered with bad_request, unroutable, or internal.", s.counters.Failed.Load)
+	reg.CounterFunc("pathsvc_completed_total",
+		"Requests answered successfully.", s.counters.Completed.Load)
+	reg.GaugeFunc("pathsvc_queue_depth",
+		"Requests waiting in the admission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("pathsvc_queue_capacity",
+		"Admission queue bound.",
+		func() float64 { return float64(cap(s.queue)) })
+	reg.GaugeFunc("pathsvc_active_workers",
+		"Workers currently executing a request.",
+		func() float64 { return float64(s.activeWorkers.Load()) })
+	reg.GaugeFunc("pathsvc_open_conns",
+		"Currently open client connections.",
+		func() float64 { return float64(s.openConns()) })
+	return &svcMetrics{
+		requestSeconds: reg.Histogram("pathsvc_request_seconds",
+			"End-to-end request latency: decode to response written.",
+			obs.DefLatencyBuckets),
+		queueWaitSeconds: reg.Histogram("pathsvc_queue_wait_seconds",
+			"Time admitted requests spent waiting for a worker.",
+			obs.DefLatencyBuckets),
+	}
+}
+
+// observeRequest records one end-to-end latency sample. Nil-safe.
+func (m *svcMetrics) observeRequest(d time.Duration) {
+	if m != nil {
+		m.requestSeconds.ObserveDuration(d)
+	}
+}
+
+// observeQueueWait records one queue-wait sample. Nil-safe.
+func (m *svcMetrics) observeQueueWait(d time.Duration) {
+	if m != nil {
+		m.queueWaitSeconds.ObserveDuration(d)
+	}
+}

@@ -1,0 +1,760 @@
+package pathsvc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/hhc"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Typed request-outcome errors. The server renders them into response
+// codes; the client maps the codes back onto the same sentinels, so
+// errors.Is works identically on both sides of the wire.
+var (
+	// ErrDeadlineExceeded reports that a request's deadline expired while
+	// it waited in the queue or executed.
+	ErrDeadlineExceeded = errors.New("pathsvc: request deadline exceeded")
+	// ErrOverload reports an admission rejection: the work queue was full.
+	ErrOverload = errors.New("pathsvc: server overloaded, queue full")
+	// ErrShutdown reports that the server is draining and refused the request.
+	ErrShutdown = errors.New("pathsvc: server shutting down")
+)
+
+// Admission selects what happens to a request that arrives while the work
+// queue is full.
+type Admission int
+
+const (
+	// AdmitReject answers CodeOverload immediately with a retry-after hint
+	// (shed load early, keep latency bounded for admitted work).
+	AdmitReject Admission = iota
+	// AdmitBlock parks the connection's reader until queue space frees up
+	// (per-connection backpressure instead of shedding).
+	AdmitBlock
+)
+
+// String names the policy.
+func (a Admission) String() string {
+	switch a {
+	case AdmitReject:
+		return "reject"
+	case AdmitBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("Admission(%d)", int(a))
+	}
+}
+
+// ParseAdmission parses the CLI spelling of an admission policy.
+func ParseAdmission(s string) (Admission, error) {
+	switch s {
+	case "reject", "":
+		return AdmitReject, nil
+	case "block":
+		return AdmitBlock, nil
+	default:
+		return 0, fmt.Errorf("pathsvc: unknown admission policy %q (want reject|block)", s)
+	}
+}
+
+// Config tunes a Server. The zero value of every field selects a sensible
+// default; only M is required.
+type Config struct {
+	// M is the served topology's son-cube dimension.
+	M int
+	// Workers is the construction worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (0 = DefaultQueueDepth).
+	QueueDepth int
+	// Admission selects the full-queue behavior (default AdmitReject).
+	Admission Admission
+	// RetryAfter is the back-off hint sent with CodeOverload
+	// (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
+	// DefaultTimeout caps requests that carry no deadline of their own
+	// (0 = DefaultRequestTimeout).
+	DefaultTimeout time.Duration
+	// MaxFrame bounds wire frames (0 = DefaultMaxFrame).
+	MaxFrame int
+	// ShedThreshold is the queue-fill fraction beyond which OpPaths
+	// responses degrade to DegradeWidth paths (0 = DefaultShedThreshold;
+	// must be in (0, 1]).
+	ShedThreshold float64
+	// DegradeWidth is the container width served while degraded
+	// (0 = DefaultDegradeWidth).
+	DegradeWidth int
+	// MaxBatch bounds OpBatch pair counts (0 = DefaultMaxBatch).
+	MaxBatch int
+	// Cache tunes the memoizing container cache backing the service.
+	Cache cache.Options
+	// Reg, when non-nil, receives the pathsvc_* metric set (plus the
+	// cache_* set of the backing cache).
+	Reg *obs.Registry
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultQueueDepth     = 256
+	DefaultRetryAfter     = 50 * time.Millisecond
+	DefaultRequestTimeout = 2 * time.Second
+	DefaultShedThreshold  = 0.75
+	DefaultDegradeWidth   = 1
+	DefaultMaxBatch       = 1024
+)
+
+// Counters is the always-on (obs-independent) event ledger of a Server,
+// updated atomically on the serving path and re-exported through obs
+// callbacks when a registry is configured.
+type Counters struct {
+	Conns     stats.Counter // accepted connections
+	Requests  stats.Counter // decoded requests of any op
+	Admitted  stats.Counter // requests that entered the work queue
+	Shed      stats.Counter // requests rejected at admission (queue full)
+	Coalesced stats.Counter // requests piggybacked on an identical in-flight query
+	Degraded  stats.Counter // responses truncated below full width by queue pressure
+	Deadline  stats.Counter // requests that missed their deadline
+	Failed    stats.Counter // bad_request / unroutable / internal responses
+	Completed stats.Counter // successful responses
+}
+
+// Snapshot is a point-in-time reading of Counters.
+type Snapshot struct {
+	Conns, Requests, Admitted, Shed, Coalesced int64
+	Degraded, Deadline, Failed, Completed      int64
+}
+
+// String renders the snapshot on one line for CLI summaries.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("conns=%d requests=%d admitted=%d shed=%d coalesced=%d degraded=%d deadline=%d failed=%d completed=%d",
+		s.Conns, s.Requests, s.Admitted, s.Shed, s.Coalesced, s.Degraded, s.Deadline, s.Failed, s.Completed)
+}
+
+// coalesceKey identifies queries that may share one construction: same
+// endpoints on the server's one topology. Width preferences (MaxPaths,
+// shedding) stay per-requester — the leader computes the full container and
+// every recipient truncates its own copy.
+type coalesceKey struct {
+	u, v hhc.Node
+}
+
+// pendingReq is everything needed to answer one requester: leader and
+// coalesced waiters carry the same shape.
+type pendingReq struct {
+	pc       *serverConn
+	id       uint64
+	op       string
+	maxPaths int
+	degraded bool
+	ctx      context.Context
+	cancel   context.CancelFunc
+	start    time.Time
+}
+
+// task is one unit of queued work.
+type task struct {
+	pendingReq
+	u, v     hhc.Node
+	pairs    [][2]string
+	faults   map[hhc.Node]bool
+	enqueued time.Time
+	lead     bool // owns an entry in Server.inflight
+	key      coalesceKey
+}
+
+// flight collects the waiters coalesced onto one in-flight query.
+type flight struct {
+	waiters []pendingReq
+}
+
+// outcome is a worker's answer, shared by the leader and all waiters.
+type outcome struct {
+	code    string
+	errMsg  string
+	paths   [][]hhc.Node
+	results []BatchItem
+	retryMS int64
+}
+
+// serverConn serializes concurrent response writes onto one connection.
+type serverConn struct {
+	c       net.Conn
+	maxSend int
+	wmu     sync.Mutex
+	// pending counts responses owed by the worker pool; the reader waits
+	// for it before closing the connection, so graceful shutdown never
+	// drops an admitted request's answer.
+	pending sync.WaitGroup
+}
+
+func (pc *serverConn) send(resp *Response) {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	// A write error means the peer vanished; the reader will observe the
+	// broken connection and clean up, so there is nobody left to notify.
+	_ = WriteFrame(pc.c, resp, pc.maxSend)
+}
+
+// Server serves disjoint-path queries over length-prefixed JSON frames.
+// Create with New, run with Serve, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	g        *hhc.Graph
+	cache    *cache.Cache
+	counters Counters
+
+	queue    chan *task
+	shedHigh int
+
+	quit      chan struct{} // closed by Shutdown: stop admitting work
+	done      chan struct{} // closed by Serve once fully drained
+	closeOnce sync.Once
+	started   atomic.Bool
+
+	ln     net.Listener
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+
+	workerWG      sync.WaitGroup
+	activeWorkers atomic.Int64
+
+	inflightMu sync.Mutex
+	inflight   map[coalesceKey]*flight
+
+	met *svcMetrics
+
+	// stallForTest, when non-nil, runs at the top of every worker
+	// execution; lifecycle tests use it to hold workers mid-request.
+	stallForTest func()
+}
+
+// New validates cfg, builds the topology and its container cache, and
+// registers the metric set when cfg.Reg is non-nil.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.ShedThreshold == 0 {
+		cfg.ShedThreshold = DefaultShedThreshold
+	}
+	if cfg.ShedThreshold < 0 || cfg.ShedThreshold > 1 {
+		return nil, fmt.Errorf("pathsvc: shed threshold %g out of range (0, 1]", cfg.ShedThreshold)
+	}
+	if cfg.DegradeWidth <= 0 {
+		cfg.DegradeWidth = DefaultDegradeWidth
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	switch cfg.Admission {
+	case AdmitReject, AdmitBlock:
+	default:
+		return nil, fmt.Errorf("pathsvc: unknown admission policy %d", int(cfg.Admission))
+	}
+	g, err := hhc.New(cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cache.New(g, cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	shedHigh := int(cfg.ShedThreshold * float64(cfg.QueueDepth))
+	if shedHigh < 1 {
+		shedHigh = 1
+	}
+	s := &Server{
+		cfg:      cfg,
+		g:        g,
+		cache:    c,
+		queue:    make(chan *task, cfg.QueueDepth),
+		shedHigh: shedHigh,
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+		inflight: make(map[coalesceKey]*flight),
+	}
+	if cfg.Reg != nil {
+		s.met = newSvcMetrics(cfg.Reg, s)
+		s.cache.Register(cfg.Reg)
+	}
+	return s, nil
+}
+
+// M returns the served son-cube dimension.
+func (s *Server) M() int { return s.g.M() }
+
+// Counters returns a point-in-time reading of the serving ledger.
+func (s *Server) Counters() Snapshot {
+	return Snapshot{
+		Conns:     s.counters.Conns.Load(),
+		Requests:  s.counters.Requests.Load(),
+		Admitted:  s.counters.Admitted.Load(),
+		Shed:      s.counters.Shed.Load(),
+		Coalesced: s.counters.Coalesced.Load(),
+		Degraded:  s.counters.Degraded.Load(),
+		Deadline:  s.counters.Deadline.Load(),
+		Failed:    s.counters.Failed.Load(),
+		Completed: s.counters.Completed.Load(),
+	}
+}
+
+// CacheSnapshot reads the backing container cache's counters.
+func (s *Server) CacheSnapshot() stats.CacheSnapshot { return s.cache.Snapshot() }
+
+// Serve accepts connections on ln and blocks until Shutdown (returning
+// nil) or an accept error. It owns the drain: by the time Serve returns,
+// every admitted request has been answered and every worker has exited.
+func (s *Server) Serve(ln net.Listener) error {
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("pathsvc: Serve called twice")
+	}
+	s.ln = ln
+	s.workerWG.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+	var err error
+	for {
+		conn, aerr := ln.Accept()
+		if aerr != nil {
+			if !s.closing() {
+				err = fmt.Errorf("pathsvc: accept: %w", aerr)
+				s.beginClose()
+			}
+			break
+		}
+		s.counters.Conns.Inc()
+		s.track(conn)
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+	// Drain: readers first (they stop enqueuing and wait out their pending
+	// responses), then the queue, then the workers.
+	s.connWG.Wait()
+	close(s.queue)
+	s.workerWG.Wait()
+	close(s.done)
+	return err
+}
+
+// Shutdown gracefully stops the server: no new connections or requests are
+// accepted, every in-flight and queued request is answered, and the worker
+// pool exits. It returns nil once fully drained, or ctx.Err() if ctx
+// expires first (the drain keeps going in the background).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginClose()
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// beginClose makes the shutdown decision once: refuse new work and poke
+// every blocked connection reader awake.
+func (s *Server) beginClose() {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		if s.ln != nil {
+			_ = s.ln.Close()
+		}
+		s.connMu.Lock()
+		for c := range s.conns {
+			// Unblock pending reads; the reader sees quit closed and exits
+			// after its owed responses are written.
+			_ = c.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
+	})
+}
+
+func (s *Server) closing() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) track(c net.Conn) {
+	s.connMu.Lock()
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// openConns reports the live connection count (metrics callback).
+func (s *Server) openConns() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return len(s.conns)
+}
+
+// handleConn reads frames off one connection and dispatches them. It never
+// closes the connection while worker responses are owed.
+func (s *Server) handleConn(conn net.Conn) {
+	pc := &serverConn{c: conn, maxSend: s.cfg.MaxFrame}
+	defer func() {
+		pc.pending.Wait()
+		_ = conn.Close()
+		s.untrack(conn)
+		s.connWG.Done()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		payload, err := ReadFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			// EOF, a peer reset, a framing violation, or the shutdown read
+			// deadline: all end the connection.
+			return
+		}
+		if s.closing() {
+			// The frame raced the drain decision; refuse it explicitly
+			// (best effort — the id is only known if the payload decodes).
+			if req, derr := DecodeRequest(payload); derr == nil {
+				s.counters.Requests.Inc()
+				pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, Op: req.Op,
+					Code: CodeShutdown, Err: ErrShutdown.Error()})
+			}
+			return
+		}
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			// JSON-level garbage is answerable (framing still holds).
+			s.counters.Requests.Inc()
+			s.counters.Failed.Inc()
+			pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, Op: req.Op,
+				Code: CodeBadRequest, Err: err.Error()})
+			continue
+		}
+		s.dispatch(pc, req)
+	}
+}
+
+// dispatch validates a request, answers trivial ops inline, coalesces
+// duplicate path queries, and runs admission control for the rest. It runs
+// on the connection's reader goroutine, so AdmitBlock backpressure parks
+// exactly the connection that is overloading the queue.
+func (s *Server) dispatch(pc *serverConn, req Request) {
+	s.counters.Requests.Inc()
+	start := time.Now()
+
+	switch req.Op {
+	case OpPing:
+		s.counters.Completed.Inc()
+		pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, Op: req.Op})
+		s.met.observeRequest(time.Since(start))
+		return
+	case OpInfo:
+		s.counters.Completed.Inc()
+		pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, Op: req.Op,
+			M: s.g.M(), Full: s.g.M() + 1, Width: s.g.M() + 1})
+		s.met.observeRequest(time.Since(start))
+		return
+	case OpPaths, OpBatch, OpRoute:
+	default:
+		s.fail(pc, req, fmt.Sprintf("unknown op %q", req.Op))
+		return
+	}
+
+	t := &task{
+		pendingReq: pendingReq{
+			pc: pc, id: req.ID, op: req.Op, maxPaths: req.MaxPaths, start: start,
+		},
+	}
+	var err error
+	switch req.Op {
+	case OpPaths, OpRoute:
+		if t.u, err = s.g.ParseNode(req.U); err == nil {
+			t.v, err = s.g.ParseNode(req.V)
+		}
+		if err == nil && req.Op == OpRoute {
+			t.faults = make(map[hhc.Node]bool, len(req.Faults))
+			for _, f := range req.Faults {
+				var fn hhc.Node
+				if fn, err = s.g.ParseNode(f); err != nil {
+					break
+				}
+				t.faults[fn] = true
+			}
+		}
+	case OpBatch:
+		if len(req.Pairs) == 0 {
+			err = errors.New("pathsvc: batch with no pairs")
+		} else if len(req.Pairs) > s.cfg.MaxBatch {
+			err = fmt.Errorf("pathsvc: batch of %d pairs exceeds the %d-pair limit", len(req.Pairs), s.cfg.MaxBatch)
+		}
+		t.pairs = req.Pairs
+	}
+	if err != nil {
+		s.fail(pc, req, err.Error())
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	t.ctx, t.cancel = context.WithTimeout(context.Background(), timeout)
+	// The degrade decision is taken at admission time: a queue filling past
+	// the shed threshold marks new path queries for width truncation.
+	t.degraded = len(s.queue) >= s.shedHigh
+
+	if req.Op == OpPaths {
+		key := coalesceKey{u: t.u, v: t.v}
+		s.inflightMu.Lock()
+		if fl, ok := s.inflight[key]; ok {
+			pc.pending.Add(1)
+			fl.waiters = append(fl.waiters, t.pendingReq)
+			s.inflightMu.Unlock()
+			s.counters.Coalesced.Inc()
+			return
+		}
+		s.inflight[key] = &flight{}
+		s.inflightMu.Unlock()
+		t.lead, t.key = true, key
+	}
+
+	t.enqueued = time.Now()
+	pc.pending.Add(1)
+	select {
+	case s.queue <- t:
+		s.counters.Admitted.Inc()
+		return
+	default:
+	}
+	if s.cfg.Admission == AdmitBlock {
+		select {
+		case s.queue <- t:
+			s.counters.Admitted.Inc()
+			return
+		case <-s.quit:
+			s.deliverAll(t, outcome{code: CodeShutdown, errMsg: ErrShutdown.Error()})
+			return
+		}
+	}
+	// AdmitReject: shed now, with a back-off hint.
+	s.counters.Shed.Inc()
+	s.deliverAll(t, outcome{
+		code:    CodeOverload,
+		errMsg:  ErrOverload.Error(),
+		retryMS: s.cfg.RetryAfter.Milliseconds(),
+	})
+}
+
+// fail answers a request that never reached the queue.
+func (s *Server) fail(pc *serverConn, req Request, msg string) {
+	s.counters.Failed.Inc()
+	pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, Op: req.Op,
+		Code: CodeBadRequest, Err: msg})
+}
+
+// worker executes queued tasks until the queue closes.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.queue {
+		s.met.observeQueueWait(time.Since(t.enqueued))
+		s.activeWorkers.Add(1)
+		s.process(t)
+		s.activeWorkers.Add(-1)
+	}
+}
+
+func (s *Server) process(t *task) {
+	if s.stallForTest != nil {
+		s.stallForTest()
+	}
+	var out outcome
+	if t.ctx.Err() != nil {
+		out = outcome{code: CodeDeadline, errMsg: ErrDeadlineExceeded.Error()}
+	} else {
+		switch t.op {
+		case OpPaths:
+			out = s.doPaths(t)
+		case OpRoute:
+			out = s.doRoute(t)
+		case OpBatch:
+			out = s.doBatch(t)
+		}
+	}
+	s.deliverAll(t, out)
+}
+
+// doPaths constructs (or fetches) the full-width container; truncation is
+// applied per recipient in deliver.
+func (s *Server) doPaths(t *task) outcome {
+	paths, err := s.cache.Paths(t.u, t.v, core.Options{})
+	if err != nil {
+		return outcome{code: CodeBadRequest, errMsg: err.Error()}
+	}
+	return outcome{paths: paths}
+}
+
+// doRoute picks the shortest container path avoiding the declared faults.
+func (s *Server) doRoute(t *task) outcome {
+	if t.faults[t.u] {
+		return outcome{code: CodeBadRequest,
+			errMsg: fmt.Sprintf("pathsvc: source %s is faulty", s.g.FormatNode(t.u))}
+	}
+	if t.faults[t.v] {
+		return outcome{code: CodeBadRequest,
+			errMsg: fmt.Sprintf("pathsvc: destination %s is faulty", s.g.FormatNode(t.v))}
+	}
+	paths, err := s.cache.Paths(t.u, t.v, core.Options{})
+	if err != nil {
+		return outcome{code: CodeBadRequest, errMsg: err.Error()}
+	}
+	surviving := core.SurvivingPaths(paths, t.faults)
+	if len(surviving) == 0 {
+		return outcome{code: CodeUnroutable, errMsg: core.ErrAllPathsFaulty.Error()}
+	}
+	sort.Slice(surviving, func(i, j int) bool { return len(surviving[i]) < len(surviving[j]) })
+	return outcome{paths: surviving[:1]}
+}
+
+// doBatch serves every pair through the cache, checking the deadline
+// between items so a huge batch cannot outlive its budget.
+func (s *Server) doBatch(t *task) outcome {
+	results := make([]BatchItem, 0, len(t.pairs))
+	for _, pair := range t.pairs {
+		if t.ctx.Err() != nil {
+			return outcome{code: CodeDeadline, errMsg: ErrDeadlineExceeded.Error()}
+		}
+		item := BatchItem{U: pair[0], V: pair[1]}
+		u, err := s.g.ParseNode(pair[0])
+		if err == nil {
+			var v hhc.Node
+			if v, err = s.g.ParseNode(pair[1]); err == nil {
+				var paths [][]hhc.Node
+				if paths, err = s.cache.Paths(u, v, core.Options{}); err == nil {
+					item.Paths = s.formatPaths(paths, len(paths))
+				}
+			}
+		}
+		if err != nil {
+			item.Err = err.Error()
+		}
+		results = append(results, item)
+	}
+	return outcome{results: results}
+}
+
+// deliverAll answers the leader and, for coalesced queries, every waiter
+// that piggybacked on it. The in-flight entry is removed first so late
+// duplicates start a fresh construction instead of attaching to a
+// completed one.
+func (s *Server) deliverAll(t *task, out outcome) {
+	if t.lead {
+		s.inflightMu.Lock()
+		fl := s.inflight[t.key]
+		delete(s.inflight, t.key)
+		s.inflightMu.Unlock()
+		s.deliver(t.pendingReq, out)
+		for _, w := range fl.waiters {
+			s.deliver(w, out)
+		}
+		return
+	}
+	s.deliver(t.pendingReq, out)
+}
+
+// deliver renders one recipient's response: its own deadline check, its
+// own width truncation, its own counters and latency sample.
+func (s *Server) deliver(p pendingReq, out outcome) {
+	defer p.pc.pending.Done()
+	if p.cancel != nil {
+		defer p.cancel()
+	}
+	resp := &Response{Ver: ProtocolVersion, ID: p.id, Op: p.op}
+	code := out.code
+	if code == CodeOK && p.ctx != nil && p.ctx.Err() != nil {
+		// The shared construction finished, but after this requester's own
+		// deadline: a stale answer is still a missed deadline.
+		code, out = CodeDeadline, outcome{errMsg: ErrDeadlineExceeded.Error()}
+	}
+	switch code {
+	case CodeOK:
+		switch p.op {
+		case OpPaths:
+			full := len(out.paths)
+			want := full
+			if p.maxPaths > 0 && p.maxPaths < want {
+				want = p.maxPaths
+			}
+			k := want
+			if p.degraded && s.cfg.DegradeWidth < k {
+				k = s.cfg.DegradeWidth
+				resp.Degraded = true
+				s.counters.Degraded.Inc()
+			}
+			resp.Paths = s.formatPaths(out.paths, k)
+			resp.Width, resp.Full = k, full
+		case OpRoute:
+			resp.Paths = s.formatPaths(out.paths, len(out.paths))
+			resp.Width, resp.Full = len(out.paths), s.g.M()+1
+		case OpBatch:
+			resp.Results = out.results
+		}
+		s.counters.Completed.Inc()
+	case CodeDeadline:
+		s.counters.Deadline.Inc()
+		resp.Code, resp.Err = code, out.errMsg
+	case CodeOverload, CodeShutdown:
+		// Shed/refused work is already counted at its decision site.
+		resp.Code, resp.Err = code, out.errMsg
+		resp.RetryAfterMS = out.retryMS
+	default:
+		s.counters.Failed.Inc()
+		resp.Code, resp.Err = code, out.errMsg
+	}
+	p.pc.send(resp)
+	s.met.observeRequest(time.Since(p.start))
+}
+
+// formatPaths renders the first k container paths in wire form.
+func (s *Server) formatPaths(paths [][]hhc.Node, k int) [][]string {
+	if k > len(paths) {
+		k = len(paths)
+	}
+	out := make([][]string, k)
+	for i := 0; i < k; i++ {
+		p := make([]string, len(paths[i]))
+		for j, n := range paths[i] {
+			p[j] = s.g.FormatNode(n)
+		}
+		out[i] = p
+	}
+	return out
+}

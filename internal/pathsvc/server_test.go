@@ -1,0 +1,554 @@
+package pathsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hhc"
+	"repro/internal/obs"
+)
+
+// startServer binds a server on a loopback port and serves it in the
+// background. Tests that do not shut down explicitly get a cleanup drain.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+// dial connects a test client.
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// verifyContainer checks a wire-form container parses and is node-valid on g.
+func verifyContainer(t *testing.T, g *hhc.Graph, u, v string, paths [][]string) {
+	t.Helper()
+	for i, p := range paths {
+		if len(p) == 0 {
+			t.Fatalf("path %d empty", i)
+		}
+		if p[0] != u || p[len(p)-1] != v {
+			t.Fatalf("path %d endpoints %s..%s, want %s..%s", i, p[0], p[len(p)-1], u, v)
+		}
+		nodes := make([]hhc.Node, len(p))
+		for j, s := range p {
+			n, err := g.ParseNode(s)
+			if err != nil {
+				t.Fatalf("path %d node %q: %v", i, s, err)
+			}
+			nodes[j] = n
+		}
+		un, _ := g.ParseNode(u)
+		vn, _ := g.ParseNode(v)
+		if err := g.VerifyPath(un, vn, nodes); err != nil {
+			t.Fatalf("path %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestServeBasicOps(t *testing.T) {
+	_, addr := startServer(t, Config{M: 3})
+	c := dial(t, addr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	info, err := c.Info()
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if info.M != 3 || info.Full != 4 {
+		t.Fatalf("info = m:%d full:%d, want m:3 full:4", info.M, info.Full)
+	}
+
+	g, _ := hhc.New(3)
+	u, v := "0x0:0", "0xff:7"
+	resp, err := c.Paths(u, v, 0, 0)
+	if err != nil {
+		t.Fatalf("paths: %v", err)
+	}
+	if len(resp.Paths) != 4 || resp.Width != 4 || resp.Full != 4 || resp.Degraded {
+		t.Fatalf("paths width=%d full=%d degraded=%v len=%d, want full 4-wide container",
+			resp.Width, resp.Full, resp.Degraded, len(resp.Paths))
+	}
+	verifyContainer(t, g, u, v, resp.Paths)
+
+	// MaxPaths truncates without flagging degradation.
+	resp, err = c.Paths(u, v, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Paths) != 2 || resp.Degraded {
+		t.Fatalf("maxpaths=2 returned %d paths, degraded=%v", len(resp.Paths), resp.Degraded)
+	}
+
+	// Route avoids a declared fault.
+	full, err := c.Paths(u, v, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := full.Paths[0][1] // interior node of the first path
+	route, err := c.Route(u, v, []string{fault}, 0)
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	if len(route.Paths) != 1 {
+		t.Fatalf("route returned %d paths, want 1", len(route.Paths))
+	}
+	for _, n := range route.Paths[0] {
+		if n == fault {
+			t.Fatalf("route crosses declared fault %s", fault)
+		}
+	}
+
+	// Batch answers per pair.
+	batch, err := c.Batch([][2]string{{u, v}, {"0x1:0", "0x1:5"}, {"bogus", v}}, 0)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(batch.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(batch.Results))
+	}
+	if batch.Results[0].Err != "" || len(batch.Results[0].Paths) != 4 {
+		t.Fatalf("batch item 0: err=%q paths=%d", batch.Results[0].Err, len(batch.Results[0].Paths))
+	}
+	if batch.Results[2].Err == "" {
+		t.Fatal("batch item with bogus address did not report an error")
+	}
+
+	// Bad requests are typed and do not kill the connection.
+	var srvErr *ServerError
+	if _, err := c.Paths("nonsense", v, 0, 0); !errors.As(err, &srvErr) || srvErr.Code != CodeBadRequest {
+		t.Fatalf("bad address: got %v, want bad_request", err)
+	}
+	if _, err := c.Do(Request{Op: "nope"}); !errors.As(err, &srvErr) || srvErr.Code != CodeBadRequest {
+		t.Fatalf("unknown op: got %v, want bad_request", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after bad requests: %v", err)
+	}
+}
+
+// TestGracefulShutdownDrains: requests admitted before Shutdown are all
+// answered (none dropped), Serve exits cleanly, and the listener refuses
+// new connections afterwards.
+func TestGracefulShutdownDrains(t *testing.T) {
+	const inflight = 6
+	srv, err := New(Config{M: 3, Workers: 2, QueueDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	srv.stallForTest = func() { <-release }
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	// Distinct pairs (no coalescing), one client each, fired concurrently.
+	g, _ := hhc.New(3)
+	results := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		u := g.FormatNode(hhc.Node{X: uint64(i), Y: 0})
+		v := g.FormatNode(hhc.Node{X: uint64(0xf0 ^ i), Y: 5})
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				results <- err
+				return
+			}
+			defer c.Close()
+			resp, err := c.Paths(u, v, 0, time.Minute)
+			if err == nil && len(resp.Paths) != 4 {
+				err = fmt.Errorf("got %d paths, want 4", len(resp.Paths))
+			}
+			results <- err
+		}()
+	}
+	waitFor(t, "all requests admitted", func() bool {
+		return srv.Counters().Admitted == inflight
+	})
+
+	shutdownErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownErr <- srv.Shutdown(ctx) }()
+	// The drain must wait for the stalled workers, not abandon them.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	for i := 0; i < inflight; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("in-flight request %d dropped by shutdown: %v", i, err)
+		}
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	snap := srv.Counters()
+	if snap.Completed < inflight {
+		t.Fatalf("completed %d < admitted %d: shutdown dropped answers", snap.Completed, inflight)
+	}
+	// No new work after close.
+	if c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		c.Close()
+		t.Fatal("listener still accepting after drained shutdown")
+	}
+}
+
+// TestDeadlineExceededTyped: a request whose deadline expires while it
+// waits returns the typed ErrDeadlineExceeded through the client.
+func TestDeadlineExceededTyped(t *testing.T) {
+	srv, addr := startServer(t, Config{M: 3, Workers: 1, QueueDepth: 8})
+	block := make(chan struct{})
+	var once sync.Once
+	srv.stallForTest = func() { once.Do(func() { <-block }) }
+
+	// Occupy the single worker, then queue a request with a tiny deadline.
+	occupier := dial(t, addr)
+	occDone := make(chan struct{})
+	go func() {
+		defer close(occDone)
+		_, _ = occupier.Paths("0x1:0", "0x2:3", 0, time.Minute)
+	}()
+	waitFor(t, "worker occupied", func() bool { return srv.activeWorkers.Load() == 1 })
+
+	// Release the worker only after the queued request's deadline lapses.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(block)
+	}()
+	c := dial(t, addr)
+	_, err := c.Paths("0x3:0", "0x4:4", 0, 10*time.Millisecond)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want ErrDeadlineExceeded", err)
+	}
+	if srv.Counters().Deadline == 0 {
+		t.Fatal("deadline counter not incremented")
+	}
+	<-occDone
+}
+
+// TestCoalesceInflight: identical (u, v) queries issued while the first is
+// still executing share one construction and all receive full answers.
+func TestCoalesceInflight(t *testing.T) {
+	srv, addr := startServer(t, Config{M: 3, Workers: 1, QueueDepth: 8})
+	release := make(chan struct{})
+	srv.stallForTest = func() { <-release }
+
+	const dup = 3
+	u, v := "0x5:1", "0xa:6"
+	results := make(chan *Response, 1+dup)
+	errs := make(chan error, 1+dup)
+	for i := 0; i < 1+dup; i++ {
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			resp, err := c.Paths(u, v, 0, time.Minute)
+			errs <- err
+			results <- resp
+		}()
+	}
+	waitFor(t, "duplicates coalesced", func() bool {
+		return srv.Counters().Coalesced == dup
+	})
+	if admitted := srv.Counters().Admitted; admitted != 1 {
+		t.Fatalf("admitted %d constructions for %d identical queries, want 1", admitted, 1+dup)
+	}
+	close(release)
+	for i := 0; i < 1+dup; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("coalesced request %d: %v", i, err)
+		}
+		if resp := <-results; len(resp.Paths) != 4 {
+			t.Fatalf("coalesced request %d got %d paths, want 4", i, len(resp.Paths))
+		}
+	}
+	// The cache saw exactly one construction for the whole fan-in.
+	if cs := srv.CacheSnapshot(); cs.Misses != 1 {
+		t.Fatalf("cache misses = %d, want 1", cs.Misses)
+	}
+}
+
+// TestShedOverload: once the queue is full, reject-mode admission answers
+// CodeOverload with a retry hint instead of queueing unboundedly.
+func TestShedOverload(t *testing.T) {
+	srv, addr := startServer(t, Config{M: 3, Workers: 1, QueueDepth: 1, Admission: AdmitReject,
+		RetryAfter: 75 * time.Millisecond})
+	release := make(chan struct{})
+	srv.stallForTest = func() { <-release }
+	defer close(release)
+
+	// Occupy the worker, fill the queue, then overflow it. Distinct pairs
+	// keep coalescing out of the picture.
+	bg := []struct{ u, v string }{{"0x1:0", "0x2:3"}, {"0x3:1", "0x4:4"}}
+	for _, p := range bg {
+		c := dial(t, addr)
+		go func(u, v string) { _, _ = c.Paths(u, v, 0, time.Minute) }(p.u, p.v)
+	}
+	waitFor(t, "worker busy and queue full", func() bool {
+		return srv.activeWorkers.Load() == 1 && len(srv.queue) == 1
+	})
+
+	c := dial(t, addr)
+	resp, err := c.Paths("0x5:2", "0x6:5", 0, 0)
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("got %v, want ErrOverload", err)
+	}
+	var srvErr *ServerError
+	if !errors.As(err, &srvErr) || srvErr.RetryAfter != 75*time.Millisecond {
+		t.Fatalf("retry-after hint = %v, want 75ms", srvErr.RetryAfter)
+	}
+	if resp == nil || resp.Code != CodeOverload {
+		t.Fatalf("response %+v, want code overload", resp)
+	}
+	if srv.Counters().Shed == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+}
+
+// TestBlockAdmission: block mode parks the submitting connection instead
+// of shedding, and the parked request completes once space frees up.
+func TestBlockAdmission(t *testing.T) {
+	srv, addr := startServer(t, Config{M: 3, Workers: 1, QueueDepth: 1, Admission: AdmitBlock})
+	release := make(chan struct{})
+	srv.stallForTest = func() { <-release }
+
+	pairsUV := []struct{ u, v string }{
+		{"0x1:0", "0x2:3"}, {"0x3:1", "0x4:4"}, {"0x5:2", "0x6:5"},
+	}
+	errs := make(chan error, len(pairsUV))
+	for _, p := range pairsUV {
+		c := dial(t, addr)
+		go func(u, v string) {
+			_, err := c.Paths(u, v, 0, time.Minute)
+			errs <- err
+		}(p.u, p.v)
+	}
+	// Third request has nowhere to go; block mode must not shed it.
+	time.Sleep(50 * time.Millisecond)
+	if snap := srv.Counters(); snap.Shed != 0 {
+		t.Fatalf("block mode shed %d requests", snap.Shed)
+	}
+	close(release)
+	for range pairsUV {
+		if err := <-errs; err != nil {
+			t.Fatalf("blocked request failed: %v", err)
+		}
+	}
+}
+
+// TestDegradeUnderPressure: queue pressure past the shed threshold
+// truncates path responses to DegradeWidth and flags them.
+func TestDegradeUnderPressure(t *testing.T) {
+	srv, addr := startServer(t, Config{M: 3, Workers: 1, QueueDepth: 8,
+		ShedThreshold: 0.25, DegradeWidth: 2})
+	release := make(chan struct{})
+	srv.stallForTest = func() { <-release }
+
+	// Occupy the worker and put two requests in the queue (past the
+	// 0.25 * 8 = 2 threshold).
+	bg := []struct{ u, v string }{{"0x1:0", "0x2:3"}, {"0x3:1", "0x4:4"}, {"0x5:2", "0x6:5"}}
+	errs := make(chan error, len(bg))
+	for _, p := range bg {
+		c := dial(t, addr)
+		go func(u, v string) {
+			_, err := c.Paths(u, v, 0, time.Minute)
+			errs <- err
+		}(p.u, p.v)
+	}
+	waitFor(t, "queue past shed threshold", func() bool { return len(srv.queue) >= 2 })
+
+	c := dial(t, addr)
+	got := make(chan *Response, 1)
+	go func() {
+		resp, err := c.Paths("0x7:3", "0x8:6", 0, time.Minute)
+		if err != nil {
+			t.Errorf("degraded request failed: %v", err)
+		}
+		got <- resp
+	}()
+	waitFor(t, "degraded request admitted", func() bool { return srv.Counters().Admitted == 4 })
+	close(release)
+	for range bg {
+		if err := <-errs; err != nil {
+			t.Fatalf("background request: %v", err)
+		}
+	}
+	resp := <-got
+	if resp == nil {
+		t.Fatal("no degraded response")
+	}
+	if !resp.Degraded || len(resp.Paths) != 2 || resp.Full != 4 {
+		t.Fatalf("degraded=%v width=%d full=%d, want degraded 2-of-4", resp.Degraded, len(resp.Paths), resp.Full)
+	}
+	if srv.Counters().Degraded == 0 {
+		t.Fatal("degraded counter not incremented")
+	}
+}
+
+// TestMetricsRegistered: with a registry configured, the pathsvc_* and
+// cache_* families show up in the exposition after traffic.
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, addr := startServer(t, Config{M: 3, Reg: reg})
+	c := dial(t, addr)
+	if _, err := c.Paths("0x0:0", "0x3:3", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var sb syncBuilder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"pathsvc_requests_total 1",
+		"pathsvc_admitted_total 1",
+		"pathsvc_completed_total 1",
+		"pathsvc_queue_capacity 256",
+		"pathsvc_request_seconds_bucket",
+		"pathsvc_queue_wait_seconds_bucket",
+		"cache_misses_total 1",
+	} {
+		if !contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentHammer drives many connections with overlapping pairs and
+// mixed ops; meant to run under -race (CI runs go test -race ./...).
+func TestConcurrentHammer(t *testing.T) {
+	srv, addr := startServer(t, Config{M: 3, Workers: 4, QueueDepth: 64})
+	g, _ := hhc.New(3)
+	pairs := []struct{ u, v hhc.Node }{
+		{hhc.Node{X: 0, Y: 0}, hhc.Node{X: 0xff, Y: 7}},
+		{hhc.Node{X: 1, Y: 2}, hhc.Node{X: 0x42, Y: 5}},
+		{hhc.Node{X: 7, Y: 1}, hhc.Node{X: 7, Y: 6}},
+	}
+	const goroutines, per = 8, 100
+	var wg sync.WaitGroup
+	errsCh := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errsCh <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < per; j++ {
+				p := pairs[(i+j)%len(pairs)]
+				u, v := g.FormatNode(p.u), g.FormatNode(p.v)
+				switch j % 3 {
+				case 0:
+					_, err = c.Paths(u, v, 0, time.Second)
+				case 1:
+					_, err = c.Route(u, v, nil, time.Second)
+				default:
+					_, err = c.Batch([][2]string{{u, v}}, time.Second)
+				}
+				if err != nil {
+					errsCh <- fmt.Errorf("goroutine %d op %d: %w", i, j, err)
+					return
+				}
+			}
+			errsCh <- nil
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if err := <-errsCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap := srv.Counters(); snap.Completed != goroutines*per {
+		t.Fatalf("completed %d, want %d", snap.Completed, goroutines*per)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline budget runs out.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// syncBuilder is a minimal concurrent-safe strings.Builder stand-in.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  []byte
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return string(s.b)
+}
+
+func contains(haystack, needle string) bool {
+	return len(needle) == 0 || (len(haystack) >= len(needle) && indexOf(haystack, needle) >= 0)
+}
+
+func indexOf(haystack, needle string) int {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return i
+		}
+	}
+	return -1
+}

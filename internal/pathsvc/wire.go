@@ -1,0 +1,204 @@
+// Package pathsvc puts the container construction on the wire: a
+// length-prefixed JSON-over-TCP protocol serving disjoint-path queries
+// (single, batch, and fault-avoiding variants) backed by internal/core and
+// internal/cache, plus the server-side production engineering the paper's
+// poly(n) bound makes possible — bounded admission queues, per-request
+// deadlines, in-flight coalescing of identical queries, and load shedding
+// that degrades container width before it drops requests.
+//
+// # Wire format
+//
+// Every message is one frame: a 4-byte big-endian payload length followed
+// by that many bytes of JSON. Requests and responses are versioned
+// (Request.Ver / Response.Ver, currently ProtocolVersion = 1); a server
+// rejects versions it does not speak with CodeBadRequest rather than
+// guessing. Node addresses travel in the textual "x:y" form of
+// hhc.ParseNode / hhc.FormatNode, so the protocol needs no binary
+// compatibility story for topology types.
+package pathsvc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is the wire version this package speaks. Requests must
+// carry it; responses echo it.
+const ProtocolVersion = 1
+
+// DefaultMaxFrame bounds the payload size of a single frame (1 MiB). The
+// decoder validates the length prefix against the limit before allocating,
+// so a hostile 4 GiB prefix costs nothing.
+const DefaultMaxFrame = 1 << 20
+
+// Ops understood by the server.
+const (
+	// OpPaths asks for the (m+1)-wide node-disjoint container between U
+	// and V (possibly truncated: see Request.MaxPaths and Response.Degraded).
+	OpPaths = "paths"
+	// OpBatch asks for containers for every pair in Pairs.
+	OpBatch = "batch"
+	// OpRoute asks for one shortest container path avoiding Faults.
+	OpRoute = "route"
+	// OpInfo reports the served topology (m, container width).
+	OpInfo = "info"
+	// OpPing is a liveness no-op.
+	OpPing = "ping"
+)
+
+// Response codes. CodeOK is the empty string so successful responses omit
+// the field entirely.
+const (
+	CodeOK         = ""
+	CodeBadRequest = "bad_request" // malformed op, address, or parameters
+	CodeOverload   = "overload"    // admission queue full; retry after RetryAfterMS
+	CodeDeadline   = "deadline"    // the per-request deadline expired in queue or in flight
+	CodeShutdown   = "shutdown"    // server is draining; the connection will close
+	CodeUnroutable = "unroutable"  // every container path crosses a declared fault
+	CodeInternal   = "internal"    // construction failed (should not happen on valid input)
+)
+
+// Request is one client query.
+type Request struct {
+	// Ver is the protocol version; must be ProtocolVersion.
+	Ver int `json:"ver"`
+	// ID is an opaque client-chosen correlation id echoed in the response.
+	ID uint64 `json:"id"`
+	// Op selects the query kind (OpPaths, OpBatch, OpRoute, OpInfo, OpPing).
+	Op string `json:"op"`
+	// U and V are the endpoints in "x:y" form (OpPaths, OpRoute).
+	U string `json:"u,omitempty"`
+	V string `json:"v,omitempty"`
+	// Pairs are the [source, destination] endpoint pairs of OpBatch.
+	Pairs [][2]string `json:"pairs,omitempty"`
+	// Faults lists nodes OpRoute must avoid.
+	Faults []string `json:"faults,omitempty"`
+	// MaxPaths, when > 0, truncates the returned container to the first
+	// MaxPaths paths (the client only wants that much redundancy).
+	MaxPaths int `json:"max_paths,omitempty"`
+	// TimeoutMS, when > 0, caps this request's end-to-end time (queue wait
+	// included); otherwise the server default applies.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchItem is one per-pair outcome inside an OpBatch response.
+type BatchItem struct {
+	U     string     `json:"u"`
+	V     string     `json:"v"`
+	Paths [][]string `json:"paths,omitempty"`
+	Err   string     `json:"err,omitempty"`
+}
+
+// Response is the server's answer to one Request.
+type Response struct {
+	Ver int    `json:"ver"`
+	ID  uint64 `json:"id"`
+	Op  string `json:"op"`
+	// Code is CodeOK ("", omitted) on success, else one of the Code
+	// constants; Err carries the human-readable detail.
+	Code string `json:"code,omitempty"`
+	Err  string `json:"err,omitempty"`
+	// RetryAfterMS accompanies CodeOverload: the client should back off at
+	// least this long before retrying.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Paths is the container (OpPaths) or the single surviving path as
+	// Paths[0] (OpRoute), nodes in "x:y" form.
+	Paths [][]string `json:"paths,omitempty"`
+	// Results are the per-pair outcomes of OpBatch.
+	Results []BatchItem `json:"results,omitempty"`
+	// Degraded reports that load shedding truncated the container below
+	// the full m+1 width; Width is what was returned, Full the maximum.
+	Degraded bool `json:"degraded,omitempty"`
+	Width    int  `json:"width,omitempty"`
+	Full     int  `json:"full,omitempty"`
+	// M is the served topology's son-cube dimension (OpInfo).
+	M int `json:"m,omitempty"`
+}
+
+// Framing errors. ErrFrameTooLarge is returned before any payload
+// allocation happens, so oversized prefixes cannot be used to exhaust
+// memory.
+var (
+	ErrFrameTooLarge = errors.New("pathsvc: frame exceeds size limit")
+	ErrEmptyFrame    = errors.New("pathsvc: zero-length frame")
+)
+
+// WriteFrame marshals v and writes it as one length-prefixed frame. max
+// bounds the encoded payload (<= 0 selects DefaultMaxFrame).
+func WriteFrame(w io.Writer, v any, max int) error {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("pathsvc: encode frame: %w", err)
+	}
+	if len(payload) > max {
+		return fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, len(payload), max)
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload from r. max bounds the
+// accepted payload size (<= 0 selects DefaultMaxFrame); the length prefix
+// is validated against it before any allocation. io.EOF is returned
+// unwrapped when the stream ends cleanly between frames.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("pathsvc: truncated frame prefix: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n == 0 {
+		return nil, ErrEmptyFrame
+	}
+	if n > uint32(max) {
+		return nil, fmt.Errorf("%w: prefix claims %d > %d bytes", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("pathsvc: truncated frame payload: %w", err)
+	}
+	return payload, nil
+}
+
+// DecodeRequest parses one request payload and checks the protocol
+// version. Unknown fields are ignored (minor-version tolerance); a wrong
+// or missing Ver is an error so version skew fails loudly.
+func DecodeRequest(payload []byte) (Request, error) {
+	var req Request
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return Request{}, fmt.Errorf("pathsvc: decode request: %w", err)
+	}
+	if req.Ver != ProtocolVersion {
+		return req, fmt.Errorf("pathsvc: unsupported protocol version %d (speak %d)", req.Ver, ProtocolVersion)
+	}
+	return req, nil
+}
+
+// DecodeResponse parses one response payload.
+func DecodeResponse(payload []byte) (Response, error) {
+	var resp Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return Response{}, fmt.Errorf("pathsvc: decode response: %w", err)
+	}
+	if resp.Ver != ProtocolVersion {
+		return resp, fmt.Errorf("pathsvc: unsupported protocol version %d (speak %d)", resp.Ver, ProtocolVersion)
+	}
+	return resp, nil
+}

@@ -1,0 +1,140 @@
+package pathsvc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := Request{Ver: ProtocolVersion, ID: 42, Op: OpPaths, U: "0x0:0", V: "0xff:7", MaxPaths: 2}
+	if err := WriteFrame(&buf, req, DefaultMaxFrame); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(&buf, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ver != ProtocolVersion || got.ID != 42 || got.Op != OpPaths ||
+		got.U != "0x0:0" || got.V != "0xff:7" || got.MaxPaths != 2 {
+		t.Fatalf("round trip mangled request: %+v", got)
+	}
+	// A drained stream reports a bare EOF, not a truncation error.
+	if _, err := ReadFrame(&buf, DefaultMaxFrame); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversizedPrefix(t *testing.T) {
+	// The prefix claims 256 MiB; ReadFrame must refuse before allocating
+	// or reading a single payload byte.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<28)
+	r := &countingReader{r: bytes.NewReader(append(hdr[:], make([]byte, 64)...))}
+	_, err := ReadFrame(r, DefaultMaxFrame)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	if r.n > 4 {
+		t.Fatalf("read %d bytes past the rejected prefix", r.n-4)
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	// Truncated prefix.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0}), DefaultMaxFrame); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated prefix: got %v, want wrapped ErrUnexpectedEOF", err)
+	}
+	// Truncated payload.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 10)
+	_, err := ReadFrame(bytes.NewReader(append(hdr[:], 'x', 'y')), DefaultMaxFrame)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated payload: got %v, want wrapped ErrUnexpectedEOF", err)
+	}
+	// Zero-length frame.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), DefaultMaxFrame); !errors.Is(err, ErrEmptyFrame) {
+		t.Fatalf("zero-length frame: got %v, want ErrEmptyFrame", err)
+	}
+}
+
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	big := Request{Ver: ProtocolVersion, Op: OpPaths, U: string(make([]byte, 128))}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, big, 16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("rejected frame still wrote %d bytes", buf.Len())
+	}
+}
+
+func TestDecodeVersionMismatch(t *testing.T) {
+	if _, err := DecodeRequest([]byte(`{"ver":99,"op":"paths"}`)); err == nil {
+		t.Fatal("future request version accepted")
+	}
+	if _, err := DecodeResponse([]byte(`{"ver":0}`)); err == nil {
+		t.Fatal("zero response version accepted")
+	}
+}
+
+// FuzzWireDecode feeds arbitrary bytes through the frame reader and both
+// decoders: truncated frames, oversized length prefixes, and malformed
+// JSON must return errors — never panic, and never allocate past the
+// frame limit.
+func FuzzWireDecode(f *testing.F) {
+	// Seed corpus: a valid request frame, a valid response frame, an
+	// oversized prefix, a zero-length frame, truncations, and junk.
+	var valid bytes.Buffer
+	_ = WriteFrame(&valid, Request{Ver: ProtocolVersion, ID: 1, Op: OpPaths, U: "0x0:0", V: "0x1:1"}, DefaultMaxFrame)
+	f.Add(valid.Bytes())
+	var resp bytes.Buffer
+	_ = WriteFrame(&resp, Response{Ver: ProtocolVersion, ID: 1, Op: OpPaths, Paths: [][]string{{"0x0:0"}}}, DefaultMaxFrame)
+	f.Add(resp.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(valid.Bytes()[:5])
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+	f.Add([]byte("not a frame at all"))
+
+	const maxFrame = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bytes.NewReader(data), maxFrame)
+		if err != nil {
+			if payload != nil {
+				t.Fatalf("ReadFrame returned payload alongside error %v", err)
+			}
+			return
+		}
+		if len(payload) == 0 || len(payload) > maxFrame {
+			t.Fatalf("ReadFrame returned %d bytes outside (0, %d]", len(payload), maxFrame)
+		}
+		// Whatever the framing accepted, the decoders must not panic and
+		// must either parse or error — on both request and response shapes.
+		if req, err := DecodeRequest(payload); err == nil && req.Ver != ProtocolVersion {
+			t.Fatalf("DecodeRequest accepted version %d", req.Ver)
+		}
+		if resp, err := DecodeResponse(payload); err == nil && resp.Ver != ProtocolVersion {
+			t.Fatalf("DecodeResponse accepted version %d", resp.Ver)
+		}
+	})
+}
+
+// countingReader counts bytes actually consumed from the wrapped reader.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
