@@ -159,6 +159,18 @@ func run(w io.Writer, args []string, o loadOpts) error {
 	if err != nil {
 		return err
 	}
+	if o.op == "route" {
+		// The fault picker draws nodes distinct from both endpoints, so the
+		// topology must have that many to give; reject impossible counts
+		// instead of spinning forever in issue.
+		if o.faults < 0 {
+			return fmt.Errorf("-faults %d out of range: must be non-negative", o.faults)
+		}
+		if n, ok := g.NumNodes(); ok && uint64(o.faults) > n-2 {
+			return fmt.Errorf("-faults %d exceeds the %d non-endpoint nodes of the m=%d topology",
+				o.faults, n-2, info.M)
+		}
+	}
 	pool := gen.Pairs(g, o.pairs, gen.Uniform, o.seed)
 
 	clients := make([]*pathsvc.Client, o.conns)
@@ -241,7 +253,7 @@ func run(w io.Writer, args []string, o loadOpts) error {
 // aggressive shed threshold makes the control behaviors visible even in a
 // short self-contained run.
 func startLocal(m, queue int) (*pathsvc.Server, string, error) {
-	srv, err := pathsvc.New(pathsvc.Config{M: m, QueueDepth: queue})
+	srv, err := pathsvc.New(pathsvc.Config{M: m, QueueDepth: queue, ShedThreshold: 0.25})
 	if err != nil {
 		return nil, "", err
 	}
@@ -342,10 +354,14 @@ func issue(c *pathsvc.Client, g *hhc.Graph, p gen.Pair, pool []gen.Pair,
 	u, v := g.FormatNode(p.U), g.FormatNode(p.V)
 	switch o.op {
 	case "route":
-		var fs []string
+		// Distinct faults avoiding both endpoints; run validated o.faults
+		// against the topology size, so this terminates.
+		fs := make([]string, 0, o.faults)
+		seen := make(map[hhc.Node]bool, o.faults)
 		for len(fs) < o.faults {
 			f := g.RandomNode(r)
-			if f != p.U && f != p.V {
+			if f != p.U && f != p.V && !seen[f] {
+				seen[f] = true
 				fs = append(fs, g.FormatNode(f))
 			}
 		}

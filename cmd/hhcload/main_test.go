@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRouteFaultsValidated: a -faults count the topology cannot satisfy is
+// rejected up front — the regression spun forever in the fault picker.
+func TestRouteFaultsValidated(t *testing.T) {
+	err := run(io.Discard, nil, loadOpts{
+		selfserve: true, m: 2, queue: 8, conns: 1, pairs: 4,
+		op: "route", faults: 100,
+		duration: 50 * time.Millisecond, seed: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "-faults") {
+		t.Fatalf("got %v, want -faults validation error", err)
+	}
+}
+
+// TestRouteSelfserveSmoke: a feasible route workload against a self-served
+// instance completes queries with distinct declared faults.
+func TestRouteSelfserveSmoke(t *testing.T) {
+	err := run(io.Discard, nil, loadOpts{
+		selfserve: true, m: 2, queue: 64, conns: 2, pairs: 4,
+		op: "route", faults: 3,
+		duration: 100 * time.Millisecond, seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("route smoke: %v", err)
+	}
+}

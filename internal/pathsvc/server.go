@@ -3,6 +3,7 @@ package pathsvc
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -201,9 +202,21 @@ type serverConn struct {
 func (pc *serverConn) send(resp *Response) {
 	pc.wmu.Lock()
 	defer pc.wmu.Unlock()
-	// A write error means the peer vanished; the reader will observe the
-	// broken connection and clean up, so there is nobody left to notify.
-	_ = WriteFrame(pc.c, resp, pc.maxSend)
+	err := WriteFrame(pc.c, resp, pc.maxSend)
+	if err == nil || !errors.Is(err, ErrFrameTooLarge) {
+		// An I/O error means the peer vanished; the reader will observe the
+		// broken connection and clean up, so there is nobody left to notify.
+		return
+	}
+	// The encoded response outgrew the frame limit. The peer is alive and
+	// blocked on its answer, so silence would hang it forever: substitute a
+	// small typed error, and if even that cannot be framed, close the
+	// connection so the client at least sees EOF.
+	small := &Response{Ver: ProtocolVersion, ID: resp.ID, Op: resp.Op,
+		Code: CodeInternal, Err: err.Error()}
+	if WriteFrame(pc.c, small, pc.maxSend) != nil {
+		_ = pc.c.Close()
+	}
 }
 
 // Server serves disjoint-path queries over length-prefixed JSON frames.
@@ -222,8 +235,8 @@ type Server struct {
 	closeOnce sync.Once
 	started   atomic.Bool
 
-	ln     net.Listener
 	connMu sync.Mutex
+	ln     net.Listener // guarded by connMu (Serve publishes, beginClose closes)
 	conns  map[net.Conn]struct{}
 	connWG sync.WaitGroup
 
@@ -269,6 +282,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
+	}
+	// Even an all-error batch reply spends ~minBatchItemBytes per item, so a
+	// batch larger than this floor could never answer within one frame;
+	// capping MaxBatch lets admission refuse it up front.
+	if floor := (cfg.MaxFrame - batchEnvelopeBytes) / minBatchItemBytes; cfg.MaxBatch > floor {
+		cfg.MaxBatch = floor
+		if cfg.MaxBatch < 1 {
+			cfg.MaxBatch = 1
+		}
 	}
 	switch cfg.Admission {
 	case AdmitReject, AdmitBlock:
@@ -333,7 +355,14 @@ func (s *Server) Serve(ln net.Listener) error {
 	if !s.started.CompareAndSwap(false, true) {
 		return errors.New("pathsvc: Serve called twice")
 	}
+	s.connMu.Lock()
 	s.ln = ln
+	s.connMu.Unlock()
+	// A Shutdown that raced Serve's startup saw s.ln nil and could not close
+	// it; re-checking after publication guarantees one of the two sides does.
+	if s.closing() {
+		_ = ln.Close()
+	}
 	s.workerWG.Add(s.cfg.Workers)
 	for i := 0; i < s.cfg.Workers; i++ {
 		go s.worker()
@@ -381,10 +410,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) beginClose() {
 	s.closeOnce.Do(func() {
 		close(s.quit)
+		s.connMu.Lock()
 		if s.ln != nil {
 			_ = s.ln.Close()
 		}
-		s.connMu.Lock()
 		for c := range s.conns {
 			// Unblock pending reads; the reader sees quit closed and exits
 			// after its owed responses are written.
@@ -407,6 +436,12 @@ func (s *Server) track(c net.Conn) {
 	s.connMu.Lock()
 	s.conns[c] = struct{}{}
 	s.connMu.Unlock()
+	// A connection accepted just before beginClose but tracked just after it
+	// missed the poke loop; re-checking here closes that window, so an idle
+	// reader cannot block the drain forever.
+	if s.closing() {
+		_ = c.SetReadDeadline(time.Now())
+	}
 }
 
 func (s *Server) untrack(c net.Conn) {
@@ -644,11 +679,24 @@ func (s *Server) doRoute(t *task) outcome {
 	return outcome{paths: surviving[:1]}
 }
 
+const (
+	// batchEnvelopeBytes is the frame budget reserved for the non-Results
+	// fields of a batch Response (ver, id, op, and JSON punctuation).
+	batchEnvelopeBytes = 256
+	// minBatchItemBytes is the smallest footprint one BatchItem can encode
+	// to (an error item with minimal addresses).
+	minBatchItemBytes = 32
+)
+
 // doBatch serves every pair through the cache, checking the deadline
-// between items so a huge batch cannot outlive its budget.
+// between items so a huge batch cannot outlive its budget, and the encoded
+// size so the response is refused with a typed error — rather than
+// silently undeliverable — when it cannot fit one reply frame.
 func (s *Server) doBatch(t *task) outcome {
+	sizeBudget := s.cfg.MaxFrame - batchEnvelopeBytes
+	size := 0
 	results := make([]BatchItem, 0, len(t.pairs))
-	for _, pair := range t.pairs {
+	for i, pair := range t.pairs {
 		if t.ctx.Err() != nil {
 			return outcome{code: CodeDeadline, errMsg: ErrDeadlineExceeded.Error()}
 		}
@@ -665,6 +713,14 @@ func (s *Server) doBatch(t *task) outcome {
 		}
 		if err != nil {
 			item.Err = err.Error()
+		}
+		if enc, jerr := json.Marshal(item); jerr == nil {
+			size += len(enc) + 1 // +1 for the separating comma
+		}
+		if size > sizeBudget {
+			return outcome{code: CodeBadRequest, errMsg: fmt.Sprintf(
+				"pathsvc: batch response exceeds the %d-byte frame limit at pair %d of %d; split the batch",
+				s.cfg.MaxFrame, i+1, len(t.pairs))}
 		}
 		results = append(results, item)
 	}

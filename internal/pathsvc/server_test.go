@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -505,6 +506,109 @@ func TestConcurrentHammer(t *testing.T) {
 	}
 	if snap := srv.Counters(); snap.Completed != goroutines*per {
 		t.Fatalf("completed %d, want %d", snap.Completed, goroutines*per)
+	}
+}
+
+// TestOversizeBatchTyped: a batch whose reply cannot fit one frame is
+// refused with a typed bad_request naming the limit. The regression was a
+// silently dropped response frame that left the client blocked forever.
+func TestOversizeBatchTyped(t *testing.T) {
+	_, addr := startServer(t, Config{M: 3, MaxFrame: 2048})
+	c := dial(t, addr)
+
+	pairs := make([][2]string, 16)
+	for i := range pairs {
+		pairs[i] = [2]string{"0x0:0", "0xff:7"}
+	}
+	var srvErr *ServerError
+	if _, err := c.Batch(pairs, 0); !errors.As(err, &srvErr) || srvErr.Code != CodeBadRequest {
+		t.Fatalf("oversize batch: got %v, want typed bad_request", err)
+	}
+	if !contains(srvErr.Msg, "split the batch") {
+		t.Fatalf("refusal %q does not tell the client to split the batch", srvErr.Msg)
+	}
+	// The refusal is an answer, not a connection failure.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after oversize batch: %v", err)
+	}
+}
+
+// TestOversizePathsAnsweredInternal: when an already-constructed response
+// outgrows the frame limit at write time, the server substitutes a small
+// CodeInternal answer instead of leaving the client waiting on silence.
+func TestOversizePathsAnsweredInternal(t *testing.T) {
+	_, addr := startServer(t, Config{M: 3, MaxFrame: 200})
+	c := dial(t, addr)
+
+	var srvErr *ServerError
+	if _, err := c.Paths("0x0:0", "0xff:7", 0, 0); !errors.As(err, &srvErr) || srvErr.Code != CodeInternal {
+		t.Fatalf("oversize paths: got %v, want typed internal", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after oversize paths: %v", err)
+	}
+}
+
+// TestShutdownBeforeServe: a Shutdown that wins the race with Serve's
+// startup must still end up closing the listener — the regression read
+// s.ln before Serve published it and left Accept blocked forever.
+func TestShutdownBeforeServe(t *testing.T) {
+	srv, err := New(Config{M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(ctx) }()
+	waitFor(t, "close initiated", srv.closing)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not observe the pre-Serve shutdown")
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestTrackAfterClosePoked: a connection accepted just before beginClose
+// but tracked just after it missed the shutdown poke loop; track must
+// apply the read deadline itself so the drain cannot wait on an idle
+// reader forever.
+func TestTrackAfterClosePoked(t *testing.T) {
+	srv, err := New(Config{M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.beginClose()
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	defer sc.Close()
+	srv.track(sc)
+
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := sc.Read(make([]byte, 1))
+		readErr <- err
+	}()
+	select {
+	case err := <-readErr:
+		if err == nil || !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("read returned %v, want deadline exceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late-tracked connection was not poked; reader still blocked")
 	}
 }
 
