@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 	"repro/internal/pathsvc"
 )
 
@@ -41,12 +42,15 @@ func main() {
 	canon := flag.String("canon", "exact", "cache canonicalization: exact|full|off")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	duration := flag.Duration("duration", 0, "serve for this long then drain and exit (0 = until signaled)")
+	logPath := flag.String("log", "", "write structured JSONL logs (connection events, failed requests) to this file; '-' = stderr")
+	slow := flag.Duration("slow", 0, "force-retain requests at least this slow in the /debug/requests flight recorder (0 = off)")
 	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
 	obsf.RegisterListenFlag(flag.CommandLine)
 	flag.Parse()
 
 	err := run(flag.Args(), obsf, *m, *addr, *workers, *queue, *admission,
-		*retryAfter, *timeout, *shed, *degradeK, *capacity, *canon, *drain, *duration)
+		*retryAfter, *timeout, *shed, *degradeK, *capacity, *canon, *drain, *duration,
+		*logPath, *slow)
 	if cerr := obsf.Close(os.Stdout); err == nil {
 		err = cerr
 	}
@@ -58,7 +62,7 @@ func main() {
 
 func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue int,
 	admission string, retryAfter, timeout time.Duration, shed float64, degradeK, capacity int,
-	canon string, drain, duration time.Duration) error {
+	canon string, drain, duration time.Duration, logPath string, slow time.Duration) error {
 	if err := cliutil.NoTrailingArgs(args); err != nil {
 		return err
 	}
@@ -73,8 +77,26 @@ func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue in
 	if err != nil {
 		return err
 	}
+	// -slow only matters through the flight recorder, which needs the obs
+	// layer: asking for it turns the layer on.
+	if slow > 0 {
+		obsf.Force = true
+	}
 	if err := obsf.Activate(); err != nil {
 		return err
+	}
+	var logger *obs.Logger
+	switch logPath {
+	case "":
+	case "-":
+		logger = obs.NewLogger(os.Stderr, obs.LevelInfo)
+	default:
+		f, cerr := os.Create(logPath)
+		if cerr != nil {
+			return fmt.Errorf("-log: %w", cerr)
+		}
+		defer f.Close()
+		logger = obs.NewLogger(f, obs.LevelInfo)
 	}
 	srv, err := pathsvc.New(pathsvc.Config{
 		M:              m,
@@ -87,6 +109,8 @@ func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue in
 		DegradeWidth:   degradeK,
 		Cache:          cache.Options{Capacity: capacity, Canon: mode},
 		Reg:            obsf.Registry,
+		Logger:         logger,
+		Requests:       obsf.EnableRequests(slow),
 	})
 	if err != nil {
 		return err

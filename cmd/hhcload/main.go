@@ -96,6 +96,7 @@ type report struct {
 	Sent           int64   `json:"sent"`
 	Completed      int64   `json:"completed"`
 	Degraded       int64   `json:"degraded"`
+	Coalesced      int64   `json:"coalesced"`
 	Overload       int64   `json:"overload"`
 	Deadline       int64   `json:"deadline"`
 	Shutdown       int64   `json:"shutdown"`
@@ -106,13 +107,27 @@ type report struct {
 	P95Ms          float64 `json:"p95_ms"`
 	P99Ms          float64 `json:"p99_ms"`
 	MeanMs         float64 `json:"mean_ms"`
+	// Server-side timing echoed in responses (hhcd reports queue wait and
+	// construction time per request): where client-observed latency was
+	// actually spent. Zero when the server predates the timing fields.
+	SrvQueueP50Ms float64 `json:"srv_queue_p50_ms"`
+	SrvQueueP95Ms float64 `json:"srv_queue_p95_ms"`
+	SrvExecP50Ms  float64 `json:"srv_exec_p50_ms"`
+	SrvExecP95Ms  float64 `json:"srv_exec_p95_ms"`
 }
 
 // tally is the shared outcome ledger the workers update atomically.
 type tally struct {
 	sent, completed, degraded    atomic.Int64
+	coalesced                    atomic.Int64
 	overload, deadline, shutdown atomic.Int64
 	failed, protocolErrors       atomic.Int64
+}
+
+// connSamples is one connection's latency ledger: client-observed
+// end-to-end times plus the server-side queue/exec breakdown it echoed.
+type connSamples struct {
+	lat, queue, exec []float64
 }
 
 func run(w io.Writer, args []string, o loadOpts) error {
@@ -191,7 +206,7 @@ func run(w io.Writer, args []string, o loadOpts) error {
 	}
 
 	var tl tally
-	latencies := make([][]float64, o.conns)
+	samples := make([]connSamples, o.conns)
 	var wg sync.WaitGroup
 	begin := time.Now()
 	end := begin.Add(o.duration)
@@ -199,16 +214,18 @@ func run(w io.Writer, args []string, o loadOpts) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			latencies[i] = drive(clients[i], g, pool, o, &tl, tokens, end, o.seed+int64(i)+1)
+			samples[i] = drive(clients[i], g, pool, o, &tl, tokens, end, o.seed+int64(i)+1)
 		}(i)
 	}
 	wg.Wait()
 	close(stop)
 	elapsed := time.Since(begin)
 
-	var all []float64
-	for _, ls := range latencies {
-		all = append(all, ls...)
+	var all, queue, exec []float64
+	for _, s := range samples {
+		all = append(all, s.lat...)
+		queue = append(queue, s.queue...)
+		exec = append(exec, s.exec...)
 	}
 	rep := report{
 		Op: o.op, Conns: o.conns, TargetQPS: o.qps,
@@ -216,6 +233,7 @@ func run(w io.Writer, args []string, o loadOpts) error {
 		Sent:           tl.sent.Load(),
 		Completed:      tl.completed.Load(),
 		Degraded:       tl.degraded.Load(),
+		Coalesced:      tl.coalesced.Load(),
 		Overload:       tl.overload.Load(),
 		Deadline:       tl.deadline.Load(),
 		Shutdown:       tl.shutdown.Load(),
@@ -227,6 +245,14 @@ func run(w io.Writer, args []string, o loadOpts) error {
 		ps := stats.Percentiles(all, 50, 95, 99)
 		rep.P50Ms, rep.P95Ms, rep.P99Ms = ps[0], ps[1], ps[2]
 		rep.MeanMs = stats.SummarizeFloats(all).Mean
+	}
+	if len(queue) > 0 {
+		qs := stats.Percentiles(queue, 50, 95)
+		rep.SrvQueueP50Ms, rep.SrvQueueP95Ms = qs[0], qs[1]
+	}
+	if len(exec) > 0 {
+		es := stats.Percentiles(exec, 50, 95)
+		rep.SrvExecP50Ms, rep.SrvExecP95Ms = es[0], es[1]
 	}
 	printReport(w, rep)
 
@@ -304,15 +330,15 @@ func pace(tokens chan<- struct{}, stop <-chan struct{}, qps float64) {
 
 // drive runs one connection's request loop until the deadline.
 func drive(c *pathsvc.Client, g *hhc.Graph, pool []gen.Pair, o loadOpts,
-	tl *tally, tokens <-chan struct{}, end time.Time, seed int64) []float64 {
+	tl *tally, tokens <-chan struct{}, end time.Time, seed int64) connSamples {
 	r := rand.New(rand.NewSource(seed))
-	var lat []float64
+	var s connSamples
 	for time.Now().Before(end) {
 		if tokens != nil {
 			select {
 			case <-tokens:
 			case <-time.After(time.Until(end)):
-				return lat
+				return s
 			}
 		}
 		p := pool[r.Intn(len(pool))]
@@ -323,9 +349,23 @@ func drive(c *pathsvc.Client, g *hhc.Graph, pool []gen.Pair, o loadOpts,
 		switch {
 		case err == nil:
 			tl.completed.Add(1)
-			lat = append(lat, float64(elapsed)/float64(time.Millisecond))
-			if resp != nil && resp.Degraded {
-				tl.degraded.Add(1)
+			s.lat = append(s.lat, float64(elapsed)/float64(time.Millisecond))
+			if resp != nil {
+				if resp.Degraded {
+					tl.degraded.Add(1)
+				}
+				if resp.Coalesced {
+					tl.coalesced.Add(1)
+				}
+				// Coalesced answers rode an in-flight query and never queued;
+				// their zero queue_ns would drag the wait percentiles below
+				// what queued requests actually saw, so only exec is pooled.
+				if resp.ExecNS > 0 {
+					s.exec = append(s.exec, float64(resp.ExecNS)/1e6)
+					if !resp.Coalesced {
+						s.queue = append(s.queue, float64(resp.QueueNS)/1e6)
+					}
+				}
 			}
 		case errors.Is(err, pathsvc.ErrOverload):
 			tl.overload.Add(1)
@@ -333,7 +373,7 @@ func drive(c *pathsvc.Client, g *hhc.Graph, pool []gen.Pair, o loadOpts,
 			tl.deadline.Add(1)
 		case errors.Is(err, pathsvc.ErrShutdown):
 			tl.shutdown.Add(1)
-			return lat
+			return s
 		default:
 			var srvErr *pathsvc.ServerError
 			if errors.As(err, &srvErr) {
@@ -342,10 +382,10 @@ func drive(c *pathsvc.Client, g *hhc.Graph, pool []gen.Pair, o loadOpts,
 			}
 			// Transport- or framing-level failure: the smoke must notice.
 			tl.protocolErrors.Add(1)
-			return lat
+			return s
 		}
 	}
-	return lat
+	return s
 }
 
 // issue sends one request of the configured kind.
@@ -384,6 +424,7 @@ func printReport(w io.Writer, r report) {
 	fmt.Fprintf(w, "  sent       %d\n", r.Sent)
 	fmt.Fprintf(w, "  completed  %d (%.0f qps)\n", r.Completed, r.AchievedQPS)
 	fmt.Fprintf(w, "  degraded   %d\n", r.Degraded)
+	fmt.Fprintf(w, "  coalesced  %d\n", r.Coalesced)
 	fmt.Fprintf(w, "  overload   %d\n", r.Overload)
 	fmt.Fprintf(w, "  deadline   %d\n", r.Deadline)
 	fmt.Fprintf(w, "  shutdown   %d\n", r.Shutdown)
@@ -391,6 +432,10 @@ func printReport(w io.Writer, r report) {
 	fmt.Fprintf(w, "  proto errs %d\n", r.ProtocolErrors)
 	fmt.Fprintf(w, "  latency    p50 %.3fms  p95 %.3fms  p99 %.3fms  mean %.3fms\n",
 		r.P50Ms, r.P95Ms, r.P99Ms, r.MeanMs)
+	if r.SrvQueueP50Ms > 0 || r.SrvExecP50Ms > 0 {
+		fmt.Fprintf(w, "  server     queue p50 %.3fms  p95 %.3fms  |  exec p50 %.3fms  p95 %.3fms\n",
+			r.SrvQueueP50Ms, r.SrvQueueP95Ms, r.SrvExecP50Ms, r.SrvExecP95Ms)
+	}
 }
 
 func writeJSON(w io.Writer, path string, r report) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"strings"
 	"testing"
@@ -30,5 +31,23 @@ func TestRouteSelfserveSmoke(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("route smoke: %v", err)
+	}
+}
+
+// TestServerBreakdownReported: the report includes the queue-vs-exec
+// split the server echoes in every response, printed next to the
+// client-side percentiles.
+func TestServerBreakdownReported(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, nil, loadOpts{
+		selfserve: true, m: 2, queue: 64, conns: 2, pairs: 4,
+		op:       "paths",
+		duration: 100 * time.Millisecond, seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("paths smoke: %v", err)
+	}
+	if !strings.Contains(out.String(), "server     queue p50") {
+		t.Errorf("report lacks the server-side breakdown line:\n%s", out.String())
 	}
 }

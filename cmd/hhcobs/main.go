@@ -1,0 +1,316 @@
+// Command hhcobs aggregates the observability artifacts the other tools
+// produce — -trace JSON Lines span streams and /debug/requests JSON dumps
+// — into a per-phase latency percentile table and the slowest request
+// span trees. It answers "where did the time go" offline, after a run.
+//
+// Usage:
+//
+//	hhcobs trace.jsonl
+//	hhcobs requests.json                 # curl host:6060/debug/requests?format=json
+//	hhcobs -top 3 trace.jsonl requests.json
+//
+// Input kinds are autodetected per file: a whole-file JSON object with the
+// flight-recorder snapshot shape, otherwise one span object per line.
+// Request trees dumped by the recorder are replayed through the same top-K
+// retention the live server uses; flat spans carrying a rid attribute (the
+// mirror stream) are regrouped into per-request trees by that id.
+//
+// Like hhclint, hhcobs takes positional arguments (the input files) and
+// has no observability flags of its own: it is a reporting tool, not a
+// workload. It exits non-zero when the inputs yield no samples, so CI can
+// assert that an instrumented run actually produced telemetry.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func main() {
+	top := flag.Int("top", 5, "request span trees to print, slowest first")
+	md := flag.Bool("md", false, "render the phase table as markdown")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: hhcobs [-top k] [-md] <trace.jsonl | requests.json>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(os.Stdout, flag.Args(), *top, *md); err != nil {
+		fmt.Fprintln(os.Stderr, "hhcobs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, paths []string, top int, md bool) error {
+	if len(paths) == 0 {
+		return errors.New("no input files (want -trace JSONL or /debug/requests JSON dumps)")
+	}
+	if top < 1 {
+		return fmt.Errorf("-top %d out of range: must be positive", top)
+	}
+	var traces []*obs.RequestTrace
+	var spans []obs.Span
+	for _, path := range paths {
+		ts, ss, err := parseFile(path)
+		if err != nil {
+			return err
+		}
+		traces = append(traces, ts...)
+		spans = append(spans, ss...)
+	}
+	traces = append(traces, regroup(spans)...)
+
+	phases := phaseSamples(traces, spans)
+	if len(phases) == 0 {
+		return errors.New("inputs contain no spans or request traces")
+	}
+	if err := phaseTable(phases).renderAs(w, md); err != nil {
+		return err
+	}
+	return printSlowest(w, traces, top)
+}
+
+// parseFile reads one input and detects its kind: a whole-file flight
+// recorder snapshot, or one flat span per line.
+func parseFile(path string) ([]*obs.RequestTrace, []obs.Span, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(strings.TrimSpace(string(raw))) == 0 {
+		return nil, nil, fmt.Errorf("%s: empty input", path)
+	}
+	// Snapshot detection: a single JSON object carrying the recorder's
+	// bucket keys. A JSONL file never parses as one value (multiple
+	// top-level objects), so a successful whole-file parse plus the
+	// "recent" key is decisive.
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err == nil {
+		if _, ok := probe["recent"]; ok {
+			var snap obs.RequestsSnapshot
+			if err := json.Unmarshal(raw, &snap); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			return dedupTraces(snap), nil, nil
+		}
+	}
+	var spans []obs.Span
+	sc := bufio.NewScanner(strings.NewReader(string(raw)))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var s obs.Span
+		if err := json.Unmarshal([]byte(text), &s); err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: not a span line: %w", path, line, err)
+		}
+		if s.Name == "" {
+			return nil, nil, fmt.Errorf("%s:%d: span has no name", path, line)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return nil, spans, nil
+}
+
+// dedupTraces flattens a snapshot's buckets into unique traces — the same
+// request appears in several buckets (recent + slowest + errors).
+func dedupTraces(snap obs.RequestsSnapshot) []*obs.RequestTrace {
+	seen := map[string]bool{}
+	var out []*obs.RequestTrace
+	for _, bucket := range [][]*obs.RequestTrace{snap.Recent, snap.Slowest, snap.Errors, snap.Slow} {
+		for _, tr := range bucket {
+			key := fmt.Sprintf("%s/%d", tr.ID, tr.Start)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, tr)
+			}
+		}
+	}
+	return out
+}
+
+// regroup reassembles per-request trees from the mirror stream: flat spans
+// carrying a rid attribute, with a "request" span per request as the root.
+// Phase spans for a rid whose root never appeared (truncated file) still
+// form a tree, just without op/outcome.
+func regroup(spans []obs.Span) []*obs.RequestTrace {
+	byID := map[string]*obs.RequestTrace{}
+	var order []string
+	get := func(rid string) *obs.RequestTrace {
+		tr := byID[rid]
+		if tr == nil {
+			tr = &obs.RequestTrace{ID: rid}
+			byID[rid] = tr
+			order = append(order, rid)
+		}
+		return tr
+	}
+	for _, s := range spans {
+		attrs := map[string]string{}
+		for _, a := range s.Attrs {
+			attrs[a.Key] = a.Value
+		}
+		rid := attrs["rid"]
+		if rid == "" {
+			continue
+		}
+		if s.Name == "request" {
+			tr := get(rid)
+			tr.Op, tr.Start, tr.Dur, tr.Code = attrs["op"], s.Start, s.Dur, attrs["code"]
+			for _, a := range s.Attrs {
+				if a.Key != "rid" && a.Key != "op" && a.Key != "code" {
+					tr.Attrs = append(tr.Attrs, a)
+				}
+			}
+			continue
+		}
+		var kept []obs.Attr
+		for _, a := range s.Attrs {
+			if a.Key != "rid" {
+				kept = append(kept, a)
+			}
+		}
+		get(rid).Spans = append(get(rid).Spans, &obs.ReqSpan{
+			Name: s.Name, Start: s.Start, Dur: s.Dur, Attrs: kept,
+		})
+	}
+	out := make([]*obs.RequestTrace, 0, len(order))
+	for _, rid := range order {
+		out = append(out, byID[rid])
+	}
+	return out
+}
+
+// phaseSamples pools span durations (ms) by phase name: every span of every
+// request tree (children included) plus every flat span. The whole-request
+// duration pools under "request".
+func phaseSamples(traces []*obs.RequestTrace, spans []obs.Span) map[string][]float64 {
+	out := map[string][]float64{}
+	add := func(name string, durNS int64) {
+		out[name] = append(out[name], float64(durNS)/1e6)
+	}
+	var walk func(ss []*obs.ReqSpan)
+	walk = func(ss []*obs.ReqSpan) {
+		for _, s := range ss {
+			add(s.Name, s.Dur)
+			walk(s.Children)
+		}
+	}
+	for _, tr := range traces {
+		add("request", tr.Dur)
+		walk(tr.Spans)
+	}
+	for _, s := range spans {
+		// Mirror-stream spans were already counted through their regrouped
+		// trees; counting them again would double every sample.
+		if hasAttr(s.Attrs, "rid") {
+			continue
+		}
+		add(s.Name, s.Dur)
+	}
+	return out
+}
+
+func hasAttr(attrs []obs.Attr, key string) bool {
+	for _, a := range attrs {
+		if a.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// table wraps stats.Table with the markdown/plain choice.
+type table struct{ *stats.Table }
+
+func (t table) renderAs(w io.Writer, md bool) error {
+	if md {
+		return t.RenderMarkdown(w)
+	}
+	return t.Render(w)
+}
+
+func phaseTable(phases map[string][]float64) table {
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tb := stats.NewTable("phase latency (ms)", "phase", "count", "p50", "p95", "p99", "max")
+	for _, name := range names {
+		xs := phases[name]
+		ps := stats.Percentiles(xs, 50, 95, 99)
+		tb.AddRow(name, len(xs), ps[0], ps[1], ps[2], stats.SummarizeFloats(xs).Max)
+	}
+	return table{tb}
+}
+
+// printSlowest renders the top slowest request trees, reusing the live
+// recorder's retention heap so offline ranking matches /debug/requests.
+func printSlowest(w io.Writer, traces []*obs.RequestTrace, top int) error {
+	if len(traces) == 0 {
+		return nil
+	}
+	rt := obs.NewRequestTracer(top)
+	for _, tr := range traces {
+		rt.Record(tr)
+	}
+	fmt.Fprintf(w, "slowest requests (%d of %d)\n", min(top, len(traces)), len(traces))
+	for i, tr := range rt.Snapshot().Slowest {
+		outcome := "ok"
+		if tr.Code != "" {
+			outcome = tr.Code
+		}
+		fmt.Fprintf(w, "  %d. %s %s %s %s%s\n",
+			i+1, tr.ID, tr.Op, fmtMS(tr.Dur), outcome, fmtAttrs(tr.Attrs))
+		var walk func(ss []*obs.ReqSpan, indent string)
+		walk = func(ss []*obs.ReqSpan, indent string) {
+			for _, s := range ss {
+				fmt.Fprintf(w, "%s%s %s%s\n", indent, s.Name, fmtMS(s.Dur), fmtAttrs(s.Attrs))
+				walk(s.Children, indent+"  ")
+			}
+		}
+		walk(tr.Spans, "     ")
+	}
+	return nil
+}
+
+func fmtMS(ns int64) string {
+	return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+}
+
+func fmtAttrs(attrs []obs.Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a.Key + "=" + a.Value
+	}
+	sort.Strings(parts)
+	return "  [" + strings.Join(parts, " ") + "]"
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

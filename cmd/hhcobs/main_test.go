@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// writeFile drops content into a temp file and returns its path.
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// snapshotFile dumps a recorder with two fixed traces the way
+// /debug/requests?format=json would.
+func snapshotFile(t *testing.T) string {
+	t.Helper()
+	rt := obs.NewRequestTracer(4)
+	rt.Record(&obs.RequestTrace{
+		ID: "r1", Op: "paths", Start: 1000, Dur: 4_000_000,
+		Attrs: []obs.Attr{obs.String("u", "0x0:0")},
+		Spans: []*obs.ReqSpan{
+			{Name: "admission", Start: 1000, Dur: 10_000},
+			{Name: "exec", Start: 2000, Dur: 3_500_000, Children: []*obs.ReqSpan{
+				{Name: "realize", Start: 2100, Dur: 3_000_000},
+			}},
+		},
+	})
+	rt.Record(&obs.RequestTrace{
+		ID: "r2", Op: "paths", Start: 2000, Dur: 1_000_000, Code: "overload",
+	})
+	payload, err := json.MarshalIndent(rt.Snapshot(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return writeFile(t, "requests.json", string(payload))
+}
+
+func TestSnapshotInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{snapshotFile(t)}, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"phase latency (ms)", "admission", "exec", "realize", "request"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output lacks %q:\n%s", want, text)
+		}
+	}
+	// Slowest-first: r1 (4ms) before r2 (1ms), with r2's outcome code shown.
+	if !strings.Contains(text, "1. r1 paths 4.000ms ok") {
+		t.Errorf("r1 not ranked slowest:\n%s", text)
+	}
+	if !strings.Contains(text, "2. r2 paths 1.000ms overload") {
+		t.Errorf("r2 outcome missing:\n%s", text)
+	}
+}
+
+// jsonlFile is a mirror-stream excerpt: two requests' flattened spans plus
+// one construction span with no rid.
+func jsonlFile(t *testing.T) string {
+	t.Helper()
+	lines := []string{
+		`{"name":"request","start_ns":1000,"dur_ns":5000000,"attrs":{"rid":"m1","op":"paths","peer":"unit"}}`,
+		`{"name":"exec","start_ns":1100,"dur_ns":4000000,"attrs":{"rid":"m1"}}`,
+		`{"name":"request","start_ns":2000,"dur_ns":2000000,"attrs":{"rid":"m2","op":"paths","code":"overload"}}`,
+		`{"name":"realize","start_ns":500,"dur_ns":700000,"attrs":{"u":"0x0:0"}}`,
+	}
+	return writeFile(t, "trace.jsonl", strings.Join(lines, "\n")+"\n")
+}
+
+func TestJSONLInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{jsonlFile(t)}, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"request", "exec", "realize"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output lacks %q:\n%s", want, text)
+		}
+	}
+	// Regrouped by rid, ranked by duration, -top 1 keeps only m1; the
+	// overload outcome rides the request span's code attr.
+	if !strings.Contains(text, "1. m1 paths 5.000ms ok  [peer=unit]") {
+		t.Errorf("mirror spans not regrouped into m1:\n%s", text)
+	}
+	if strings.Contains(text, "\n  2. ") {
+		t.Errorf("-top 1 printed more than one tree:\n%s", text)
+	}
+}
+
+func TestMixedInputsAndMarkdown(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{snapshotFile(t), jsonlFile(t)}, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "| phase") {
+		t.Errorf("-md did not render a markdown table:\n%s", text)
+	}
+	// Both sources rank together: m1 (5ms) beats r1 (4ms).
+	if !strings.Contains(text, "1. m1") || !strings.Contains(text, "2. r1") {
+		t.Errorf("snapshot and JSONL traces not merged into one ranking:\n%s", text)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if err := run(&bytes.Buffer{}, nil, 5, false); err == nil {
+		t.Error("no input files accepted")
+	}
+	if err := run(&bytes.Buffer{}, []string{jsonlFile(t)}, 0, false); err == nil {
+		t.Error("-top 0 accepted")
+	}
+	empty := writeFile(t, "empty.jsonl", "\n")
+	if err := run(&bytes.Buffer{}, []string{empty}, 5, false); err == nil {
+		t.Error("empty input accepted")
+	}
+	junk := writeFile(t, "junk.jsonl", `{"name":"ok","dur_ns":1}`+"\nnot json\n")
+	err := run(&bytes.Buffer{}, []string{junk}, 5, false)
+	if err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Errorf("junk line error %v does not carry path:line", err)
+	}
+	if err := run(&bytes.Buffer{}, []string{filepath.Join(t.TempDir(), "missing")}, 5, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestEndToEndWithRecorder round-trips live instrumentation: a recorder
+// mirrors onto a flat tracer streaming JSONL, and hhcobs reads both that
+// stream and the recorder's own snapshot dump.
+func TestEndToEndWithRecorder(t *testing.T) {
+	var stream bytes.Buffer
+	flat := obs.NewTracer(16)
+	flat.StreamTo(&stream)
+	rt := obs.NewRequestTracer(4)
+	rt.Mirror(flat)
+	for i := 0; i < 3; i++ {
+		q := rt.StartRequest("paths", "", obs.String("peer", "e2e"))
+		sp := q.StartSpan("exec")
+		sp.End()
+		q.Finish("")
+	}
+	flat.StreamTo(nil) // drain barrier: the stream is complete past here
+
+	snap, err := json.Marshal(rt.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := writeFile(t, "requests.json", string(snap))
+	tracePath := writeFile(t, "trace.jsonl", stream.String())
+
+	for _, paths := range [][]string{{snapPath}, {tracePath}} {
+		var out bytes.Buffer
+		if err := run(&out, paths, 5, false); err != nil {
+			t.Fatalf("%v: %v", paths, err)
+		}
+		if !strings.Contains(out.String(), "exec") || !strings.Contains(out.String(), "slowest requests") {
+			t.Errorf("%v: incomplete report:\n%s", paths, out.String())
+		}
+		// All three live requests survive into the offline ranking.
+		for _, rid := range []string{"r1", "r2", "r3"} {
+			if !strings.Contains(out.String(), fmt.Sprintf(" %s paths", rid)) {
+				t.Errorf("%v: request %s absent from report:\n%s", paths, rid, out.String())
+			}
+		}
+	}
+}

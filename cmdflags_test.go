@@ -25,6 +25,7 @@ func TestToolFlagHygiene(t *testing.T) {
 	}
 	exempt := map[string]string{
 		"hhclint": "takes positional package patterns; no obs flags by design",
+		"hhcobs":  "takes positional input files; reads telemetry rather than emitting it",
 	}
 
 	bin := t.TempDir()

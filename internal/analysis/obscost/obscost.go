@@ -11,11 +11,20 @@
 // o.Tracer.Start, where Start belongs to *obs.Tracer). Type references —
 // struct fields, signatures, var declarations — are free and stay legal
 // everywhere.
+//
+// The *Observed exemption is narrower than the obs.go one: it sanctions
+// the metric and span surface (counters, gauges, histograms, tracer
+// spans), whose cost is a few atomic stores. The logging and
+// flight-recorder surface (obs.Logger, obs.RequestTracer and its Req /
+// ReqSpan handles) formats and writes — I/O that has no place in a hot
+// path's instrumented twin either. Those calls are confined to obs.go
+// files, full stop.
 package obscost
 
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"path/filepath"
 	"strings"
 
@@ -58,6 +67,12 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			if fn := funcs.enclosing(call.Pos()); strings.HasSuffix(fn, "Observed") {
+				if !ioBearing(obj) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"call to %s.%s: the logging/flight-recorder surface does I/O and is confined to obs.go files; the *Observed exemption does not apply",
+					obj.Pkg().Name(), obj.Name())
 				return true
 			}
 			pass.Reportf(call.Pos(),
@@ -67,6 +82,38 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// ioBearing reports whether an obs object belongs to the logging or
+// flight-recorder surface: constructors of the two sinks, and every
+// method on the structured logger or the request-trace handles. These
+// format and write, so *Observed functions may not call them.
+func ioBearing(obj types.Object) bool {
+	switch obj.Name() {
+	case "NewLogger", "NewRequestTracer":
+		return true
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Logger", "RequestTracer", "Req", "ReqSpan":
+		return true
+	}
+	return false
 }
 
 // funcRange ties a declared function's body extent to its name, so calls

@@ -9,6 +9,8 @@ import "repro/internal/obs"
 type Holder struct {
 	Reg    *obs.Registry
 	Tracer *obs.Tracer
+	Log    *obs.Logger
+	Rec    *obs.RequestTracer
 }
 
 // Hot is an uninstrumented function: it must not call into obs.
@@ -31,4 +33,21 @@ func warmObserved(h *Holder) {
 	sp := h.Tracer.Start("y")
 	defer func() { sp.End() }()
 	obs.NewRegistry()
+}
+
+// loudObserved shows the narrowed exemption: metric and span calls pass,
+// but the logging/flight-recorder surface does I/O and stays confined to
+// obs.go even inside an *Observed function.
+func loudObserved(h *Holder) {
+	h.Tracer.Start("z")
+	h.Log.Info("served")                // want `call to obs\.Info: the logging/flight-recorder surface does I/O`
+	obs.NewLogger(nil, obs.LevelInfo)   // want `call to obs\.NewLogger: the logging/flight-recorder surface does I/O`
+	q := h.Rec.StartRequest("op", "r1") // want `call to obs\.StartRequest: the logging/flight-recorder surface does I/O`
+	q.StartSpan("phase")                // want `call to obs\.StartSpan: the logging/flight-recorder surface does I/O`
+}
+
+// hotLog: outside *Observed functions the logging surface reports through
+// the general rule, like any other obs call.
+func hotLog(h *Holder) {
+	h.Log.Error("boom") // want `call to obs\.Error outside an obs\.go file`
 }

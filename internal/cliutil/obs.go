@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -43,6 +44,9 @@ type Obs struct {
 	// found the layer enabled; nil otherwise.
 	Registry *obs.Registry
 	Tracer   *obs.Tracer
+	// Requests is the per-request flight recorder, non-nil after
+	// EnableRequests; StartListener serves it as /debug/requests.
+	Requests *obs.RequestTracer
 
 	traceFile *os.File
 	srv       *http.Server
@@ -93,8 +97,24 @@ func (o *Obs) Activate() error {
 		o.traceFile = f
 		o.Tracer.StreamTo(f)
 	}
+	obs.RegisterRuntime(o.Registry)
 	core.SetObserver(core.NewObserver(o.Registry, o.Tracer))
 	return nil
+}
+
+// EnableRequests attaches a flight recorder for request-serving binaries:
+// span trees of the most interesting requests, retained for
+// /debug/requests and mirrored onto the -trace stream. slow force-retains
+// requests at least that long (0 disables the slow bucket). Call between
+// Activate and StartListener; a no-op returning nil when the layer is off.
+func (o *Obs) EnableRequests(slow time.Duration) *obs.RequestTracer {
+	if o.Registry == nil {
+		return nil
+	}
+	o.Requests = obs.NewRequestTracer(0)
+	o.Requests.SetSlowThreshold(slow)
+	o.Requests.Mirror(o.Tracer)
+	return o.Requests
 }
 
 // StartListener serves the registry's debug mux (/metrics, /debug/vars,
@@ -105,12 +125,20 @@ func (o *Obs) StartListener(name string) (string, error) {
 	if o.ListenAddr == "" {
 		return "", nil
 	}
-	srv, addr, err := ServeObs(o.ListenAddr, o.Registry)
-	if err != nil {
-		return "", err
+	mux := obs.Mux(o.Registry)
+	extra := ""
+	if o.Requests != nil {
+		mux.Handle("/debug/requests", o.Requests.Handler())
+		extra = ", /debug/requests"
 	}
-	o.srv = srv
-	fmt.Fprintf(os.Stderr, "%s: serving http://%s/metrics (also /debug/vars, /debug/pprof/)\n", name, addr)
+	ln, err := net.Listen("tcp", o.ListenAddr)
+	if err != nil {
+		return "", fmt.Errorf("-listen %s: %w", o.ListenAddr, err)
+	}
+	o.srv = &http.Server{Handler: mux}
+	go func() { _ = o.srv.Serve(ln) }()
+	addr := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "%s: serving http://%s/metrics (also /debug/vars, /debug/pprof/%s)\n", name, addr, extra)
 	return addr, nil
 }
 
@@ -143,6 +171,10 @@ func (o *Obs) Close(stdout io.Writer) error {
 			firstErr = fmt.Errorf("-metrics: %w", err)
 		}
 	}
+	// Detach the stream before closing its sink: StreamTo(nil) blocks until
+	// the drain goroutine has written and flushed every queued span, so a
+	// -trace file is complete when the process exits.
+	o.Tracer.StreamTo(nil)
 	if o.traceFile != nil {
 		if err := o.traceFile.Close(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("-trace: %w", err)

@@ -168,3 +168,34 @@ func TestNoObserverPathsUnchanged(t *testing.T) {
 		t.Error("observer registered no series")
 	}
 }
+
+// TestUninstrumentedAllocIdentity pins the zero-cost-when-off contract at
+// the allocation level: with no observer installed, DisjointPathsOpt must
+// allocate exactly the same before and after an install/uninstall cycle.
+// A hook that leaks cost into the disabled path (a closure that escapes, a
+// span allocated before the nil check) shows up as a count change here.
+func TestUninstrumentedAllocIdentity(t *testing.T) {
+	SetObserver(nil)
+	g, err := hhc.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := hhc.Node{X: 0x00, Y: 0}
+	v := hhc.Node{X: 0xff, Y: 3} // cross-cube: exercises every phase hook
+	construct := func() {
+		if _, err := DisjointPathsOpt(g, u, v, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := testing.AllocsPerRun(50, construct)
+
+	reg := obs.NewRegistry()
+	SetObserver(NewObserver(reg, obs.NewTracer(64)))
+	construct() // one instrumented run, then back off
+	SetObserver(nil)
+
+	after := testing.AllocsPerRun(50, construct)
+	if before != after {
+		t.Errorf("uninstrumented allocs/op changed across an observer cycle: %.1f -> %.1f", before, after)
+	}
+}

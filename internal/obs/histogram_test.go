@@ -63,6 +63,13 @@ func TestHistogramEmptyPercentiles(t *testing.T) {
 	}
 }
 
+func TestHistogramEmptyMean(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if got := h.Snapshot().Mean(); got != 0 {
+		t.Errorf("empty histogram mean = %g, want 0 (not NaN)", got)
+	}
+}
+
 func TestObserveDuration(t *testing.T) {
 	h := NewHistogram([]float64{0.001, 1})
 	h.ObserveDuration(2 * time.Millisecond)

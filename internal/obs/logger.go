@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities. The zero value is LevelDebug, so a Logger
+// built without an explicit minimum logs everything.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the wire spelling of a level.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("Level(%d)", int32(l))
+	}
+}
+
+// ParseLevel parses the CLI spelling of a level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// Logger is a dependency-free leveled structured logger: one JSON object
+// per line, in the order {"ts":…,"level":…,"msg":…, attrs…}. It is safe
+// for concurrent use (one writer mutex; lines are written atomically) and
+// nil-receiver safe: a nil *Logger ignores every call without allocating,
+// so instrumented code holds one pointer and never branches on whether
+// logging is enabled.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	min   atomic.Int32
+	lines atomic.Int64
+}
+
+// NewLogger builds a logger writing JSONL to w, suppressing records below
+// min.
+func NewLogger(w io.Writer, min Level) *Logger {
+	l := &Logger{w: w}
+	l.min.Store(int32(min))
+	return l
+}
+
+// SetLevel changes the minimum level at runtime.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Enabled reports whether a record at lv would be written. Call sites with
+// expensive attribute construction should guard on it; plain calls need
+// not (a suppressed or nil logger returns before formatting anything).
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && int32(lv) >= l.min.Load()
+}
+
+// Lines reports how many records have been written (tests and sanity
+// checks; not a metric).
+func (l *Logger) Lines() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.lines.Load()
+}
+
+// Log writes one record. Attribute keys should not collide with the
+// reserved keys ts, level, and msg; later attrs win over earlier ones only
+// in readers that parse into maps (the line preserves caller order).
+func (l *Logger) Log(lv Level, msg string, attrs ...Attr) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"ts":`)
+	writeJSONString(&buf, time.Now().UTC().Format(time.RFC3339Nano))
+	buf.WriteString(`,"level":`)
+	writeJSONString(&buf, lv.String())
+	buf.WriteString(`,"msg":`)
+	writeJSONString(&buf, msg)
+	for _, a := range attrs {
+		buf.WriteByte(',')
+		writeJSONString(&buf, a.Key)
+		buf.WriteByte(':')
+		writeJSONString(&buf, a.Value)
+	}
+	buf.WriteString("}\n")
+	l.mu.Lock()
+	// A broken sink must not take down the program; logging is advisory.
+	_, _ = l.w.Write(buf.Bytes())
+	l.mu.Unlock()
+	l.lines.Add(1)
+}
+
+// Debug, Info, Warn, and Error are the leveled shorthands.
+func (l *Logger) Debug(msg string, attrs ...Attr) { l.Log(LevelDebug, msg, attrs...) }
+func (l *Logger) Info(msg string, attrs ...Attr)  { l.Log(LevelInfo, msg, attrs...) }
+func (l *Logger) Warn(msg string, attrs ...Attr)  { l.Log(LevelWarn, msg, attrs...) }
+func (l *Logger) Error(msg string, attrs ...Attr) { l.Log(LevelError, msg, attrs...) }
+
+// writeJSONString appends s as a JSON string literal. json.Marshal on a
+// string cannot fail; it handles every escape JSON requires.
+func writeJSONString(buf *bytes.Buffer, s string) {
+	enc, _ := json.Marshal(s)
+	buf.Write(enc)
+}

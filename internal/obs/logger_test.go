@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLoggerJSONLShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	l.Info("conn open", String("remote", "127.0.0.1:9"), String("quote", `a"b`))
+	l.Error("boom")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]string
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line is not JSON: %v\n%s", err, lines[0])
+	}
+	if rec["level"] != "info" || rec["msg"] != "conn open" ||
+		rec["remote"] != "127.0.0.1:9" || rec["quote"] != `a"b` || rec["ts"] == "" {
+		t.Errorf("record = %v", rec)
+	}
+	// Keys appear in a fixed order so the raw file is scannable.
+	if !strings.HasPrefix(lines[0], `{"ts":`) {
+		t.Errorf("line does not lead with ts: %s", lines[0])
+	}
+	if l.Lines() != 2 {
+		t.Errorf("Lines = %d, want 2", l.Lines())
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn)
+	l.Debug("no")
+	l.Info("no")
+	l.Warn("yes")
+	l.Error("yes")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("wrote %d lines, want 2:\n%s", got, buf.String())
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled disagrees with the configured minimum")
+	}
+	l.SetLevel(LevelDebug)
+	if !l.Enabled(LevelDebug) {
+		t.Error("SetLevel did not take effect")
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Log(LevelError, "x", String("k", "v"))
+	l.Debug("x")
+	l.Info("x")
+	l.Warn("x")
+	l.Error("x")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+	if l.Lines() != 0 {
+		t.Error("nil logger counted lines")
+	}
+	l.SetLevel(LevelInfo)
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}

@@ -17,6 +17,10 @@ func TestConcurrentRegistryHammer(t *testing.T) {
 	g := r.Gauge("hammer_gauge", "")
 	h := r.Histogram("hammer_seconds", "", DefLatencyBuckets)
 	tr := NewTracer(64)
+	tr.StreamTo(io.Discard) // async drain runs alongside the writers
+	rt := NewRequestTracer(8)
+	rt.Mirror(tr)
+	lg := NewLogger(io.Discard, LevelInfo)
 
 	const workers = 8
 	const iters = 500
@@ -34,6 +38,14 @@ func TestConcurrentRegistryHammer(t *testing.T) {
 				r.Counter(`hammer_labeled_total{w="`+strconv.Itoa(id)+`"}`, "").Inc()
 				sp := tr.Start("hammer", String("w", strconv.Itoa(id)))
 				sp.End()
+				q := rt.StartRequest("hammer", "")
+				q.StartSpan("phase").End()
+				if i%5 == 0 {
+					q.Finish("overload")
+				} else {
+					q.Finish("")
+				}
+				lg.Info("hammer", String("w", strconv.Itoa(id)))
 			}
 		}(w)
 	}
@@ -48,9 +60,13 @@ func TestConcurrentRegistryHammer(t *testing.T) {
 			if got := h.Count(); got != workers*iters {
 				t.Errorf("histogram count = %d, want %d", got, workers*iters)
 			}
-			if got := tr.Total(); got != workers*iters {
-				t.Errorf("tracer total = %d, want %d", got, workers*iters)
+			if got := tr.Total(); got < workers*iters {
+				t.Errorf("tracer total = %d, want >= %d", got, workers*iters)
 			}
+			if total, _ := rt.Totals(); total != workers*iters {
+				t.Errorf("recorder total = %d, want %d", total, workers*iters)
+			}
+			tr.StreamTo(nil)
 			return
 		default:
 			if err := r.WritePrometheus(io.Discard); err != nil {
@@ -60,6 +76,7 @@ func TestConcurrentRegistryHammer(t *testing.T) {
 				t.Fatal(err)
 			}
 			tr.Spans()
+			rt.Snapshot()
 		}
 	}
 }

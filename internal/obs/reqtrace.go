@@ -1,0 +1,450 @@
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the request-scoped half of the observability layer: span
+// trees with parent/child structure (one tree per served request) and a
+// flight recorder that retains the most interesting trees — the K slowest,
+// the K most recent errored, the K most recent over the slow threshold,
+// and the K most recent overall — for /debug/requests, x/net/trace-style.
+//
+// Ownership rule: a Req and its spans are mutated by one goroutine at a
+// time (hand-offs between goroutines must carry a happens-before edge,
+// e.g. a channel send). The recorder only ever sees a tree after Finish,
+// so snapshots never race with in-flight mutation.
+
+// DefaultRecorderK is the per-bucket retention of a RequestTracer.
+const DefaultRecorderK = 32
+
+// ReqSpan is one named phase inside a request, possibly with nested
+// children. Times are wall-clock unix nanoseconds, durations nanoseconds.
+type ReqSpan struct {
+	Name     string
+	Start    int64
+	Dur      int64
+	Attrs    []Attr
+	Children []*ReqSpan
+
+	begin time.Time
+}
+
+// reqSpanJSON is the wire shape of a ReqSpan; attrs render as a flat
+// object (map keys sort, so output is deterministic).
+type reqSpanJSON struct {
+	Name     string            `json:"name"`
+	Start    int64             `json:"start_ns"`
+	Dur      int64             `json:"dur_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*ReqSpan        `json:"children,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func mapAttrs(m map[string]string) []Attr {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Attr, 0, len(m))
+	for k, v := range m {
+		out = append(out, Attr{Key: k, Value: v})
+	}
+	return out
+}
+
+// MarshalJSON renders the span with attrs as a flat object.
+func (s *ReqSpan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reqSpanJSON{
+		Name: s.Name, Start: s.Start, Dur: s.Dur,
+		Attrs: attrMap(s.Attrs), Children: s.Children,
+	})
+}
+
+// UnmarshalJSON parses the wire shape back (attr order is not preserved).
+func (s *ReqSpan) UnmarshalJSON(data []byte) error {
+	var a reqSpanJSON
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*s = ReqSpan{Name: a.Name, Start: a.Start, Dur: a.Dur,
+		Attrs: mapAttrs(a.Attrs), Children: a.Children}
+	return nil
+}
+
+// StartChild opens a nested span under s.
+func (s *ReqSpan) StartChild(name string, attrs ...Attr) *ReqSpan {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	c := &ReqSpan{Name: name, Start: now.UnixNano(), Attrs: attrs, begin: now}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// SetAttr annotates an in-flight span.
+func (s *ReqSpan) SetAttr(key, value string) {
+	if s != nil {
+		s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	}
+}
+
+// End completes the span. Safe to call from a different goroutine than
+// StartChild as long as a happens-before edge orders the two.
+func (s *ReqSpan) End() {
+	if s != nil {
+		s.Dur = int64(time.Since(s.begin))
+	}
+}
+
+// RequestTrace is one completed request's tree: identity, outcome, and the
+// phase spans in start order.
+type RequestTrace struct {
+	ID    string
+	Op    string
+	Start int64
+	Dur   int64
+	Code  string // "" = OK
+	Slow  bool   // Dur reached the recorder's slow threshold
+	Attrs []Attr
+	Spans []*ReqSpan
+}
+
+type requestTraceJSON struct {
+	ID    string            `json:"id"`
+	Op    string            `json:"op"`
+	Start int64             `json:"start_ns"`
+	Dur   int64             `json:"dur_ns"`
+	Code  string            `json:"code,omitempty"`
+	Slow  bool              `json:"slow,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	Spans []*ReqSpan        `json:"spans,omitempty"`
+}
+
+// MarshalJSON renders the trace with attrs as a flat object.
+func (t *RequestTrace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(requestTraceJSON{
+		ID: t.ID, Op: t.Op, Start: t.Start, Dur: t.Dur, Code: t.Code,
+		Slow: t.Slow, Attrs: attrMap(t.Attrs), Spans: t.Spans,
+	})
+}
+
+// UnmarshalJSON parses the wire shape back.
+func (t *RequestTrace) UnmarshalJSON(data []byte) error {
+	var a requestTraceJSON
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*t = RequestTrace{ID: a.ID, Op: a.Op, Start: a.Start, Dur: a.Dur,
+		Code: a.Code, Slow: a.Slow, Attrs: mapAttrs(a.Attrs), Spans: a.Spans}
+	return nil
+}
+
+// Req is one in-flight request's tracing handle. A nil Req (from a nil
+// RequestTracer) ignores every call, so serving code never branches on
+// whether request tracing is enabled.
+type Req struct {
+	rt    *RequestTracer
+	tr    *RequestTrace
+	begin time.Time
+}
+
+// ID returns the request's correlation id ("" on a nil Req).
+func (q *Req) ID() string {
+	if q == nil {
+		return ""
+	}
+	return q.tr.ID
+}
+
+// SetAttr annotates the request itself (endpoints, widths, peers).
+func (q *Req) SetAttr(key, value string) {
+	if q != nil {
+		q.tr.Attrs = append(q.tr.Attrs, Attr{Key: key, Value: value})
+	}
+}
+
+// StartSpan opens a top-level phase span on the request.
+func (q *Req) StartSpan(name string, attrs ...Attr) *ReqSpan {
+	if q == nil {
+		return nil
+	}
+	now := time.Now()
+	s := &ReqSpan{Name: name, Start: now.UnixNano(), Attrs: attrs, begin: now}
+	q.tr.Spans = append(q.tr.Spans, s)
+	return s
+}
+
+// Finish completes the request with its outcome code ("" = OK), hands the
+// tree to the recorder, and mirrors the spans to the attached flat tracer
+// stream. The Req must not be used afterwards.
+func (q *Req) Finish(code string) {
+	if q == nil {
+		return
+	}
+	q.tr.Dur = int64(time.Since(q.begin))
+	q.tr.Code = code
+	q.rt.finishLive(q.tr)
+}
+
+// ringBuf retains the last cap(buf) traces, newest overwriting oldest.
+type ringBuf struct {
+	buf  []*RequestTrace
+	n    int // live entries
+	next int
+}
+
+func newRingBuf(k int) ringBuf { return ringBuf{buf: make([]*RequestTrace, k)} }
+
+func (r *ringBuf) add(tr *RequestTrace) {
+	r.buf[r.next] = tr
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// list returns the retained traces newest-first.
+func (r *ringBuf) list() []*RequestTrace {
+	out := make([]*RequestTrace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// RequestTracer is the flight recorder: it assigns request ids, collects
+// span trees, and retains the interesting ones. All methods are safe for
+// concurrent use and nil-receiver safe.
+type RequestTracer struct {
+	k      int
+	seq    atomic.Uint64
+	slowNS atomic.Int64
+
+	// mirror receives every finished request's spans as flat tracer spans
+	// (rid attr added), so -trace JSONL files carry request phases too.
+	// Set once at wiring time, before serving starts.
+	mirror *Tracer
+
+	mu      sync.Mutex
+	total   int64
+	errored int64
+	slowest []*RequestTrace // min-heap by Dur: the K slowest ever
+	errs    ringBuf         // K most recent non-OK
+	slow    ringBuf         // K most recent over the slow threshold
+	recent  ringBuf         // K most recent overall
+}
+
+// NewRequestTracer builds a recorder retaining k traces per bucket
+// (k <= 0 selects DefaultRecorderK).
+func NewRequestTracer(k int) *RequestTracer {
+	if k <= 0 {
+		k = DefaultRecorderK
+	}
+	return &RequestTracer{
+		k:      k,
+		errs:   newRingBuf(k),
+		slow:   newRingBuf(k),
+		recent: newRingBuf(k),
+	}
+}
+
+// SetSlowThreshold force-retains requests at least d long in the slow
+// bucket (and marks them Slow), regardless of how they rank among the K
+// slowest. d <= 0 disables the bucket.
+func (t *RequestTracer) SetSlowThreshold(d time.Duration) {
+	if t != nil {
+		t.slowNS.Store(int64(d))
+	}
+}
+
+// SlowThreshold returns the configured threshold (0 = disabled).
+func (t *RequestTracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.slowNS.Load())
+}
+
+// Mirror re-emits every finished request's spans onto tr's flat stream
+// (one span per phase, rid attr added). Call once at wiring time, before
+// serving starts.
+func (t *RequestTracer) Mirror(tr *Tracer) {
+	if t != nil {
+		t.mirror = tr
+	}
+}
+
+// StartRequest opens a request trace. id is the client-supplied
+// correlation id; when empty, the recorder assigns "r<seq>". Returns nil
+// on a nil receiver — every Req and ReqSpan method tolerates that.
+func (t *RequestTracer) StartRequest(op, id string, attrs ...Attr) *Req {
+	if t == nil {
+		return nil
+	}
+	if id == "" {
+		id = "r" + strconv.FormatUint(t.seq.Add(1), 10)
+	}
+	now := time.Now()
+	return &Req{
+		rt:    t,
+		begin: now,
+		tr:    &RequestTrace{ID: id, Op: op, Start: now.UnixNano(), Attrs: attrs},
+	}
+}
+
+// finishLive records a tree produced by live serving: retention plus the
+// mirror emission (Record alone skips the mirror, so replayed/ingested
+// traces are not re-streamed).
+func (t *RequestTracer) finishLive(tr *RequestTrace) {
+	if d := t.slowNS.Load(); d > 0 && tr.Dur >= d {
+		tr.Slow = true
+	}
+	t.Record(tr)
+	if t.mirror != nil {
+		t.mirrorTrace(tr)
+	}
+}
+
+// Record applies the retention policy to one completed trace. Exported so
+// offline consumers (cmd/hhcobs) can replay dumped traces through the same
+// top-K logic the live recorder uses.
+func (t *RequestTracer) Record(tr *RequestTrace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	t.recent.add(tr)
+	if tr.Code != "" {
+		t.errored++
+		t.errs.add(tr)
+	}
+	if tr.Slow {
+		t.slow.add(tr)
+	}
+	// Min-heap of the K slowest: the root is the fastest retained trace.
+	if len(t.slowest) < t.k {
+		t.slowest = append(t.slowest, tr)
+		t.siftUp(len(t.slowest) - 1)
+	} else if tr.Dur > t.slowest[0].Dur {
+		t.slowest[0] = tr
+		t.siftDown(0)
+	}
+}
+
+func (t *RequestTracer) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.slowest[p].Dur <= t.slowest[i].Dur {
+			return
+		}
+		t.slowest[p], t.slowest[i] = t.slowest[i], t.slowest[p]
+		i = p
+	}
+}
+
+func (t *RequestTracer) siftDown(i int) {
+	n := len(t.slowest)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && t.slowest[l].Dur < t.slowest[min].Dur {
+			min = l
+		}
+		if r < n && t.slowest[r].Dur < t.slowest[min].Dur {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		t.slowest[i], t.slowest[min] = t.slowest[min], t.slowest[i]
+		i = min
+	}
+}
+
+// mirrorTrace flattens one finished tree onto the flat tracer: a "request"
+// span for the whole request, then every phase span, each carrying the rid
+// attr so offline tools can regroup them per request.
+func (t *RequestTracer) mirrorTrace(tr *RequestTrace) {
+	rid := Attr{Key: "rid", Value: tr.ID}
+	root := Span{Name: "request", Start: tr.Start, Dur: tr.Dur,
+		Attrs: append([]Attr{rid, {Key: "op", Value: tr.Op}}, tr.Attrs...)}
+	if tr.Code != "" {
+		root.Attrs = append(root.Attrs, Attr{Key: "code", Value: tr.Code})
+	}
+	t.mirror.record(root)
+	var walk func(spans []*ReqSpan)
+	walk = func(spans []*ReqSpan) {
+		for _, s := range spans {
+			t.mirror.record(Span{Name: s.Name, Start: s.Start, Dur: s.Dur,
+				Attrs: append([]Attr{rid}, s.Attrs...)})
+			walk(s.Children)
+		}
+	}
+	walk(tr.Spans)
+}
+
+// RequestsSnapshot is the /debug/requests payload: totals plus the four
+// retention buckets, each newest- or slowest-first.
+type RequestsSnapshot struct {
+	Total           int64           `json:"total"`
+	Errored         int64           `json:"errored"`
+	SlowThresholdNS int64           `json:"slow_threshold_ns,omitempty"`
+	Slowest         []*RequestTrace `json:"slowest"`
+	Errors          []*RequestTrace `json:"errors"`
+	Slow            []*RequestTrace `json:"slow,omitempty"`
+	Recent          []*RequestTrace `json:"recent"`
+}
+
+// Snapshot reads the recorder. Slowest is ordered slowest-first; the ring
+// buckets newest-first. The returned traces are shared (completed trees
+// are immutable), the slices fresh.
+func (t *RequestTracer) Snapshot() RequestsSnapshot {
+	if t == nil {
+		return RequestsSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	slowest := append([]*RequestTrace(nil), t.slowest...)
+	// Insertion sort is fine at K entries; sort descending by duration.
+	for i := 1; i < len(slowest); i++ {
+		for j := i; j > 0 && slowest[j].Dur > slowest[j-1].Dur; j-- {
+			slowest[j], slowest[j-1] = slowest[j-1], slowest[j]
+		}
+	}
+	return RequestsSnapshot{
+		Total:           t.total,
+		Errored:         t.errored,
+		SlowThresholdNS: t.slowNS.Load(),
+		Slowest:         slowest,
+		Errors:          t.errs.list(),
+		Slow:            t.slow.list(),
+		Recent:          t.recent.list(),
+	}
+}
+
+// Totals reports (requests seen, errored) without copying the buckets.
+func (t *RequestTracer) Totals() (total, errored int64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total, t.errored
+}

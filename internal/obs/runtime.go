@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntime adds the process-level series every long-lived consumer
+// of a registry should expose: uptime, goroutine count, heap usage, GC
+// pause total, and a build_info marker carrying the toolchain identity as
+// labels. Values are read lazily at snapshot time, so registration is
+// free; ReadMemStats (microseconds) runs only when something scrapes.
+func RegisterRuntime(r *Registry) {
+	start := time.Now()
+	r.GaugeFunc("process_uptime_seconds",
+		"Seconds since the observability layer was activated.",
+		func() float64 { return time.Since(start).Seconds() })
+	r.GaugeFunc("go_goroutines",
+		"Goroutines currently live.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.CounterFunc("go_gc_pause_nanoseconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.PauseTotalNs)
+		})
+	r.Gauge(`build_info{go_version="`+runtime.Version()+
+		`",goarch="`+runtime.GOARCH+`",goos="`+runtime.GOOS+`"}`,
+		"Toolchain identity (value is always 1; the labels carry the info).").Set(1)
+}

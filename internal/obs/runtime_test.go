@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"process_uptime_seconds",
+		"go_goroutines",
+		"go_heap_alloc_bytes",
+		"go_gc_pause_nanoseconds_total",
+		`build_info{go_version="` + runtime.Version() + `"`,
+		`goarch="` + runtime.GOARCH + `"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	// Values must be live, not registration-time snapshots: goroutines and
+	// heap are nonzero in any running test binary.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "go_goroutines ") || strings.HasPrefix(line, "go_heap_alloc_bytes ") {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("runtime series reads zero: %q", line)
+			}
+		}
+	}
+}

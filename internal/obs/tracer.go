@@ -43,17 +43,73 @@ func (s Span) MarshalJSON() ([]byte, error) {
 	return json.Marshal(a)
 }
 
+// UnmarshalJSON parses the wire shape back; attr order is not preserved
+// (map iteration), so consumers must not rely on it.
+func (s *Span) UnmarshalJSON(data []byte) error {
+	var a struct {
+		Name  string            `json:"name"`
+		Start int64             `json:"start_ns"`
+		Dur   int64             `json:"dur_ns"`
+		Attrs map[string]string `json:"attrs,omitempty"`
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*s = Span{Name: a.Name, Start: a.Start, Dur: a.Dur, Attrs: mapAttrs(a.Attrs)}
+	return nil
+}
+
+// streamQueueDepth bounds the spans parked between a hot path completing
+// them and the drain goroutine encoding them. A sink slower than the span
+// rate overflows the queue and loses spans (counted by Dropped) instead of
+// exerting backpressure on instrumented code.
+const streamQueueDepth = 1024
+
+// streamer is one attached JSONL sink: a bounded span queue plus the
+// goroutine that drains it. Encoding happens only on the drain goroutine,
+// never under the ring lock, so a slow or blocked writer cannot stall
+// Start/End on any other goroutine.
+type streamer struct {
+	ch   chan Span
+	done chan struct{}
+	// wmu serializes sink access between the drain goroutine and Flush;
+	// no hot path ever takes it.
+	wmu   sync.Mutex
+	enc   *json.Encoder
+	flush func() error
+}
+
+func (st *streamer) drain() {
+	defer close(st.done)
+	for s := range st.ch {
+		st.wmu.Lock()
+		// A broken sink must not take down the instrumented program; the
+		// ring still retains the span.
+		_ = st.enc.Encode(s)
+		st.wmu.Unlock()
+	}
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	if st.flush != nil {
+		_ = st.flush()
+	}
+}
+
 // Tracer records named phases into a bounded in-memory ring and, when a
 // stream writer is attached, emits each completed span as one JSON line.
 // All methods are safe for concurrent use and safe on a nil receiver, so
 // instrumented code never branches on whether tracing is enabled.
 type Tracer struct {
-	mu     sync.Mutex
-	ring   []Span
-	next   int // ring insertion cursor
-	total  int64
-	stream *json.Encoder
-	flush  func() error
+	mu    sync.Mutex
+	ring  []Span
+	next  int // ring insertion cursor
+	total int64
+
+	// smu guards attach/detach of the stream; record holds it only for a
+	// non-blocking channel send, never for encoding.
+	smu     sync.Mutex
+	out     *streamer
+	dropped int64 // spans lost to a full stream queue (guarded by smu)
 }
 
 // NewTracer creates a tracer whose ring keeps the last capacity completed
@@ -66,25 +122,48 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // StreamTo attaches a JSONL sink: every span completed from now on is
-// written as one JSON object per line. The tracer serializes writes; w
-// need not be concurrency-safe. Pass nil to detach.
+// written as one JSON object per line by a dedicated drain goroutine, so w
+// need not be concurrency-safe and a blocked w never stalls span recording
+// (the bounded queue drops spans instead; see Dropped). Pass nil to detach:
+// the call blocks until every queued span is written and the sink flushed.
 func (t *Tracer) StreamTo(w io.Writer) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.smu.Lock()
+	old := t.out
+	t.out = nil
+	t.smu.Unlock()
+	if old != nil {
+		close(old.ch)
+		<-old.done
+	}
 	if w == nil {
-		t.stream = nil
-		t.flush = nil
 		return
 	}
-	t.stream = json.NewEncoder(w)
-	if f, ok := w.(interface{ Flush() error }); ok {
-		t.flush = f.Flush
-	} else {
-		t.flush = nil
+	st := &streamer{
+		ch:   make(chan Span, streamQueueDepth),
+		done: make(chan struct{}),
+		enc:  json.NewEncoder(w),
 	}
+	if f, ok := w.(interface{ Flush() error }); ok {
+		st.flush = f.Flush
+	}
+	go st.drain()
+	t.smu.Lock()
+	t.out = st
+	t.smu.Unlock()
+}
+
+// Dropped reports how many spans were lost because the stream sink could
+// not keep up with the span rate. The ring is unaffected by drops.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.smu.Lock()
+	defer t.smu.Unlock()
+	return t.dropped
 }
 
 // Active is an in-flight span returned by Start. End completes it.
@@ -123,7 +202,9 @@ func (a *Active) End() {
 	a.t.record(a.span)
 }
 
-// record appends a completed span.
+// record appends a completed span. The ring update and the stream hand-off
+// are both non-blocking: encoding happens on the streamer's drain
+// goroutine, so a stalled -trace sink cannot stall any instrumented path.
 func (t *Tracer) record(s Span) {
 	t.mu.Lock()
 	t.total++
@@ -133,12 +214,16 @@ func (t *Tracer) record(s Span) {
 		t.ring[t.next] = s
 		t.next = (t.next + 1) % cap(t.ring)
 	}
-	if t.stream != nil {
-		// A broken sink must not take down the instrumented program; the
-		// ring still retains the span.
-		_ = t.stream.Encode(s)
-	}
 	t.mu.Unlock()
+	t.smu.Lock()
+	if t.out != nil {
+		select {
+		case t.out.ch <- s:
+		default:
+			t.dropped++
+		}
+	}
+	t.smu.Unlock()
 }
 
 // Spans returns the retained spans oldest-first.
@@ -181,16 +266,27 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// Flush flushes the attached stream sink, if it supports flushing.
+// Flush waits (briefly, best-effort) for the stream queue to drain and
+// flushes the sink if it supports flushing. For a guaranteed full drain,
+// detach with StreamTo(nil) instead — that call blocks until every queued
+// span is written.
 func (t *Tracer) Flush() error {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	f := t.flush
-	t.mu.Unlock()
-	if f != nil {
-		return f()
+	t.smu.Lock()
+	st := t.out
+	t.smu.Unlock()
+	if st == nil {
+		return nil
+	}
+	for i := 0; i < 100 && len(st.ch) > 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	if st.flush != nil {
+		return st.flush()
 	}
 	return nil
 }

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestTracerRingWrap(t *testing.T) {
@@ -36,6 +38,7 @@ func TestTracerStreamJSONL(t *testing.T) {
 	sp.SetAttr("v", "0x07:1")
 	sp.End()
 	tr.Start("verify").End()
+	tr.StreamTo(nil) // block until the drain goroutine wrote everything
 
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 2 {
@@ -83,6 +86,63 @@ func TestTracerStreamDetach(t *testing.T) {
 	}
 	if len(tr.Spans()) != 2 {
 		t.Errorf("ring lost spans on detach: %d", len(tr.Spans()))
+	}
+}
+
+// blockingWriter parks every Write until released, simulating a -trace
+// sink on a full pipe or a hung filesystem.
+type blockingWriter struct {
+	release chan struct{}
+	wrote   chan struct{} // closed once the first Write is entered
+	once    sync.Once
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { close(w.wrote) })
+	<-w.release
+	return len(p), nil
+}
+
+// TestTracerBlockedSinkDoesNotStall is the regression for the streaming
+// stall: record used to JSON-encode to the sink while holding the ring
+// mutex, so one blocked -trace writer froze every instrumented hot path.
+// Now encoding runs on a drain goroutine behind a bounded queue; Start/End
+// on other goroutines must complete (dropping overflow spans) while the
+// writer is wedged.
+func TestTracerBlockedSinkDoesNotStall(t *testing.T) {
+	bw := &blockingWriter{release: make(chan struct{}), wrote: make(chan struct{})}
+	tr := NewTracer(16)
+	tr.StreamTo(bw)
+	tr.Start("first").End() // drain goroutine picks it up and wedges in Write
+	<-bw.wrote
+
+	// Complete far more spans than the stream queue holds, from another
+	// goroutine, with a deadline: if any of them blocks, the test times out
+	// here instead of hanging the suite.
+	const n = streamQueueDepth + 64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			tr.Start("burst").End()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Start/End stalled behind a blocked stream sink")
+	}
+	if got := tr.Total(); got != n+1 {
+		t.Errorf("Total = %d, want %d (ring must record every span)", got, n+1)
+	}
+	if tr.Dropped() == 0 {
+		t.Error("expected overflow spans to be counted as dropped")
+	}
+
+	close(bw.release)
+	tr.StreamTo(nil) // drains what the queue still holds
+	if d := tr.Dropped(); d > n {
+		t.Errorf("dropped %d spans, more than the %d recorded", d, n)
 	}
 }
 

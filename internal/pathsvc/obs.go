@@ -72,3 +72,130 @@ func (m *svcMetrics) observeQueueWait(d time.Duration) {
 		m.queueWaitSeconds.ObserveDuration(d)
 	}
 }
+
+// reqTrace carries one request's span-tree handles across the serving
+// pipeline: admission on the connection's reader goroutine, queue wait and
+// execution on a worker, encode wherever the response is rendered. The
+// channel send that moves a task to a worker (and the inflightMu critical
+// section that attaches a waiter to its leader) provide the happens-before
+// edges obs.Req requires. A nil *reqTrace is the disabled path; every
+// method is nil-receiver safe, so the serving code never branches on
+// whether request tracing is on.
+type reqTrace struct {
+	q     *obs.Req
+	admit *obs.ReqSpan
+	queue *obs.ReqSpan
+	exec  *obs.ReqSpan
+	enc   *obs.ReqSpan
+}
+
+// beginTrace opens a request trace with its admission span. Returns nil
+// when request tracing is disabled.
+func (s *Server) beginTrace(op, rid, remote string) *reqTrace {
+	if s.cfg.Requests == nil {
+		return nil
+	}
+	q := s.cfg.Requests.StartRequest(op, rid, obs.String("peer", remote))
+	return &reqTrace{q: q, admit: q.StartSpan("admission")}
+}
+
+// id returns the trace's request id ("" when tracing is off), which the
+// response echoes so clients can correlate against /debug/requests.
+func (t *reqTrace) id() string {
+	if t == nil {
+		return ""
+	}
+	return t.q.ID()
+}
+
+// setAttr annotates the request (endpoints, widths, batch sizes).
+func (t *reqTrace) setAttr(key, value string) {
+	if t != nil {
+		t.q.SetAttr(key, value)
+	}
+}
+
+func (t *reqTrace) endAdmission() {
+	if t != nil && t.admit != nil {
+		t.admit.End()
+		t.admit = nil
+	}
+}
+
+func (t *reqTrace) startQueue() {
+	if t != nil {
+		t.queue = t.q.StartSpan("queue")
+	}
+}
+
+func (t *reqTrace) endQueue() {
+	if t != nil && t.queue != nil {
+		t.queue.End()
+		t.queue = nil
+	}
+}
+
+func (t *reqTrace) startExec() {
+	if t != nil {
+		t.exec = t.q.StartSpan("exec")
+	}
+}
+
+func (t *reqTrace) endExec() {
+	if t != nil && t.exec != nil {
+		t.exec.End()
+		t.exec = nil
+	}
+}
+
+func (t *reqTrace) startEncode() {
+	if t != nil {
+		t.enc = t.q.StartSpan("encode")
+	}
+}
+
+func (t *reqTrace) endEncode() {
+	if t != nil && t.enc != nil {
+		t.enc.End()
+		t.enc = nil
+	}
+}
+
+// finish closes any phase span still open (shed and refused requests never
+// reach later phases) and hands the tree to the flight recorder.
+func (t *reqTrace) finish(code string) {
+	if t == nil {
+		return
+	}
+	t.endAdmission()
+	t.endQueue()
+	t.endExec()
+	t.endEncode()
+	t.q.Finish(code)
+}
+
+// logConnOpen / logConnClose emit one structured line per connection
+// event. The Enabled guard keeps the disabled path free of attr-slice
+// allocations (a nil logger reports every level disabled).
+func (s *Server) logConnOpen(remote string) {
+	if s.cfg.Logger.Enabled(obs.LevelInfo) {
+		s.cfg.Logger.Info("conn open", obs.String("remote", remote))
+	}
+}
+
+func (s *Server) logConnClose(remote string) {
+	if s.cfg.Logger.Enabled(obs.LevelInfo) {
+		s.cfg.Logger.Info("conn close", obs.String("remote", remote))
+	}
+}
+
+// logResponse emits one structured line per non-OK response.
+func (s *Server) logResponse(remote, op, rid, code, msg string) {
+	if !s.cfg.Logger.Enabled(obs.LevelWarn) {
+		return
+	}
+	s.cfg.Logger.Warn("request failed",
+		obs.String("remote", remote), obs.String("op", op),
+		obs.String("rid", rid), obs.String("code", code),
+		obs.String("err", msg))
+}

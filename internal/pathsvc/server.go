@@ -103,6 +103,13 @@ type Config struct {
 	// Reg, when non-nil, receives the pathsvc_* metric set (plus the
 	// cache_* set of the backing cache).
 	Reg *obs.Registry
+	// Logger, when non-nil, receives one structured line per connection
+	// event and per non-OK response. Nil disables logging at zero cost.
+	Logger *obs.Logger
+	// Requests, when non-nil, records a span tree per request (admission,
+	// queue wait, execution, encode) into the flight recorder behind
+	// /debug/requests. Nil disables request tracing at zero cost.
+	Requests *obs.RequestTracer
 }
 
 // Defaults for Config zero values.
@@ -155,12 +162,18 @@ type coalesceKey struct {
 type pendingReq struct {
 	pc       *serverConn
 	id       uint64
+	rid      string // request id echoed in the response ("" = untraced, none supplied)
 	op       string
 	maxPaths int
 	degraded bool
-	ctx      context.Context
-	cancel   context.CancelFunc
-	start    time.Time
+	// coalesced marks a waiter answered by piggybacking on the leader's
+	// construction; its queueNS stays 0 (it never entered the queue).
+	coalesced bool
+	queueNS   int64 // time spent waiting for a worker, set at pickup
+	tr        *reqTrace
+	ctx       context.Context
+	cancel    context.CancelFunc
+	start     time.Time
 }
 
 // task is one unit of queued work.
@@ -186,11 +199,13 @@ type outcome struct {
 	paths   [][]hhc.Node
 	results []BatchItem
 	retryMS int64
+	execNS  int64 // construction time, shared by every coalesced recipient
 }
 
 // serverConn serializes concurrent response writes onto one connection.
 type serverConn struct {
 	c       net.Conn
+	remote  string
 	maxSend int
 	wmu     sync.Mutex
 	// pending counts responses owed by the worker pool; the reader waits
@@ -460,11 +475,13 @@ func (s *Server) openConns() int {
 // handleConn reads frames off one connection and dispatches them. It never
 // closes the connection while worker responses are owed.
 func (s *Server) handleConn(conn net.Conn) {
-	pc := &serverConn{c: conn, maxSend: s.cfg.MaxFrame}
+	pc := &serverConn{c: conn, remote: conn.RemoteAddr().String(), maxSend: s.cfg.MaxFrame}
+	s.logConnOpen(pc.remote)
 	defer func() {
 		pc.pending.Wait()
 		_ = conn.Close()
 		s.untrack(conn)
+		s.logConnClose(pc.remote)
 		s.connWG.Done()
 	}()
 	br := bufio.NewReader(conn)
@@ -480,8 +497,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			// (best effort — the id is only known if the payload decodes).
 			if req, derr := DecodeRequest(payload); derr == nil {
 				s.counters.Requests.Inc()
-				pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, Op: req.Op,
-					Code: CodeShutdown, Err: ErrShutdown.Error()})
+				s.logResponse(pc.remote, req.Op, req.RID, CodeShutdown, ErrShutdown.Error())
+				pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, RID: req.RID,
+					Op: req.Op, Code: CodeShutdown, Err: ErrShutdown.Error()})
 			}
 			return
 		}
@@ -490,8 +508,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			// JSON-level garbage is answerable (framing still holds).
 			s.counters.Requests.Inc()
 			s.counters.Failed.Inc()
-			pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, Op: req.Op,
-				Code: CodeBadRequest, Err: err.Error()})
+			s.logResponse(pc.remote, req.Op, req.RID, CodeBadRequest, err.Error())
+			pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, RID: req.RID,
+				Op: req.Op, Code: CodeBadRequest, Err: err.Error()})
 			continue
 		}
 		s.dispatch(pc, req)
@@ -505,28 +524,38 @@ func (s *Server) handleConn(conn net.Conn) {
 func (s *Server) dispatch(pc *serverConn, req Request) {
 	s.counters.Requests.Inc()
 	start := time.Now()
+	tr := s.beginTrace(req.Op, req.RID, pc.remote)
+	// The echoed request id: the trace id when tracing is on (it adopts a
+	// client-supplied RID), else a pass-through of whatever the client sent.
+	rid := req.RID
+	if id := tr.id(); id != "" {
+		rid = id
+	}
 
 	switch req.Op {
 	case OpPing:
 		s.counters.Completed.Inc()
-		pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, Op: req.Op})
+		pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, RID: rid, Op: req.Op})
+		tr.finish(CodeOK)
 		s.met.observeRequest(time.Since(start))
 		return
 	case OpInfo:
 		s.counters.Completed.Inc()
-		pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, Op: req.Op,
+		pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, RID: rid, Op: req.Op,
 			M: s.g.M(), Full: s.g.M() + 1, Width: s.g.M() + 1})
+		tr.finish(CodeOK)
 		s.met.observeRequest(time.Since(start))
 		return
 	case OpPaths, OpBatch, OpRoute:
 	default:
-		s.fail(pc, req, fmt.Sprintf("unknown op %q", req.Op))
+		s.fail(pc, req, rid, tr, fmt.Sprintf("unknown op %q", req.Op))
 		return
 	}
 
 	t := &task{
 		pendingReq: pendingReq{
-			pc: pc, id: req.ID, op: req.Op, maxPaths: req.MaxPaths, start: start,
+			pc: pc, id: req.ID, rid: rid, op: req.Op, maxPaths: req.MaxPaths,
+			tr: tr, start: start,
 		},
 	}
 	var err error
@@ -554,8 +583,15 @@ func (s *Server) dispatch(pc *serverConn, req Request) {
 		t.pairs = req.Pairs
 	}
 	if err != nil {
-		s.fail(pc, req, err.Error())
+		s.fail(pc, req, rid, tr, err.Error())
 		return
+	}
+	switch req.Op {
+	case OpPaths, OpRoute:
+		tr.setAttr("u", req.U)
+		tr.setAttr("v", req.V)
+	case OpBatch:
+		tr.setAttr("pairs", fmt.Sprint(len(t.pairs)))
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -571,6 +607,9 @@ func (s *Server) dispatch(pc *serverConn, req Request) {
 		key := coalesceKey{u: t.u, v: t.v}
 		s.inflightMu.Lock()
 		if fl, ok := s.inflight[key]; ok {
+			t.coalesced = true
+			tr.setAttr("coalesced", "true")
+			tr.endAdmission()
 			pc.pending.Add(1)
 			fl.waiters = append(fl.waiters, t.pendingReq)
 			s.inflightMu.Unlock()
@@ -583,6 +622,8 @@ func (s *Server) dispatch(pc *serverConn, req Request) {
 	}
 
 	t.enqueued = time.Now()
+	tr.endAdmission()
+	tr.startQueue()
 	pc.pending.Add(1)
 	select {
 	case s.queue <- t:
@@ -610,17 +651,22 @@ func (s *Server) dispatch(pc *serverConn, req Request) {
 }
 
 // fail answers a request that never reached the queue.
-func (s *Server) fail(pc *serverConn, req Request, msg string) {
+func (s *Server) fail(pc *serverConn, req Request, rid string, tr *reqTrace, msg string) {
 	s.counters.Failed.Inc()
-	pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, Op: req.Op,
+	s.logResponse(pc.remote, req.Op, rid, CodeBadRequest, msg)
+	pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, RID: rid, Op: req.Op,
 		Code: CodeBadRequest, Err: msg})
+	tr.finish(CodeBadRequest)
 }
 
 // worker executes queued tasks until the queue closes.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for t := range s.queue {
-		s.met.observeQueueWait(time.Since(t.enqueued))
+		wait := time.Since(t.enqueued)
+		s.met.observeQueueWait(wait)
+		t.queueNS = int64(wait)
+		t.tr.endQueue()
 		s.activeWorkers.Add(1)
 		s.process(t)
 		s.activeWorkers.Add(-1)
@@ -635,6 +681,8 @@ func (s *Server) process(t *task) {
 	if t.ctx.Err() != nil {
 		out = outcome{code: CodeDeadline, errMsg: ErrDeadlineExceeded.Error()}
 	} else {
+		t.tr.startExec()
+		execStart := time.Now()
 		switch t.op {
 		case OpPaths:
 			out = s.doPaths(t)
@@ -643,6 +691,8 @@ func (s *Server) process(t *task) {
 		case OpBatch:
 			out = s.doBatch(t)
 		}
+		out.execNS = int64(time.Since(execStart))
+		t.tr.endExec()
 	}
 	s.deliverAll(t, out)
 }
@@ -753,7 +803,8 @@ func (s *Server) deliver(p pendingReq, out outcome) {
 	if p.cancel != nil {
 		defer p.cancel()
 	}
-	resp := &Response{Ver: ProtocolVersion, ID: p.id, Op: p.op}
+	resp := &Response{Ver: ProtocolVersion, ID: p.id, RID: p.rid, Op: p.op,
+		QueueNS: p.queueNS, ExecNS: out.execNS, Coalesced: p.coalesced}
 	code := out.code
 	if code == CodeOK && p.ctx != nil && p.ctx.Err() != nil {
 		// The shared construction finished, but after this requester's own
@@ -777,6 +828,7 @@ func (s *Server) deliver(p pendingReq, out outcome) {
 			}
 			resp.Paths = s.formatPaths(out.paths, k)
 			resp.Width, resp.Full = k, full
+			p.tr.setAttr("width", fmt.Sprint(k))
 		case OpRoute:
 			resp.Paths = s.formatPaths(out.paths, len(out.paths))
 			resp.Width, resp.Full = len(out.paths), s.g.M()+1
@@ -795,7 +847,13 @@ func (s *Server) deliver(p pendingReq, out outcome) {
 		s.counters.Failed.Inc()
 		resp.Code, resp.Err = code, out.errMsg
 	}
+	if code != CodeOK {
+		s.logResponse(p.pc.remote, p.op, p.rid, code, resp.Err)
+	}
+	p.tr.startEncode()
 	p.pc.send(resp)
+	p.tr.endEncode()
+	p.tr.finish(code)
 	s.met.observeRequest(time.Since(p.start))
 }
 

@@ -67,6 +67,12 @@ type Request struct {
 	Ver int `json:"ver"`
 	// ID is an opaque client-chosen correlation id echoed in the response.
 	ID uint64 `json:"id"`
+	// RID is an optional client-supplied request id for cross-system trace
+	// correlation. It is echoed in Response.RID and stamped on the server's
+	// request trace; when omitted (older clients), the server assigns one if
+	// request tracing is enabled. Same-version servers ignore unknown
+	// fields, so either side may omit it freely.
+	RID string `json:"rid,omitempty"`
 	// Op selects the query kind (OpPaths, OpBatch, OpRoute, OpInfo, OpPing).
 	Op string `json:"op"`
 	// U and V are the endpoints in "x:y" form (OpPaths, OpRoute).
@@ -97,6 +103,18 @@ type Response struct {
 	Ver int    `json:"ver"`
 	ID  uint64 `json:"id"`
 	Op  string `json:"op"`
+	// RID echoes Request.RID, or carries the server-assigned request id
+	// when the client sent none and request tracing is on. Empty when the
+	// server has tracing disabled and the client supplied nothing.
+	RID string `json:"rid,omitempty"`
+	// Server-side timing, filled for requests that went through the work
+	// queue: time spent waiting for a worker, construction time, and
+	// whether the answer piggybacked on an identical in-flight query
+	// (coalesced answers share ExecNS and report QueueNS = 0). Older
+	// clients ignore these fields; older servers omit them.
+	QueueNS   int64 `json:"queue_ns,omitempty"`
+	ExecNS    int64 `json:"exec_ns,omitempty"`
+	Coalesced bool  `json:"coalesced,omitempty"`
 	// Code is CodeOK ("", omitted) on success, else one of the Code
 	// constants; Err carries the human-readable detail.
 	Code string `json:"code,omitempty"`

@@ -76,6 +76,40 @@ func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
 	}
 }
 
+// TestWireCompatOldClient pins the rid/server-timing compatibility rule:
+// a request without rid (older client) decodes and is simply untraced, and
+// a response without the timing fields (older server) decodes with zero
+// values. Both directions tolerate the other side's unknown fields.
+func TestWireCompatOldClient(t *testing.T) {
+	req, err := DecodeRequest([]byte(`{"ver":1,"id":7,"op":"paths","u":"0x0:0","v":"0x1:1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.RID != "" {
+		t.Errorf("absent rid decoded as %q", req.RID)
+	}
+	resp, err := DecodeResponse([]byte(`{"ver":1,"id":7,"op":"paths","paths":[["0x0:0","0x1:1"]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RID != "" || resp.QueueNS != 0 || resp.ExecNS != 0 || resp.Coalesced {
+		t.Errorf("absent timing fields decoded nonzero: %+v", resp)
+	}
+	// A new-server response parses under an old client's decoder, which is
+	// exactly this decoder ignoring fields it has never heard of.
+	if _, err := DecodeResponse([]byte(`{"ver":1,"id":7,"op":"paths","rid":"r9","queue_ns":5,"exec_ns":9,"coalesced":true,"some_future_field":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A zero RID/timing response omits the fields entirely on the wire.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Response{Ver: ProtocolVersion, ID: 1, Op: OpPing}, DefaultMaxFrame); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); bytes.Contains(buf.Bytes(), []byte("rid")) || bytes.Contains(buf.Bytes(), []byte("queue_ns")) {
+		t.Errorf("zero-valued tracing fields leaked onto the wire: %s", s)
+	}
+}
+
 func TestDecodeVersionMismatch(t *testing.T) {
 	if _, err := DecodeRequest([]byte(`{"ver":99,"op":"paths"}`)); err == nil {
 		t.Fatal("future request version accepted")
