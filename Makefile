@@ -16,7 +16,7 @@ vet:
 	$(GO) vet ./...
 
 # Repo invariants: formatting plus the in-tree hhclint analyzers
-# (layering, obscost, determinism, nodefmt, atomicalign).
+# (layering, obscost, determinism, nodefmt, atomicalign, hotpath).
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
@@ -27,11 +27,15 @@ race:
 	$(GO) test -race ./...
 
 # Quick-mode benchmarks, one per evaluation table/figure plus primitives,
-# then a short self-served load run against the path-query daemon.
+# then short self-served load runs against the path-query daemon: the v1
+# JSON lockstep baseline and the v2 binary pipelined configuration, as
+# comparable before/after artifacts.
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) run ./cmd/hhcload -selfserve -m 3 -duration 2s -conns 8 -pairs 16 \
-		-json BENCH_pathsvc.json
+		-proto v1 -json BENCH_pathsvc.json
+	$(GO) run ./cmd/hhcload -selfserve -m 3 -duration 2s -conns 8 -pairs 16 \
+		-proto v2 -pipeline 16 -json BENCH_pathsvc_v2.json
 
 # Construction benchmarks under the CPU profiler; prints the top-10 by
 # cumulative time so hot spots are visible without opening the web UI.
@@ -55,7 +59,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseNode -fuzztime=10s ./internal/hhc
 	$(GO) test -fuzz=FuzzEmbedRing -fuzztime=15s ./internal/hhc
 	$(GO) test -fuzz=FuzzParseTrace -fuzztime=10s ./internal/sched
-	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/pathsvc
+	$(GO) test -fuzz='FuzzWireDecode$$' -fuzztime=10s ./internal/pathsvc
+	$(GO) test -fuzz='FuzzWireDecodeV2$$' -fuzztime=10s ./internal/pathsvc
 
 # The 4.2M-pair full verification of the container theorem on HHC_11 (~90s).
 exhaustive:

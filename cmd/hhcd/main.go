@@ -1,5 +1,7 @@
 // Command hhcd is the disjoint-path query daemon: it serves the
-// length-prefixed JSON protocol of internal/pathsvc over TCP, backed by
+// length-prefixed wire protocols of internal/pathsvc over TCP — JSON v1
+// and binary v2, detected per frame, so clients of either version (and
+// mixed-version frames on one connection) are answered in kind — backed by
 // the container cache, with bounded admission, per-request deadlines,
 // in-flight coalescing of identical queries, and width degradation under
 // queue pressure. SIGINT/SIGTERM triggers a graceful drain: in-flight and
@@ -119,8 +121,8 @@ func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue in
 	if err != nil {
 		return fmt.Errorf("-addr %s: %w", addr, err)
 	}
-	fmt.Fprintf(os.Stderr, "hhcd: serving path queries on %s (m=%d, width=%d, queue=%d, admission=%s)\n",
-		ln.Addr(), m, m+1, queue, policy)
+	fmt.Fprintf(os.Stderr, "hhcd: serving path queries on %s (m=%d, width=%d, queue=%d, admission=%s, proto=v1..v%d)\n",
+		ln.Addr(), m, m+1, queue, policy, pathsvc.MaxProtocolVersion)
 	if _, err := obsf.StartListener("hhcd"); err != nil {
 		_ = ln.Close()
 		return err

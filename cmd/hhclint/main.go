@@ -28,6 +28,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicalign"
 	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/layering"
 	"repro/internal/analysis/nodefmt"
 	"repro/internal/analysis/obscost"
@@ -37,6 +38,7 @@ import (
 var analyzers = []*analysis.Analyzer{
 	atomicalign.Analyzer,
 	determinism.Analyzer,
+	hotpath.Analyzer,
 	layering.Analyzer,
 	nodefmt.Analyzer,
 	obscost.Analyzer,

@@ -11,6 +11,14 @@
 //	hhcload -addr 127.0.0.1:9091 -conns 8 -duration 3s
 //	hhcload -addr 127.0.0.1:9091 -qps 2000 -pairs 4        # open loop, hot pair set
 //	hhcload -selfserve -m 4 -duration 2s -json BENCH_pathsvc.json
+//	hhcload -selfserve -proto v2 -pipeline 16 -json BENCH_pathsvc_v2.json
+//
+// -proto selects the wire protocol (v1 JSON, v2 binary, or auto to
+// negotiate the highest the server speaks), and -pipeline keeps that many
+// requests in flight per connection instead of running each connection in
+// lockstep. Connections self-heal: a poisoned client (server restart,
+// stream desync) is redialed and the run continues, with the redial count
+// reported.
 package main
 
 import (
@@ -40,6 +48,8 @@ func main() {
 	m := flag.Int("m", 4, "son-cube dimension of the -selfserve server (ignored with a remote -addr)")
 	queue := flag.Int("queue", pathsvc.DefaultQueueDepth, "admission queue depth of the -selfserve server")
 	conns := flag.Int("conns", 8, "concurrent client connections")
+	proto := flag.String("proto", "auto", "wire protocol: v1 (JSON), v2 (binary), or auto (negotiate)")
+	pipeline := flag.Int("pipeline", 1, "in-flight requests per connection (1 = lockstep)")
 	qps := flag.Float64("qps", 0, "target offered load in queries/sec across all connections (0 = closed loop)")
 	duration := flag.Duration("duration", 2*time.Second, "load duration")
 	pairs := flag.Int("pairs", 16, "distinct source/destination pairs in the pool (small pools create duplicate in-flight queries)")
@@ -57,7 +67,8 @@ func main() {
 	if err == nil {
 		err = run(os.Stdout, flag.Args(), loadOpts{
 			addr: *addr, selfserve: *selfserve, m: *m, queue: *queue,
-			conns: *conns, qps: *qps, duration: *duration, pairs: *pairs,
+			conns: *conns, proto: *proto, pipeline: *pipeline,
+			qps: *qps, duration: *duration, pairs: *pairs,
 			op: *op, batch: *batch, faults: *faults, maxPaths: *maxPaths,
 			deadline: *deadline, seed: *seed, jsonPath: *jsonPath,
 		})
@@ -76,6 +87,8 @@ type loadOpts struct {
 	selfserve     bool
 	m, queue      int
 	conns         int
+	proto         string
+	pipeline      int
 	qps           float64
 	duration      time.Duration
 	pairs         int
@@ -90,6 +103,8 @@ type loadOpts struct {
 // report is the machine-readable run summary (the BENCH_pathsvc.json shape).
 type report struct {
 	Op             string  `json:"op"`
+	Proto          int     `json:"proto"`
+	Pipeline       int     `json:"pipeline"`
 	Conns          int     `json:"conns"`
 	TargetQPS      float64 `json:"target_qps"`
 	DurationSec    float64 `json:"duration_sec"`
@@ -101,6 +116,7 @@ type report struct {
 	Deadline       int64   `json:"deadline"`
 	Shutdown       int64   `json:"shutdown"`
 	Failed         int64   `json:"failed"`
+	Reconnects     int64   `json:"reconnects"`
 	ProtocolErrors int64   `json:"protocol_errors"`
 	AchievedQPS    float64 `json:"achieved_qps"`
 	P50Ms          float64 `json:"p50_ms"`
@@ -122,6 +138,7 @@ type tally struct {
 	coalesced                    atomic.Int64
 	overload, deadline, shutdown atomic.Int64
 	failed, protocolErrors       atomic.Int64
+	reconnects                   atomic.Int64
 }
 
 // connSamples is one connection's latency ledger: client-observed
@@ -142,6 +159,23 @@ func run(w io.Writer, args []string, o loadOpts) error {
 	if o.conns < 1 || o.pairs < 1 || o.duration <= 0 {
 		return fmt.Errorf("-conns %d / -pairs %d / -duration %s out of range: all must be positive",
 			o.conns, o.pairs, o.duration)
+	}
+	if o.pipeline == 0 {
+		o.pipeline = 1 // zero value = lockstep, same as the flag default
+	}
+	if o.pipeline < 1 {
+		return fmt.Errorf("-pipeline %d out of range: must be positive", o.pipeline)
+	}
+	var dialOpts pathsvc.DialOptions
+	switch o.proto {
+	case "auto", "":
+		dialOpts.Proto = 0
+	case "v1":
+		dialOpts.Proto = pathsvc.ProtocolVersion
+	case "v2":
+		dialOpts.Proto = pathsvc.ProtocolV2
+	default:
+		return fmt.Errorf("-proto %q: want v1|v2|auto", o.proto)
 	}
 
 	addr := o.addr
@@ -188,12 +222,19 @@ func run(w io.Writer, args []string, o loadOpts) error {
 	}
 	pool := gen.Pairs(g, o.pairs, gen.Uniform, o.seed)
 
-	clients := make([]*pathsvc.Client, o.conns)
-	for i := range clients {
-		if clients[i], err = pathsvc.Dial(addr); err != nil {
+	// One self-healing handle per connection; -pipeline workers share each
+	// one, keeping that many requests in flight on the same stream. The
+	// first dial also resolves the negotiated protocol for the report.
+	reconns := make([]*pathsvc.Reconn, o.conns)
+	wireProto := dialOpts.Proto
+	for i := range reconns {
+		reconns[i] = pathsvc.NewReconn(addr, dialOpts)
+		defer reconns[i].Close()
+		c, err := reconns[i].Client()
+		if err != nil {
 			return err
 		}
-		defer clients[i].Close()
+		wireProto = c.Proto()
 	}
 
 	// Open-loop pacing: one token per intended arrival. Closed loop skips
@@ -206,15 +247,16 @@ func run(w io.Writer, args []string, o loadOpts) error {
 	}
 
 	var tl tally
-	samples := make([]connSamples, o.conns)
+	workers := o.conns * o.pipeline
+	samples := make([]connSamples, workers)
 	var wg sync.WaitGroup
 	begin := time.Now()
 	end := begin.Add(o.duration)
-	for i := range clients {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			samples[i] = drive(clients[i], g, pool, o, &tl, tokens, end, o.seed+int64(i)+1)
+			samples[i] = drive(reconns[i/o.pipeline], g, pool, o, &tl, tokens, end, o.seed+int64(i)+1)
 		}(i)
 	}
 	wg.Wait()
@@ -228,7 +270,8 @@ func run(w io.Writer, args []string, o loadOpts) error {
 		exec = append(exec, s.exec...)
 	}
 	rep := report{
-		Op: o.op, Conns: o.conns, TargetQPS: o.qps,
+		Op: o.op, Proto: wireProto, Pipeline: o.pipeline,
+		Conns: o.conns, TargetQPS: o.qps,
 		DurationSec:    elapsed.Seconds(),
 		Sent:           tl.sent.Load(),
 		Completed:      tl.completed.Load(),
@@ -238,6 +281,7 @@ func run(w io.Writer, args []string, o loadOpts) error {
 		Deadline:       tl.deadline.Load(),
 		Shutdown:       tl.shutdown.Load(),
 		Failed:         tl.failed.Load(),
+		Reconnects:     tl.reconnects.Load(),
 		ProtocolErrors: tl.protocolErrors.Load(),
 	}
 	rep.AchievedQPS = float64(rep.Completed) / elapsed.Seconds()
@@ -328,11 +372,22 @@ func pace(tokens chan<- struct{}, stop <-chan struct{}, qps float64) {
 	}
 }
 
-// drive runs one connection's request loop until the deadline.
-func drive(c *pathsvc.Client, g *hhc.Graph, pool []gen.Pair, o loadOpts,
+// echo is the server-side telemetry a completed response carried,
+// protocol-independent (filled from *Response on v1, ResponseV2 on v2).
+type echo struct {
+	degraded, coalesced bool
+	queueNS, execNS     int64
+}
+
+// drive runs one worker's request loop until the deadline. Workers
+// sharing a Reconn pipeline their requests over the same connection; a
+// poisoned client is invalidated and the loop redials.
+func drive(rc *pathsvc.Reconn, g *hhc.Graph, pool []gen.Pair, o loadOpts,
 	tl *tally, tokens <-chan struct{}, end time.Time, seed int64) connSamples {
 	r := rand.New(rand.NewSource(seed))
 	var s connSamples
+	var req pathsvc.RequestV2
+	var resp pathsvc.ResponseV2
 	for time.Now().Before(end) {
 		if tokens != nil {
 			select {
@@ -341,39 +396,60 @@ func drive(c *pathsvc.Client, g *hhc.Graph, pool []gen.Pair, o loadOpts,
 				return s
 			}
 		}
+		c, err := rc.Client()
+		if err != nil {
+			// Server gone (restart window, hard kill). Back off briefly and
+			// let the next iteration redial; a server that never returns
+			// shows up as "no query completed".
+			tl.reconnects.Add(1)
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
 		p := pool[r.Intn(len(pool))]
 		tl.sent.Add(1)
 		start := time.Now()
-		resp, err := issue(c, g, p, pool, o, r)
+		var e echo
+		if c.Proto() >= pathsvc.ProtocolV2 {
+			e, err = issueV2(c, g, p, pool, o, r, &req, &resp)
+		} else {
+			e, err = issue(c, g, p, pool, o, r)
+		}
 		elapsed := time.Since(start)
 		switch {
 		case err == nil:
 			tl.completed.Add(1)
 			s.lat = append(s.lat, float64(elapsed)/float64(time.Millisecond))
-			if resp != nil {
-				if resp.Degraded {
-					tl.degraded.Add(1)
-				}
-				if resp.Coalesced {
-					tl.coalesced.Add(1)
-				}
-				// Coalesced answers rode an in-flight query and never queued;
-				// their zero queue_ns would drag the wait percentiles below
-				// what queued requests actually saw, so only exec is pooled.
-				if resp.ExecNS > 0 {
-					s.exec = append(s.exec, float64(resp.ExecNS)/1e6)
-					if !resp.Coalesced {
-						s.queue = append(s.queue, float64(resp.QueueNS)/1e6)
-					}
+			if e.degraded {
+				tl.degraded.Add(1)
+			}
+			if e.coalesced {
+				tl.coalesced.Add(1)
+			}
+			// Coalesced answers rode an in-flight query and never queued;
+			// their zero queue_ns would drag the wait percentiles below
+			// what queued requests actually saw, so only exec is pooled.
+			if e.execNS > 0 {
+				s.exec = append(s.exec, float64(e.execNS)/1e6)
+				if !e.coalesced {
+					s.queue = append(s.queue, float64(e.queueNS)/1e6)
 				}
 			}
 		case errors.Is(err, pathsvc.ErrOverload):
 			tl.overload.Add(1)
 		case errors.Is(err, pathsvc.ErrDeadlineExceeded):
 			tl.deadline.Add(1)
+		case errors.Is(err, pathsvc.ErrClientTimeout):
+			// Client-side wait budget expired before any server verdict;
+			// account it with the deadline outcomes.
+			tl.deadline.Add(1)
 		case errors.Is(err, pathsvc.ErrShutdown):
 			tl.shutdown.Add(1)
 			return s
+		case errors.Is(err, pathsvc.ErrClientBroken):
+			// Stream desync or server restart poisoned the connection:
+			// discard it and redial rather than aborting the run.
+			rc.Invalidate(c)
+			tl.reconnects.Add(1)
 		default:
 			var srvErr *pathsvc.ServerError
 			if errors.As(err, &srvErr) {
@@ -388,10 +464,12 @@ func drive(c *pathsvc.Client, g *hhc.Graph, pool []gen.Pair, o loadOpts,
 	return s
 }
 
-// issue sends one request of the configured kind.
+// issue sends one request of the configured kind over the v1 JSON wire.
 func issue(c *pathsvc.Client, g *hhc.Graph, p gen.Pair, pool []gen.Pair,
-	o loadOpts, r *rand.Rand) (*pathsvc.Response, error) {
+	o loadOpts, r *rand.Rand) (echo, error) {
 	u, v := g.FormatNode(p.U), g.FormatNode(p.V)
+	var resp *pathsvc.Response
+	var err error
 	switch o.op {
 	case "route":
 		// Distinct faults avoiding both endpoints; run validated o.faults
@@ -405,22 +483,65 @@ func issue(c *pathsvc.Client, g *hhc.Graph, p gen.Pair, pool []gen.Pair,
 				fs = append(fs, g.FormatNode(f))
 			}
 		}
-		return c.Route(u, v, fs, o.deadline)
+		resp, err = c.Route(u, v, fs, o.deadline)
 	case "batch":
 		bp := make([][2]string, 0, o.batch)
 		for len(bp) < o.batch {
 			q := pool[r.Intn(len(pool))]
 			bp = append(bp, [2]string{g.FormatNode(q.U), g.FormatNode(q.V)})
 		}
-		return c.Batch(bp, o.deadline)
+		resp, err = c.Batch(bp, o.deadline)
 	default:
-		return c.Paths(u, v, o.maxPaths, o.deadline)
+		resp, err = c.Paths(u, v, o.maxPaths, o.deadline)
 	}
+	if err != nil || resp == nil {
+		return echo{}, err
+	}
+	return echo{degraded: resp.Degraded, coalesced: resp.Coalesced,
+		queueNS: resp.QueueNS, execNS: resp.ExecNS}, nil
+}
+
+// issueV2 sends one request of the configured kind over the binary wire,
+// node-native and reusing the worker's request/response scratch so the
+// driver itself stays off the allocator's hot path.
+func issueV2(c *pathsvc.Client, g *hhc.Graph, p gen.Pair, pool []gen.Pair,
+	o loadOpts, r *rand.Rand, req *pathsvc.RequestV2, resp *pathsvc.ResponseV2) (echo, error) {
+	*req = pathsvc.RequestV2{
+		U: p.U, V: p.V,
+		Faults: req.Faults[:0], Pairs: req.Pairs[:0],
+		MaxPaths:  o.maxPaths,
+		TimeoutNS: int64(o.deadline),
+	}
+	switch o.op {
+	case "route":
+		req.Op = pathsvc.OpCodeRoute
+		seen := make(map[hhc.Node]bool, o.faults)
+		for len(req.Faults) < o.faults {
+			f := g.RandomNode(r)
+			if f != p.U && f != p.V && !seen[f] {
+				seen[f] = true
+				req.Faults = append(req.Faults, f)
+			}
+		}
+	case "batch":
+		req.Op = pathsvc.OpCodeBatch
+		for len(req.Pairs) < o.batch {
+			q := pool[r.Intn(len(pool))]
+			req.Pairs = append(req.Pairs, pathsvc.NodePair{U: q.U, V: q.V})
+		}
+	default:
+		req.Op = pathsvc.OpCodePaths
+	}
+	if err := c.DoV2(req, resp); err != nil {
+		return echo{}, err
+	}
+	return echo{degraded: resp.Degraded, coalesced: resp.Coalesced,
+		queueNS: resp.QueueNS, execNS: resp.ExecNS}, nil
 }
 
 func printReport(w io.Writer, r report) {
-	fmt.Fprintf(w, "hhcload op=%s conns=%d target-qps=%g duration=%.2fs\n",
-		r.Op, r.Conns, r.TargetQPS, r.DurationSec)
+	fmt.Fprintf(w, "hhcload op=%s proto=v%d pipeline=%d conns=%d target-qps=%g duration=%.2fs\n",
+		r.Op, r.Proto, r.Pipeline, r.Conns, r.TargetQPS, r.DurationSec)
 	fmt.Fprintf(w, "  sent       %d\n", r.Sent)
 	fmt.Fprintf(w, "  completed  %d (%.0f qps)\n", r.Completed, r.AchievedQPS)
 	fmt.Fprintf(w, "  degraded   %d\n", r.Degraded)
@@ -429,6 +550,7 @@ func printReport(w io.Writer, r report) {
 	fmt.Fprintf(w, "  deadline   %d\n", r.Deadline)
 	fmt.Fprintf(w, "  shutdown   %d\n", r.Shutdown)
 	fmt.Fprintf(w, "  failed     %d\n", r.Failed)
+	fmt.Fprintf(w, "  reconnects %d\n", r.Reconnects)
 	fmt.Fprintf(w, "  proto errs %d\n", r.ProtocolErrors)
 	fmt.Fprintf(w, "  latency    p50 %.3fms  p95 %.3fms  p99 %.3fms  mean %.3fms\n",
 		r.P50Ms, r.P95Ms, r.P99Ms, r.MeanMs)

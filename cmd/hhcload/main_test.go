@@ -34,6 +34,38 @@ func TestRouteSelfserveSmoke(t *testing.T) {
 	}
 }
 
+// TestPipelinedV2Smoke: the binary wire with pipelined workers completes
+// a self-served run cleanly and reports the negotiated protocol.
+func TestPipelinedV2Smoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, nil, loadOpts{
+		selfserve: true, m: 2, queue: 64, conns: 2, pairs: 4,
+		proto: "v2", pipeline: 4,
+		op:       "batch",
+		batch:    4,
+		duration: 100 * time.Millisecond, seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("v2 pipelined smoke: %v", err)
+	}
+	if !strings.Contains(out.String(), "proto=v2 pipeline=4") {
+		t.Errorf("report lacks the negotiated proto/pipeline:\n%s", out.String())
+	}
+}
+
+// TestBadProtoRejected: an unknown -proto value is a usage error, not a
+// silent fallback.
+func TestBadProtoRejected(t *testing.T) {
+	err := run(io.Discard, nil, loadOpts{
+		selfserve: true, m: 2, queue: 8, conns: 1, pairs: 4,
+		proto: "v3", op: "paths",
+		duration: 50 * time.Millisecond, seed: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "-proto") {
+		t.Fatalf("got %v, want -proto validation error", err)
+	}
+}
+
 // TestServerBreakdownReported: the report includes the queue-vs-exec
 // split the server echoes in every response, printed next to the
 // client-side percentiles.

@@ -1,0 +1,105 @@
+// Package hotpath guards the allocation discipline of functions marked
+// with the //hhc:hotpath directive. The wire-v2 serve path earns its
+// single-digit allocs/op by construction — append-style encoders,
+// preallocated sentinel errors, pooled buffers — and the budget in
+// TestServeV2AllocBudget only stays honest if nobody reintroduces a
+// formatter in a later edit. The cheap failure modes are always the same
+// few packages: fmt (every call allocates its argument slice and usually
+// a string), encoding/json (reflection-driven marshalling), reflect, and
+// regexp. A marked function may not call into any of them.
+//
+// Like obscost, the check is type-based: a call counts if the callee
+// object resolves to one of the banned packages, whether it is reached
+// as fmt.Errorf, through a method value, or via a dot import. Cold-path
+// helpers remain free to format — the rule follows the marked function's
+// body (closures included), not the whole file — so the idiom of a
+// //hhc:hotpath function delegating its error arm to an unmarked
+// slow-path helper is exactly what the analyzer encourages.
+package hotpath
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// directive is the marker comment, written immediately above the func
+// declaration (as its own doc line or the tail of a doc comment).
+const directive = "//hhc:hotpath"
+
+// banned maps import path -> true for packages whose every call is an
+// allocation or reflection hazard on a hot path.
+var banned = map[string]bool{
+	"fmt":           true,
+	"encoding/json": true,
+	"reflect":       true,
+	"regexp":        true,
+}
+
+// Analyzer is the hot-path purity rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "//hhc:hotpath functions must not call fmt, encoding/json, reflect, or regexp",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !marked(fd) {
+				continue
+			}
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var id *ast.Ident
+				switch fun := unparen(call.Fun).(type) {
+				case *ast.SelectorExpr:
+					id = fun.Sel
+				case *ast.Ident:
+					id = fun
+				default:
+					return true
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil || !banned[obj.Pkg().Path()] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"hot-path function %s calls %s.%s; //hhc:hotpath code must stay allocation-free (use sentinel errors and append-style encoding, or delegate to an unmarked cold helper)",
+					name, obj.Pkg().Name(), obj.Name())
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// marked reports whether the declaration carries the //hhc:hotpath
+// directive anywhere in its doc comment group.
+func marked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

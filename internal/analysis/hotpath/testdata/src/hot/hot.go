@@ -1,0 +1,66 @@
+// Package hot exercises the //hhc:hotpath purity rule.
+package hot
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"regexp"
+)
+
+var errShort = errors.New("payload too short")
+
+// fast is marked and clean: sentinel errors and append-style encoding.
+//
+//hhc:hotpath
+func fast(buf []byte, x uint32) ([]byte, error) {
+	if x == 0 {
+		return nil, errShort
+	}
+	return binary.BigEndian.AppendUint32(buf, x), nil
+}
+
+// slow is unmarked, so it may format freely.
+func slow(x int) string {
+	return fmt.Sprintf("%d", x)
+}
+
+// leaky is marked but reaches for the reflective formatters.
+//
+//hhc:hotpath
+func leaky(x any) ([]byte, error) {
+	if x == nil {
+		return nil, fmt.Errorf("nil input") // want `hot-path function leaky calls fmt\.Errorf`
+	}
+	if reflect.DeepEqual(x, 0) { // want `hot-path function leaky calls reflect\.DeepEqual`
+		return nil, errShort
+	}
+	return json.Marshal(x) // want `hot-path function leaky calls json\.Marshal`
+}
+
+// closures inherit the enclosing declaration's marking.
+//
+//hhc:hotpath
+func viaClosure(s string) func() bool {
+	return func() bool {
+		re := regexp.MustCompile("^x") // want `hot-path function viaClosure calls regexp\.MustCompile`
+		return re.MatchString(s)       // want `hot-path function viaClosure calls regexp\.MatchString`
+	}
+}
+
+// delegate is marked but hands its cold arm to an unmarked helper —
+// the sanctioned idiom, so no finding.
+//
+//hhc:hotpath
+func delegate(buf []byte, x uint32) []byte {
+	if x == 0 {
+		return coldPath(buf)
+	}
+	return binary.BigEndian.AppendUint32(buf, x)
+}
+
+func coldPath(buf []byte) []byte {
+	return append(buf, slow(len(buf))...)
+}

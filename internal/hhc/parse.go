@@ -14,25 +14,12 @@ import (
 // the machine integer types — all report the same "out of range" error
 // naming the actual bounds x < 2^t, y < t (t = 2^m).
 func (g *Graph) ParseNode(s string) (Node, error) {
-	parts := strings.SplitN(s, ":", 2)
-	if len(parts) != 2 {
-		return Node{}, fmt.Errorf("hhc: node %q: want x:y", s)
-	}
-	x, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 0, 64)
+	x, y, err := parseCoords(s)
 	if err != nil {
 		if errors.Is(err, strconv.ErrRange) {
 			return Node{}, g.rangeError(s)
 		}
-		return Node{}, fmt.Errorf("hhc: node %q: bad cube address: %w", s, err)
-	}
-	// Parse y at full width so an oversized processor address (say "0:300")
-	// is reported as a topology range violation, not a strconv overflow.
-	y, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 0, 64)
-	if err != nil {
-		if errors.Is(err, strconv.ErrRange) {
-			return Node{}, g.rangeError(s)
-		}
-		return Node{}, fmt.Errorf("hhc: node %q: bad processor address: %w", s, err)
+		return Node{}, err
 	}
 	if y >= uint64(g.t) {
 		return Node{}, g.rangeError(s)
@@ -44,6 +31,55 @@ func (g *Graph) ParseNode(s string) (Node, error) {
 	return u, nil
 }
 
+// parseCoords splits and parses the "x:y" form without topology
+// validation; y is parsed at full width so oversized processor addresses
+// surface as strconv.ErrRange for the caller to map onto its own bounds.
+func parseCoords(s string) (x, y uint64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("hhc: node %q: want x:y", s)
+	}
+	x, err = strconv.ParseUint(strings.TrimSpace(parts[0]), 0, 64)
+	if err != nil {
+		if errors.Is(err, strconv.ErrRange) {
+			return 0, 0, fmt.Errorf("hhc: node %q: %w", s, strconv.ErrRange)
+		}
+		return 0, 0, fmt.Errorf("hhc: node %q: bad cube address: %w", s, err)
+	}
+	y, err = strconv.ParseUint(strings.TrimSpace(parts[1]), 0, 64)
+	if err != nil {
+		if errors.Is(err, strconv.ErrRange) {
+			return 0, 0, fmt.Errorf("hhc: node %q: %w", s, strconv.ErrRange)
+		}
+		return 0, 0, fmt.Errorf("hhc: node %q: bad processor address: %w", s, err)
+	}
+	return x, y, nil
+}
+
+// ParseNodeWire parses the wire "x:y" form without topology validation:
+// protocol clients do not know the served m, so they parse loosely and let
+// the serving side check the address against its own graph. A y too large
+// for any supported topology (>= 2^MaxM) is still rejected here because it
+// cannot be represented in a Node.
+func ParseNodeWire(s string) (Node, error) {
+	x, y, err := parseCoords(s)
+	if err != nil {
+		return Node{}, err
+	}
+	if y >= 1<<uint(MaxM) {
+		return Node{}, fmt.Errorf("hhc: node %q: processor address %d exceeds every supported topology (y < %d)",
+			s, y, 1<<uint(MaxM))
+	}
+	return Node{X: x, Y: uint8(y)}, nil
+}
+
+// FormatNodeWire renders a node in the wire "x:y" form without needing a
+// topology in scope (Graph.FormatNode is the method form used where one
+// is).
+func FormatNodeWire(u Node) string {
+	return fmt.Sprintf("%#x:%d", u.X, u.Y)
+}
+
 // rangeError is the single out-of-range diagnostic for every coordinate
 // limit violation: x must fit t = 2^m bits and y must name one of the t
 // processors of a son-cube.
@@ -53,5 +89,5 @@ func (g *Graph) rangeError(s string) error {
 
 // FormatNode renders a node in the same "x:y" form ParseNode accepts.
 func (g *Graph) FormatNode(u Node) string {
-	return fmt.Sprintf("%#x:%d", u.X, u.Y)
+	return FormatNodeWire(u)
 }

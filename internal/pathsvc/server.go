@@ -158,9 +158,12 @@ type coalesceKey struct {
 }
 
 // pendingReq is everything needed to answer one requester: leader and
-// coalesced waiters carry the same shape.
+// coalesced waiters carry the same shape. proto records which wire version
+// the request arrived in, so coalesced v1 and v2 requesters of the same
+// construction each get an answer in their own encoding.
 type pendingReq struct {
 	pc       *serverConn
+	proto    uint8 // ProtocolVersion or ProtocolV2
 	id       uint64
 	rid      string // request id echoed in the response ("" = untraced, none supplied)
 	op       string
@@ -171,20 +174,26 @@ type pendingReq struct {
 	coalesced bool
 	queueNS   int64 // time spent waiting for a worker, set at pickup
 	tr        *reqTrace
-	ctx       context.Context
-	cancel    context.CancelFunc
-	start     time.Time
+	// deadline is the absolute per-request deadline (arrival + the request
+	// or default timeout). A plain time.Time instead of a context: the serve
+	// path only ever polls expiry, and skipping context.WithTimeout saves a
+	// context, a timer, and a cancel func per request on both protocols.
+	deadline time.Time
+	start    time.Time
 }
 
 // task is one unit of queued work.
 type task struct {
 	pendingReq
-	u, v     hhc.Node
-	pairs    [][2]string
-	faults   map[hhc.Node]bool
-	enqueued time.Time
-	lead     bool // owns an entry in Server.inflight
-	key      coalesceKey
+	u, v  hhc.Node
+	pairs [][2]string
+	// nodePairs is the node-native batch form of v2 requests (pairs stays
+	// the textual v1 form; exactly one of the two is set).
+	nodePairs []NodePair
+	faults    map[hhc.Node]bool
+	enqueued  time.Time
+	lead      bool // owns an entry in Server.inflight
+	key       coalesceKey
 }
 
 // flight collects the waiters coalesced onto one in-flight query.
@@ -198,8 +207,11 @@ type outcome struct {
 	errMsg  string
 	paths   [][]hhc.Node
 	results []BatchItem
-	retryMS int64
-	execNS  int64 // construction time, shared by every coalesced recipient
+	// resultsV2 is the node-native batch answer of a v2 batch task (batches
+	// are never coalesced, so exactly one of results/resultsV2 is set).
+	resultsV2 []BatchItemV2
+	retryMS   int64
+	execNS    int64 // construction time, shared by every coalesced recipient
 }
 
 // serverConn serializes concurrent response writes onto one connection.
@@ -232,6 +244,46 @@ func (pc *serverConn) send(resp *Response) {
 	if WriteFrame(pc.c, small, pc.maxSend) != nil {
 		_ = pc.c.Close()
 	}
+}
+
+// sendV2 encodes and writes one binary response as a single frame from a
+// pooled buffer: no intermediate payload slice, no per-field marshalling
+// state, and exactly one conn.Write, so the steady-state send path
+// allocates nothing.
+//
+//hhc:hotpath
+func (pc *serverConn) sendV2(resp *ResponseV2) {
+	bufp := frameBufPool.Get().(*[]byte)
+	buf := appendFramePrefix(*bufp)
+	buf = AppendResponseV2(buf, resp)
+	if patchFramePrefix(buf) > pc.maxSend {
+		buf = pc.oversizeV2(buf, resp)
+	}
+	if buf != nil {
+		pc.wmu.Lock()
+		// An I/O error means the peer vanished; the reader will observe the
+		// broken connection and clean up, so there is nobody left to notify.
+		_, _ = pc.c.Write(buf)
+		pc.wmu.Unlock()
+		*bufp = buf[:0]
+	}
+	frameBufPool.Put(bufp)
+}
+
+// oversizeV2 replaces a v2 response that outgrew the frame limit with a
+// small typed error — the peer is alive and blocked on its answer, so
+// silence would hang it forever. If even the substitute cannot be framed,
+// the connection is closed so the client at least sees EOF.
+func (pc *serverConn) oversizeV2(buf []byte, resp *ResponseV2) []byte {
+	small := ResponseV2{ID: resp.ID, RID: resp.RID, Op: resp.Op, Code: StatusInternal,
+		Err: fmt.Sprintf("%s: response exceeds %d bytes", ErrFrameTooLarge.Error(), pc.maxSend)}
+	buf = appendFramePrefix(buf)
+	buf = AppendResponseV2(buf, &small)
+	if patchFramePrefix(buf) > pc.maxSend {
+		_ = pc.c.Close()
+		return nil
+	}
+	return buf
 }
 
 // Server serves disjoint-path queries over length-prefixed JSON frames.
@@ -485,23 +537,54 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.connWG.Done()
 	}()
 	br := bufio.NewReader(conn)
+	// One read buffer and one v2 decode scratch per connection: every frame
+	// lands in rbuf (grown once, then reused) and binary requests decode
+	// into sreq, whose slices dispatchV2 copies out of before returning.
+	var rbuf []byte
+	var sreq RequestV2
 	for {
-		payload, err := ReadFrame(br, s.cfg.MaxFrame)
+		payload, err := ReadFrameInto(br, rbuf, s.cfg.MaxFrame)
 		if err != nil {
 			// EOF, a peer reset, a framing violation, or the shutdown read
 			// deadline: all end the connection.
 			return
 		}
+		rbuf = payload
 		if s.closing() {
-			// The frame raced the drain decision; refuse it explicitly
-			// (best effort — the id is only known if the payload decodes).
-			if req, derr := DecodeRequest(payload); derr == nil {
+			// The frame raced the drain decision; refuse it explicitly, in
+			// the encoding it arrived in (best effort — the id is only known
+			// if the payload decodes).
+			if payload[0] == frameMagicV2 {
+				if DecodeRequestV2(payload, &sreq) == nil {
+					s.counters.Requests.Inc()
+					op, _ := opNameOf(sreq.Op)
+					s.logResponse(pc.remote, op, sreq.RID, CodeShutdown, ErrShutdown.Error())
+					pc.sendV2(&ResponseV2{ID: sreq.ID, RID: sreq.RID, Op: sreq.Op,
+						Code: StatusShutdown, Err: ErrShutdown.Error()})
+				}
+			} else if req, derr := DecodeRequest(payload); derr == nil {
 				s.counters.Requests.Inc()
 				s.logResponse(pc.remote, req.Op, req.RID, CodeShutdown, ErrShutdown.Error())
 				pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, RID: req.RID,
 					Op: req.Op, Code: CodeShutdown, Err: ErrShutdown.Error()})
 			}
 			return
+		}
+		if payload[0] == frameMagicV2 {
+			if derr := DecodeRequestV2(payload, &sreq); derr != nil {
+				// A structurally broken binary frame is still answerable —
+				// the outer framing holds, and when at least the header
+				// arrived the refusal can carry the request's id.
+				s.counters.Requests.Inc()
+				s.counters.Failed.Inc()
+				op, _ := opNameOf(sreq.Op)
+				s.logResponse(pc.remote, op, sreq.RID, CodeBadRequest, derr.Error())
+				pc.sendV2(&ResponseV2{ID: sreq.ID, Op: sreq.Op,
+					Code: StatusBadRequest, Err: derr.Error()})
+				continue
+			}
+			s.dispatchV2(pc, &sreq)
+			continue
 		}
 		req, err := DecodeRequest(payload)
 		if err != nil {
@@ -542,7 +625,8 @@ func (s *Server) dispatch(pc *serverConn, req Request) {
 	case OpInfo:
 		s.counters.Completed.Inc()
 		pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, RID: rid, Op: req.Op,
-			M: s.g.M(), Full: s.g.M() + 1, Width: s.g.M() + 1})
+			M: s.g.M(), Full: s.g.M() + 1, Width: s.g.M() + 1,
+			VerMax: MaxProtocolVersion})
 		tr.finish(CodeOK)
 		s.met.observeRequest(time.Since(start))
 		return
@@ -554,8 +638,8 @@ func (s *Server) dispatch(pc *serverConn, req Request) {
 
 	t := &task{
 		pendingReq: pendingReq{
-			pc: pc, id: req.ID, rid: rid, op: req.Op, maxPaths: req.MaxPaths,
-			tr: tr, start: start,
+			pc: pc, proto: ProtocolVersion, id: req.ID, rid: rid, op: req.Op,
+			maxPaths: req.MaxPaths, tr: tr, start: start,
 		},
 	}
 	var err error
@@ -598,19 +682,126 @@ func (s *Server) dispatch(pc *serverConn, req Request) {
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
-	t.ctx, t.cancel = context.WithTimeout(context.Background(), timeout)
+	t.deadline = start.Add(timeout)
+	s.admit(t)
+}
+
+// dispatchV2 validates a binary-frame request, answers trivial ops inline,
+// and hands the rest to the shared admission path. req aliases the
+// connection's per-frame decode scratch, so everything the task retains
+// past return (faults, batch pairs) is copied out here; scalar endpoints
+// and the already-copied RID string ride along for free.
+func (s *Server) dispatchV2(pc *serverConn, req *RequestV2) {
+	s.counters.Requests.Inc()
+	start := time.Now()
+	op, _ := opNameOf(req.Op)
+	tr := s.beginTrace(op, req.RID, pc.remote)
+	rid := req.RID
+	if id := tr.id(); id != "" {
+		rid = id
+	}
+
+	switch req.Op {
+	case OpCodePing:
+		s.counters.Completed.Inc()
+		pc.sendV2(&ResponseV2{ID: req.ID, RID: rid, Op: req.Op})
+		tr.finish(CodeOK)
+		s.met.observeRequest(time.Since(start))
+		return
+	case OpCodeInfo:
+		s.counters.Completed.Inc()
+		pc.sendV2(&ResponseV2{ID: req.ID, RID: rid, Op: req.Op,
+			M: s.g.M(), Full: s.g.M() + 1, Width: s.g.M() + 1})
+		tr.finish(CodeOK)
+		s.met.observeRequest(time.Since(start))
+		return
+	}
+
+	t := &task{
+		pendingReq: pendingReq{
+			pc: pc, proto: ProtocolV2, id: req.ID, rid: rid, op: op,
+			maxPaths: req.MaxPaths, tr: tr, start: start,
+		},
+	}
+	var err error
+	switch req.Op {
+	case OpCodePaths, OpCodeRoute:
+		t.u, t.v = req.U, req.V
+		// Binary addresses skip ParseNode, so the topology bound is
+		// checked here instead.
+		if !s.g.Contains(t.u) {
+			err = s.nodeRangeErr(t.u)
+		} else if !s.g.Contains(t.v) {
+			err = s.nodeRangeErr(t.v)
+		}
+		if err == nil && req.Op == OpCodeRoute {
+			t.faults = make(map[hhc.Node]bool, len(req.Faults))
+			for _, f := range req.Faults {
+				if !s.g.Contains(f) {
+					err = s.nodeRangeErr(f)
+					break
+				}
+				t.faults[f] = true
+			}
+		}
+	case OpCodeBatch:
+		if len(req.Pairs) == 0 {
+			err = errors.New("pathsvc: batch with no pairs")
+		} else if len(req.Pairs) > s.cfg.MaxBatch {
+			err = fmt.Errorf("pathsvc: batch of %d pairs exceeds the %d-pair limit", len(req.Pairs), s.cfg.MaxBatch)
+		} else {
+			t.nodePairs = append(t.nodePairs, req.Pairs...)
+		}
+	}
+	if err != nil {
+		s.failV2(pc, req.ID, req.Op, rid, tr, err.Error())
+		return
+	}
+	if tr != nil {
+		// Attribute formatting only when a tracer is recording: rendering
+		// node addresses costs allocations the hot path must not pay.
+		switch req.Op {
+		case OpCodePaths, OpCodeRoute:
+			tr.setAttr("u", hhc.FormatNodeWire(t.u))
+			tr.setAttr("v", hhc.FormatNodeWire(t.v))
+		case OpCodeBatch:
+			tr.setAttr("pairs", fmt.Sprint(len(t.nodePairs)))
+		}
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutNS > 0 {
+		// v2 carries the timeout at nanosecond resolution; no millisecond
+		// rounding on this protocol.
+		timeout = time.Duration(req.TimeoutNS)
+	}
+	t.deadline = start.Add(timeout)
+	s.admit(t)
+}
+
+// nodeRangeErr renders the v2 analogue of hhc's out-of-range parse error
+// for addresses that arrived in binary form.
+func (s *Server) nodeRangeErr(u hhc.Node) error {
+	return fmt.Errorf("pathsvc: node %s out of range for m=%d", s.g.FormatNode(u), s.g.M())
+}
+
+// admit runs the protocol-independent tail of dispatch: the degrade
+// decision, in-flight coalescing of identical path queries, and admission
+// control. It runs on the connection's reader goroutine, so AdmitBlock
+// backpressure parks exactly the connection that is overloading the queue.
+func (s *Server) admit(t *task) {
 	// The degrade decision is taken at admission time: a queue filling past
 	// the shed threshold marks new path queries for width truncation.
 	t.degraded = len(s.queue) >= s.shedHigh
 
-	if req.Op == OpPaths {
+	if t.op == OpPaths {
 		key := coalesceKey{u: t.u, v: t.v}
 		s.inflightMu.Lock()
 		if fl, ok := s.inflight[key]; ok {
 			t.coalesced = true
-			tr.setAttr("coalesced", "true")
-			tr.endAdmission()
-			pc.pending.Add(1)
+			t.tr.setAttr("coalesced", "true")
+			t.tr.endAdmission()
+			t.pc.pending.Add(1)
 			fl.waiters = append(fl.waiters, t.pendingReq)
 			s.inflightMu.Unlock()
 			s.counters.Coalesced.Inc()
@@ -622,9 +813,9 @@ func (s *Server) dispatch(pc *serverConn, req Request) {
 	}
 
 	t.enqueued = time.Now()
-	tr.endAdmission()
-	tr.startQueue()
-	pc.pending.Add(1)
+	t.tr.endAdmission()
+	t.tr.startQueue()
+	t.pc.pending.Add(1)
 	select {
 	case s.queue <- t:
 		s.counters.Admitted.Inc()
@@ -659,6 +850,15 @@ func (s *Server) fail(pc *serverConn, req Request, rid string, tr *reqTrace, msg
 	tr.finish(CodeBadRequest)
 }
 
+// failV2 answers a binary request that never reached the queue.
+func (s *Server) failV2(pc *serverConn, id uint64, op uint8, rid string, tr *reqTrace, msg string) {
+	s.counters.Failed.Inc()
+	name, _ := opNameOf(op)
+	s.logResponse(pc.remote, name, rid, CodeBadRequest, msg)
+	pc.sendV2(&ResponseV2{ID: id, RID: rid, Op: op, Code: StatusBadRequest, Err: msg})
+	tr.finish(CodeBadRequest)
+}
+
 // worker executes queued tasks until the queue closes.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
@@ -678,7 +878,7 @@ func (s *Server) process(t *task) {
 		s.stallForTest()
 	}
 	var out outcome
-	if t.ctx.Err() != nil {
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
 		out = outcome{code: CodeDeadline, errMsg: ErrDeadlineExceeded.Error()}
 	} else {
 		t.tr.startExec()
@@ -689,7 +889,11 @@ func (s *Server) process(t *task) {
 		case OpRoute:
 			out = s.doRoute(t)
 		case OpBatch:
-			out = s.doBatch(t)
+			if t.proto == ProtocolV2 {
+				out = s.doBatchV2(t)
+			} else {
+				out = s.doBatch(t)
+			}
 		}
 		out.execNS = int64(time.Since(execStart))
 		t.tr.endExec()
@@ -747,7 +951,7 @@ func (s *Server) doBatch(t *task) outcome {
 	size := 0
 	results := make([]BatchItem, 0, len(t.pairs))
 	for i, pair := range t.pairs {
-		if t.ctx.Err() != nil {
+		if time.Now().After(t.deadline) {
 			return outcome{code: CodeDeadline, errMsg: ErrDeadlineExceeded.Error()}
 		}
 		item := BatchItem{U: pair[0], V: pair[1]}
@@ -777,6 +981,45 @@ func (s *Server) doBatch(t *task) outcome {
 	return outcome{results: results}
 }
 
+// doBatchV2 serves a binary batch: per-pair containers kept node-native
+// (the encoder packs them without any per-node formatting), the deadline
+// checked between items, and the exact v2 encoded size budgeted against
+// the frame limit so an unfittable reply is refused with a typed error
+// rather than silently undeliverable.
+func (s *Server) doBatchV2(t *task) outcome {
+	sizeBudget := s.cfg.MaxFrame - batchEnvelopeBytes
+	size := 0
+	results := make([]BatchItemV2, 0, len(t.nodePairs))
+	for i, pair := range t.nodePairs {
+		if time.Now().After(t.deadline) {
+			return outcome{code: CodeDeadline, errMsg: ErrDeadlineExceeded.Error()}
+		}
+		item := BatchItemV2{U: pair.U, V: pair.V}
+		var err error
+		if !s.g.Contains(pair.U) {
+			err = s.nodeRangeErr(pair.U)
+		} else if !s.g.Contains(pair.V) {
+			err = s.nodeRangeErr(pair.V)
+		} else {
+			var paths [][]hhc.Node
+			if paths, err = s.cache.Paths(pair.U, pair.V, core.Options{}); err == nil {
+				item.Paths = paths
+			}
+		}
+		if err != nil {
+			item.Err = err.Error()
+		}
+		size += batchItemSizeV2(&item)
+		if size > sizeBudget {
+			return outcome{code: CodeBadRequest, errMsg: fmt.Sprintf(
+				"pathsvc: batch response exceeds the %d-byte frame limit at pair %d of %d; split the batch",
+				s.cfg.MaxFrame, i+1, len(t.nodePairs))}
+		}
+		results = append(results, item)
+	}
+	return outcome{resultsV2: results}
+}
+
 // deliverAll answers the leader and, for coalesced queries, every waiter
 // that piggybacked on it. The in-flight entry is removed first so late
 // duplicates start a fresh construction instead of attaching to a
@@ -796,17 +1039,19 @@ func (s *Server) deliverAll(t *task, out outcome) {
 	s.deliver(t.pendingReq, out)
 }
 
-// deliver renders one recipient's response: its own deadline check, its
-// own width truncation, its own counters and latency sample.
+// deliver renders one recipient's response in its own wire version: its
+// own deadline check, its own width truncation, its own counters and
+// latency sample.
 func (s *Server) deliver(p pendingReq, out outcome) {
-	defer p.pc.pending.Done()
-	if p.cancel != nil {
-		defer p.cancel()
+	if p.proto == ProtocolV2 {
+		s.deliverV2(p, out)
+		return
 	}
+	defer p.pc.pending.Done()
 	resp := &Response{Ver: ProtocolVersion, ID: p.id, RID: p.rid, Op: p.op,
 		QueueNS: p.queueNS, ExecNS: out.execNS, Coalesced: p.coalesced}
 	code := out.code
-	if code == CodeOK && p.ctx != nil && p.ctx.Err() != nil {
+	if code == CodeOK && !p.deadline.IsZero() && time.Now().After(p.deadline) {
 		// The shared construction finished, but after this requester's own
 		// deadline: a stale answer is still a missed deadline.
 		code, out = CodeDeadline, outcome{errMsg: ErrDeadlineExceeded.Error()}
@@ -852,6 +1097,70 @@ func (s *Server) deliver(p pendingReq, out outcome) {
 	}
 	p.tr.startEncode()
 	p.pc.send(resp)
+	p.tr.endEncode()
+	p.tr.finish(code)
+	s.met.observeRequest(time.Since(p.start))
+}
+
+// deliverV2 renders one binary-protocol recipient's response. The OK path
+// shares out.paths read-only (resp.Paths = out.paths[:k]): the encoder
+// walks it exactly once on this goroutine, so unlike v1's formatPaths
+// there is no defensive copy and no per-node formatting — the bulk of the
+// v2 serve path's allocation win.
+func (s *Server) deliverV2(p pendingReq, out outcome) {
+	defer p.pc.pending.Done()
+	opc, _ := opCodeOf(p.op)
+	resp := ResponseV2{ID: p.id, RID: p.rid, Op: opc,
+		QueueNS: p.queueNS, ExecNS: out.execNS, Coalesced: p.coalesced}
+	code := out.code
+	if code == CodeOK && !p.deadline.IsZero() && time.Now().After(p.deadline) {
+		// The shared construction finished, but after this requester's own
+		// deadline: a stale answer is still a missed deadline.
+		code, out = CodeDeadline, outcome{errMsg: ErrDeadlineExceeded.Error()}
+	}
+	switch code {
+	case CodeOK:
+		switch p.op {
+		case OpPaths:
+			full := len(out.paths)
+			want := full
+			if p.maxPaths > 0 && p.maxPaths < want {
+				want = p.maxPaths
+			}
+			k := want
+			if p.degraded && s.cfg.DegradeWidth < k {
+				k = s.cfg.DegradeWidth
+				resp.Degraded = true
+				s.counters.Degraded.Inc()
+			}
+			resp.Paths = out.paths[:k]
+			resp.Width, resp.Full = k, full
+			if p.tr != nil {
+				p.tr.setAttr("width", fmt.Sprint(k))
+			}
+		case OpRoute:
+			resp.Paths = out.paths
+			resp.Width, resp.Full = len(out.paths), s.g.M()+1
+		case OpBatch:
+			resp.Results = out.resultsV2
+		}
+		s.counters.Completed.Inc()
+	case CodeDeadline:
+		s.counters.Deadline.Inc()
+		resp.Code, resp.Err = StatusDeadline, out.errMsg
+	case CodeOverload, CodeShutdown:
+		// Shed/refused work is already counted at its decision site.
+		resp.Code, resp.Err = statusOf(code), out.errMsg
+		resp.RetryAfterNS = out.retryMS * int64(time.Millisecond)
+	default:
+		s.counters.Failed.Inc()
+		resp.Code, resp.Err = statusOf(code), out.errMsg
+	}
+	if code != CodeOK {
+		s.logResponse(p.pc.remote, p.op, p.rid, code, resp.Err)
+	}
+	p.tr.startEncode()
+	p.pc.sendV2(&resp)
 	p.tr.endEncode()
 	p.tr.finish(code)
 	s.met.observeRequest(time.Since(p.start))

@@ -23,11 +23,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
-// ProtocolVersion is the wire version this package speaks. Requests must
-// carry it; responses echo it.
+// ProtocolVersion is the JSON wire version (v1). Requests must carry it;
+// responses echo it.
 const ProtocolVersion = 1
+
+// MaxProtocolVersion is the newest wire version this package speaks. The
+// server advertises it in the ver_max field of OpInfo responses so clients
+// can negotiate up to the binary v2 codec (see wire2.go); old servers omit
+// the field and clients stay on v1.
+const MaxProtocolVersion = ProtocolV2
 
 // DefaultMaxFrame bounds the payload size of a single frame (1 MiB). The
 // decoder validates the length prefix against the limit before allocating,
@@ -134,6 +141,10 @@ type Response struct {
 	Full     int  `json:"full,omitempty"`
 	// M is the served topology's son-cube dimension (OpInfo).
 	M int `json:"m,omitempty"`
+	// VerMax is the newest protocol version the server speaks, reported on
+	// OpInfo responses (omitted by servers predating version negotiation,
+	// which a client must read as "v1 only").
+	VerMax int `json:"ver_max,omitempty"`
 }
 
 // Framing errors. ErrFrameTooLarge is returned before any payload
@@ -145,7 +156,10 @@ var (
 )
 
 // WriteFrame marshals v and writes it as one length-prefixed frame. max
-// bounds the encoded payload (<= 0 selects DefaultMaxFrame).
+// bounds the encoded payload (<= 0 selects DefaultMaxFrame). The prefix
+// and payload go out in a single writev-style net.Buffers write, so a
+// frame never splits into two syscalls (or two TCP segments) at this
+// layer.
 func WriteFrame(w io.Writer, v any, max int) error {
 	if max <= 0 {
 		max = DefaultMaxFrame
@@ -159,18 +173,27 @@ func WriteFrame(w io.Writer, v any, max int) error {
 	}
 	var prefix [4]byte
 	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
-	if _, err := w.Write(prefix[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
+	bufs := net.Buffers{prefix[:], payload}
+	_, err = bufs.WriteTo(w)
 	return err
 }
 
-// ReadFrame reads one length-prefixed payload from r. max bounds the
-// accepted payload size (<= 0 selects DefaultMaxFrame); the length prefix
-// is validated against it before any allocation. io.EOF is returned
-// unwrapped when the stream ends cleanly between frames.
+// ReadFrame reads one length-prefixed payload from r into a fresh buffer.
+// See ReadFrameInto for the semantics; hot paths reuse a buffer instead.
 func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	return ReadFrameInto(r, nil, max)
+}
+
+// ReadFrameInto reads one length-prefixed payload from r, reusing buf's
+// backing array when it is large enough (the returned slice aliases it).
+// max bounds the accepted payload size (<= 0 selects DefaultMaxFrame); the
+// length prefix is validated against it before any allocation. The
+// comparison happens in uint64 space: a max above math.MaxUint32 accepts
+// every representable frame rather than being truncated to 32 bits (the
+// old uint32(max) cast could both accept frames the caller meant to reject
+// and reject frames the caller meant to accept). io.EOF is returned
+// unwrapped when the stream ends cleanly between frames.
+func ReadFrameInto(r io.Reader, buf []byte, max int) ([]byte, error) {
 	if max <= 0 {
 		max = DefaultMaxFrame
 	}
@@ -185,10 +208,15 @@ func ReadFrame(r io.Reader, max int) ([]byte, error) {
 	if n == 0 {
 		return nil, ErrEmptyFrame
 	}
-	if n > uint32(max) {
+	if uint64(n) > uint64(max) {
 		return nil, fmt.Errorf("%w: prefix claims %d > %d bytes", ErrFrameTooLarge, n, max)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint64(cap(buf)) >= uint64(n) {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("pathsvc: truncated frame payload: %w", err)
 	}

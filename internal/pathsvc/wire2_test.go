@@ -1,0 +1,275 @@
+package pathsvc
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/hhc"
+)
+
+func n2(x uint64, y uint8) hhc.Node { return hhc.Node{X: x, Y: y} }
+
+func reqV2Cases() []RequestV2 {
+	return []RequestV2{
+		{Op: OpCodePing, ID: 1},
+		{Op: OpCodeInfo, ID: 2, RID: "trace-abc"},
+		{Op: OpCodePaths, ID: 3, U: n2(0, 0), V: n2(0xff, 7), MaxPaths: 2, TimeoutNS: 1500},
+		{Op: OpCodeRoute, ID: 4, U: n2(1, 1), V: n2(2, 2),
+			Faults: []hhc.Node{n2(3, 3), n2(4, 4)}, TimeoutNS: int64(1) << 40},
+		{Op: OpCodeRoute, ID: 5, U: n2(9, 0), V: n2(10, 1), Faults: []hhc.Node{}},
+		{Op: OpCodeBatch, ID: 6, RID: "r",
+			Pairs: []NodePair{{U: n2(1, 0), V: n2(2, 1)}, {U: n2(3, 2), V: n2(4, 3)}}},
+	}
+}
+
+func respV2Cases() []ResponseV2 {
+	return []ResponseV2{
+		{Op: OpCodePing, ID: 1},
+		{Op: OpCodeInfo, ID: 2, M: 3, Width: 4, Full: 4, RID: "echo"},
+		{Op: OpCodePaths, ID: 3, QueueNS: 10, ExecNS: 20, Width: 2, Full: 4, Degraded: true,
+			Paths: [][]hhc.Node{{n2(0, 0), n2(1, 0), n2(0xff, 7)}, {n2(0, 0), n2(0xff, 7)}}},
+		{Op: OpCodePaths, ID: 4, Coalesced: true, ExecNS: 7,
+			Paths: [][]hhc.Node{{n2(5, 5)}}},
+		{Op: OpCodeRoute, ID: 5, Code: StatusUnroutable, Err: "all paths faulty"},
+		{Op: OpCodeBatch, ID: 6, Results: []BatchItemV2{
+			{U: n2(1, 0), V: n2(2, 1), Paths: [][]hhc.Node{{n2(1, 0), n2(2, 1)}}},
+			{U: n2(3, 2), V: n2(4, 3), Err: "node out of range", Paths: [][]hhc.Node{}},
+		}},
+		{Op: OpCodePaths, ID: 7, Code: StatusOverload, Err: "queue full", RetryAfterNS: 50_000_000},
+		{Op: OpCodePaths, ID: 8, Code: StatusShutdown, Err: "draining", RID: "rid-9"},
+	}
+}
+
+// normalizeReq/normalizeResp make reflect.DeepEqual insensitive to the
+// nil-vs-empty slice distinction the reusing decoder cannot preserve.
+func normalizeReq(r *RequestV2) {
+	if len(r.Faults) == 0 {
+		r.Faults = nil
+	}
+	if len(r.Pairs) == 0 {
+		r.Pairs = nil
+	}
+}
+
+func normalizeResp(r *ResponseV2) {
+	if len(r.Paths) == 0 {
+		r.Paths = nil
+	}
+	for i := range r.Paths {
+		if len(r.Paths[i]) == 0 {
+			r.Paths[i] = nil
+		}
+	}
+	if len(r.Results) == 0 {
+		r.Results = nil
+	}
+	for i := range r.Results {
+		if len(r.Results[i].Paths) == 0 {
+			r.Results[i].Paths = nil
+		}
+		for j := range r.Results[i].Paths {
+			if len(r.Results[i].Paths[j]) == 0 {
+				r.Results[i].Paths[j] = nil
+			}
+		}
+	}
+}
+
+func TestRequestV2RoundTrip(t *testing.T) {
+	for _, want := range reqV2Cases() {
+		buf := AppendRequestV2(nil, &want)
+		var got RequestV2
+		if err := DecodeRequestV2(buf, &got); err != nil {
+			t.Fatalf("op %d: decode: %v", want.Op, err)
+		}
+		normalizeReq(&want)
+		normalizeReq(&got)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("op %d round trip:\n want %+v\n got  %+v", want.Op, want, got)
+		}
+	}
+}
+
+func TestResponseV2RoundTrip(t *testing.T) {
+	for _, want := range respV2Cases() {
+		buf := AppendResponseV2(nil, &want)
+		var got ResponseV2
+		if err := DecodeResponseV2(buf, &got); err != nil {
+			t.Fatalf("op %d: decode: %v", want.Op, err)
+		}
+		normalizeResp(&want)
+		normalizeResp(&got)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("op %d round trip:\n want %+v\n got  %+v", want.Op, want, got)
+		}
+	}
+}
+
+// TestDecodeV2ScratchReuse: decoding a small request into scratch that
+// previously held a large one must not leak the old request's slices.
+func TestDecodeV2ScratchReuse(t *testing.T) {
+	big := RequestV2{Op: OpCodeRoute, ID: 1, U: n2(1, 1), V: n2(2, 2),
+		Faults: []hhc.Node{n2(3, 3), n2(4, 4), n2(5, 5)}, RID: "long-request-id"}
+	small := RequestV2{Op: OpCodePaths, ID: 2, U: n2(7, 7), V: n2(8, 0)}
+	var scratch RequestV2
+	if err := DecodeRequestV2(AppendRequestV2(nil, &big), &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeRequestV2(AppendRequestV2(nil, &small), &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if len(scratch.Faults) != 0 || scratch.RID != "" || scratch.ID != 2 {
+		t.Fatalf("scratch bleed-through: %+v", scratch)
+	}
+
+	bigResp := ResponseV2{Op: OpCodePaths, ID: 1,
+		Paths: [][]hhc.Node{{n2(1, 1), n2(2, 2), n2(3, 3)}, {n2(4, 4)}}}
+	smallResp := ResponseV2{Op: OpCodePaths, ID: 2, Paths: [][]hhc.Node{{n2(9, 1)}}}
+	var rscratch ResponseV2
+	if err := DecodeResponseV2(AppendResponseV2(nil, &bigResp), &rscratch); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeResponseV2(AppendResponseV2(nil, &smallResp), &rscratch); err != nil {
+		t.Fatal(err)
+	}
+	if len(rscratch.Paths) != 1 || len(rscratch.Paths[0]) != 1 || rscratch.Paths[0][0] != n2(9, 1) {
+		t.Fatalf("response scratch bleed-through: %+v", rscratch.Paths)
+	}
+}
+
+func TestDecodeRequestV2Malformed(t *testing.T) {
+	valid := AppendRequestV2(nil, &RequestV2{Op: OpCodePaths, ID: 9, U: n2(1, 1), V: n2(2, 2)})
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = '{'
+	badVer := append([]byte(nil), valid...)
+	badVer[1] = 3
+	badOp := append([]byte(nil), valid...)
+	badOp[2] = 200
+	trailing := append(append([]byte(nil), valid...), 0x00)
+
+	// A route claiming 2^31 faults in a short payload must be rejected by
+	// the count-vs-length check, not attempted.
+	hostile := AppendRequestV2(nil, &RequestV2{Op: OpCodeRoute, ID: 1, U: n2(1, 1), V: n2(2, 2)})
+	hostile[len(hostile)-4] = 0x80 // nfaults u32 := 1<<31
+
+	cases := []struct {
+		name    string
+		payload []byte
+		want    error
+	}{
+		{"empty", nil, errV2Short},
+		{"magic only", valid[:1], errV2Short},
+		{"header cut", valid[:10], errV2Short},
+		{"body cut", valid[:len(valid)-3], errV2Short},
+		{"bad magic", badMagic, errV2Magic},
+		{"bad version", badVer, errV2Version},
+		{"bad op", badOp, errV2Op},
+		{"trailing bytes", trailing, errV2Trailing},
+		{"hostile count", hostile, errV2Count},
+	}
+	for _, tc := range cases {
+		var req RequestV2
+		err := DecodeRequestV2(tc.payload, &req)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+		if !errors.Is(err, ErrMalformedV2) {
+			t.Errorf("%s: %v does not wrap ErrMalformedV2", tc.name, err)
+		}
+	}
+
+	// A truncated header still surfaces the id when it arrived, so the
+	// server can address its refusal.
+	var req RequestV2
+	if err := DecodeRequestV2(valid[:len(valid)-3], &req); err == nil || req.ID != 9 {
+		t.Fatalf("truncated body: id = %d (err %v), want id 9 preserved", req.ID, err)
+	}
+}
+
+// TestReadFrameIntoLargeMax pins the fix for the uint32(max) truncation:
+// a max above math.MaxUint32 must accept every representable frame, not be
+// compared modulo 2^32 (which rejected frames the caller meant to accept).
+func TestReadFrameIntoLargeMax(t *testing.T) {
+	if strconv.IntSize < 64 {
+		t.Skip("needs 64-bit int")
+	}
+	frame := []byte{0, 0, 0, 16}
+	frame = append(frame, bytes.Repeat([]byte{0xab}, 16)...)
+	// 1<<32+8 truncates to 8 in uint32 space: the old comparison saw
+	// 16 > 8 and rejected the frame.
+	payload, err := ReadFrame(bytes.NewReader(frame), 1<<32+8)
+	if err != nil {
+		t.Fatalf("ReadFrame with max > MaxUint32: %v", err)
+	}
+	if len(payload) != 16 {
+		t.Fatalf("payload length %d, want 16", len(payload))
+	}
+}
+
+// TestReadFrameIntoReuse pins the buffer-reuse contract: a big-enough
+// caller buffer is aliased, a too-small one is replaced.
+func TestReadFrameIntoReuse(t *testing.T) {
+	frame := []byte{0, 0, 0, 4, 1, 2, 3, 4}
+	buf := make([]byte, 0, 64)
+	payload, err := ReadFrameInto(bytes.NewReader(frame), buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &payload[0] != &buf[:1][0] {
+		t.Fatal("payload did not reuse the caller's buffer")
+	}
+	payload2, err := ReadFrameInto(bytes.NewReader(frame), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, payload2) {
+		t.Fatal("reused and fresh reads differ")
+	}
+}
+
+func FuzzWireDecodeV2(f *testing.F) {
+	for _, r := range reqV2Cases() {
+		req := r
+		f.Add(AppendRequestV2(nil, &req))
+	}
+	for _, r := range respV2Cases() {
+		resp := r
+		f.Add(AppendResponseV2(nil, &resp))
+	}
+	f.Add([]byte{frameMagicV2})
+	f.Add([]byte{frameMagicV2, ProtocolV2, OpCodePaths, 0})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var req RequestV2
+		if DecodeRequestV2(payload, &req) == nil {
+			// Re-encode and re-decode: the codec must be self-consistent on
+			// everything it accepts.
+			enc := AppendRequestV2(nil, &req)
+			var again RequestV2
+			if err := DecodeRequestV2(enc, &again); err != nil {
+				t.Fatalf("re-decode of re-encoded request: %v", err)
+			}
+			normalizeReq(&req)
+			normalizeReq(&again)
+			if !reflect.DeepEqual(req, again) {
+				t.Fatalf("request not canonical:\n first  %+v\n second %+v", req, again)
+			}
+		}
+		var resp ResponseV2
+		if DecodeResponseV2(payload, &resp) == nil {
+			enc := AppendResponseV2(nil, &resp)
+			var again ResponseV2
+			if err := DecodeResponseV2(enc, &again); err != nil {
+				t.Fatalf("re-decode of re-encoded response: %v", err)
+			}
+			normalizeResp(&resp)
+			normalizeResp(&again)
+			if !reflect.DeepEqual(resp, again) {
+				t.Fatalf("response not canonical:\n first  %+v\n second %+v", resp, again)
+			}
+		}
+	})
+}
