@@ -29,13 +29,20 @@ race:
 # Quick-mode benchmarks, one per evaluation table/figure plus primitives,
 # then short self-served load runs against the path-query daemon: the v1
 # JSON lockstep baseline and the v2 binary pipelined configuration, as
-# comparable before/after artifacts.
+# comparable before/after artifacts. Every run also appends one
+# timestamped line to BENCH_trajectory.jsonl, so performance drift is
+# visible across checkouts instead of each run overwriting the last.
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) run ./cmd/hhcload -selfserve -m 3 -duration 2s -conns 8 -pairs 16 \
 		-proto v1 -json BENCH_pathsvc.json
 	$(GO) run ./cmd/hhcload -selfserve -m 3 -duration 2s -conns 8 -pairs 16 \
 		-proto v2 -pipeline 16 -json BENCH_pathsvc_v2.json
+	@printf '{"at":"%s","v1":%s,"v2":%s}\n' \
+		"$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		"$$(tr -d '\n' < BENCH_pathsvc.json)" \
+		"$$(tr -d '\n' < BENCH_pathsvc_v2.json)" >> BENCH_trajectory.jsonl
+	@echo "bench: appended entry $$(wc -l < BENCH_trajectory.jsonl | tr -d ' ') to BENCH_trajectory.jsonl"
 
 # Construction benchmarks under the CPU profiler; prints the top-10 by
 # cumulative time so hot spots are visible without opening the web UI.

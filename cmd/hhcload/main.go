@@ -60,6 +60,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-request deadline sent to the server (0 = server default)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	jsonPath := flag.String("json", "", "write the report as JSON to this file ('-' = stdout)")
+	interval := flag.Duration("interval", 0, "emit one JSONL timeline line (deltas + latency percentiles) per this interval (0 = off)")
+	slo := flag.String("slo", "", "gate the run on a service-level objective, e.g. 'p99<50ms,err<1%' (violation = exit 3)")
 	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -71,6 +73,7 @@ func main() {
 			qps: *qps, duration: *duration, pairs: *pairs,
 			op: *op, batch: *batch, faults: *faults, maxPaths: *maxPaths,
 			deadline: *deadline, seed: *seed, jsonPath: *jsonPath,
+			interval: *interval, slo: *slo,
 		})
 	}
 	if cerr := obsf.Close(os.Stdout); err == nil {
@@ -78,6 +81,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hhcload:", err)
+		if errors.Is(err, errSLO) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -98,6 +104,8 @@ type loadOpts struct {
 	deadline      time.Duration
 	seed          int64
 	jsonPath      string
+	interval      time.Duration
+	slo           string
 }
 
 // report is the machine-readable run summary (the BENCH_pathsvc.json shape).
@@ -117,12 +125,19 @@ type report struct {
 	Shutdown       int64   `json:"shutdown"`
 	Failed         int64   `json:"failed"`
 	Reconnects     int64   `json:"reconnects"`
+	Poisoned       int64   `json:"poisoned"`
 	ProtocolErrors int64   `json:"protocol_errors"`
 	AchievedQPS    float64 `json:"achieved_qps"`
-	P50Ms          float64 `json:"p50_ms"`
-	P95Ms          float64 `json:"p95_ms"`
-	P99Ms          float64 `json:"p99_ms"`
-	MeanMs         float64 `json:"mean_ms"`
+	// Open-loop pacer accounting (zero in closed-loop runs): OfferedQPS is
+	// the rate the pacer actually emitted; PacerDropped counts tokens shed
+	// because every worker was already busy, i.e. how far the client side
+	// fell short of the requested arrival rate.
+	OfferedQPS   float64 `json:"offered_qps,omitempty"`
+	PacerDropped int64   `json:"pacer_dropped,omitempty"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MeanMs       float64 `json:"mean_ms"`
 	// Server-side timing echoed in responses (hhcd reports queue wait and
 	// construction time per request): where client-observed latency was
 	// actually spent. Zero when the server predates the timing fields.
@@ -130,6 +145,11 @@ type report struct {
 	SrvQueueP95Ms float64 `json:"srv_queue_p95_ms"`
 	SrvExecP50Ms  float64 `json:"srv_exec_p50_ms"`
 	SrvExecP95Ms  float64 `json:"srv_exec_p95_ms"`
+	// SLO gate verdict (present only when -slo was given): the spec, the
+	// worst burn rate across conditions, and the per-condition breakdown.
+	SLO        string      `json:"slo,omitempty"`
+	SLOBurn    float64     `json:"slo_burn,omitempty"`
+	SLOResults []sloResult `json:"slo_results,omitempty"`
 }
 
 // tally is the shared outcome ledger the workers update atomically.
@@ -138,7 +158,12 @@ type tally struct {
 	coalesced                    atomic.Int64
 	overload, deadline, shutdown atomic.Int64
 	failed, protocolErrors       atomic.Int64
-	reconnects                   atomic.Int64
+	// reconnects counts every redial (dial failures and poison recoveries);
+	// poisoned counts only ErrClientBroken events, so the two separate
+	// "server was unreachable" from "the stream desynced mid-run".
+	reconnects, poisoned atomic.Int64
+	// Pacer accounting: tokens emitted vs dropped on a full buffer.
+	paceSent, paceDropped atomic.Int64
 }
 
 // connSamples is one connection's latency ledger: client-observed
@@ -165,6 +190,16 @@ func run(w io.Writer, args []string, o loadOpts) error {
 	}
 	if o.pipeline < 1 {
 		return fmt.Errorf("-pipeline %d out of range: must be positive", o.pipeline)
+	}
+	if o.interval < 0 {
+		return fmt.Errorf("-interval %s out of range: must be non-negative", o.interval)
+	}
+	var sloConds []sloCond
+	if o.slo != "" {
+		var err error
+		if sloConds, err = parseSLO(o.slo); err != nil {
+			return err
+		}
 	}
 	var dialOpts pathsvc.DialOptions
 	switch o.proto {
@@ -239,28 +274,42 @@ func run(w io.Writer, args []string, o loadOpts) error {
 
 	// Open-loop pacing: one token per intended arrival. Closed loop skips
 	// the pacer and lets every connection fire back to back.
+	var tl tally
 	var tokens chan struct{}
 	stop := make(chan struct{})
 	if o.qps > 0 {
 		tokens = make(chan struct{}, 4096)
-		go pace(tokens, stop, o.qps)
+		go pace(tokens, stop, o.qps, &tl)
 	}
 
-	var tl tally
 	workers := o.conns * o.pipeline
 	samples := make([]connSamples, workers)
 	var wg sync.WaitGroup
 	begin := time.Now()
 	end := begin.Add(o.duration)
+
+	// -interval: a background flusher emits one JSONL line per interval
+	// while the workers run.
+	var tw *timeline
+	var tlDone chan struct{}
+	if o.interval > 0 {
+		tw = &timeline{}
+		tlDone = make(chan struct{})
+		go runTimeline(w, &tl, tw, o.interval, begin, stop, tlDone)
+	}
+
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			samples[i] = drive(reconns[i/o.pipeline], g, pool, o, &tl, tokens, end, o.seed+int64(i)+1)
+			samples[i] = drive(reconns[i/o.pipeline], g, pool, o, &tl, tw, tokens, end, o.seed+int64(i)+1)
 		}(i)
 	}
 	wg.Wait()
 	close(stop)
+	if tlDone != nil {
+		<-tlDone // the report must not interleave with a timeline line
+	}
 	elapsed := time.Since(begin)
 
 	var all, queue, exec []float64
@@ -282,9 +331,14 @@ func run(w io.Writer, args []string, o loadOpts) error {
 		Shutdown:       tl.shutdown.Load(),
 		Failed:         tl.failed.Load(),
 		Reconnects:     tl.reconnects.Load(),
+		Poisoned:       tl.poisoned.Load(),
 		ProtocolErrors: tl.protocolErrors.Load(),
+		PacerDropped:   tl.paceDropped.Load(),
 	}
 	rep.AchievedQPS = float64(rep.Completed) / elapsed.Seconds()
+	if o.qps > 0 {
+		rep.OfferedQPS = float64(tl.paceSent.Load()) / elapsed.Seconds()
+	}
 	if len(all) > 0 {
 		ps := stats.Percentiles(all, 50, 95, 99)
 		rep.P50Ms, rep.P95Ms, rep.P99Ms = ps[0], ps[1], ps[2]
@@ -297,6 +351,12 @@ func run(w io.Writer, args []string, o loadOpts) error {
 	if len(exec) > 0 {
 		es := stats.Percentiles(exec, 50, 95)
 		rep.SrvExecP50Ms, rep.SrvExecP95Ms = es[0], es[1]
+	}
+	var sloWorst float64
+	if len(sloConds) > 0 {
+		rep.SLO = o.slo
+		rep.SLOResults, sloWorst = evalSLO(sloConds, rep)
+		rep.SLOBurn = sloWorst
 	}
 	printReport(w, rep)
 
@@ -315,6 +375,9 @@ func run(w io.Writer, args []string, o loadOpts) error {
 	}
 	if rep.Completed == 0 {
 		return errors.New("no query completed")
+	}
+	if sloWorst > 1 {
+		return fmt.Errorf("%w: %q burned %.2fx its budget", errSLO, o.slo, sloWorst)
 	}
 	return nil
 }
@@ -349,8 +412,10 @@ func drainLocal(w io.Writer, srv *pathsvc.Server) error {
 }
 
 // pace emits one token per intended arrival at the target rate, absorbing
-// scheduler jitter by sleeping toward absolute deadlines.
-func pace(tokens chan<- struct{}, stop <-chan struct{}, qps float64) {
+// scheduler jitter by sleeping toward absolute deadlines. It ledgers what
+// it emitted vs dropped so the report can state the offered rate the run
+// actually achieved instead of silently equating it with -qps.
+func pace(tokens chan<- struct{}, stop <-chan struct{}, qps float64, tl *tally) {
 	interval := time.Duration(float64(time.Second) / qps)
 	if interval <= 0 {
 		interval = time.Microsecond
@@ -365,9 +430,11 @@ func pace(tokens chan<- struct{}, stop <-chan struct{}, qps float64) {
 		case <-stop:
 			return
 		case tokens <- struct{}{}:
+			tl.paceSent.Add(1)
 		default:
 			// Client-side buffer full: the server is slower than the offered
 			// rate; dropping the token keeps the pacer honest.
+			tl.paceDropped.Add(1)
 		}
 	}
 }
@@ -383,7 +450,7 @@ type echo struct {
 // sharing a Reconn pipeline their requests over the same connection; a
 // poisoned client is invalidated and the loop redials.
 func drive(rc *pathsvc.Reconn, g *hhc.Graph, pool []gen.Pair, o loadOpts,
-	tl *tally, tokens <-chan struct{}, end time.Time, seed int64) connSamples {
+	tl *tally, tw *timeline, tokens <-chan struct{}, end time.Time, seed int64) connSamples {
 	r := rand.New(rand.NewSource(seed))
 	var s connSamples
 	var req pathsvc.RequestV2
@@ -418,7 +485,9 @@ func drive(rc *pathsvc.Reconn, g *hhc.Graph, pool []gen.Pair, o loadOpts,
 		switch {
 		case err == nil:
 			tl.completed.Add(1)
-			s.lat = append(s.lat, float64(elapsed)/float64(time.Millisecond))
+			ms := float64(elapsed) / float64(time.Millisecond)
+			s.lat = append(s.lat, ms)
+			tw.record(ms)
 			if e.degraded {
 				tl.degraded.Add(1)
 			}
@@ -449,6 +518,7 @@ func drive(rc *pathsvc.Reconn, g *hhc.Graph, pool []gen.Pair, o loadOpts,
 			// Stream desync or server restart poisoned the connection:
 			// discard it and redial rather than aborting the run.
 			rc.Invalidate(c)
+			tl.poisoned.Add(1)
 			tl.reconnects.Add(1)
 		default:
 			var srvErr *pathsvc.ServerError
@@ -550,13 +620,25 @@ func printReport(w io.Writer, r report) {
 	fmt.Fprintf(w, "  deadline   %d\n", r.Deadline)
 	fmt.Fprintf(w, "  shutdown   %d\n", r.Shutdown)
 	fmt.Fprintf(w, "  failed     %d\n", r.Failed)
-	fmt.Fprintf(w, "  reconnects %d\n", r.Reconnects)
+	fmt.Fprintf(w, "  reconnects %d (poisoned %d)\n", r.Reconnects, r.Poisoned)
 	fmt.Fprintf(w, "  proto errs %d\n", r.ProtocolErrors)
+	if r.TargetQPS > 0 {
+		fmt.Fprintf(w, "  pacer      offered %.0f of %g qps requested (%d tokens dropped)\n",
+			r.OfferedQPS, r.TargetQPS, r.PacerDropped)
+	}
 	fmt.Fprintf(w, "  latency    p50 %.3fms  p95 %.3fms  p99 %.3fms  mean %.3fms\n",
 		r.P50Ms, r.P95Ms, r.P99Ms, r.MeanMs)
 	if r.SrvQueueP50Ms > 0 || r.SrvExecP50Ms > 0 {
 		fmt.Fprintf(w, "  server     queue p50 %.3fms  p95 %.3fms  |  exec p50 %.3fms  p95 %.3fms\n",
 			r.SrvQueueP50Ms, r.SrvQueueP95Ms, r.SrvExecP50Ms, r.SrvExecP95Ms)
+	}
+	for _, res := range r.SLOResults {
+		verdict := "ok"
+		if !res.OK {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(w, "  slo        %-12s actual %.4g  limit %.4g  burn %.2fx  %s\n",
+			res.Expr, res.Actual, res.Limit, res.Burn, verdict)
 	}
 }
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -63,6 +65,124 @@ func TestBadProtoRejected(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "-proto") {
 		t.Fatalf("got %v, want -proto validation error", err)
+	}
+}
+
+func TestParseSLO(t *testing.T) {
+	conds, err := parseSLO("p99<50ms, err<1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conds) != 2 {
+		t.Fatalf("got %d conditions, want 2", len(conds))
+	}
+	if conds[0].metric != "p99" || conds[0].limit != 50 {
+		t.Errorf("cond 0 = %+v, want p99 limit 50ms", conds[0])
+	}
+	if conds[1].metric != "err" || conds[1].limit != 0.01 {
+		t.Errorf("cond 1 = %+v, want err limit 0.01", conds[1])
+	}
+	// Alternate spellings: bare milliseconds, fractional error budget, <=.
+	conds, err = parseSLO("mean<=2.5,err<0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conds[0].limit != 2.5 || conds[1].limit != 0.05 {
+		t.Errorf("alt spellings parsed to %+v", conds)
+	}
+	for _, bad := range []string{"", "p99", "p42<5ms", "p99<cheese", "err<banana%", "p99<-5ms"} {
+		if _, err := parseSLO(bad); err == nil {
+			t.Errorf("parseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEvalSLOBurn(t *testing.T) {
+	conds, err := parseSLO("p99<10ms,err<10%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := report{P99Ms: 25, Sent: 100, Completed: 95}
+	results, worst := evalSLO(conds, r)
+	if worst != 2.5 {
+		t.Errorf("worst burn = %g, want 2.5 (p99 at 25ms of a 10ms budget)", worst)
+	}
+	if results[0].OK || !results[1].OK {
+		t.Errorf("verdicts = %v/%v, want violated/ok", results[0].OK, results[1].OK)
+	}
+	if results[1].Burn != 0.5 {
+		t.Errorf("err burn = %g, want 0.5 (5%% of a 10%% budget)", results[1].Burn)
+	}
+}
+
+// TestSLOGateViolated: an impossible objective trips the gate with the
+// dedicated sentinel (exit 3 in main), and the report carries the verdict.
+func TestSLOGateViolated(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, nil, loadOpts{
+		selfserve: true, m: 2, queue: 64, conns: 1, pairs: 4,
+		op: "paths", slo: "p99<0.000001ms",
+		duration: 100 * time.Millisecond, seed: 1,
+	})
+	if !errors.Is(err, errSLO) {
+		t.Fatalf("got %v, want errSLO", err)
+	}
+	if !strings.Contains(out.String(), "VIOLATED") {
+		t.Errorf("report lacks the SLO verdict line:\n%s", out.String())
+	}
+}
+
+// TestSLOGatePasses: a generous objective leaves a clean run clean.
+func TestSLOGatePasses(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, nil, loadOpts{
+		selfserve: true, m: 2, queue: 64, conns: 1, pairs: 4,
+		op: "paths", slo: "p99<10s,err<100%",
+		duration: 100 * time.Millisecond, seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("slo pass run: %v", err)
+	}
+	if !strings.Contains(out.String(), "slo        p99<10s") {
+		t.Errorf("report lacks the SLO lines:\n%s", out.String())
+	}
+}
+
+// TestIntervalTimeline: -interval interleaves machine-readable JSONL lines
+// with the run, each a valid intervalPoint carrying that interval's rates.
+func TestIntervalTimeline(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, nil, loadOpts{
+		selfserve: true, m: 2, queue: 64, conns: 2, pairs: 4,
+		op: "paths", interval: 40 * time.Millisecond,
+		duration: 300 * time.Millisecond, seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("timeline run: %v", err)
+	}
+	var points int
+	var sawCompletion bool
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var p intervalPoint
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("bad timeline line %q: %v", line, err)
+		}
+		points++
+		if p.Completed > 0 {
+			sawCompletion = true
+			if p.QPS <= 0 || p.P50Ms <= 0 {
+				t.Errorf("interval with completions lacks rate/latency: %+v", p)
+			}
+		}
+	}
+	if points < 2 {
+		t.Fatalf("timeline emitted %d points over 300ms at 40ms intervals, want >= 2:\n%s", points, out.String())
+	}
+	if !sawCompletion {
+		t.Error("no timeline interval recorded a completion")
 	}
 }
 

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// errSLO marks a run that completed cleanly but missed its service-level
+// objective. main maps it to exit code 3, distinct from exit 1 (the run
+// itself failed), so a CI gate can tell "service too slow" from "load
+// generator broke".
+var errSLO = errors.New("slo violated")
+
+// sloCond is one parsed condition of a -slo spec like "p99<50ms,err<1%".
+type sloCond struct {
+	metric string  // p50 | p95 | p99 | mean | err
+	limit  float64 // milliseconds for latency metrics, fraction for err
+	raw    string
+}
+
+// sloResult is one evaluated condition in the JSON report. Burn is the
+// budget burn rate actual/limit: 1.0 means running exactly at the
+// objective, 2.0 means consuming error/latency budget twice as fast as
+// allowed. The gate trips when any condition burns above 1.
+type sloResult struct {
+	Expr   string  `json:"expr"`
+	Actual float64 `json:"actual"`
+	Limit  float64 `json:"limit"`
+	Burn   float64 `json:"burn"`
+	OK     bool    `json:"ok"`
+}
+
+// parseSLO parses a comma-separated condition list. Latency limits accept
+// Go durations ("50ms", "1.5s") or bare numbers meaning milliseconds;
+// the err limit accepts a percentage ("1%") or a fraction ("0.01").
+func parseSLO(spec string) ([]sloCond, error) {
+	var conds []sloCond
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.IndexByte(part, '<')
+		if i <= 0 {
+			return nil, fmt.Errorf("-slo %q: want metric<limit (e.g. p99<50ms, err<1%%)", part)
+		}
+		metric := strings.ToLower(strings.TrimSpace(part[:i]))
+		val := strings.TrimSpace(strings.TrimPrefix(part[i+1:], "="))
+		c := sloCond{metric: metric, raw: part}
+		switch metric {
+		case "p50", "p95", "p99", "mean":
+			if d, err := time.ParseDuration(val); err == nil {
+				c.limit = float64(d) / float64(time.Millisecond)
+			} else if f, err := strconv.ParseFloat(val, 64); err == nil {
+				c.limit = f
+			} else {
+				return nil, fmt.Errorf("-slo %q: latency limit %q is neither a duration nor a number", part, val)
+			}
+		case "err":
+			if pct, ok := strings.CutSuffix(val, "%"); ok {
+				f, err := strconv.ParseFloat(pct, 64)
+				if err != nil {
+					return nil, fmt.Errorf("-slo %q: bad percentage %q", part, val)
+				}
+				c.limit = f / 100
+			} else if f, err := strconv.ParseFloat(val, 64); err == nil {
+				c.limit = f
+			} else {
+				return nil, fmt.Errorf("-slo %q: error limit %q is neither a percentage nor a fraction", part, val)
+			}
+		default:
+			return nil, fmt.Errorf("-slo %q: unknown metric %q (want p50|p95|p99|mean|err)", part, metric)
+		}
+		if c.limit < 0 {
+			return nil, fmt.Errorf("-slo %q: negative limit", part)
+		}
+		conds = append(conds, c)
+	}
+	if len(conds) == 0 {
+		return nil, errors.New("-slo: empty spec")
+	}
+	return conds, nil
+}
+
+// evalSLO evaluates every condition against the finished run and returns
+// the per-condition results plus the worst burn rate across them.
+func evalSLO(conds []sloCond, r report) (results []sloResult, worst float64) {
+	for _, c := range conds {
+		var actual float64
+		switch c.metric {
+		case "p50":
+			actual = r.P50Ms
+		case "p95":
+			actual = r.P95Ms
+		case "p99":
+			actual = r.P99Ms
+		case "mean":
+			actual = r.MeanMs
+		case "err":
+			// Anything sent that did not complete counts against the error
+			// budget: sheds, deadline misses, failures, broken streams. That
+			// is deliberately strict — an SLO gate cares about what the
+			// caller experienced, not why the server declined.
+			if r.Sent > 0 {
+				actual = float64(r.Sent-r.Completed) / float64(r.Sent)
+			}
+		}
+		var burn float64
+		switch {
+		case c.limit > 0:
+			burn = actual / c.limit
+		case actual > 0:
+			burn = math.Inf(1) // zero budget, nonzero badness
+		}
+		results = append(results, sloResult{
+			Expr: c.raw, Actual: actual, Limit: c.limit, Burn: burn, OK: burn <= 1,
+		})
+		if burn > worst {
+			worst = burn
+		}
+	}
+	return results, worst
+}

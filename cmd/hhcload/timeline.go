@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// intervalPoint is one -interval JSONL line: counter deltas over the
+// interval plus the latency distribution of the completions inside it.
+// The shape is append-only — CI and plotting scripts parse these lines.
+type intervalPoint struct {
+	TSec       float64 `json:"t_sec"`
+	Sent       int64   `json:"sent"`
+	Completed  int64   `json:"completed"`
+	Overload   int64   `json:"overload"`
+	Deadline   int64   `json:"deadline"`
+	Failed     int64   `json:"failed"`
+	Reconnects int64   `json:"reconnects"`
+	QPS        float64 `json:"qps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// timeline collects the latency samples of the current interval. Workers
+// append under a mutex; the flusher swaps the slice out once per interval.
+// A nil *timeline (interval reporting off) makes record a no-op, so the
+// driver loop never branches on whether the timeline is enabled.
+type timeline struct {
+	mu  sync.Mutex
+	win []float64
+}
+
+func (t *timeline) record(ms float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.win = append(t.win, ms)
+	t.mu.Unlock()
+}
+
+func (t *timeline) flush() []float64 {
+	t.mu.Lock()
+	w := t.win
+	t.win = nil
+	t.mu.Unlock()
+	return w
+}
+
+// tallySnap is a point-in-time copy of the counters the timeline deltas.
+type tallySnap struct {
+	sent, completed, overload, deadline, failed, reconnects int64
+}
+
+func (tl *tally) snap() tallySnap {
+	return tallySnap{
+		sent:       tl.sent.Load(),
+		completed:  tl.completed.Load(),
+		overload:   tl.overload.Load(),
+		deadline:   tl.deadline.Load(),
+		failed:     tl.failed.Load(),
+		reconnects: tl.reconnects.Load(),
+	}
+}
+
+// runTimeline emits one JSONL line per interval until stop closes. The
+// final partial interval is dropped — the end-of-run report covers totals.
+func runTimeline(w io.Writer, tl *tally, tw *timeline, interval time.Duration,
+	begin time.Time, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var prev tallySnap
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			cur := tl.snap()
+			p := intervalPoint{
+				TSec:       now.Sub(begin).Seconds(),
+				Sent:       cur.sent - prev.sent,
+				Completed:  cur.completed - prev.completed,
+				Overload:   cur.overload - prev.overload,
+				Deadline:   cur.deadline - prev.deadline,
+				Failed:     cur.failed - prev.failed,
+				Reconnects: cur.reconnects - prev.reconnects,
+			}
+			prev = cur
+			p.QPS = float64(p.Completed) / interval.Seconds()
+			if lat := tw.flush(); len(lat) > 0 {
+				ps := stats.Percentiles(lat, 50, 95, 99)
+				p.P50Ms, p.P95Ms, p.P99Ms = ps[0], ps[1], ps[2]
+			}
+			line, err := json.Marshal(p)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "%s\n", line)
+		}
+	}
+}

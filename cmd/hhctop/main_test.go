@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// debugServer assembles a fake hhcd debug surface: a registry with the
+// pathsvc metric names, a series ring with one injected interval, and a
+// flight recorder holding a slow request.
+func debugServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Gauge("pathsvc_queue_depth", "").Set(3)
+	reg.Gauge("pathsvc_queue_capacity", "").Set(64)
+	reg.Gauge("pathsvc_active_workers", "").Set(2)
+	reg.Gauge("pathsvc_open_conns", "").Set(4)
+	reg.Gauge(`pathsvc_request_seconds_window{q="p99"}`, "").Set(0.012)
+
+	tr := obs.NewTracer(16)
+	rt := obs.NewRequestTracer(4)
+	obs.RegisterSelf(reg, tr, rt)
+	q := rt.StartRequest("paths", "req-slow")
+	time.Sleep(time.Millisecond)
+	q.Finish("")
+
+	ring := obs.NewSeriesRing(reg, time.Second, 8)
+	c := reg.Counter("pathsvc_completed_total", "")
+	ring.Sample()
+	c.Add(55)
+	ring.Sample()
+
+	mux := obs.Mux(reg)
+	mux.Handle("/debug/series", ring.Handler())
+	mux.Handle("/debug/requests", rt.Handler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestOnceRendersDashboard(t *testing.T) {
+	srv := debugServer(t)
+	var out bytes.Buffer
+	err := run(&out, nil, topOpts{
+		addr: strings.TrimPrefix(srv.URL, "http://"),
+		once: true, refresh: time.Second, slowN: 5, rates: 8,
+		timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("run -once: %v", err)
+	}
+	body := out.String()
+	for _, want := range []string{
+		"hhctop",
+		"service   qps ",
+		"shed 0/s",
+		"queue     depth 3/64",
+		"p99 12ms",
+		"pathsvc_completed_total",
+		"obs       spans",
+		"slowest requests (1 seen, 0 errored)",
+		"req-slow",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard lacks %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "\x1b[2J") {
+		t.Error("-once frame contains screen-control escapes")
+	}
+}
+
+// TestServerAgnostic: a registry without the pathsvc set still renders —
+// the service section is skipped, generic rates and obs health remain.
+func TestServerAgnostic(t *testing.T) {
+	reg := obs.NewRegistry()
+	ring := obs.NewSeriesRing(reg, time.Second, 8)
+	c := reg.Counter("sim_steps_total", "")
+	ring.Sample()
+	c.Add(7)
+	ring.Sample()
+	mux := obs.Mux(reg)
+	mux.Handle("/debug/series", ring.Handler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := run(&out, nil, topOpts{
+		addr: strings.TrimPrefix(srv.URL, "http://"),
+		once: true, refresh: time.Second, slowN: 5, rates: 8,
+		timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("run -once: %v", err)
+	}
+	if strings.Contains(out.String(), "service   qps") {
+		t.Errorf("service section rendered without pathsvc metrics:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "sim_steps_total") {
+		t.Errorf("generic rates missing:\n%s", out.String())
+	}
+}
+
+func TestDeadServerErrors(t *testing.T) {
+	err := run(&bytes.Buffer{}, nil, topOpts{
+		addr: "127.0.0.1:1", once: true, refresh: time.Second,
+		timeout: 500 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "/debug/series") {
+		t.Fatalf("got %v, want an actionable poll error", err)
+	}
+}
+
+func TestParseProm(t *testing.T) {
+	in := `# HELP x_total help text
+# TYPE x_total counter
+x_total 42
+depth{q="p99"} 0.5
+malformed line without number trailing
+`
+	m := parseProm(strings.NewReader(in))
+	if m["x_total"] != 42 || m[`depth{q="p99"}`] != 0.5 {
+		t.Errorf("parseProm = %v", m)
+	}
+	if _, ok := m["malformed line without number"]; ok {
+		t.Error("malformed line parsed")
+	}
+}

@@ -2,9 +2,16 @@ package repro
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/collective"
 	"repro/internal/core"
@@ -14,6 +21,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hhc"
 	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/pathsvc"
 	"repro/internal/viz"
 )
 
@@ -217,6 +226,122 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		if !seen[id] {
 			t.Fatalf("missing %s", id)
 		}
+	}
+}
+
+// TestSeriesRampVisible: the observability tentpole end to end. A live
+// pathsvc server with windowed telemetry is sampled by a series ring
+// served over /debug/series; an idle phase followed by a load burst must
+// be visible in the endpoint's payload — zero-rate intervals first, then
+// intervals with nonzero completion rates and latency percentiles — and
+// the windowed quantile gauges must read nonzero while the burst is in
+// the lookback window.
+func TestSeriesRampVisible(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := pathsvc.New(pathsvc.Config{M: 2, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	const interval = 50 * time.Millisecond
+	ring := obs.NewSeriesRing(reg, interval, 64)
+	ring.Start()
+	defer ring.Stop()
+	web := httptest.NewServer(ring.Handler())
+	defer web.Close()
+
+	// Phase 1: idle. Let a few intervals pass with no traffic.
+	time.Sleep(3 * interval)
+
+	// Phase 2: burst. Four closed-loop clients for a handful of intervals.
+	c, err := pathsvc.DialWith(ln.Addr().String(), pathsvc.DialOptions{Proto: pathsvc.ProtocolV2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g, err := hhc.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := gen.Pairs(g, 8, gen.Uniform, 7)
+	stopBurst := time.Now().Add(6 * interval)
+	var wg sync.WaitGroup
+	for range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var req pathsvc.RequestV2
+			var resp pathsvc.ResponseV2
+			i := 0
+			for time.Now().Before(stopBurst) {
+				p := pool[i%len(pool)]
+				i++
+				req = pathsvc.RequestV2{Op: pathsvc.OpCodePaths, U: p.U, V: p.V, TimeoutNS: int64(time.Second)}
+				if err := c.DoV2(&req, &resp); err != nil {
+					t.Errorf("burst query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	time.Sleep(2 * interval) // let the sampler capture the burst's tail
+
+	resp, err := http.Get(web.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.SeriesSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Points) < 5 {
+		t.Fatalf("ring captured %d points, want >= 5", len(snap.Points))
+	}
+	var idle, busy int
+	var sawLatency bool
+	for _, p := range snap.Points {
+		switch {
+		case p.Counters["pathsvc_completed_total"] == 0:
+			idle++
+		default:
+			busy++
+			if p.Rates["pathsvc_completed_total"] <= 0 {
+				t.Errorf("busy interval has completion delta but zero rate: %+v", p)
+			}
+			if h, ok := p.Hists["pathsvc_request_seconds"]; ok && h.Count > 0 && h.P99 > 0 {
+				sawLatency = true
+			}
+		}
+	}
+	if idle == 0 || busy == 0 {
+		t.Fatalf("ramp not visible: %d idle and %d busy intervals (want both nonzero)", idle, busy)
+	}
+	if !sawLatency {
+		t.Error("no busy interval carried request-latency percentiles")
+	}
+	if snap.Summary["pathsvc_request_seconds"].Count == 0 {
+		t.Error("ring summary merged zero request-latency samples")
+	}
+	// The windowed quantile gauges read from the last 10s of one-second
+	// windows, which still contain the burst.
+	if q := reg.Snapshot().Gauges[`pathsvc_request_seconds_window{q="p99"}`]; q <= 0 {
+		t.Errorf("windowed p99 gauge = %g, want > 0 right after a burst", q)
 	}
 }
 

@@ -47,6 +47,10 @@ type Obs struct {
 	// Requests is the per-request flight recorder, non-nil after
 	// EnableRequests; StartListener serves it as /debug/requests.
 	Requests *obs.RequestTracer
+	// Series is the windowed time-series ring behind /debug/series,
+	// non-nil after StartListener on an enabled layer. It samples the
+	// registry once per obs.DefaultSeriesInterval until Close.
+	Series *obs.SeriesRing
 
 	traceFile *os.File
 	srv       *http.Server
@@ -98,6 +102,7 @@ func (o *Obs) Activate() error {
 		o.Tracer.StreamTo(f)
 	}
 	obs.RegisterRuntime(o.Registry)
+	obs.RegisterSelf(o.Registry, o.Tracer, nil)
 	core.SetObserver(core.NewObserver(o.Registry, o.Tracer))
 	return nil
 }
@@ -114,6 +119,7 @@ func (o *Obs) EnableRequests(slow time.Duration) *obs.RequestTracer {
 	o.Requests = obs.NewRequestTracer(0)
 	o.Requests.SetSlowThreshold(slow)
 	o.Requests.Mirror(o.Tracer)
+	obs.RegisterSelf(o.Registry, nil, o.Requests)
 	return o.Requests
 }
 
@@ -126,13 +132,21 @@ func (o *Obs) StartListener(name string) (string, error) {
 		return "", nil
 	}
 	mux := obs.Mux(o.Registry)
-	extra := ""
+	extra := ", /debug/series"
 	if o.Requests != nil {
 		mux.Handle("/debug/requests", o.Requests.Handler())
-		extra = ", /debug/requests"
+		extra += ", /debug/requests"
 	}
+	// The series ring only matters while something can scrape it, so it is
+	// created (and its sampler started) here rather than in Activate:
+	// short-lived batch runs with just -metrics/-trace skip the goroutine.
+	o.Series = obs.NewSeriesRing(o.Registry, obs.DefaultSeriesInterval, obs.DefaultSeriesCapacity)
+	o.Series.Start()
+	mux.Handle("/debug/series", o.Series.Handler())
 	ln, err := net.Listen("tcp", o.ListenAddr)
 	if err != nil {
+		o.Series.Stop()
+		o.Series = nil
 		return "", fmt.Errorf("-listen %s: %w", o.ListenAddr, err)
 	}
 	o.srv = &http.Server{Handler: mux}
@@ -152,6 +166,9 @@ func (o *Obs) Close(stdout io.Writer) error {
 	if o.srv != nil {
 		_ = o.srv.Close()
 		o.srv = nil
+	}
+	if o.Series != nil {
+		o.Series.Stop()
 	}
 	core.SetObserver(nil)
 	var firstErr error

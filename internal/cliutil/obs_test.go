@@ -101,6 +101,58 @@ func TestObsMetricsStdout(t *testing.T) {
 	}
 }
 
+func TestStartListenerServesSeries(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := RegisterObsFlags(fs)
+	o.ListenAddr = "127.0.0.1:0"
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Activate(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close(nil)
+	o.EnableRequests(0)
+
+	addr, err := o.StartListener("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Series == nil {
+		t.Fatal("StartListener did not build the series ring")
+	}
+	for _, path := range []string{"/debug/series", "/debug/series?format=table", "/debug/requests"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// The self-telemetry satellite: activation registers obs_* series so
+	// trace loss and recorder retention are visible on /metrics.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"obs_trace_dropped_total",
+		"obs_requests_recorded_total",
+		`obs_requests_retained{bucket="slowest"}`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+}
+
 func TestServeObs(t *testing.T) {
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
 	o := RegisterObsFlags(fs)

@@ -11,9 +11,17 @@ func TestDisabledHooksZeroAlloc(t *testing.T) {
 		tr *Tracer
 		lg *Logger
 		rt *RequestTracer
+		wc *WindowCounter
+		wh *WindowHistogram
 	)
 	q := rt.StartRequest("op", "")
 	cases := map[string]func(){
+		"window": func() {
+			wc.Inc()
+			wc.Add(3)
+			wh.Observe(0.001)
+			wh.ObserveDuration(0)
+		},
 		"tracer": func() {
 			sp := tr.Start("x")
 			sp.SetAttr("k", "v")

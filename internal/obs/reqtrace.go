@@ -448,3 +448,15 @@ func (t *RequestTracer) Totals() (total, errored int64) {
 	defer t.mu.Unlock()
 	return t.total, t.errored
 }
+
+// RetainedCounts reports how many traces each retention bucket currently
+// holds, so trace retention is scrapeable instead of only visible by
+// dumping /debug/requests.
+func (t *RequestTracer) RetainedCounts() (slowest, errs, slow, recent int) {
+	if t == nil {
+		return 0, 0, 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.slowest), t.errs.n, t.slow.n, t.recent.n
+}

@@ -37,3 +37,44 @@ func TestRegisterRuntime(t *testing.T) {
 		}
 	}
 }
+
+func TestRegisterSelf(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(16)
+	rt := NewRequestTracer(4)
+	RegisterSelf(r, tr, rt)
+
+	tr.Start("a").End()
+	tr.Start("b").End()
+	rt.StartRequest("op", "").Finish("")
+	rt.StartRequest("op", "").Finish("timeout")
+
+	snap := r.Snapshot()
+	if got := snap.Counters["obs_trace_spans_total"]; got != 2 {
+		t.Errorf("obs_trace_spans_total = %d, want 2", got)
+	}
+	if got := snap.Counters["obs_trace_dropped_total"]; got != 0 {
+		t.Errorf("obs_trace_dropped_total = %d, want 0", got)
+	}
+	if got := snap.Counters["obs_requests_recorded_total"]; got != 2 {
+		t.Errorf("obs_requests_recorded_total = %d, want 2", got)
+	}
+	if got := snap.Counters["obs_requests_errored_total"]; got != 1 {
+		t.Errorf("obs_requests_errored_total = %d, want 1", got)
+	}
+	// Both finished requests sit in the recent ring; the errored one also
+	// lands in the errors bucket.
+	if got := snap.Gauges[`obs_requests_retained{bucket="recent"}`]; got != 2 {
+		t.Errorf("retained recent = %g, want 2", got)
+	}
+	if got := snap.Gauges[`obs_requests_retained{bucket="errors"}`]; got != 1 {
+		t.Errorf("retained errors = %g, want 1", got)
+	}
+
+	// Nil sinks must register nothing rather than panic.
+	empty := NewRegistry()
+	RegisterSelf(empty, nil, nil)
+	if n := len(empty.Snapshot().Counters); n != 0 {
+		t.Errorf("nil sinks registered %d counters, want 0", n)
+	}
+}

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the windowed half of the metrics layer: rotating-window
+// counters and histograms that answer "what happened over the last X
+// seconds" instead of "what happened since start". Both types keep N
+// fixed slots of width W; a slot belongs to one absolute window epoch
+// (unix-nanoseconds / W) and is recycled in place when its epoch falls
+// out of the ring, so an idle gap longer than N*W simply leaves every
+// slot stale and the next read reports zero — no catch-up work, no
+// unbounded memory.
+//
+// Rotation is lock-cheap: recording is a couple of atomic loads and adds
+// in the steady state, and the slot hand-over at a window boundary is a
+// single CAS race that exactly one writer wins (the winner clears the
+// slot before publishing its new epoch, so later writers in the same
+// window never see a half-cleared slot). Readers take no lock at all;
+// like Histogram.Snapshot they see a consistent-enough view — per-field
+// atomicity, not a global cut — which is the right trade for telemetry.
+
+// Window geometry defaults: 60 one-second windows, so rates and
+// quantiles can be merged over the last minute at 1s resolution.
+const (
+	DefaultWindowWidth = time.Second
+	DefaultWindowCount = 60
+)
+
+// winEpoch maps a wall-clock instant onto an absolute window index.
+func winEpoch(now time.Time, width int64) int64 { return now.UnixNano() / width }
+
+// winSlot is one rotating counter cell. epoch is the absolute window the
+// cell currently counts for; claim is the rotation latch (CAS winner
+// resets, then publishes epoch).
+type winSlot struct {
+	claim atomic.Int64
+	epoch atomic.Int64
+	n     atomic.Int64
+}
+
+// rotate claims the slot for epoch e if it is stale, clearing it before
+// publication. Returns once the slot's published epoch is e (or after a
+// bounded wait if a concurrent winner is mid-reset — the pending add then
+// lands in the freshly cleared slot, which is the desired outcome).
+func (s *winSlot) rotate(e int64, clear func()) {
+	for {
+		cur := s.claim.Load()
+		if cur >= e {
+			break
+		}
+		if s.claim.CompareAndSwap(cur, e) {
+			clear()
+			s.epoch.Store(e)
+			return
+		}
+	}
+	// Another writer owns the rotation; wait briefly for publication so
+	// this record lands after the clear, not before it.
+	for i := 0; i < 1024 && s.epoch.Load() < e; i++ {
+	}
+}
+
+// WindowCounter counts events into rotating time windows. The zero value
+// is not usable; build with NewWindowCounter. A nil WindowCounter ignores
+// writes and reads as zero, so hot paths can hold one unconditionally.
+type WindowCounter struct {
+	width int64 // window width in nanoseconds
+	slots []winSlot
+	total atomic.Int64 // cumulative, rotation-independent
+}
+
+// NewWindowCounter builds a counter with n windows of the given width
+// (n <= 0 or width <= 0 select the defaults).
+func NewWindowCounter(width time.Duration, n int) *WindowCounter {
+	if width <= 0 {
+		width = DefaultWindowWidth
+	}
+	if n <= 0 {
+		n = DefaultWindowCount
+	}
+	return &WindowCounter{width: int64(width), slots: make([]winSlot, n)}
+}
+
+// Inc adds one to the current window.
+func (c *WindowCounter) Inc() { c.Add(1) }
+
+// Add adds n to the current window.
+func (c *WindowCounter) Add(n int64) {
+	if c != nil {
+		c.addAt(time.Now(), n)
+	}
+}
+
+// addAt is the injectable-clock core of Add (tests drive rotation with
+// synthetic times; Add always passes time.Now).
+func (c *WindowCounter) addAt(now time.Time, n int64) {
+	e := winEpoch(now, c.width)
+	s := &c.slots[int(e%int64(len(c.slots)))]
+	if s.epoch.Load() != e {
+		s.rotate(e, func() { s.n.Store(0) })
+	}
+	s.n.Add(n)
+	c.total.Add(n)
+}
+
+// Total returns the cumulative count since creation (never rotated away).
+func (c *WindowCounter) Total() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.total.Load()
+}
+
+// WindowTotal sums the last k complete-or-current windows. k <= 0 or
+// k > len(slots) reads every live window. Slots whose epoch has fallen
+// out of the requested range (idle gaps, wrap-around) contribute zero.
+func (c *WindowCounter) WindowTotal(k int) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.windowTotalAt(time.Now(), k)
+}
+
+func (c *WindowCounter) windowTotalAt(now time.Time, k int) int64 {
+	if k <= 0 || k > len(c.slots) {
+		k = len(c.slots)
+	}
+	cur := winEpoch(now, c.width)
+	var sum int64
+	for i := range c.slots {
+		s := &c.slots[i]
+		if e := s.epoch.Load(); e > cur-int64(k) && e <= cur {
+			sum += s.n.Load()
+		}
+	}
+	return sum
+}
+
+// Rate returns events per second over the last k windows.
+func (c *WindowCounter) Rate(k int) float64 {
+	if c == nil {
+		return 0
+	}
+	return c.rateAt(time.Now(), k)
+}
+
+func (c *WindowCounter) rateAt(now time.Time, k int) float64 {
+	if k <= 0 || k > len(c.slots) {
+		k = len(c.slots)
+	}
+	span := time.Duration(int64(k) * c.width).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(c.windowTotalAt(now, k)) / span
+}
+
+// winHistSlot is one rotating histogram cell: a full bucket array plus
+// count and sum, all owned by one window epoch at a time.
+type winHistSlot struct {
+	claim  atomic.Int64
+	epoch  atomic.Int64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	n      atomic.Int64
+	sum    Gauge
+}
+
+// WindowHistogram buckets observations into rotating time windows, so
+// percentiles can be computed over the last X windows instead of since
+// process start. Bounds follow Histogram's `le` convention. The zero
+// value is not usable; build with NewWindowHistogram. A nil
+// WindowHistogram ignores observations and reads as empty.
+type WindowHistogram struct {
+	width  int64
+	bounds []float64
+	slots  []winHistSlot
+}
+
+// NewWindowHistogram builds a histogram with n windows of the given width
+// over the given bucket bounds (copied, sorted ascending; n <= 0 or
+// width <= 0 select the defaults).
+func NewWindowHistogram(width time.Duration, n int, buckets []float64) *WindowHistogram {
+	if width <= 0 {
+		width = DefaultWindowWidth
+	}
+	if n <= 0 {
+		n = DefaultWindowCount
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	h := &WindowHistogram{width: int64(width), bounds: bounds, slots: make([]winHistSlot, n)}
+	for i := range h.slots {
+		h.slots[i].counts = make([]atomic.Int64, len(bounds)+1)
+	}
+	return h
+}
+
+// Observe records one sample into the current window.
+func (h *WindowHistogram) Observe(v float64) {
+	if h != nil {
+		h.observeAt(time.Now(), v)
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *WindowHistogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+func (h *WindowHistogram) observeAt(now time.Time, v float64) {
+	e := winEpoch(now, h.width)
+	s := &h.slots[int(e%int64(len(h.slots)))]
+	if s.epoch.Load() != e {
+		s.rotate(e, func() {
+			for i := range s.counts {
+				s.counts[i].Store(0)
+			}
+			s.n.Store(0)
+			s.sum.Set(0)
+		})
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	s.counts[i].Add(1)
+	s.n.Add(1)
+	s.sum.Add(v)
+}
+
+// rotate claims slot s for epoch e; see winSlot.rotate for the protocol.
+func (s *winHistSlot) rotate(e int64, clear func()) {
+	for {
+		cur := s.claim.Load()
+		if cur >= e {
+			break
+		}
+		if s.claim.CompareAndSwap(cur, e) {
+			clear()
+			s.epoch.Store(e)
+			return
+		}
+	}
+	for i := 0; i < 1024 && s.epoch.Load() < e; i++ {
+	}
+}
+
+// Merged folds the last k windows into one HistogramSnapshot, from which
+// Percentiles gives p50/p95/p99-over-last-X. k <= 0 or k > len(slots)
+// merges every live window; stale slots (idle gaps) contribute nothing.
+func (h *WindowHistogram) Merged(k int) HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return h.mergedAt(time.Now(), k)
+}
+
+func (h *WindowHistogram) mergedAt(now time.Time, k int) HistogramSnapshot {
+	if k <= 0 || k > len(h.slots) {
+		k = len(h.slots)
+	}
+	cur := winEpoch(now, h.width)
+	out := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.bounds)+1),
+	}
+	for i := range h.slots {
+		s := &h.slots[i]
+		if e := s.epoch.Load(); e <= cur-int64(k) || e > cur {
+			continue
+		}
+		for j := range s.counts {
+			out.Counts[j] += s.counts[j].Load()
+		}
+		out.Count += s.n.Load()
+		out.Sum += s.sum.Load()
+	}
+	return out
+}
+
+// Quantile estimates one percentile (0..100) over the last k windows.
+// Returns 0 for an empty merge, so window gauges read as zero at rest.
+func (h *WindowHistogram) Quantile(k int, p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	m := h.Merged(k)
+	if m.Count == 0 {
+		return 0
+	}
+	return jsonFloat(m.Percentiles(p)[0])
+}

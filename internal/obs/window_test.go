@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// at builds a synthetic instant inside window epoch e (width w), offset
+// by frac of the window.
+func at(e int64, w time.Duration, frac float64) time.Time {
+	return time.Unix(0, e*int64(w)+int64(frac*float64(w)))
+}
+
+func TestWindowCounterRotation(t *testing.T) {
+	w := time.Second
+	c := NewWindowCounter(w, 4)
+
+	// Three windows of activity: 5, 3, 2 events.
+	for i := 0; i < 5; i++ {
+		c.addAt(at(100, w, 0.1), 1)
+	}
+	c.addAt(at(101, w, 0.5), 3)
+	c.addAt(at(102, w, 0.9), 2)
+
+	now := at(102, w, 0.95)
+	if got := c.windowTotalAt(now, 1); got != 2 {
+		t.Errorf("last 1 window = %d, want 2", got)
+	}
+	if got := c.windowTotalAt(now, 2); got != 5 {
+		t.Errorf("last 2 windows = %d, want 5", got)
+	}
+	if got := c.windowTotalAt(now, 0); got != 10 {
+		t.Errorf("all windows = %d, want 10", got)
+	}
+	if got := c.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	// Rate over the last 2 windows: 5 events / 2s.
+	if got := c.rateAt(now, 2); got != 2.5 {
+		t.Errorf("rate(2) = %g, want 2.5", got)
+	}
+}
+
+// TestWindowCounterIdleGap pins the wrap-around semantics: after an idle
+// gap longer than the whole ring, every slot is stale and reads report
+// zero — old windows must not bleed into the new era, with or without a
+// write landing first.
+func TestWindowCounterIdleGap(t *testing.T) {
+	w := time.Second
+	c := NewWindowCounter(w, 4)
+	c.addAt(at(100, w, 0.1), 7)
+	c.addAt(at(103, w, 0.1), 9)
+
+	// Reads far in the future see nothing, even though no write has
+	// recycled the slots yet.
+	later := at(500, w, 0.2)
+	if got := c.windowTotalAt(later, 0); got != 0 {
+		t.Errorf("after idle gap, windows = %d, want 0", got)
+	}
+	// A write in the new era recycles its slot in place; only it counts.
+	c.addAt(later, 1)
+	if got := c.windowTotalAt(at(500, w, 0.5), 0); got != 1 {
+		t.Errorf("after recycle, windows = %d, want 1", got)
+	}
+	// The cumulative total survives every rotation.
+	if got := c.Total(); got != 17 {
+		t.Errorf("Total = %d, want 17", got)
+	}
+	// A partial gap: epochs 500 and 502 live in a 4-slot ring; a 2-window
+	// read at 502 must exclude 500.
+	c.addAt(at(502, w, 0.1), 3)
+	if got := c.windowTotalAt(at(502, w, 0.5), 2); got != 3 {
+		t.Errorf("2-window read across gap = %d, want 3", got)
+	}
+	if got := c.windowTotalAt(at(502, w, 0.5), 3); got != 4 {
+		t.Errorf("3-window read across gap = %d, want 4", got)
+	}
+}
+
+// refWindows is the reference implementation merge correctness is checked
+// against: a plain map from epoch to per-bucket counts, no ring, no
+// rotation.
+type refWindows struct {
+	bounds []float64
+	byE    map[int64][]int64
+	n      map[int64]int64
+	sum    map[int64]float64
+}
+
+func newRef(bounds []float64) *refWindows {
+	return &refWindows{bounds: bounds, byE: map[int64][]int64{},
+		n: map[int64]int64{}, sum: map[int64]float64{}}
+}
+
+func (r *refWindows) observe(e int64, v float64) {
+	c := r.byE[e]
+	if c == nil {
+		c = make([]int64, len(r.bounds)+1)
+		r.byE[e] = c
+	}
+	i := 0
+	for i < len(r.bounds) && v > r.bounds[i] {
+		i++
+	}
+	c[i]++
+	r.n[e]++
+	r.sum[e] += v
+}
+
+func (r *refWindows) merged(cur int64, k int) HistogramSnapshot {
+	out := HistogramSnapshot{Bounds: r.bounds, Counts: make([]int64, len(r.bounds)+1)}
+	for e := cur - int64(k) + 1; e <= cur; e++ {
+		if c, ok := r.byE[e]; ok {
+			for j := range c {
+				out.Counts[j] += c[j]
+			}
+			out.Count += r.n[e]
+			out.Sum += r.sum[e]
+		}
+	}
+	return out
+}
+
+// TestWindowHistogramMergeVsReference drives a randomized observation
+// schedule (bursts, idle gaps, wrap-arounds) through WindowHistogram and
+// the map-based reference, comparing the k-window merge after every step.
+// The ring may only diverge for windows older than its capacity, so the
+// comparison sticks to k <= ring size lookbacks that the ring can honor.
+func TestWindowHistogramMergeVsReference(t *testing.T) {
+	const slots = 8
+	w := 100 * time.Millisecond
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	h := NewWindowHistogram(w, slots, bounds)
+	ref := newRef(h.bounds)
+
+	r := rand.New(rand.NewSource(42))
+	epoch := int64(1000)
+	for step := 0; step < 400; step++ {
+		// Advance time: usually to the next window, sometimes a long gap.
+		switch r.Intn(10) {
+		case 0:
+			epoch += int64(slots) + int64(r.Intn(20)) // wrap the whole ring
+		case 1, 2:
+			epoch += int64(r.Intn(slots)) // partial gap
+		default:
+			// stay, or move one on
+			epoch += int64(r.Intn(2))
+		}
+		burst := r.Intn(16)
+		for i := 0; i < burst; i++ {
+			v := r.Float64() * 2
+			h.observeAt(at(epoch, w, r.Float64()), v)
+			ref.observe(epoch, v)
+		}
+		k := 1 + r.Intn(slots)
+		// The ring slot for the current epoch may still hold an epoch
+		// more than `slots` old if nothing recycled it; reads filter by
+		// epoch, so the merge must still match the reference exactly.
+		got := h.mergedAt(at(epoch, w, 0.99), k)
+		want := ref.merged(epoch, k)
+		// Sums accumulate in different orders, so allow float rounding slack.
+		if got.Count != want.Count || math.Abs(got.Sum-want.Sum) > 1e-9*(1+math.Abs(want.Sum)) {
+			t.Fatalf("step %d k=%d: merged count/sum = %d/%g, want %d/%g",
+				step, k, got.Count, got.Sum, want.Count, want.Sum)
+		}
+		for j := range want.Counts {
+			if got.Counts[j] != want.Counts[j] {
+				t.Fatalf("step %d k=%d bucket %d: %d, want %d",
+					step, k, j, got.Counts[j], want.Counts[j])
+			}
+		}
+	}
+}
+
+func TestWindowHistogramQuantile(t *testing.T) {
+	w := time.Second
+	h := NewWindowHistogram(w, 4, []float64{0.001, 0.01, 0.1, 1})
+	// 90 fast samples then 10 slow ones, same window.
+	for i := 0; i < 90; i++ {
+		h.observeAt(at(200, w, 0.1), 0.0005)
+	}
+	for i := 0; i < 10; i++ {
+		h.observeAt(at(200, w, 0.2), 0.05)
+	}
+	now := at(200, w, 0.9)
+	m := h.mergedAt(now, 1)
+	qs := m.Percentiles(50, 95, 99)
+	if qs[0] != 0.001 {
+		t.Errorf("p50 = %g, want 0.001 (first bound at or above the fast samples)", qs[0])
+	}
+	if qs[1] != 0.1 || qs[2] != 0.1 {
+		t.Errorf("p95/p99 = %g/%g, want 0.1/0.1 (bound above the slow samples)", qs[1], qs[2])
+	}
+	// An empty merge reports quantile 0, not +Inf.
+	empty := NewWindowHistogram(w, 4, []float64{1})
+	if got := empty.Quantile(1, 99); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+// TestWindowConcurrent hammers rotation from many writers while readers
+// merge continuously; run under -race this pins the lock-free rotation
+// protocol. Counts are checked against the cumulative total at the end
+// (the ring holds everything when no window expires during the run).
+func TestWindowConcurrent(t *testing.T) {
+	// A width long enough that the whole test fits a few windows, and a
+	// ring large enough that nothing rotates out.
+	c := NewWindowCounter(time.Minute, 16)
+	h := NewWindowHistogram(time.Minute, 16, DefLatencyBuckets)
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = c.WindowTotal(0)
+					_ = c.Rate(4)
+					_ = h.Merged(0).Count
+					_ = h.Quantile(4, 99)
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		ww.Add(1)
+		go func(seed int64) {
+			defer ww.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(r.Float64())
+			}
+		}(int64(wr))
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := c.WindowTotal(0); got != writers*perWriter {
+		t.Errorf("WindowTotal = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Merged(0).Count; got != writers*perWriter {
+		t.Errorf("Merged count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestWindowRecordZeroAlloc extends the zero-cost discipline to enabled
+// windowed recording: the steady-state record path (no rotation) must not
+// allocate, or the v2 serve budget would silently grow.
+func TestWindowRecordZeroAlloc(t *testing.T) {
+	c := NewWindowCounter(time.Minute, 4)
+	h := NewWindowHistogram(time.Minute, 4, DefLatencyBuckets)
+	c.Inc() // rotate once so the steady state is measured
+	h.Observe(0.001)
+	if got := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		h.Observe(0.001)
+	}); got != 0 {
+		t.Errorf("enabled window recording allocates %.1f allocs/op, want 0", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/hhc"
+	"repro/internal/obs"
 )
 
 // serveStarted serves srv on a loopback port with a cleanup drain
@@ -30,11 +31,11 @@ func serveStarted(tb testing.TB, srv *Server) (*Server, string) {
 	return srv, ln.Addr().String()
 }
 
-// allocClient dials an uninstrumented server and returns a v2 client with
+// allocClient dials a server built from cfg and returns a v2 client with
 // a warmed cache entry for (u, v).
-func allocSetup(t testing.TB) (*Client, hhc.Node, hhc.Node) {
+func allocSetupWith(t testing.TB, cfg Config) (*Client, hhc.Node, hhc.Node) {
 	t.Helper()
-	srv, err := New(Config{M: 3})
+	srv, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,6 +53,12 @@ func allocSetup(t testing.TB) (*Client, hhc.Node, hhc.Node) {
 		}
 	}
 	return c, u, v
+}
+
+// allocSetup is the uninstrumented baseline configuration.
+func allocSetup(t testing.TB) (*Client, hhc.Node, hhc.Node) {
+	t.Helper()
+	return allocSetupWith(t, Config{M: 3})
 }
 
 // ServeV2AllocBudget is the explicit steady-state allocation budget for
@@ -85,6 +92,33 @@ func TestServeV2AllocBudget(t *testing.T) {
 		t.Errorf("v2 round trip allocates %.1f allocs/op, budget %d", got, ServeV2AllocBudget)
 	}
 	t.Logf("v2 round trip: %.1f allocs/op (budget %d)", got, ServeV2AllocBudget)
+}
+
+// TestServeV2AllocBudgetObserved re-runs the budget with metrics enabled:
+// the window histograms record on every request (and rotate once per
+// second), so this pins the claim that windowed telemetry rides the
+// observer-pointer pattern without adding steady-state allocations.
+func TestServeV2AllocBudgetObserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is noisy under -short race runs")
+	}
+	reg := obs.NewRegistry()
+	c, u, v := allocSetupWith(t, Config{M: 3, Reg: reg})
+	var resp ResponseV2
+	got := testing.AllocsPerRun(400, func() {
+		if err := c.PathsV2(u, v, 0, time.Second, &resp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > ServeV2AllocBudget {
+		t.Errorf("instrumented v2 round trip allocates %.1f allocs/op, budget %d", got, ServeV2AllocBudget)
+	}
+	// The windows must actually have recorded: an accidentally nil-ed
+	// svcMetrics would pass the budget while dropping every sample.
+	if q := reg.Snapshot(); q.Counters["pathsvc_completed_total"] == 0 {
+		t.Error("instrumented run recorded no completed requests")
+	}
+	t.Logf("instrumented v2 round trip: %.1f allocs/op (budget %d)", got, ServeV2AllocBudget)
 }
 
 func BenchmarkServeV2Paths(b *testing.B) {

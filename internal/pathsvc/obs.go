@@ -14,7 +14,20 @@ import (
 type svcMetrics struct {
 	requestSeconds   *obs.Histogram
 	queueWaitSeconds *obs.Histogram
+
+	// Rotating windows behind the cumulative histograms: the same samples,
+	// but scoped to the last windowQuantileSpan seconds so /metrics can
+	// report live quantiles that recover after a load spike instead of
+	// averaging over the process lifetime.
+	requestWindow   *obs.WindowHistogram
+	queueWaitWindow *obs.WindowHistogram
+	execWindow      *obs.WindowHistogram
 }
+
+// windowQuantileSpan is how many one-second windows the live quantile
+// gauges merge over. Ten seconds is long enough to smooth scrape jitter
+// and short enough that a burst stops dominating the readout quickly.
+const windowQuantileSpan = 10
 
 // newSvcMetrics registers the pathsvc_* metric set in reg and returns the
 // histogram handles the serving path feeds.
@@ -49,20 +62,44 @@ func newSvcMetrics(reg *obs.Registry, s *Server) *svcMetrics {
 	reg.GaugeFunc("pathsvc_open_conns",
 		"Currently open client connections.",
 		func() float64 { return float64(s.openConns()) })
-	return &svcMetrics{
+	m := &svcMetrics{
 		requestSeconds: reg.Histogram("pathsvc_request_seconds",
 			"End-to-end request latency: decode to response written.",
 			obs.DefLatencyBuckets),
 		queueWaitSeconds: reg.Histogram("pathsvc_queue_wait_seconds",
 			"Time admitted requests spent waiting for a worker.",
 			obs.DefLatencyBuckets),
+		requestWindow: obs.NewWindowHistogram(
+			obs.DefaultWindowWidth, obs.DefaultWindowCount, obs.DefLatencyBuckets),
+		queueWaitWindow: obs.NewWindowHistogram(
+			obs.DefaultWindowWidth, obs.DefaultWindowCount, obs.DefLatencyBuckets),
+		execWindow: obs.NewWindowHistogram(
+			obs.DefaultWindowWidth, obs.DefaultWindowCount, obs.DefLatencyBuckets),
 	}
+	windowed := func(name, help string, w *obs.WindowHistogram) {
+		for _, q := range []struct {
+			label string
+			p     float64
+		}{{"p50", 50}, {"p95", 95}, {"p99", 99}} {
+			p := q.p
+			reg.GaugeFunc(name+`{q="`+q.label+`"}`, help,
+				func() float64 { return w.Quantile(windowQuantileSpan, p) })
+		}
+	}
+	windowed("pathsvc_request_seconds_window",
+		"End-to-end latency quantile over the last 10s (0 when idle).", m.requestWindow)
+	windowed("pathsvc_queue_wait_seconds_window",
+		"Queue-wait quantile over the last 10s (0 when idle).", m.queueWaitWindow)
+	windowed("pathsvc_exec_seconds_window",
+		"Construction/execution quantile over the last 10s (0 when idle).", m.execWindow)
+	return m
 }
 
 // observeRequest records one end-to-end latency sample. Nil-safe.
 func (m *svcMetrics) observeRequest(d time.Duration) {
 	if m != nil {
 		m.requestSeconds.ObserveDuration(d)
+		m.requestWindow.ObserveDuration(d)
 	}
 }
 
@@ -70,6 +107,15 @@ func (m *svcMetrics) observeRequest(d time.Duration) {
 func (m *svcMetrics) observeQueueWait(d time.Duration) {
 	if m != nil {
 		m.queueWaitSeconds.ObserveDuration(d)
+		m.queueWaitWindow.ObserveDuration(d)
+	}
+}
+
+// observeExec records one construction/execution latency sample (shared by
+// every coalesced recipient, so recorded once per leader). Nil-safe.
+func (m *svcMetrics) observeExec(d time.Duration) {
+	if m != nil {
+		m.execWindow.ObserveDuration(d)
 	}
 }
 

@@ -896,6 +896,7 @@ func (s *Server) process(t *task) {
 			}
 		}
 		out.execNS = int64(time.Since(execStart))
+		s.met.observeExec(time.Duration(out.execNS))
 		t.tr.endExec()
 	}
 	s.deliverAll(t, out)
