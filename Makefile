@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check test vet lint race bench profile exps exps-csv fuzz exhaustive fmt tools
+.PHONY: all check test vet lint race bench profile exps exps-csv fuzz fuzz-smoke exhaustive fmt tools
 
 all: check
 
@@ -15,12 +15,16 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Repo invariants: formatting plus the in-tree hhclint analyzers
-# (layering, obscost, determinism, nodefmt, atomicalign, hotpath).
+# Repo invariants: formatting, go vet, and the in-tree hhclint analyzers
+# (layering, obscost, determinism, nodefmt, atomicalign, hotpath,
+# lockguard, goroutinelife, ctxflow, atomicmix). The second hhclint pass
+# flags //lint:ignore directives that no longer suppress anything.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
 	$(GO) run ./cmd/hhclint ./...
+	$(GO) run ./cmd/hhclint -stale-ignores ./...
 
 # Race-detector pass; exercises the container cache's concurrent paths.
 race:
@@ -68,6 +72,19 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseTrace -fuzztime=10s ./internal/sched
 	$(GO) test -fuzz='FuzzWireDecode$$' -fuzztime=10s ./internal/pathsvc
 	$(GO) test -fuzz='FuzzWireDecodeV2$$' -fuzztime=10s ./internal/pathsvc
+
+# CI-sized fuzzing: 20s per target over the committed seed corpora in
+# each package's testdata/fuzz/. New inputs found here are NOT committed
+# automatically — promote interesting ones into testdata/fuzz by hand.
+fuzz-smoke:
+	$(GO) test -fuzz='FuzzDisjointPaths$$' -fuzztime=20s ./internal/core
+	$(GO) test -fuzz='FuzzRouteAgainstBound$$' -fuzztime=20s ./internal/core
+	$(GO) test -fuzz='FuzzDimOrderTermination$$' -fuzztime=20s ./internal/hhc
+	$(GO) test -fuzz='FuzzParseNode$$' -fuzztime=20s ./internal/hhc
+	$(GO) test -fuzz='FuzzEmbedRing$$' -fuzztime=20s ./internal/hhc
+	$(GO) test -fuzz='FuzzParseTrace$$' -fuzztime=20s ./internal/sched
+	$(GO) test -fuzz='FuzzWireDecode$$' -fuzztime=20s ./internal/pathsvc
+	$(GO) test -fuzz='FuzzWireDecodeV2$$' -fuzztime=20s ./internal/pathsvc
 
 # The 4.2M-pair full verification of the container theorem on HHC_11 (~90s).
 exhaustive:

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hhclint [-json] [packages...]
+//	hhclint [-json] [-stale-ignores] [packages...]
 //
 // Package patterns are resolved by `go list` (default "./..."). The exit
 // status is 0 when the tree is clean, 1 when any analyzer fired, and 2
@@ -11,6 +11,11 @@
 // line-by-line with a justified directive:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// -stale-ignores inverts the audit: instead of findings it reports every
+// //lint:ignore directive that no longer suppresses anything, so fixed
+// code sheds its suppressions instead of accumulating blind spots. CI
+// runs both modes.
 //
 // Unlike the other cmd/ binaries, hhclint takes positional arguments (the
 // package patterns) and carries no -metrics/-trace flags: it is a build
@@ -27,9 +32,13 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicalign"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/goroutinelife"
 	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/layering"
+	"repro/internal/analysis/lockguard"
 	"repro/internal/analysis/nodefmt"
 	"repro/internal/analysis/obscost"
 )
@@ -37,18 +46,23 @@ import (
 // analyzers is the shipped rule suite.
 var analyzers = []*analysis.Analyzer{
 	atomicalign.Analyzer,
+	atomicmix.Analyzer,
+	ctxflow.Analyzer,
 	determinism.Analyzer,
+	goroutinelife.Analyzer,
 	hotpath.Analyzer,
 	layering.Analyzer,
+	lockguard.Analyzer,
 	nodefmt.Analyzer,
 	obscost.Analyzer,
 }
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (for dashboards and CI tooling)")
+	staleIgnores := flag.Bool("stale-ignores", false, "report //lint:ignore directives that suppress no finding instead of findings")
 	flag.Usage = usage
 	flag.Parse()
-	code, err := run(os.Stdout, flag.Args(), *jsonOut)
+	code, err := run(os.Stdout, flag.Args(), *jsonOut, *staleIgnores)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hhclint:", err)
 		os.Exit(2)
@@ -57,16 +71,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(flag.CommandLine.Output(), "usage: hhclint [-json] [packages...]\n\nAnalyzers:\n")
+	fmt.Fprintf(flag.CommandLine.Output(), "usage: hhclint [-json] [-stale-ignores] [packages...]\n\nAnalyzers:\n")
 	for _, a := range analyzers {
-		fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-13s %s\n", a.Name, a.Doc)
 	}
 	fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
 	flag.PrintDefaults()
 }
 
 // jsonFinding is the -json wire form: the position is flattened so
-// consumers need no knowledge of go/token.
+// consumers need no knowledge of go/token. This schema is golden-pinned
+// by main_test.go — changing a field name or adding one is a contract
+// change for CI annotations and hhcobs, and must update the golden file
+// deliberately.
 type jsonFinding struct {
 	Analyzer string `json:"analyzer"`
 	File     string `json:"file"`
@@ -75,10 +92,35 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
-// run executes the suite and writes findings to w. The int is the process
-// exit code for a successful run (0 clean, 1 findings); a non-nil error
-// means the analysis itself could not complete.
-func run(w io.Writer, patterns []string, jsonOut bool) (int, error) {
+// findingsJSON flattens findings into the pinned wire form, with paths
+// made working-directory-relative for stable output across checkouts.
+func findingsJSON(findings []analysis.Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     relPath(f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	return out
+}
+
+// writeJSON renders v the way every hhclint JSON mode does: two-space
+// indented, one trailing newline.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// run executes the suite and writes findings (or, in stale mode, unused
+// suppressions) to w. The int is the process exit code for a successful
+// run (0 clean, 1 findings); a non-nil error means the analysis itself
+// could not complete.
+func run(w io.Writer, patterns []string, jsonOut, staleIgnores bool) (int, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -92,24 +134,15 @@ func run(w io.Writer, patterns []string, jsonOut bool) (int, error) {
 			return 0, fmt.Errorf("%s does not type-check: %w", pkg.Path, pkg.Errs[0])
 		}
 	}
-	findings, err := analysis.Run(pkgs, analyzers)
+	findings, stale, err := analysis.RunWithStale(pkgs, analyzers)
 	if err != nil {
 		return 0, err
 	}
+	if staleIgnores {
+		return writeStale(w, stale, jsonOut)
+	}
 	if jsonOut {
-		out := make([]jsonFinding, 0, len(findings))
-		for _, f := range findings {
-			out = append(out, jsonFinding{
-				Analyzer: f.Analyzer,
-				File:     relPath(f.Pos.Filename),
-				Line:     f.Pos.Line,
-				Column:   f.Pos.Column,
-				Message:  f.Message,
-			})
-		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := writeJSON(w, findingsJSON(findings)); err != nil {
 			return 0, err
 		}
 	} else {
@@ -119,6 +152,29 @@ func run(w io.Writer, patterns []string, jsonOut bool) (int, error) {
 		}
 	}
 	if len(findings) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// writeStale reports unused suppressions; exit code 1 when any exist.
+func writeStale(w io.Writer, stale []analysis.StaleIgnore, jsonOut bool) (int, error) {
+	if jsonOut {
+		out := make([]analysis.StaleIgnore, 0, len(stale))
+		for _, s := range stale {
+			s.File = relPath(s.File)
+			out = append(out, s)
+		}
+		if err := writeJSON(w, out); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, s := range stale {
+			s.File = relPath(s.File)
+			fmt.Fprintln(w, s)
+		}
+	}
+	if len(stale) > 0 {
 		return 1, nil
 	}
 	return 0, nil

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// TestJSONSchemaGolden pins the -json wire form byte-for-byte. Downstream
+// tooling (CI annotations, hhcobs ingestion) parses this schema; renaming
+// a field, reordering keys, or changing the indentation is a contract
+// change and must be made here first, on purpose.
+func TestJSONSchemaGolden(t *testing.T) {
+	findings := []analysis.Finding{
+		{
+			Analyzer: "lockguard",
+			Pos:      token.Position{Filename: "internal/obs/tracer.go", Line: 42, Column: 7},
+			Message:  "read of ring (guarded by mu) in Snapshot without holding t.mu",
+		},
+		{
+			Analyzer: "goroutinelife",
+			Pos:      token.Position{Filename: "internal/pathsvc/client.go", Line: 101, Column: 2},
+			Message:  "goroutine has no lifecycle: tie it to a sync.WaitGroup, a stop/close channel, or annotate //hhc:detached <reason>",
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, findingsJSON(findings)); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "golden", "findings.json"), buf.Bytes())
+
+	// The empty case must stay a JSON array, never null.
+	buf.Reset()
+	if err := writeJSON(&buf, findingsJSON(nil)); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "golden", "findings_empty.json"), buf.Bytes())
+}
+
+// TestStaleJSONGolden pins the -stale-ignores -json form the same way.
+func TestStaleJSONGolden(t *testing.T) {
+	stale := []analysis.StaleIgnore{
+		{File: "internal/cache/cache.go", Line: 88, Analyzers: []string{"lockguard"}},
+		{File: "internal/obs/logger.go", Line: 12, Analyzers: []string{"atomicmix", "obscost"}},
+	}
+	var buf bytes.Buffer
+	if _, err := writeStale(&buf, stale, true); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "golden", "stale.json"), buf.Bytes())
+}
+
+// TestStaleText checks the human form and the exit codes of stale mode.
+func TestStaleText(t *testing.T) {
+	stale := []analysis.StaleIgnore{
+		{File: "internal/cache/cache.go", Line: 88, Analyzers: []string{"lockguard"}},
+	}
+	var buf bytes.Buffer
+	code, err := writeStale(&buf, stale, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("stale directives must exit 1, got %d", code)
+	}
+	want := "internal/cache/cache.go:88: stale //lint:ignore lockguard: suppresses no finding\n"
+	if buf.String() != want {
+		t.Errorf("stale text = %q, want %q", buf.String(), want)
+	}
+	code, err = writeStale(&buf, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("no stale directives must exit 0, got %d", code)
+	}
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./cmd/hhclint -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output diverges from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

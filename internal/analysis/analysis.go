@@ -24,6 +24,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one named invariant check.
@@ -71,11 +72,39 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
+// StaleIgnore is a //lint:ignore directive that suppressed no finding
+// during a run: the code it excused has been fixed (or the directive was
+// never right), and it should be deleted before it silences a future,
+// genuine finding on that line.
+type StaleIgnore struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+}
+
+// String renders the conventional file:line form.
+func (s StaleIgnore) String() string {
+	return fmt.Sprintf("%s:%d: stale //lint:ignore %s: suppresses no finding", s.File, s.Line, strings.Join(s.Analyzers, ","))
+}
+
 // Run applies every analyzer to every package, drops suppressed findings,
 // and returns the rest sorted by position. Analyzer errors (not findings —
 // failures of the analyzer itself) are returned after all packages ran.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunWithStale(pkgs, analyzers)
+	return findings, err
+}
+
+// RunWithStale is Run plus the audit trail: it also returns every
+// //lint:ignore directive (for an analyzer in this run) that suppressed
+// nothing, sorted by position.
+func RunWithStale(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []StaleIgnore, error) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var findings []Finding
+	var stale []StaleIgnore
 	var firstErr error
 	for _, pkg := range pkgs {
 		sup := newSuppressions(pkg)
@@ -97,6 +126,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				firstErr = fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		stale = append(stale, sup.stale(ran)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -111,5 +141,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, firstErr
+	return findings, stale, firstErr
 }

@@ -1,0 +1,128 @@
+// Package atomicmix flags mixed atomic/plain access. Once any code in a
+// package touches a field or package variable through sync/atomic, every
+// other access must be atomic too: a plain load can see a torn or stale
+// value next to atomic.AddInt64, and the race detector only catches the
+// schedules it happens to run. This is the bug class behind the PR-7
+// epoch-publication spin — one forgotten plain read of an
+// atomically-published counter.
+//
+// The analyzer collects every object whose address reaches a sync/atomic
+// call (atomic.AddInt64(&s.n, 1), atomic.StoreUint32(&ready, 1), ...)
+// and then reports plain reads and writes of those objects anywhere else
+// in the package. Taking the address (&s.n) is not itself flagged — that
+// is how the value is handed to atomic helpers. Constructor writes
+// through a fresh, unpublished local are exempt; anything else needs a
+// //lint:ignore atomicmix with a reason, or better, a migration to the
+// atomic.Int64 wrapper types that make mixing impossible.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the mixed atomic/plain access rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic anywhere may never be read or written as a plain variable elsewhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicObjs := collectAtomicObjects(pass)
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := analysis.FreshLocals(fd, pass.Info)
+			checkBody(pass, fd, fresh, atomicObjs)
+		}
+	}
+	return nil
+}
+
+// collectAtomicObjects finds every field or variable whose address is
+// passed to a sync/atomic function anywhere in the package.
+func collectAtomicObjects(pass *analysis.Pass) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := analysis.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if obj := addressedObject(pass, un.X); obj != nil {
+					objs[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return objs
+}
+
+// addressedObject resolves a bare selector or identifier to the field or
+// variable object it denotes.
+func addressedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch x := analysis.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[x.Sel]
+	case *ast.Ident:
+		return pass.Info.Uses[x]
+	default:
+		return nil
+	}
+}
+
+// checkBody reports plain accesses to atomic objects inside one function.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, fresh map[types.Object]bool, atomicObjs map[types.Object]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			// Address-taking is how the object reaches atomic helpers
+			// (directly or via a pointer passed on); not itself a plain
+			// access.
+			if x.Op.String() == "&" {
+				if inner := addressedObject(pass, x.X); inner != nil && atomicObjs[inner] {
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			obj := pass.Info.Uses[x.Sel]
+			if obj != nil && atomicObjs[obj] && !analysis.FreshBase(x.X, pass.Info, fresh) {
+				report(pass, x.Sel.Pos(), obj.Name(), fd.Name.Name)
+			}
+		case *ast.Ident:
+			// Package-level variables accessed bare. Struct fields have a
+			// nil parent scope, so selector hits above do not re-report here.
+			obj := pass.Info.Uses[x]
+			if obj != nil && atomicObjs[obj] && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				report(pass, x.Pos(), obj.Name(), fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *analysis.Pass, pos token.Pos, name, fn string) {
+	pass.Reportf(pos,
+		"%s is accessed via sync/atomic elsewhere; plain access in %s races with it (use atomic load/store or an atomic-typed field)",
+		name, fn)
+}

@@ -1,0 +1,23 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/mix", "repro/internal/fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := analysis.CheckWant(pkg, atomicmix.Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

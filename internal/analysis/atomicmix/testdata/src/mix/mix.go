@@ -1,0 +1,83 @@
+// Package mix exercises the atomicmix analyzer: plain reads and writes
+// of atomically-accessed fields, package-level variables, the
+// constructor exemption, helper address-passing, and the ignore hatch.
+package mix
+
+import "sync/atomic"
+
+// Stats mixes an atomic counter with plain accessors — the violation.
+type Stats struct {
+	hits int64
+	name string
+}
+
+// Inc is the atomic side: it marks hits as an atomic object.
+func (s *Stats) Inc() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// Bad1: plain read of an atomically-updated field.
+func (s *Stats) Bad1() int64 {
+	return s.hits // want `hits is accessed via sync/atomic elsewhere; plain access in Bad1`
+}
+
+// Bad2: plain write.
+func (s *Stats) Bad2() {
+	s.hits = 0 // want `hits is accessed via sync/atomic elsewhere; plain access in Bad2`
+}
+
+// Bad3: plain increment — a read-modify-write race.
+func (s *Stats) Bad3() {
+	s.hits++ // want `hits is accessed via sync/atomic elsewhere; plain access in Bad3`
+}
+
+// GoodLoad uses the atomic read.
+func (s *Stats) GoodLoad() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// GoodOther touches only the untracked field.
+func (s *Stats) GoodOther() string {
+	return s.name
+}
+
+// NewStats initializes through a fresh local before publication: exempt.
+func NewStats(seed int64) *Stats {
+	s := &Stats{}
+	s.hits = seed
+	return s
+}
+
+// bump receives the address; passing it on is not a plain access.
+func bump(p *int64) {
+	atomic.AddInt64(p, 1)
+}
+
+// GoodHelper hands the field to an atomic helper by address.
+func GoodHelper(s *Stats) {
+	bump(&s.hits)
+}
+
+// GoodIgnored documents a deliberate racy read.
+func (s *Stats) GoodIgnored() int64 {
+	//lint:ignore atomicmix approximate value is fine for the debug page
+	return s.hits
+}
+
+// ready is a package-level atomic flag.
+var ready uint32
+
+// MarkReady publishes atomically.
+func MarkReady() {
+	atomic.StoreUint32(&ready, 1)
+}
+
+// Bad4: plain read of the package-level atomic variable.
+func Bad4() bool {
+	return ready == 1 // want `ready is accessed via sync/atomic elsewhere; plain access in Bad4`
+}
+
+// GoodReady loads it atomically.
+func GoodReady() bool {
+	return atomic.LoadUint32(&ready) == 1
+}

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file is the shared intra-package substrate the concurrency
+// analyzers (lockguard, goroutinelife, ctxflow, atomicmix) build on:
+// resolving call expressions to their package-local declarations, walking
+// bodies transitively along that local call graph, and reading //hhc:
+// function directives. It deliberately stops at the package boundary —
+// the invariants it supports are package-local contracts (a guarded
+// field, a goroutine's lifecycle), and cross-package analysis would need
+// whole-program facts this zero-dependency driver does not keep.
+
+// CallGraph indexes one package's function declarations by their type
+// objects, so analyzers can hop from a call expression to the callee's
+// body when both live in the package under analysis.
+type CallGraph struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// NewCallGraph builds the declaration index for the pass's package.
+func NewCallGraph(pass *Pass) *CallGraph {
+	cg := &CallGraph{pass: pass, decls: make(map[*types.Func]*ast.FuncDecl)}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				cg.decls[fn] = fd
+			}
+		}
+	}
+	return cg
+}
+
+// Decl returns the package-local declaration of fn (nil when fn is
+// external, an interface method, or bodiless).
+func (cg *CallGraph) Decl(fn *types.Func) *ast.FuncDecl { return cg.decls[fn] }
+
+// CalleeOf resolves a call expression to the static *types.Func it
+// invokes, looking through parentheses. Calls through function values,
+// interface dispatch without a concrete callee, and type conversions
+// resolve to nil.
+func (cg *CallGraph) CalleeOf(call *ast.CallExpr) *types.Func {
+	return CalleeFunc(cg.pass.Info, call)
+}
+
+// CalleeFunc is CalleeOf without the index: it resolves the callee object
+// of one call from type info alone.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil {
+		fn, _ = info.Defs[id].(*types.Func)
+	}
+	return fn
+}
+
+// ReachableBodies walks the intra-package call graph from root (a
+// statement or expression), visiting root itself and the body of every
+// package-local function transitively reachable through static calls.
+// visit is called once per distinct body (root first); the walk is
+// cycle-safe. Function literals inside a visited body are part of that
+// body and are walked in place.
+func (cg *CallGraph) ReachableBodies(root ast.Node, visit func(body ast.Node)) {
+	seen := make(map[*ast.FuncDecl]bool)
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		visit(n)
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := cg.CalleeOf(call)
+			if fn == nil {
+				return true
+			}
+			fd := cg.decls[fn]
+			if fd == nil || seen[fd] {
+				return true
+			}
+			seen[fd] = true
+			walk(fd.Body)
+			return true
+		})
+	}
+	walk(root)
+}
+
+// FuncDirective scans a declaration's doc comment for a //hhc:<name>
+// directive and returns the text after it (the directive's argument,
+// possibly empty) and whether it was present. Directives ride in doc
+// comments the way //hhc:hotpath does:
+//
+//	//hhc:holds mu
+//	func (t *T) siftUp(i int) { ... }
+func FuncDirective(fd *ast.FuncDecl, name string) (arg string, ok bool) {
+	if fd == nil || fd.Doc == nil {
+		return "", false
+	}
+	return directiveIn(fd.Doc, name)
+}
+
+// directiveIn scans one comment group for //hhc:<name>.
+func directiveIn(cg *ast.CommentGroup, name string) (arg string, ok bool) {
+	if cg == nil {
+		return "", false
+	}
+	marker := "//hhc:" + name
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		rest, found := strings.CutPrefix(text, marker)
+		if !found {
+			continue
+		}
+		if rest == "" {
+			return "", true
+		}
+		if rest[0] == ' ' || rest[0] == '\t' {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// EnclosingFuncs maps every node position inside a file to its enclosing
+// function declaration. Built once per file, it answers "which function am
+// I in" for analyzers that report on expressions.
+type EnclosingFuncs struct {
+	decls []*ast.FuncDecl
+}
+
+// NewEnclosingFuncs indexes one file's function declarations.
+func NewEnclosingFuncs(f *ast.File) *EnclosingFuncs {
+	e := &EnclosingFuncs{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			e.decls = append(e.decls, fd)
+		}
+	}
+	return e
+}
+
+// At returns the function declaration whose body spans pos (nil at file
+// scope — var initializers, for instance).
+func (e *EnclosingFuncs) At(n ast.Node) *ast.FuncDecl {
+	for _, fd := range e.decls {
+		if fd.Pos() <= n.Pos() && n.End() <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// Unparen strips any number of enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// BaseExprString renders the base expression of a field selector in a
+// canonical textual form ("s", "t.out", "c.shards[i]") so two accesses
+// through the same path can be matched up. Expressions outside the small
+// supported grammar render as "" and never match anything.
+func BaseExprString(e ast.Expr) string {
+	switch x := Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := BaseExprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		base := BaseExprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[]"
+	case *ast.StarExpr:
+		return BaseExprString(x.X)
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			return BaseExprString(x.X)
+		}
+		return ""
+	case *ast.CallExpr:
+		return ""
+	default:
+		return ""
+	}
+}

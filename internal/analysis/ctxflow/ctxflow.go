@@ -1,0 +1,179 @@
+// Package ctxflow enforces context threading. Two rules:
+//
+// First, context.Background() and context.TODO() may not be called in
+// internal packages — a fresh root context severs cancellation and
+// deadline flow from the caller. Roots belong in cmd/ binaries; an
+// internal function that legitimately owns a root (a daemon loop, a
+// detached janitor) declares it:
+//
+//	//hhc:ctxroot janitor outlives any one request
+//	func (s *Server) sweep() { ctx := context.Background(); ... }
+//
+// Second, a function that accepts a context.Context and calls a callee
+// that also takes one must actually thread its context somewhere: a ctx
+// parameter that is never used while context-taking callees are invoked
+// means cancellation silently stops propagating at this frame.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the context-flow rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "thread context.Context through; no Background()/TODO() outside cmd/ and annotated roots",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	inCmd := strings.HasPrefix(pass.Path, "repro/cmd")
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			reason, isRoot := analysis.FuncDirective(fd, "ctxroot")
+			if isRoot && reason == "" {
+				pass.Reportf(fd.Pos(), "//hhc:ctxroot needs a reason: say why this function owns a fresh context root")
+			}
+			if !inCmd && !isRoot {
+				checkNoFreshRoots(pass, fd)
+			}
+			if !isRoot {
+				checkThreading(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkNoFreshRoots flags context.Background/TODO calls inside fd.
+func checkNoFreshRoots(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			pass.Reportf(call.Pos(),
+				"context.%s creates a fresh root outside cmd/: thread the caller's ctx or annotate //hhc:ctxroot <reason>",
+				fn.Name())
+		}
+		return true
+	})
+}
+
+// checkThreading flags fd when it accepts a context.Context it never
+// uses while calling at least one context-taking callee.
+func checkThreading(pass *analysis.Pass, fd *ast.FuncDecl) {
+	params := ctxParams(pass, fd)
+	if len(params) == 0 {
+		return
+	}
+	for _, p := range params {
+		if p != nil && usesObject(pass, fd.Body, p) {
+			return
+		}
+	}
+	// No ctx param is ever referenced; find the first callee that wanted one.
+	var offender *ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if offender != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.Info, call)
+		if fn != nil && takesContext(fn) {
+			offender = call
+			return false
+		}
+		return true
+	})
+	if offender != nil {
+		callee := analysis.CalleeFunc(pass.Info, offender)
+		pass.Reportf(offender.Pos(),
+			"%s accepts a context.Context but calls %s without threading it",
+			fd.Name.Name, callee.Name())
+	}
+}
+
+// ctxParams returns the objects of fd's context.Context parameters. A
+// blank (_) parameter contributes a nil entry: it counts as "accepts a
+// context" but can never be used.
+func ctxParams(pass *analysis.Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, fld := range fd.Type.Params.List {
+		if !isContextType(pass.Info.TypeOf(fld.Type)) {
+			continue
+		}
+		if len(fld.Names) == 0 {
+			out = append(out, nil) // unnamed param
+			continue
+		}
+		for _, nm := range fld.Names {
+			if nm.Name == "_" {
+				out = append(out, nil)
+				continue
+			}
+			out = append(out, pass.Info.Defs[nm])
+		}
+	}
+	return out
+}
+
+// usesObject reports whether any identifier in body resolves to obj.
+func usesObject(pass *analysis.Pass, body ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// takesContext reports whether fn's signature includes a context.Context
+// parameter.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType matches context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,39 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/flow", "repro/internal/fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := analysis.CheckWant(pkg, ctxflow.Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestCmdRoots confirms Background/TODO are allowed under cmd/ paths.
+func TestCmdRoots(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/flowcmd", "repro/cmd/fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{ctxflow.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding under cmd/: %s", f)
+	}
+}

@@ -1,0 +1,77 @@
+// Package flow exercises the ctxflow analyzer: fresh roots in internal
+// code, unthreaded contexts, blank context parameters, the ctxroot
+// annotation, and its reason requirement.
+package flow
+
+import "context"
+
+// query stands in for any context-taking callee.
+func query(ctx context.Context, q string) error {
+	<-ctx.Done()
+	_ = q
+	return nil
+}
+
+// Bad1: fresh root via Background in an internal package.
+func Bad1() {
+	ctx := context.Background() // want `context\.Background creates a fresh root outside cmd/`
+	_ = query(ctx, "x")
+}
+
+// Bad2: TODO is just as much a root.
+func Bad2() error {
+	return query(context.TODO(), "y") // want `context\.TODO creates a fresh root outside cmd/`
+}
+
+// Bad3: accepts ctx, calls a ctx-taking callee, never threads it.
+func Bad3(ctx context.Context, q string) error {
+	return query(context.TODO(), q) // want `context\.TODO creates a fresh root` `Bad3 accepts a context\.Context but calls query without threading it`
+}
+
+// Bad4: a blank ctx parameter can never thread, yet the callee wanted one.
+func Bad4(_ context.Context) {
+	_ = query(nil, "z") // want `Bad4 accepts a context\.Context but calls query without threading it`
+}
+
+// Good threads its context.
+func Good(ctx context.Context, q string) error {
+	return query(ctx, q)
+}
+
+// GoodDerived uses ctx through a derived context.
+func GoodDerived(ctx context.Context, q string) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return query(sub, q)
+}
+
+// GoodSelect uses ctx for cancellation only; callees taking no ctx are fine.
+func GoodSelect(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	default:
+	}
+}
+
+// GoodRoot owns a root on purpose and says why.
+//
+//hhc:ctxroot sweeper outlives any single request
+func GoodRoot() {
+	ctx := context.Background()
+	_ = query(ctx, "sweep")
+}
+
+// BadRootNoReason declares a root without justifying it.
+//
+//hhc:ctxroot
+func BadRootNoReason() { // want `//hhc:ctxroot needs a reason`
+	ctx := context.Background()
+	_ = query(ctx, "sweep")
+}
+
+// GoodIgnored documents a deliberate fresh root inline.
+func GoodIgnored() {
+	//lint:ignore ctxflow one-shot startup probe, nothing to inherit
+	ctx := context.Background()
+	_ = query(ctx, "probe")
+}

@@ -1,0 +1,17 @@
+// Package flowcmd is loaded under a repro/cmd/ import path: binaries own
+// the process-level context roots, so Background here is legitimate.
+package flowcmd
+
+import "context"
+
+func run(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}
+
+// Main builds the root context the way a cmd/ entry point does.
+func Main() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return run(ctx)
+}

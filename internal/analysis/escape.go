@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Escape half of the substrate: constructors legitimately touch guarded
+// fields and mix plain writes with later-atomic fields, because the value
+// under construction has not been published to any other goroutine yet.
+// FreshLocals spots that idiom — a local variable bound to an allocation
+// made in this function — so lockguard and atomicmix can exempt accesses
+// through it instead of demanding a lock inside New*.
+//
+// The analysis is deliberately conservative in one direction only: a
+// local stays "fresh" for the whole function body. That admits a
+// theoretical false negative (allocate, hand to a goroutine, keep
+// mutating), but goroutinelife covers the goroutine half of that
+// pattern, and the alternative — flow-sensitive publication tracking —
+// costs far more than the constructor idiom justifies.
+
+// FreshLocals returns the local objects of fn that are bound to a fresh
+// allocation: assigned (or initialized) from &T{...}, T{...}, new(T), or
+// a call to a package-local function returning such a value is NOT
+// chased — only direct allocation spellings count.
+func FreshLocals(fn ast.Node, info *types.Info) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if isFreshAlloc(st.Rhs[i], info) {
+					fresh[obj] = true
+				} else if st.Tok.String() == "=" && fresh[obj] {
+					// Rebinding a fresh local to something shared spoils it.
+					delete(fresh, obj)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if i < len(st.Values) && isFreshAlloc(st.Values[i], info) {
+					if obj := info.Defs[name]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshAlloc reports whether e spells a fresh allocation: a composite
+// literal, its address, or new(T).
+func isFreshAlloc(e ast.Expr, info *types.Info) bool {
+	switch x := Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op.String() != "&" {
+			return false
+		}
+		_, ok := Unparen(x.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := Unparen(x.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "new"
+	default:
+		return false
+	}
+}
+
+// FreshBase reports whether the base of a selector path is a fresh local:
+// the root identifier of expr ("s" in s.ring, s.buf[i]) resolves to an
+// object in fresh.
+func FreshBase(expr ast.Expr, info *types.Info, fresh map[types.Object]bool) bool {
+	for {
+		switch x := Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			return obj != nil && fresh[obj]
+		case *ast.SelectorExpr:
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		default:
+			return false
+		}
+	}
+}

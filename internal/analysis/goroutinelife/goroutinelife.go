@@ -1,0 +1,133 @@
+// Package goroutinelife requires every go statement in internal packages
+// to be tied to a lifecycle. A goroutine counts as managed when its body
+// — or any package-local function it transitively calls — contains
+// lifecycle evidence: a (*sync.WaitGroup).Done call, a channel receive
+// (including range-over-channel and select), or a close of a channel it
+// owns. Fire-and-forget goroutines that are genuinely intentional must
+// say so where they start:
+//
+//	//hhc:detached closed via http.Server.Close in Stop
+//	go func() { _ = srv.Serve(ln) }()
+//
+// The annotation goes on the go statement's line or the line above, and
+// the reason is mandatory — a bare //hhc:detached is itself a finding.
+// Silent goroutine leaks (spawn, no join, no stop signal) are the PR-4/
+// PR-6 class of liveness bug this analyzer exists to kill.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the goroutine-lifecycle rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "go statements in internal/ must join a WaitGroup, watch a stop/close channel, or be annotated //hhc:detached <reason>",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Path, "/internal/") {
+		return nil
+	}
+	cg := analysis.NewCallGraph(pass)
+	for _, f := range pass.Files {
+		detached := detachedLines(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			line := pass.Fset.Position(gs.Pos()).Line
+			if reason, ok := detached[line]; ok {
+				if reason == "" {
+					pass.Reportf(gs.Pos(),
+						"//hhc:detached needs a reason: say why this goroutine has no lifecycle")
+				}
+				return true
+			}
+			if hasLifecycle(pass, cg, gs.Call) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine has no lifecycle: tie it to a sync.WaitGroup, a stop/close channel, or annotate //hhc:detached <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+// detachedLines maps each line that may carry a go statement to the
+// reason of a //hhc:detached annotation covering it. An annotation on
+// line N covers go statements on N (trailing comment) and N+1 (comment
+// above), mirroring how //lint:ignore registers.
+func detachedLines(pass *analysis.Pass, f *ast.File) map[int]string {
+	out := make(map[int]string)
+	for _, cgr := range f.Comments {
+		for _, c := range cgr.List {
+			text := strings.TrimSpace(c.Text)
+			rest, found := strings.CutPrefix(text, "//hhc:detached")
+			if !found {
+				continue
+			}
+			line := pass.Fset.Position(c.Pos()).Line
+			reason := strings.TrimSpace(rest)
+			out[line] = reason
+			out[line+1] = reason
+		}
+	}
+	return out
+}
+
+// hasLifecycle searches the spawned call and every package-local body it
+// transitively reaches for lifecycle evidence.
+func hasLifecycle(pass *analysis.Pass, cg *analysis.CallGraph, call *ast.CallExpr) bool {
+	found := false
+	cg.ReachableBodies(call, func(body ast.Node) {
+		if found {
+			return
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			switch x := m.(type) {
+			case *ast.UnaryExpr:
+				if x.Op.String() == "<-" {
+					found = true // channel receive (covers select comm cases too)
+				}
+			case *ast.RangeStmt:
+				if _, ok := pass.Info.TypeOf(x.X).Underlying().(*types.Chan); ok {
+					found = true
+				}
+			case *ast.CallExpr:
+				if isClose(pass, x) || isWaitGroupDone(pass, x) {
+					found = true
+				}
+			}
+			return !found
+		})
+	})
+	return found
+}
+
+// isClose matches the close builtin applied to a channel.
+func isClose(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := analysis.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// isWaitGroupDone matches (*sync.WaitGroup).Done.
+func isWaitGroupDone(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	return fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "sync" && fn.Name() == "Done"
+}

@@ -1,0 +1,40 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/goroutinelife"
+)
+
+func TestGoroutinelife(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/life", "repro/internal/fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := analysis.CheckWant(pkg, goroutinelife.Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestOutsideInternal confirms the analyzer is scoped to internal/
+// packages: the same testdata loaded under a cmd/ import path is clean.
+func TestOutsideInternal(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/life", "repro/cmd/fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{goroutinelife.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding outside internal/: %s", f)
+	}
+}

@@ -1,0 +1,102 @@
+// Package life exercises the goroutinelife analyzer: bare goroutines,
+// external spawns, transitive evidence through package-local callees,
+// the annotation escape hatch, and the reason requirement.
+package life
+
+import (
+	"sync"
+	"time"
+)
+
+// Bad1: fire-and-forget closure with no lifecycle at all.
+func Bad1() {
+	go func() { // want `goroutine has no lifecycle`
+		_ = time.Now()
+	}()
+}
+
+// Bad2: spawning an external function gives the analyzer no body to
+// inspect, so it demands an annotation.
+func Bad2() {
+	go time.Sleep(time.Millisecond) // want `goroutine has no lifecycle`
+}
+
+// spin has no lifecycle evidence of its own.
+func spin() {
+	for i := 0; i < 1000; i++ {
+		_ = i * i
+	}
+}
+
+// Bad3: the transitive walk reaches spin and still finds nothing.
+func Bad3() {
+	go spin() // want `goroutine has no lifecycle`
+}
+
+// Bad4: the annotation without a reason is itself a finding.
+func Bad4() {
+	//hhc:detached
+	go spin() // want `//hhc:detached needs a reason`
+}
+
+// GoodWG joins a WaitGroup.
+func GoodWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		spin()
+	}()
+}
+
+// GoodStop watches a stop channel.
+func GoodStop(stop <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				spin()
+			}
+		}
+	}()
+}
+
+// GoodRange drains a channel until it is closed by the producer.
+func GoodRange(ch <-chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// GoodClose signals its own completion.
+func GoodClose(done chan<- struct{}) {
+	go func() {
+		defer close(done)
+		spin()
+	}()
+}
+
+// drain carries the evidence for the transitive case.
+func drain(ch <-chan int, done chan struct{}) {
+	defer close(done)
+	for range ch {
+	}
+}
+
+// GoodTransitive reaches drain's evidence through the call graph.
+func GoodTransitive(ch <-chan int, done chan struct{}) {
+	go drain(ch, done)
+}
+
+// GoodDetached is explicitly fire-and-forget, with a reason.
+func GoodDetached() {
+	//hhc:detached best-effort warmup; process exit reaps it
+	go spin()
+}
+
+// GoodDetachedTrailing carries the annotation as a trailing comment.
+func GoodDetachedTrailing() {
+	go spin() //hhc:detached best-effort warmup; process exit reaps it
+}

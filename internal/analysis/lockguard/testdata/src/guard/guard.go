@@ -1,0 +1,153 @@
+// Package guard exercises the lockguard analyzer: guarded-by field
+// annotations, the must-hold path analysis, RLock read/write asymmetry,
+// the //hhc:holds helper directive, the fresh-local constructor
+// exemption, and the //lint:ignore escape hatch.
+package guard
+
+import "sync"
+
+// Counter is the basic guarded struct.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Bad1: plain unlocked read.
+func (c *Counter) Bad1() int {
+	return c.n // want `read of n \(guarded by mu\) in Bad1 without holding c\.mu`
+}
+
+// Bad2: plain unlocked write.
+func (c *Counter) Bad2() {
+	c.n = 7 // want `write to n \(guarded by mu\) in Bad2 without holding c\.mu`
+}
+
+// Bad3: access after the lock is released.
+func (c *Counter) Bad3() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `read of n \(guarded by mu\) in Bad3 without holding c\.mu`
+}
+
+// Bad4: the lock is only taken on one branch, so the access after the
+// merge is not protected on every path.
+func (c *Counter) Bad4(cond bool) {
+	if cond {
+		c.mu.Lock()
+	}
+	c.n++ // want `write to n \(guarded by mu\) in Bad4 without holding c\.mu`
+	if cond {
+		c.mu.Unlock()
+	}
+}
+
+// Bad5: a goroutine does not inherit the spawner's lock.
+func (c *Counter) Bad5() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write to n \(guarded by mu\) in Bad5 without holding c\.mu`
+	}()
+}
+
+// Good: classic lock/defer-unlock.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// GoodSeq: lock and unlock in sequence, access in between.
+func (c *Counter) GoodSeq() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// GoodBranches: every early-return branch unlocks after its access;
+// the fallthrough path stays held.
+func (c *Counter) GoodBranches(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		v := c.n
+		c.mu.Unlock()
+		return v
+	}
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// bump is only called with c.mu held, and says so.
+//
+//hhc:holds mu
+func (c *Counter) bump(d int) {
+	c.n += d
+}
+
+// GoodHelper drives the annotated helper under the lock.
+func (c *Counter) GoodHelper() {
+	c.mu.Lock()
+	c.bump(2)
+	c.mu.Unlock()
+}
+
+// NewCounter mutates the value before publication: exempt.
+func NewCounter(start int) *Counter {
+	c := &Counter{}
+	c.n = start
+	return c
+}
+
+// Ignored documents a deliberate unguarded read.
+func (c *Counter) Ignored() int {
+	//lint:ignore lockguard racy snapshot is acceptable for metrics
+	return c.n
+}
+
+// Table uses an RWMutex: reads need at least RLock, writes the full Lock.
+type Table struct {
+	rw sync.RWMutex
+	m  map[string]int // guarded by rw
+}
+
+// GoodRead reads under RLock.
+func (t *Table) GoodRead(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+// BadWriteUnderRLock: an RLock does not license writes.
+func (t *Table) BadWriteUnderRLock(k string) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.m[k] = 1 // want `write to m \(guarded by rw\) in BadWriteUnderRLock without holding t\.rw`
+}
+
+// GoodWrite writes under the exclusive lock.
+func (t *Table) GoodWrite(k string, v int) {
+	t.rw.Lock()
+	t.m[k] = v
+	t.rw.Unlock()
+}
+
+// BadLoop: the unlock inside the loop body means the next iteration's
+// read is not covered.
+func (t *Table) BadLoop(keys []string) int {
+	sum := 0
+	t.rw.RLock()
+	for _, k := range keys {
+		sum += t.m[k] // want `read of m \(guarded by rw\) in BadLoop without holding t\.rw`
+		t.rw.RUnlock()
+	}
+	return sum
+}
+
+// Orphan annotations that name a non-existent sibling are themselves
+// findings, so typos fail loudly instead of silently unguarding.
+type Orphan struct {
+	mu sync.Mutex
+	v  int // guarded by lock // want `guarded-by annotation names lock, which is not a sibling field`
+}

@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// retrule flags every return statement — a maximally simple analyzer to
+// drive the suppression machinery.
+var retrule = &analysis.Analyzer{
+	Name: "retrule",
+	Doc:  "flags every return statement (test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(r.Pos(), "return statement")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestRunWithStale checks the three directive fates: used (suppresses a
+// finding), stale (suppresses nothing, reported), and unjudgeable (names
+// an analyzer outside the run, never reported).
+func TestRunWithStale(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/stalecheck", "repro/internal/fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, stale, err := analysis.RunWithStale([]*analysis.Package{pkg}, []*analysis.Analyzer{retrule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// used()'s return is suppressed; stale()'s return is not (the directive
+	// sits two lines above it).
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the unsuppressed return in stale()", findings)
+	}
+	if !strings.Contains(findings[0].Pos.Filename, "stalecheck.go") || findings[0].Pos.Line != 14 {
+		t.Errorf("finding at %s:%d, want stalecheck.go:14", findings[0].Pos.Filename, findings[0].Pos.Line)
+	}
+	if len(stale) != 1 {
+		t.Fatalf("stale = %v, want exactly the retrule directive in stale()", stale)
+	}
+	if stale[0].Line != 12 || len(stale[0].Analyzers) != 1 || stale[0].Analyzers[0] != "retrule" {
+		t.Errorf("stale = %+v, want line 12 analyzers [retrule]", stale[0])
+	}
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"sort"
 	"strings"
 )
 
@@ -12,13 +13,27 @@ import (
 // (trailing comment) and on the line immediately below it (comment-only
 // line above the offending statement). The reason is mandatory — a bare
 // //lint:ignore name is not a directive.
+//
+// Each directive tracks whether it actually suppressed anything during a
+// run, so hhclint's -stale-ignores mode can report suppressions that
+// outlived the finding they were written for.
 type suppressions struct {
-	// byLine maps file -> line -> analyzer names ignored there.
-	byLine map[string]map[int][]string
+	// byLine maps file -> line -> directives registered there.
+	byLine map[string]map[int][]*directive
+	// all lists every directive once, in source order of discovery.
+	all []*directive
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	file  string
+	line  int // the comment's own line
+	names []string
+	used  bool // did it suppress at least one finding this run
 }
 
 func newSuppressions(pkg *Package) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	s := &suppressions{byLine: make(map[string]map[int][]*directive)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -27,13 +42,15 @@ func newSuppressions(pkg *Package) *suppressions {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				d := &directive{file: pos.Filename, line: pos.Line, names: names}
+				s.all = append(s.all, d)
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*directive)
 					s.byLine[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], names...)
-				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+				lines[pos.Line] = append(lines[pos.Line], d)
+				lines[pos.Line+1] = append(lines[pos.Line+1], d)
 			}
 		}
 	}
@@ -56,11 +73,46 @@ func parseIgnore(text string) ([]string, bool) {
 	return strings.Split(fields[0], ","), true
 }
 
+// suppressed reports whether f is silenced by a directive, marking the
+// directive as used when it is.
 func (s *suppressions) suppressed(f Finding) bool {
-	for _, name := range s.byLine[f.Pos.Filename][f.Pos.Line] {
-		if name == f.Analyzer {
-			return true
+	hit := false
+	for _, d := range s.byLine[f.Pos.Filename][f.Pos.Line] {
+		for _, name := range d.names {
+			if name == f.Analyzer {
+				d.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns the directives that suppressed nothing, restricted to
+// those whose analyzers all actually ran — a directive naming an
+// analyzer outside this run cannot be judged and is never reported.
+func (s *suppressions) stale(ran map[string]bool) []StaleIgnore {
+	var out []StaleIgnore
+	for _, d := range s.all {
+		if d.used {
+			continue
+		}
+		judgeable := true
+		for _, name := range d.names {
+			if !ran[name] {
+				judgeable = false
+				break
+			}
+		}
+		if judgeable {
+			out = append(out, StaleIgnore{File: d.file, Line: d.line, Analyzers: d.names})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }

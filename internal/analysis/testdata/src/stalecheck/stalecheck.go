@@ -1,0 +1,20 @@
+// Package stalecheck feeds RunWithStale one directive that earns its
+// keep, one that suppresses nothing, and one naming an analyzer outside
+// the run (unjudgeable, so never reported stale).
+package stalecheck
+
+func used() int {
+	//lint:ignore retrule this return is deliberately flagged and excused
+	return 1
+}
+
+func stale() int {
+	//lint:ignore retrule left behind after the code it excused was fixed
+	x := 2
+	return x
+}
+
+func unjudgeable() {
+	//lint:ignore notinthisrun silenced analyzer was not part of the run
+	_ = 3
+}

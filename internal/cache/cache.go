@@ -143,9 +143,9 @@ type call struct {
 // shard is one lock domain: an LRU-ordered map plus the in-flight table.
 type shard struct {
 	mu       sync.Mutex
-	entries  map[key]*list.Element // element value: *entry
-	lru      *list.List            // front = most recently used
-	inflight map[key]*call
+	entries  map[key]*list.Element // guarded by mu; element value: *entry
+	lru      *list.List            // guarded by mu; front = most recently used
+	inflight map[key]*call         // guarded by mu
 }
 
 // Cache memoizes container constructions for one topology.
@@ -347,6 +347,8 @@ func (c *Cache) Paths(u, v hhc.Node, opt core.Options) ([][]hhc.Node, error) {
 
 // insert stores a container and evicts LRU entries beyond the per-shard
 // capacity (cap < 0 = unbounded). Caller holds the shard lock.
+//
+//hhc:holds mu
 func (s *shard) insert(k key, paths [][]hhc.Node, cap int, counters *stats.CacheCounters) {
 	if el, ok := s.entries[k]; ok {
 		// A concurrent miss for the same key already stored it; keep the

@@ -150,6 +150,7 @@ func (o *Obs) StartListener(name string) (string, error) {
 		return "", fmt.Errorf("-listen %s: %w", o.ListenAddr, err)
 	}
 	o.srv = &http.Server{Handler: mux}
+	//hhc:detached reaped by o.srv.Close() in Obs.Close; Serve returns when the listener dies
 	go func() { _ = o.srv.Serve(ln) }()
 	addr := ln.Addr().String()
 	fmt.Fprintf(os.Stderr, "%s: serving http://%s/metrics (also /debug/vars, /debug/pprof/%s)\n", name, addr, extra)
@@ -211,6 +212,7 @@ func ServeObs(addr string, reg *obs.Registry) (*http.Server, string, error) {
 		return nil, "", fmt.Errorf("-listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: obs.Mux(reg)}
+	//hhc:detached caller owns srv and reaps the goroutine via srv.Close; Serve returns when the listener dies
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
 }

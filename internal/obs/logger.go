@@ -61,7 +61,7 @@ func ParseLevel(s string) (Level, error) {
 // logging is enabled.
 type Logger struct {
 	mu    sync.Mutex
-	w     io.Writer
+	w     io.Writer // guarded by mu
 	min   atomic.Int32
 	lines atomic.Int64
 }

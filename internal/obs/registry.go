@@ -135,7 +135,7 @@ type family struct {
 // is not usable; call NewRegistry.
 type Registry struct {
 	mu       sync.RWMutex
-	families map[string]*family
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry creates an empty registry.
@@ -315,6 +315,8 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 
 // sortedFamilies snapshots the family list in name order.
 // Caller must hold at least the read lock.
+//
+//hhc:holds mu
 func (r *Registry) sortedFamilies() []*family {
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {

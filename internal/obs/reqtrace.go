@@ -241,12 +241,12 @@ type RequestTracer struct {
 	mirror *Tracer
 
 	mu      sync.Mutex
-	total   int64
-	errored int64
-	slowest []*RequestTrace // min-heap by Dur: the K slowest ever
-	errs    ringBuf         // K most recent non-OK
-	slow    ringBuf         // K most recent over the slow threshold
-	recent  ringBuf         // K most recent overall
+	total   int64           // guarded by mu
+	errored int64           // guarded by mu
+	slowest []*RequestTrace // min-heap by Dur: the K slowest ever; guarded by mu
+	errs    ringBuf         // K most recent non-OK; guarded by mu
+	slow    ringBuf         // K most recent over the slow threshold; guarded by mu
+	recent  ringBuf         // K most recent overall; guarded by mu
 }
 
 // NewRequestTracer builds a recorder retaining k traces per bucket
@@ -348,6 +348,9 @@ func (t *RequestTracer) Record(tr *RequestTrace) {
 	}
 }
 
+// siftUp restores the heap invariant upward from i.
+//
+//hhc:holds mu
 func (t *RequestTracer) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
@@ -359,6 +362,9 @@ func (t *RequestTracer) siftUp(i int) {
 	}
 }
 
+// siftDown restores the heap invariant downward from i.
+//
+//hhc:holds mu
 func (t *RequestTracer) siftDown(i int) {
 	n := len(t.slowest)
 	for {

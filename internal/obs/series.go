@@ -162,13 +162,14 @@ const (
 type SeriesRing struct {
 	reg      *Registry
 	interval time.Duration
+	capacity int // ring size, immutable after construction
 
 	mu     sync.Mutex
-	points []SeriesPoint // ring
-	n      int           // live entries
-	next   int
-	prev   RegistrySnapshot
-	primed bool
+	points []SeriesPoint    // ring; guarded by mu
+	n      int              // live entries; guarded by mu
+	next   int              // guarded by mu
+	prev   RegistrySnapshot // guarded by mu
+	primed bool             // guarded by mu
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -187,6 +188,7 @@ func NewSeriesRing(reg *Registry, interval time.Duration, capacity int) *SeriesR
 	return &SeriesRing{
 		reg:      reg,
 		interval: interval,
+		capacity: capacity,
 		points:   make([]SeriesPoint, capacity),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -237,6 +239,9 @@ func (s *SeriesRing) Sample() {
 	s.prev, s.primed = snap, true
 }
 
+// add appends one interval point to the ring.
+//
+//hhc:holds mu
 func (s *SeriesRing) add(p SeriesPoint) {
 	s.points[s.next] = p
 	s.next = (s.next + 1) % len(s.points)
@@ -278,7 +283,7 @@ func (s *SeriesRing) Snapshot(last int) SeriesSnapshot {
 	pts := s.Points(last)
 	out := SeriesSnapshot{
 		IntervalNS: int64(s.interval),
-		Capacity:   len(s.points),
+		Capacity:   s.capacity,
 		Points:     pts,
 		Summary:    map[string]HistPoint{},
 	}

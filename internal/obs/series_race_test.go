@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSeriesRingHammer drives a SeriesRing from every direction at once:
+// the background sampler, manual Sample calls, Points/Snapshot readers,
+// table renderers, and registry writers mutating the metrics being
+// sampled. Its value is under `go test -race`: the ring's mu-guarded
+// state (points, n, next, prev, primed) and the immutable capacity field
+// must never race, including across Stop.
+func TestSeriesRingHammer(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ring_hammer_total", "")
+	h := reg.Histogram("ring_hammer_seconds", "", DefLatencyBuckets)
+
+	const capacity = 16
+	s := NewSeriesRing(reg, time.Millisecond, capacity)
+	s.Start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i%5) * 1e-4)
+				switch i % 4 {
+				case 0:
+					s.Sample() // manual sampling races the background ticker
+				case 1:
+					s.Points(id + 1)
+				case 2:
+					snap := s.Snapshot(0)
+					if snap.Capacity != capacity {
+						t.Errorf("Snapshot capacity = %d, want %d", snap.Capacity, capacity)
+						return
+					}
+				default:
+					_ = s.WriteTable(io.Discard, 4)
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	s.Stop()
+	s.Stop() // idempotent
+
+	pts := s.Points(0)
+	if len(pts) > capacity {
+		t.Fatalf("retained %d points, capacity %d", len(pts), capacity)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].At < pts[i-1].At {
+			t.Fatalf("points out of order at %d: %d < %d", i, pts[i].At, pts[i-1].At)
+		}
+	}
+	// After Stop the sampler goroutine is gone: the ring must be quiescent.
+	before := s.Points(0)
+	time.Sleep(5 * time.Millisecond)
+	after := s.Points(0)
+	if len(before) != len(after) {
+		t.Fatalf("ring still sampling after Stop: %d -> %d points", len(before), len(after))
+	}
+}

@@ -75,8 +75,8 @@ type streamer struct {
 	// wmu serializes sink access between the drain goroutine and Flush;
 	// no hot path ever takes it.
 	wmu   sync.Mutex
-	enc   *json.Encoder
-	flush func() error
+	enc   *json.Encoder // guarded by wmu
+	flush func() error  // guarded by wmu
 }
 
 func (st *streamer) drain() {
@@ -101,15 +101,15 @@ func (st *streamer) drain() {
 // instrumented code never branches on whether tracing is enabled.
 type Tracer struct {
 	mu    sync.Mutex
-	ring  []Span
-	next  int // ring insertion cursor
-	total int64
+	ring  []Span // guarded by mu
+	next  int    // ring insertion cursor; guarded by mu
+	total int64  // guarded by mu
 
 	// smu guards attach/detach of the stream; record holds it only for a
 	// non-blocking channel send, never for encoding.
 	smu     sync.Mutex
-	out     *streamer
-	dropped int64 // spans lost to a full stream queue (guarded by smu)
+	out     *streamer // guarded by smu
+	dropped int64     // spans lost to a full stream queue (guarded by smu)
 }
 
 // NewTracer creates a tracer whose ring keeps the last capacity completed

@@ -163,10 +163,15 @@ type Client struct {
 
 	wmu sync.Mutex // serializes frame writes
 
+	// readerDone is closed when the reader goroutine exits (it does so
+	// exactly once, when the connection dies); Close waits on it so no
+	// demuxing survives the handle.
+	readerDone chan struct{}
+
 	mu      sync.Mutex
-	nextID  uint64 // last issued correlation id
-	pending map[uint64]*call
-	broken  error // sticky poison, wraps ErrClientBroken
+	nextID  uint64           // last issued correlation id; guarded by mu
+	pending map[uint64]*call // guarded by mu
+	broken  error            // sticky poison, wraps ErrClientBroken; guarded by mu
 }
 
 // Dial connects to a pathsvc server, speaking v1 (the universally
@@ -185,7 +190,7 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 	}
 	c := newClient(conn, opts)
 	if err := c.negotiate(); err != nil {
-		_ = conn.Close()
+		_ = c.Close()
 		return nil, err
 	}
 	return c, nil
@@ -204,7 +209,7 @@ func NewClientWith(conn net.Conn, opts DialOptions) (*Client, error) {
 	opts.fill()
 	c := newClient(conn, opts)
 	if err := c.negotiate(); err != nil {
-		_ = conn.Close()
+		_ = c.Close()
 		return nil, err
 	}
 	return c, nil
@@ -212,10 +217,11 @@ func NewClientWith(conn net.Conn, opts DialOptions) (*Client, error) {
 
 func newClient(conn net.Conn, opts DialOptions) *Client {
 	c := &Client{
-		conn:    conn,
-		opts:    opts,
-		proto:   opts.Proto,
-		pending: make(map[uint64]*call),
+		conn:       conn,
+		opts:       opts,
+		proto:      opts.Proto,
+		readerDone: make(chan struct{}),
+		pending:    make(map[uint64]*call),
 	}
 	go c.reader()
 	return c
@@ -245,9 +251,14 @@ func (c *Client) negotiate() error {
 // Proto reports the wire version in effect (after negotiation).
 func (c *Client) Proto() int { return c.proto }
 
-// Close closes the underlying connection; the reader drains and poisons
-// any in-flight calls.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the underlying connection and waits for the reader
+// goroutine to exit — by return, every in-flight call has been drained
+// and poisoned, and nothing of the client is still running.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
 
 // fail poisons the client once, closes the connection, and drains every
 // pending call with the sticky broken error. It returns that error.
@@ -299,6 +310,7 @@ func (c *Client) claim(id uint64) (ca *call, unknown bool) {
 // dies. It never blocks on delivery (done channels are buffered) and it
 // reuses one read buffer across frames.
 func (c *Client) reader() {
+	defer close(c.readerDone)
 	br := bufio.NewReader(c.conn)
 	var rbuf []byte
 	for {
@@ -592,7 +604,7 @@ type Reconn struct {
 	opts DialOptions
 
 	mu sync.Mutex
-	c  *Client
+	c  *Client // guarded by mu
 }
 
 // NewReconn prepares a reconnecting handle (no connection is made until

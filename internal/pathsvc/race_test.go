@@ -1,0 +1,73 @@
+package pathsvc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hhc"
+)
+
+// TestClientCloseRaceHammer closes clients while requests are in flight
+// on them, repeatedly. Its value is under `go test -race`: Close joins
+// the reader goroutine via readerDone, so by the time Close returns no
+// demuxing may still be running — every in-flight call must resolve to
+// either a real response or a poison error, never a hang, and the reader
+// must be provably gone.
+func TestClientCloseRaceHammer(t *testing.T) {
+	_, addr := startServer(t, Config{M: 3, QueueDepth: 256})
+
+	const rounds = 8
+	const callers = 6
+	for r := 0; r < rounds; r++ {
+		c, err := DialWith(addr, DialOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < callers; i++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				var resp ResponseV2
+				for j := 0; ; j++ {
+					u := hhc.Node{X: uint64((seed*13 + j) % 256), Y: uint8(seed % 8)}
+					v := hhc.Node{X: uint64((seed*7 + j*3 + 1) % 256), Y: uint8((seed + 3) % 8)}
+					if u == v {
+						v.X = (v.X + 1) % 256
+					}
+					err := c.PathsV2(u, v, 0, time.Second, &resp)
+					if err == nil {
+						continue
+					}
+					// Once the handle is closed, the only acceptable
+					// outcome is the sticky poison error, fast.
+					if !errors.Is(err, ErrClientBroken) {
+						t.Errorf("caller %d: %v, want success or ErrClientBroken", seed, err)
+					}
+					return
+				}
+			}(i)
+		}
+		// Close mid-flight: callers race the teardown.
+		time.Sleep(time.Duration(r) * time.Millisecond)
+		_ = c.Close()
+		// Close has joined the reader: readerDone must already be closed,
+		// without waiting on the callers.
+		select {
+		case <-c.readerDone:
+		default:
+			t.Fatal("Close returned before the reader goroutine exited")
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("in-flight calls hung after Close")
+		}
+		// A second Close on a dead client must not hang or panic.
+		_ = c.Close()
+	}
+}

@@ -303,15 +303,15 @@ type Server struct {
 	started   atomic.Bool
 
 	connMu sync.Mutex
-	ln     net.Listener // guarded by connMu (Serve publishes, beginClose closes)
-	conns  map[net.Conn]struct{}
+	ln     net.Listener          // guarded by connMu (Serve publishes, beginClose closes)
+	conns  map[net.Conn]struct{} // guarded by connMu
 	connWG sync.WaitGroup
 
 	workerWG      sync.WaitGroup
 	activeWorkers atomic.Int64
 
 	inflightMu sync.Mutex
-	inflight   map[coalesceKey]*flight
+	inflight   map[coalesceKey]*flight // guarded by inflightMu
 
 	met *svcMetrics
 
