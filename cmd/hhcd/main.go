@@ -7,11 +7,19 @@
 // queue pressure. SIGINT/SIGTERM triggers a graceful drain: in-flight and
 // queued requests are answered before the process exits 0.
 //
+// With -peers, N hhcd processes form one logical sharded service: a
+// consistent-hash ring over the canonical query key assigns each pair an
+// owning peer, non-owned queries are forwarded there over the binary wire
+// (at most one hop — the frame's hop-guard bit), and an unreachable owner
+// degrades to a correct local answer instead of an error.
+//
 // Usage:
 //
 //	hhcd -m 4                                # serve on the default address
 //	hhcd -m 4 -addr :9091 -listen :6060      # plus live /metrics and pprof
 //	hhcd -m 3 -queue 64 -admission block     # backpressure instead of shedding
+//	hhcd -m 3 -addr 127.0.0.1:9101 \
+//	  -peers 127.0.0.1:9101,127.0.0.1:9102 -self 0   # one peer of a 2-shard cluster
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cliutil"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/pathsvc"
 )
@@ -46,13 +55,15 @@ func main() {
 	duration := flag.Duration("duration", 0, "serve for this long then drain and exit (0 = until signaled)")
 	logPath := flag.String("log", "", "write structured JSONL logs (connection events, failed requests) to this file; '-' = stderr")
 	slow := flag.Duration("slow", 0, "force-retain requests at least this slow in the /debug/requests flight recorder (0 = off)")
+	peers := flag.String("peers", "", "comma-separated cluster peer list (host:port,...), identical on every peer; empty = single-node")
+	self := flag.Int("self", 0, "this process's index into -peers")
 	obsf := cliutil.RegisterObsFlags(flag.CommandLine)
 	obsf.RegisterListenFlag(flag.CommandLine)
 	flag.Parse()
 
 	err := run(flag.Args(), obsf, *m, *addr, *workers, *queue, *admission,
 		*retryAfter, *timeout, *shed, *degradeK, *capacity, *canon, *drain, *duration,
-		*logPath, *slow)
+		*logPath, *slow, *peers, *self)
 	if cerr := obsf.Close(os.Stdout); err == nil {
 		err = cerr
 	}
@@ -64,7 +75,8 @@ func main() {
 
 func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue int,
 	admission string, retryAfter, timeout time.Duration, shed float64, degradeK, capacity int,
-	canon string, drain, duration time.Duration, logPath string, slow time.Duration) error {
+	canon string, drain, duration time.Duration, logPath string, slow time.Duration,
+	peersSpec string, self int) error {
 	if err := cliutil.NoTrailingArgs(args); err != nil {
 		return err
 	}
@@ -78,6 +90,22 @@ func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue in
 	mode, err := cache.ParseCanon(canon)
 	if err != nil {
 		return err
+	}
+	// Cluster config validates before anything binds or prints: a malformed
+	// -peers list must fail fast with the typed cluster error, never after
+	// the daemon looks healthy.
+	var clu *cluster.Cluster
+	if peersSpec != "" {
+		peers, perr := cluster.ParsePeers(peersSpec)
+		if perr != nil {
+			return fmt.Errorf("-peers: %w", perr)
+		}
+		if clu, err = cluster.New(cluster.Config{Peers: peers, Self: self}); err != nil {
+			return fmt.Errorf("-peers/-self: %w", err)
+		}
+		defer clu.Close()
+	} else if self != 0 {
+		return fmt.Errorf("-self %d given without -peers", self)
 	}
 	// -slow only matters through the flight recorder, which needs the obs
 	// layer: asking for it turns the layer on.
@@ -100,7 +128,7 @@ func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue in
 		defer f.Close()
 		logger = obs.NewLogger(f, obs.LevelInfo)
 	}
-	srv, err := pathsvc.New(pathsvc.Config{
+	cfg := pathsvc.Config{
 		M:              m,
 		Workers:        workers,
 		QueueDepth:     queue,
@@ -113,7 +141,17 @@ func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue in
 		Reg:            obsf.Registry,
 		Logger:         logger,
 		Requests:       obsf.EnableRequests(slow),
-	})
+	}
+	if clu != nil {
+		// A conditional assignment, not cfg.Router = clu unconditionally: a
+		// nil *Cluster in a non-nil interface would look like a live router.
+		cfg.Router = clu
+		cfg.Peer = clu.Self()
+		if obsf.Registry != nil {
+			clu.Register(obsf.Registry)
+		}
+	}
+	srv, err := pathsvc.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -121,12 +159,19 @@ func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue in
 	if err != nil {
 		return fmt.Errorf("-addr %s: %w", addr, err)
 	}
-	fmt.Fprintf(os.Stderr, "hhcd: serving path queries on %s (m=%d, width=%d, queue=%d, admission=%s, proto=v1..v%d)\n",
-		ln.Addr(), m, m+1, queue, policy, pathsvc.MaxProtocolVersion)
 	if _, err := obsf.StartListener("hhcd"); err != nil {
 		_ = ln.Close()
 		return err
 	}
+	// The banner is the "healthy" signal scripts wait for, so it prints
+	// only after every startup step that can fail — config validation, the
+	// query listener, the obs listener — has succeeded.
+	banner := fmt.Sprintf("hhcd: serving path queries on %s (m=%d, width=%d, queue=%d, admission=%s, proto=v1..v%d)",
+		ln.Addr(), m, m+1, queue, policy, pathsvc.MaxProtocolVersion)
+	if clu != nil {
+		banner += ", " + clu.String()
+	}
+	fmt.Fprintln(os.Stderr, banner)
 
 	// Drain on SIGINT/SIGTERM or after -duration, whichever comes first.
 	sig := make(chan os.Signal, 1)
@@ -151,5 +196,11 @@ func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue in
 	err = srv.Serve(ln)
 	fmt.Fprintf(os.Stderr, "hhcd: drained: %s\n", srv.Counters())
 	fmt.Fprintf(os.Stderr, "hhcd: cache: %s\n", srv.CacheSnapshot())
+	if clu != nil {
+		for _, ps := range clu.Status() {
+			fmt.Fprintf(os.Stderr, "hhcd: peer %s: forwarded=%d errors=%d down=%v\n",
+				ps.Addr, ps.Forwarded, ps.Errors, ps.Down)
+		}
+	}
 	return err
 }

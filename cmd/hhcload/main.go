@@ -12,6 +12,11 @@
 //	hhcload -addr 127.0.0.1:9091 -qps 2000 -pairs 4        # open loop, hot pair set
 //	hhcload -selfserve -m 4 -duration 2s -json BENCH_pathsvc.json
 //	hhcload -selfserve -proto v2 -pipeline 16 -json BENCH_pathsvc_v2.json
+//	hhcload -cluster 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9103 -duration 3s
+//
+// -cluster sprays connections round-robin across a peer list instead of a
+// single -addr; the report and JSON gain a per-peer breakdown (qps, latency
+// percentiles, errors) plus the completed-throughput skew ratio.
 //
 // -proto selects the wire protocol (v1 JSON, v2 binary, or auto to
 // negotiate the highest the server speaks), and -pipeline keeps that many
@@ -36,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/cluster"
 	"repro/internal/gen"
 	"repro/internal/hhc"
 	"repro/internal/pathsvc"
@@ -59,6 +65,7 @@ func main() {
 	maxPaths := flag.Int("maxpaths", 0, "request only the first k container paths (0 = all)")
 	deadline := flag.Duration("deadline", 0, "per-request deadline sent to the server (0 = server default)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	clusterSpec := flag.String("cluster", "", "spray connections round-robin across this comma-separated peer list (host:port,...); overrides -addr")
 	jsonPath := flag.String("json", "", "write the report as JSON to this file ('-' = stdout)")
 	interval := flag.Duration("interval", 0, "emit one JSONL timeline line (deltas + latency percentiles) per this interval (0 = off)")
 	slo := flag.String("slo", "", "gate the run on a service-level objective, e.g. 'p99<50ms,err<1%' (violation = exit 3)")
@@ -73,7 +80,7 @@ func main() {
 			qps: *qps, duration: *duration, pairs: *pairs,
 			op: *op, batch: *batch, faults: *faults, maxPaths: *maxPaths,
 			deadline: *deadline, seed: *seed, jsonPath: *jsonPath,
-			interval: *interval, slo: *slo,
+			interval: *interval, slo: *slo, cluster: *clusterSpec,
 		})
 	}
 	if cerr := obsf.Close(os.Stdout); err == nil {
@@ -106,6 +113,7 @@ type loadOpts struct {
 	jsonPath      string
 	interval      time.Duration
 	slo           string
+	cluster       string
 }
 
 // report is the machine-readable run summary (the BENCH_pathsvc.json shape).
@@ -150,6 +158,23 @@ type report struct {
 	SLO        string      `json:"slo,omitempty"`
 	SLOBurn    float64     `json:"slo_burn,omitempty"`
 	SLOResults []sloResult `json:"slo_results,omitempty"`
+	// Cluster spray breakdown (present only with -cluster): one entry per
+	// peer plus the completed-throughput skew ratio (max/min across peers;
+	// 0 when a peer completed nothing).
+	Peers     []peerReport `json:"peers,omitempty"`
+	SkewRatio float64      `json:"skew_ratio,omitempty"`
+}
+
+// peerReport is one peer's slice of a -cluster run.
+type peerReport struct {
+	Addr      string  `json:"addr"`
+	Conns     int     `json:"conns"`
+	Completed int64   `json:"completed"`
+	Errors    int64   `json:"errors"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
 }
 
 // tally is the shared outcome ledger the workers update atomically.
@@ -168,8 +193,11 @@ type tally struct {
 
 // connSamples is one connection's latency ledger: client-observed
 // end-to-end times plus the server-side queue/exec breakdown it echoed.
+// errs counts every non-completed outcome (control or failure), which the
+// -cluster breakdown attributes to the worker's peer.
 type connSamples struct {
 	lat, queue, exec []float64
+	errs             int64
 }
 
 func run(w io.Writer, args []string, o loadOpts) error {
@@ -213,7 +241,23 @@ func run(w io.Writer, args []string, o loadOpts) error {
 		return fmt.Errorf("-proto %q: want v1|v2|auto", o.proto)
 	}
 
+	// -cluster sprays connections round-robin across a peer list; the first
+	// peer doubles as the Info-probe target (all peers serve the same m).
+	var peerAddrs []string
+	if o.cluster != "" {
+		if o.selfserve {
+			return errors.New("-cluster and -selfserve are mutually exclusive")
+		}
+		var perr error
+		if peerAddrs, perr = cluster.ParsePeers(o.cluster); perr != nil {
+			return fmt.Errorf("-cluster: %w", perr)
+		}
+	}
+
 	addr := o.addr
+	if len(peerAddrs) > 0 {
+		addr = peerAddrs[0]
+	}
 	var local *pathsvc.Server
 	if o.selfserve {
 		if err := cliutil.ValidateM(o.m); err != nil {
@@ -263,7 +307,11 @@ func run(w io.Writer, args []string, o loadOpts) error {
 	reconns := make([]*pathsvc.Reconn, o.conns)
 	wireProto := dialOpts.Proto
 	for i := range reconns {
-		reconns[i] = pathsvc.NewReconn(addr, dialOpts)
+		target := addr
+		if len(peerAddrs) > 0 {
+			target = peerAddrs[i%len(peerAddrs)]
+		}
+		reconns[i] = pathsvc.NewReconn(target, dialOpts)
 		defer reconns[i].Close()
 		c, err := reconns[i].Client()
 		if err != nil {
@@ -352,6 +400,9 @@ func run(w io.Writer, args []string, o loadOpts) error {
 		es := stats.Percentiles(exec, 50, 95)
 		rep.SrvExecP50Ms, rep.SrvExecP95Ms = es[0], es[1]
 	}
+	if len(peerAddrs) > 0 {
+		rep.Peers, rep.SkewRatio = peerBreakdown(peerAddrs, samples, o, elapsed)
+	}
 	var sloWorst float64
 	if len(sloConds) > 0 {
 		rep.SLO = o.slo
@@ -380,6 +431,47 @@ func run(w io.Writer, args []string, o loadOpts) error {
 		return fmt.Errorf("%w: %q burned %.2fx its budget", errSLO, o.slo, sloWorst)
 	}
 	return nil
+}
+
+// peerBreakdown attributes each worker's samples to its peer — worker i
+// drives connection i/pipeline, and connection c dials
+// peerAddrs[c%len(peerAddrs)] — then derives per-peer throughput, latency
+// percentiles, and the completed-count skew ratio.
+func peerBreakdown(peerAddrs []string, samples []connSamples, o loadOpts,
+	elapsed time.Duration) ([]peerReport, float64) {
+	peers := make([]peerReport, len(peerAddrs))
+	lats := make([][]float64, len(peerAddrs))
+	for i := range peers {
+		peers[i].Addr = peerAddrs[i]
+	}
+	for c := 0; c < o.conns; c++ {
+		peers[c%len(peerAddrs)].Conns++
+	}
+	for i, s := range samples {
+		p := (i / o.pipeline) % len(peerAddrs)
+		peers[p].Completed += int64(len(s.lat))
+		peers[p].Errors += s.errs
+		lats[p] = append(lats[p], s.lat...)
+	}
+	minC, maxC := int64(-1), int64(0)
+	for i := range peers {
+		peers[i].QPS = float64(peers[i].Completed) / elapsed.Seconds()
+		if len(lats[i]) > 0 {
+			ps := stats.Percentiles(lats[i], 50, 95, 99)
+			peers[i].P50Ms, peers[i].P95Ms, peers[i].P99Ms = ps[0], ps[1], ps[2]
+		}
+		if minC < 0 || peers[i].Completed < minC {
+			minC = peers[i].Completed
+		}
+		if peers[i].Completed > maxC {
+			maxC = peers[i].Completed
+		}
+	}
+	skew := 0.0
+	if minC > 0 {
+		skew = float64(maxC) / float64(minC)
+	}
+	return peers, skew
 }
 
 // startLocal binds an in-process server on a loopback port. A deliberately
@@ -482,6 +574,9 @@ func drive(rc *pathsvc.Reconn, g *hhc.Graph, pool []gen.Pair, o loadOpts,
 			e, err = issue(c, g, p, pool, o, r)
 		}
 		elapsed := time.Since(start)
+		if err != nil {
+			s.errs++
+		}
 		switch {
 		case err == nil:
 			tl.completed.Add(1)
@@ -631,6 +726,13 @@ func printReport(w io.Writer, r report) {
 	if r.SrvQueueP50Ms > 0 || r.SrvExecP50Ms > 0 {
 		fmt.Fprintf(w, "  server     queue p50 %.3fms  p95 %.3fms  |  exec p50 %.3fms  p95 %.3fms\n",
 			r.SrvQueueP50Ms, r.SrvQueueP95Ms, r.SrvExecP50Ms, r.SrvExecP95Ms)
+	}
+	if len(r.Peers) > 0 {
+		fmt.Fprintf(w, "  cluster    %d peers, completed-skew %.2fx\n", len(r.Peers), r.SkewRatio)
+		for _, p := range r.Peers {
+			fmt.Fprintf(w, "    %-21s conns %d  completed %d (%.0f qps)  errs %d  p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
+				p.Addr, p.Conns, p.Completed, p.QPS, p.Errors, p.P50Ms, p.P95Ms, p.P99Ms)
+		}
 	}
 	for _, res := range r.SLOResults {
 		verdict := "ok"

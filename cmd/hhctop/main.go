@@ -196,10 +196,32 @@ func renderService(w io.Writer, p obs.SeriesPoint, prom map[string]float64) {
 	fmt.Fprintf(w, "  queue     depth %.0f/%.0f  active workers %.0f  open conns %.0f\n",
 		prom["pathsvc_queue_depth"], prom["pathsvc_queue_capacity"],
 		prom["pathsvc_active_workers"], prom["pathsvc_open_conns"])
-	fmt.Fprintf(w, "  latency   p50 %s  p95 %s  p99 %s   (10s window)\n\n",
+	fmt.Fprintf(w, "  latency   p50 %s  p95 %s  p99 %s   (10s window)\n",
 		fmtSecs(prom[`pathsvc_request_seconds_window{q="p50"}`]),
 		fmtSecs(prom[`pathsvc_request_seconds_window{q="p95"}`]),
 		fmtSecs(prom[`pathsvc_request_seconds_window{q="p99"}`]))
+	renderCluster(w, p, prom)
+	fmt.Fprint(w, "\n")
+}
+
+// renderCluster prints the sharded-serving line when this peer exposes the
+// cluster_* series (hhcd -peers); single-node servers simply skip it.
+func renderCluster(w io.Writer, p obs.SeriesPoint, prom map[string]float64) {
+	if _, ok := prom["cluster_forwarded_total"]; !ok {
+		return
+	}
+	down := 0
+	for name, v := range prom {
+		if strings.HasPrefix(name, "cluster_peer_down{") && v > 0 {
+			down++
+		}
+	}
+	fmt.Fprintf(w, "  cluster   %.0f peers (%d down)  fwd-out %s/s  fwd-in %s/s  fwd-errs %s/s  degraded-local %s/s\n",
+		prom["cluster_peers"], down,
+		fmtRate(p.Rates["cluster_forwarded_total"]),
+		fmtRate(p.Rates["cluster_forwarded_in_total"]),
+		fmtRate(p.Rates["cluster_forward_errors_total"]),
+		fmtRate(p.Rates["cluster_degraded_local_total"]))
 }
 
 func renderRates(w io.Writer, n int, p obs.SeriesPoint) {

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Register exports the cluster's membership and per-target-peer series.
+// The aggregate cluster_forwarded_total / cluster_forward_errors_total
+// counters live on the pathsvc server (they count the server's routing
+// decisions); this set covers what only the cluster layer knows — which
+// peer each forward went to, breaker state, and ring ownership shares.
+func (c *Cluster) Register(reg *obs.Registry) {
+	reg.GaugeFunc("cluster_peers",
+		"Configured cluster membership size.",
+		func() float64 { return float64(len(c.cfg.Peers)) })
+	reg.GaugeFunc("cluster_self_index",
+		"This process's index in the ordered peer list.",
+		func() float64 { return float64(c.cfg.Self) })
+	shares := c.ring.Shares()
+	for i, addr := range c.cfg.Peers {
+		lbl := `{peer="` + addr + `"}`
+		share := shares[i]
+		reg.GaugeFunc("cluster_ring_share"+lbl,
+			"Fraction of the consistent-hash circle this peer owns.",
+			func() float64 { return share })
+		p := c.peers[i]
+		if p == nil { // self: no forwarding handle
+			continue
+		}
+		reg.CounterFunc("cluster_peer_forwarded_total"+lbl,
+			"Forwards answered through this peer.", p.forwarded.Load)
+		reg.CounterFunc("cluster_peer_forward_errors_total"+lbl,
+			"Forwards this peer failed (dial, stream, or breaker).", p.errs.Load)
+		pp := p
+		reg.GaugeFunc("cluster_peer_down"+lbl,
+			"1 while the failure breaker holds this peer down, else 0.",
+			func() float64 {
+				if pp.down(time.Now()) {
+					return 1
+				}
+				return 0
+			})
+	}
+}

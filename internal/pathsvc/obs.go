@@ -92,6 +92,32 @@ func newSvcMetrics(reg *obs.Registry, s *Server) *svcMetrics {
 		"Queue-wait quantile over the last 10s (0 when idle).", m.queueWaitWindow)
 	windowed("pathsvc_exec_seconds_window",
 		"Construction/execution quantile over the last 10s (0 when idle).", m.execWindow)
+	if s.cfg.Router != nil {
+		reg.CounterFunc("cluster_forwarded_total",
+			"Non-owned queries answered through their owning peer.", s.counters.Forwarded.Load)
+		reg.CounterFunc("cluster_forward_errors_total",
+			"Peer forwards that failed (peer down, overloaded, or stream broken).", s.counters.ForwardErrors.Load)
+		reg.CounterFunc("cluster_forwarded_in_total",
+			"Queries that arrived already forwarded by a peer (hop-guard bit set).", s.counters.ForwardedIn.Load)
+		reg.CounterFunc("cluster_degraded_local_total",
+			"Non-owned queries answered locally after a failed or shed forward.", s.counters.DegradedLocal.Load)
+	}
+	if s.cfg.Peer != "" {
+		// Peer-labeled aliases of the core ledger: same callbacks, one extra
+		// name each, so a multi-peer scrape can aggregate and slice by
+		// instance while single-node deployments keep the unlabeled series.
+		peer := `{peer="` + s.cfg.Peer + `"}`
+		reg.CounterFunc("pathsvc_requests_total"+peer,
+			"Requests decoded from the wire on this cluster peer.", s.counters.Requests.Load)
+		reg.CounterFunc("pathsvc_completed_total"+peer,
+			"Requests answered successfully on this cluster peer.", s.counters.Completed.Load)
+		reg.CounterFunc("pathsvc_failed_total"+peer,
+			"Requests answered with an error verdict on this cluster peer.", s.counters.Failed.Load)
+		reg.CounterFunc("cluster_forwarded_total"+peer,
+			"Non-owned queries this peer answered through their owner.", s.counters.Forwarded.Load)
+		reg.CounterFunc("cluster_forwarded_in_total"+peer,
+			"Already-forwarded queries this peer answered locally.", s.counters.ForwardedIn.Load)
+	}
 	return m
 }
 
@@ -130,6 +156,7 @@ func (m *svcMetrics) observeExec(d time.Duration) {
 type reqTrace struct {
 	q     *obs.Req
 	admit *obs.ReqSpan
+	fwd   *obs.ReqSpan
 	queue *obs.ReqSpan
 	exec  *obs.ReqSpan
 	enc   *obs.ReqSpan
@@ -165,6 +192,22 @@ func (t *reqTrace) endAdmission() {
 	if t != nil && t.admit != nil {
 		t.admit.End()
 		t.admit = nil
+	}
+}
+
+// startForward / endForward bracket the peer hop of a cluster-forwarded
+// query (between admission and either the owner's answer or the local
+// fallback's queue span).
+func (t *reqTrace) startForward() {
+	if t != nil {
+		t.fwd = t.q.StartSpan("forward")
+	}
+}
+
+func (t *reqTrace) endForward() {
+	if t != nil && t.fwd != nil {
+		t.fwd.End()
+		t.fwd = nil
 	}
 }
 
@@ -214,6 +257,7 @@ func (t *reqTrace) finish(code string) {
 		return
 	}
 	t.endAdmission()
+	t.endForward()
 	t.endQueue()
 	t.endExec()
 	t.endEncode()

@@ -70,6 +70,23 @@ func ParseAdmission(s string) (Admission, error) {
 	}
 }
 
+// Forwarder hooks a cluster layer into the server. The server consults it
+// once per path/route query: non-owned queries that have not been forwarded
+// already (the wire's forwarded bit — the hop guard) are relayed to their
+// owning peer instead of executing locally. implementations live above this
+// package (internal/cluster); the server only needs ownership answers and
+// a way to relay.
+type Forwarder interface {
+	// Owns reports whether this process owns the canonicalized (u, v) key.
+	Owns(u, v hhc.Node) bool
+	// Forward relays req to the owning peer and decodes its answer into
+	// resp. A non-nil error is either transport-level (the peer is
+	// unreachable or the stream broke — the server falls back to a local,
+	// correctness-preserving answer) or a *ServerError carrying the owner's
+	// verdict.
+	Forward(req *RequestV2, resp *ResponseV2) error
+}
+
 // Config tunes a Server. The zero value of every field selects a sensible
 // default; only M is required.
 type Config struct {
@@ -110,16 +127,30 @@ type Config struct {
 	// queue wait, execution, encode) into the flight recorder behind
 	// /debug/requests. Nil disables request tracing at zero cost.
 	Requests *obs.RequestTracer
+	// Router, when non-nil, shards the query space across cluster peers:
+	// path/route queries whose canonical key this process does not own are
+	// relayed to the owner (at most once — see the wire's forwarded bit)
+	// and answered locally only when the owner is unreachable.
+	Router Forwarder
+	// Peer names this process in the cluster (its own address). When set,
+	// the core pathsvc_* counters are additionally exported with a
+	// {peer="..."} label so multi-peer scrapes can tell instances apart.
+	Peer string
+	// ForwardConcurrency bounds in-flight peer forwards
+	// (0 = DefaultForwardConcurrency). Beyond the bound the server answers
+	// locally instead of queueing forwards.
+	ForwardConcurrency int
 }
 
 // Defaults for Config zero values.
 const (
-	DefaultQueueDepth     = 256
-	DefaultRetryAfter     = 50 * time.Millisecond
-	DefaultRequestTimeout = 2 * time.Second
-	DefaultShedThreshold  = 0.75
-	DefaultDegradeWidth   = 1
-	DefaultMaxBatch       = 1024
+	DefaultQueueDepth         = 256
+	DefaultRetryAfter         = 50 * time.Millisecond
+	DefaultRequestTimeout     = 2 * time.Second
+	DefaultShedThreshold      = 0.75
+	DefaultDegradeWidth       = 1
+	DefaultMaxBatch           = 1024
+	DefaultForwardConcurrency = 256
 )
 
 // Counters is the always-on (obs-independent) event ledger of a Server,
@@ -135,18 +166,29 @@ type Counters struct {
 	Deadline  stats.Counter // requests that missed their deadline
 	Failed    stats.Counter // bad_request / unroutable / internal responses
 	Completed stats.Counter // successful responses
+	// Cluster-mode ledger (all zero without a Router).
+	Forwarded     stats.Counter // non-owned queries answered through the owning peer
+	ForwardErrors stats.Counter // forwards that failed (peer down, overload, stream broken)
+	ForwardedIn   stats.Counter // queries that arrived already forwarded by a peer
+	DegradedLocal stats.Counter // non-owned queries answered locally after a failed forward
 }
 
 // Snapshot is a point-in-time reading of Counters.
 type Snapshot struct {
-	Conns, Requests, Admitted, Shed, Coalesced int64
-	Degraded, Deadline, Failed, Completed      int64
+	Conns, Requests, Admitted, Shed, Coalesced         int64
+	Degraded, Deadline, Failed, Completed              int64
+	Forwarded, ForwardErrors, ForwardedIn, DegradedLoc int64
 }
 
 // String renders the snapshot on one line for CLI summaries.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("conns=%d requests=%d admitted=%d shed=%d coalesced=%d degraded=%d deadline=%d failed=%d completed=%d",
+	line := fmt.Sprintf("conns=%d requests=%d admitted=%d shed=%d coalesced=%d degraded=%d deadline=%d failed=%d completed=%d",
 		s.Conns, s.Requests, s.Admitted, s.Shed, s.Coalesced, s.Degraded, s.Deadline, s.Failed, s.Completed)
+	if s.Forwarded > 0 || s.ForwardErrors > 0 || s.ForwardedIn > 0 || s.DegradedLoc > 0 {
+		line += fmt.Sprintf(" forwarded=%d fwd_errors=%d fwd_in=%d degraded_local=%d",
+			s.Forwarded, s.ForwardErrors, s.ForwardedIn, s.DegradedLoc)
+	}
+	return line
 }
 
 // coalesceKey identifies queries that may share one construction: same
@@ -193,6 +235,9 @@ type task struct {
 	faults    map[hhc.Node]bool
 	enqueued  time.Time
 	lead      bool // owns an entry in Server.inflight
+	// forwarded mirrors the wire's hop-guard bit: the query already crossed
+	// a peer hop, so this server must answer it locally whatever the ring says.
+	forwarded bool
 	key       coalesceKey
 }
 
@@ -313,6 +358,12 @@ type Server struct {
 	inflightMu sync.Mutex
 	inflight   map[coalesceKey]*flight // guarded by inflightMu
 
+	// fwdSem bounds in-flight peer forwards (nil without a Router); a full
+	// semaphore downgrades to an immediate local answer, so forwards can
+	// never starve the connection readers or the worker pool.
+	fwdSem    chan struct{}
+	forwardWG sync.WaitGroup
+
 	met *svcMetrics
 
 	// stallForTest, when non-nil, runs at the top of every worker
@@ -376,6 +427,9 @@ func New(cfg Config) (*Server, error) {
 	if shedHigh < 1 {
 		shedHigh = 1
 	}
+	if cfg.ForwardConcurrency <= 0 {
+		cfg.ForwardConcurrency = DefaultForwardConcurrency
+	}
 	s := &Server{
 		cfg:      cfg,
 		g:        g,
@@ -386,6 +440,9 @@ func New(cfg Config) (*Server, error) {
 		done:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 		inflight: make(map[coalesceKey]*flight),
+	}
+	if cfg.Router != nil {
+		s.fwdSem = make(chan struct{}, cfg.ForwardConcurrency)
 	}
 	if cfg.Reg != nil {
 		s.met = newSvcMetrics(cfg.Reg, s)
@@ -400,15 +457,19 @@ func (s *Server) M() int { return s.g.M() }
 // Counters returns a point-in-time reading of the serving ledger.
 func (s *Server) Counters() Snapshot {
 	return Snapshot{
-		Conns:     s.counters.Conns.Load(),
-		Requests:  s.counters.Requests.Load(),
-		Admitted:  s.counters.Admitted.Load(),
-		Shed:      s.counters.Shed.Load(),
-		Coalesced: s.counters.Coalesced.Load(),
-		Degraded:  s.counters.Degraded.Load(),
-		Deadline:  s.counters.Deadline.Load(),
-		Failed:    s.counters.Failed.Load(),
-		Completed: s.counters.Completed.Load(),
+		Conns:         s.counters.Conns.Load(),
+		Requests:      s.counters.Requests.Load(),
+		Admitted:      s.counters.Admitted.Load(),
+		Shed:          s.counters.Shed.Load(),
+		Coalesced:     s.counters.Coalesced.Load(),
+		Degraded:      s.counters.Degraded.Load(),
+		Deadline:      s.counters.Deadline.Load(),
+		Failed:        s.counters.Failed.Load(),
+		Completed:     s.counters.Completed.Load(),
+		Forwarded:     s.counters.Forwarded.Load(),
+		ForwardErrors: s.counters.ForwardErrors.Load(),
+		ForwardedIn:   s.counters.ForwardedIn.Load(),
+		DegradedLoc:   s.counters.DegradedLocal.Load(),
 	}
 }
 
@@ -450,8 +511,11 @@ func (s *Server) Serve(ln net.Listener) error {
 		go s.handleConn(conn)
 	}
 	// Drain: readers first (they stop enqueuing and wait out their pending
-	// responses), then the queue, then the workers.
+	// responses), then in-flight peer forwards (their fallbacks re-enter the
+	// queue, so the queue cannot close under them), then the queue, then the
+	// workers.
 	s.connWG.Wait()
+	s.forwardWG.Wait()
 	close(s.queue)
 	s.workerWG.Wait()
 	close(s.done)
@@ -641,6 +705,7 @@ func (s *Server) dispatch(pc *serverConn, req Request) {
 			pc: pc, proto: ProtocolVersion, id: req.ID, rid: rid, op: req.Op,
 			maxPaths: req.MaxPaths, tr: tr, start: start,
 		},
+		forwarded: req.Fwd,
 	}
 	var err error
 	switch req.Op {
@@ -722,6 +787,7 @@ func (s *Server) dispatchV2(pc *serverConn, req *RequestV2) {
 			pc: pc, proto: ProtocolV2, id: req.ID, rid: rid, op: op,
 			maxPaths: req.MaxPaths, tr: tr, start: start,
 		},
+		forwarded: req.Forwarded,
 	}
 	var err error
 	switch req.Op {
@@ -785,11 +851,30 @@ func (s *Server) nodeRangeErr(u hhc.Node) error {
 	return fmt.Errorf("pathsvc: node %s out of range for m=%d", s.g.FormatNode(u), s.g.M())
 }
 
-// admit runs the protocol-independent tail of dispatch: the degrade
-// decision, in-flight coalescing of identical path queries, and admission
-// control. It runs on the connection's reader goroutine, so AdmitBlock
-// backpressure parks exactly the connection that is overloading the queue.
+// admit routes one validated request: in cluster mode, path/route queries
+// whose canonical key another peer owns are relayed there (unless the
+// hop-guard bit says the query already crossed a hop — then this server
+// answers locally no matter what its ring says, so disagreeing membership
+// views can never bounce a query forever); everything else runs the local
+// admission path.
 func (s *Server) admit(t *task) {
+	if s.cfg.Router != nil && (t.op == OpPaths || t.op == OpRoute) {
+		if t.forwarded {
+			s.counters.ForwardedIn.Inc()
+		} else if !s.cfg.Router.Owns(t.u, t.v) {
+			s.forward(t)
+			return
+		}
+	}
+	s.admitLocal(t)
+}
+
+// admitLocal runs the protocol-independent tail of dispatch: the degrade
+// decision, in-flight coalescing of identical path queries, and admission
+// control. It runs on the connection's reader goroutine (or a forward
+// goroutine falling back after a peer failure), so AdmitBlock backpressure
+// parks exactly the connection that is overloading the queue.
+func (s *Server) admitLocal(t *task) {
 	// The degrade decision is taken at admission time: a queue filling past
 	// the shed threshold marks new path queries for width truncation.
 	t.degraded = len(s.queue) >= s.shedHigh
@@ -839,6 +924,90 @@ func (s *Server) admit(t *task) {
 		errMsg:  ErrOverload.Error(),
 		retryMS: s.cfg.RetryAfter.Milliseconds(),
 	})
+}
+
+// forward relays a non-owned query to its owning peer on a dedicated
+// bounded goroutine: forwards must never occupy a construction worker, or
+// two peers forwarding to each other could deadlock both pools. The owed
+// response is reserved (pc.pending) before the reader goroutine moves on,
+// so connection close and graceful drain both account for the in-flight
+// hop.
+func (s *Server) forward(t *task) {
+	t.tr.endAdmission()
+	t.pc.pending.Add(1)
+	select {
+	case s.fwdSem <- struct{}{}:
+	default:
+		// The forward pool is saturated. Answering locally is always
+		// correct — just a construction the owner's cache would have
+		// absorbed — so shed the hop, not the request.
+		s.counters.DegradedLocal.Inc()
+		s.fallbackLocal(t)
+		return
+	}
+	t.tr.startForward()
+	s.forwardWG.Add(1)
+	go func() {
+		defer s.forwardWG.Done()
+		defer func() { <-s.fwdSem }()
+		s.runForward(t)
+	}()
+}
+
+// runForward executes one peer hop: the query goes out as a v2 frame with
+// the hop-guard bit set and MaxPaths 0 (the full container comes back, and
+// deliver applies this requester's own width, degrade, and deadline policy
+// locally). Transport failures and an overloaded or draining owner
+// downgrade to a local answer; any other owner verdict is this query's
+// answer and is relayed as-is.
+func (s *Server) runForward(t *task) {
+	opc, _ := opCodeOf(t.op)
+	req := RequestV2{Op: opc, RID: t.rid, U: t.u, V: t.v, Forwarded: true}
+	if len(t.faults) > 0 {
+		req.Faults = make([]hhc.Node, 0, len(t.faults))
+		for f := range t.faults {
+			req.Faults = append(req.Faults, f)
+		}
+	}
+	remaining := time.Until(t.deadline)
+	if remaining <= 0 {
+		t.tr.endForward()
+		s.deliverAll(t, outcome{code: CodeDeadline, errMsg: ErrDeadlineExceeded.Error()})
+		return
+	}
+	req.TimeoutNS = int64(remaining)
+	var resp ResponseV2
+	err := s.cfg.Router.Forward(&req, &resp)
+	if err == nil {
+		t.tr.endForward()
+		s.counters.Forwarded.Inc()
+		s.deliverAll(t, outcome{paths: resp.Paths, execNS: resp.ExecNS})
+		return
+	}
+	var se *ServerError
+	if errors.As(err, &se) && !errors.Is(se, ErrOverload) && !errors.Is(se, ErrShutdown) {
+		// The owner reached a verdict (bad_request, unroutable, deadline,
+		// internal): that verdict is the answer — the hop itself worked.
+		t.tr.endForward()
+		s.counters.Forwarded.Inc()
+		s.deliverAll(t, outcome{code: se.Code, errMsg: se.Msg})
+		return
+	}
+	// The peer is unreachable, the stream broke, or the owner is too loaded
+	// to help: degrade to a correctness-preserving local answer.
+	s.counters.ForwardErrors.Inc()
+	s.counters.DegradedLocal.Inc()
+	s.fallbackLocal(t)
+}
+
+// fallbackLocal re-enters the local admission path for a query whose
+// forward could not run. The pending reservation taken by forward is
+// released only after admitLocal takes its own, so the connection's
+// owed-response count never touches zero with the answer still unsent.
+func (s *Server) fallbackLocal(t *task) {
+	t.tr.endForward()
+	s.admitLocal(t)
+	t.pc.pending.Done()
 }
 
 // fail answers a request that never reached the queue.

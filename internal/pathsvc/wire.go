@@ -92,6 +92,11 @@ type Request struct {
 	// MaxPaths, when > 0, truncates the returned container to the first
 	// MaxPaths paths (the client only wants that much redundancy).
 	MaxPaths int `json:"max_paths,omitempty"`
+	// Fwd marks a query relayed peer-to-peer inside a cluster (the hop
+	// guard). A server never forwards a request that already carries it:
+	// the receiving peer answers locally even when membership views
+	// disagree about ownership, so a query crosses at most one extra hop.
+	Fwd bool `json:"fwd,omitempty"`
 	// TimeoutMS, when > 0, caps this request's end-to-end time (queue wait
 	// included); otherwise the server default applies.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`

@@ -22,6 +22,7 @@
 //	request:  f2 | ver | op | flags | id u64 | timeout_ns u64 | max_paths u32
 //	          paths: u v | route: u v nfaults u32 faults | batch: n u32 pairs
 //	          [rid: len u16 bytes]                         (flags bit 0)
+//	          flags bit 4 marks a peer-forwarded query (hop guard, no tail)
 //	response: f2 | ver | op | flags | id u64 | status u8 | queue_ns u64
 //	          | exec_ns u64 | retry_ns u64 | width u16 | full u16 | m u8
 //	          status OK: paths/route: npaths u32 {nlen u32, nodes}
@@ -72,6 +73,7 @@ const (
 	flagDegraded  = 1 << 1 // response: container truncated by load shedding
 	flagCoalesced = 1 << 2 // response: answered off an in-flight duplicate
 	flagErr       = 1 << 3 // response: error-detail tail present
+	flagForwarded = 1 << 4 // request: relayed peer-to-peer once already (hop guard)
 )
 
 // Fixed header lengths.
@@ -192,6 +194,10 @@ type RequestV2 struct {
 	// TimeoutNS, when > 0, caps this request's end-to-end time in
 	// nanoseconds (v1 carries milliseconds; v2 keeps full resolution).
 	TimeoutNS int64
+	// Forwarded marks a query relayed peer-to-peer inside a cluster (the
+	// hop guard, v1's Fwd): the receiving peer must answer locally and
+	// never forward again.
+	Forwarded bool
 }
 
 // BatchItemV2 is one per-pair outcome inside a v2 batch response.
@@ -247,6 +253,9 @@ func AppendRequestV2(buf []byte, req *RequestV2) []byte {
 	}
 	if rid != "" {
 		flags |= flagRID
+	}
+	if req.Forwarded {
+		flags |= flagForwarded
 	}
 	var hdr [reqV2HeaderLen]byte
 	hdr[0] = frameMagicV2
@@ -509,6 +518,7 @@ func DecodeRequestV2(payload []byte, req *RequestV2) error {
 	if err != nil {
 		return err
 	}
+	req.Forwarded = flags&flagForwarded != 0
 	tns, ok := c.u64()
 	if !ok {
 		return errV2Short
