@@ -159,6 +159,11 @@ func run(args []string, obsf *cliutil.Obs, m int, addr string, workers, queue in
 	if err != nil {
 		return fmt.Errorf("-addr %s: %w", addr, err)
 	}
+	if clu != nil {
+		// Fleet view: membership, ring shares, breaker state, forward
+		// counters, and latency exemplars, scraped by hhcobs -cluster.
+		obsf.Handle("/debug/cluster", clu.DebugHandler(srv))
+	}
 	if _, err := obsf.StartListener("hhcd"); err != nil {
 		_ = ln.Close()
 		return err

@@ -165,16 +165,21 @@ type report struct {
 	SkewRatio float64      `json:"skew_ratio,omitempty"`
 }
 
-// peerReport is one peer's slice of a -cluster run.
+// peerReport is one peer's slice of a -cluster run. The srv columns are
+// the queue/exec timing this peer echoed in its responses; on a forwarded
+// answer that is the owner's relayed timing, so a hot shard shows up in
+// every requester's srv-exec column, not just its own.
 type peerReport struct {
-	Addr      string  `json:"addr"`
-	Conns     int     `json:"conns"`
-	Completed int64   `json:"completed"`
-	Errors    int64   `json:"errors"`
-	QPS       float64 `json:"qps"`
-	P50Ms     float64 `json:"p50_ms"`
-	P95Ms     float64 `json:"p95_ms"`
-	P99Ms     float64 `json:"p99_ms"`
+	Addr          string  `json:"addr"`
+	Conns         int     `json:"conns"`
+	Completed     int64   `json:"completed"`
+	Errors        int64   `json:"errors"`
+	QPS           float64 `json:"qps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	SrvQueueP50Ms float64 `json:"srv_queue_p50_ms,omitempty"`
+	SrvExecP50Ms  float64 `json:"srv_exec_p50_ms,omitempty"`
 }
 
 // tally is the shared outcome ledger the workers update atomically.
@@ -441,6 +446,8 @@ func peerBreakdown(peerAddrs []string, samples []connSamples, o loadOpts,
 	elapsed time.Duration) ([]peerReport, float64) {
 	peers := make([]peerReport, len(peerAddrs))
 	lats := make([][]float64, len(peerAddrs))
+	queues := make([][]float64, len(peerAddrs))
+	execs := make([][]float64, len(peerAddrs))
 	for i := range peers {
 		peers[i].Addr = peerAddrs[i]
 	}
@@ -452,6 +459,8 @@ func peerBreakdown(peerAddrs []string, samples []connSamples, o loadOpts,
 		peers[p].Completed += int64(len(s.lat))
 		peers[p].Errors += s.errs
 		lats[p] = append(lats[p], s.lat...)
+		queues[p] = append(queues[p], s.queue...)
+		execs[p] = append(execs[p], s.exec...)
 	}
 	minC, maxC := int64(-1), int64(0)
 	for i := range peers {
@@ -459,6 +468,12 @@ func peerBreakdown(peerAddrs []string, samples []connSamples, o loadOpts,
 		if len(lats[i]) > 0 {
 			ps := stats.Percentiles(lats[i], 50, 95, 99)
 			peers[i].P50Ms, peers[i].P95Ms, peers[i].P99Ms = ps[0], ps[1], ps[2]
+		}
+		if len(queues[i]) > 0 {
+			peers[i].SrvQueueP50Ms = stats.Percentiles(queues[i], 50)[0]
+		}
+		if len(execs[i]) > 0 {
+			peers[i].SrvExecP50Ms = stats.Percentiles(execs[i], 50)[0]
 		}
 		if minC < 0 || peers[i].Completed < minC {
 			minC = peers[i].Completed
@@ -730,8 +745,9 @@ func printReport(w io.Writer, r report) {
 	if len(r.Peers) > 0 {
 		fmt.Fprintf(w, "  cluster    %d peers, completed-skew %.2fx\n", len(r.Peers), r.SkewRatio)
 		for _, p := range r.Peers {
-			fmt.Fprintf(w, "    %-21s conns %d  completed %d (%.0f qps)  errs %d  p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
-				p.Addr, p.Conns, p.Completed, p.QPS, p.Errors, p.P50Ms, p.P95Ms, p.P99Ms)
+			fmt.Fprintf(w, "    %-21s conns %d  completed %d (%.0f qps)  errs %d  p50 %.3fms  p95 %.3fms  p99 %.3fms  srv-q p50 %.3fms  srv-x p50 %.3fms\n",
+				p.Addr, p.Conns, p.Completed, p.QPS, p.Errors, p.P50Ms, p.P95Ms, p.P99Ms,
+				p.SrvQueueP50Ms, p.SrvExecP50Ms)
 		}
 	}
 	for _, res := range r.SLOResults {

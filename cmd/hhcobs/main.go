@@ -19,6 +19,15 @@
 // has no observability flags of its own: it is a reporting tool, not a
 // workload. It exits non-zero when the inputs yield no samples, so CI can
 // assert that an instrumented run actually produced telemetry.
+//
+// With -cluster, hhcobs turns from an offline reducer into a fleet
+// scraper: it polls every peer's /debug/requests and /debug/series live,
+// joins the two halves of each forwarded request by rid (the requester's
+// tree holds the forward span, the owner's tree is origin-tagged), and
+// prints the stitched cross-peer trees with the remote queue/exec/wire
+// decomposition next to the fleet-wide phase percentiles:
+//
+//	hhcobs -cluster 127.0.0.1:6061,127.0.0.1:6062,127.0.0.1:6063
 package main
 
 import (
@@ -28,9 +37,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -39,13 +50,23 @@ import (
 func main() {
 	top := flag.Int("top", 5, "request span trees to print, slowest first")
 	md := flag.Bool("md", false, "render the phase table as markdown")
+	clusterSpec := flag.String("cluster", "",
+		"comma-separated peer debug addresses (host:port,...) to scrape live and stitch cross-peer traces from")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-scrape HTTP timeout with -cluster")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: hhcobs [-top k] [-md] <trace.jsonl | requests.json>...\n")
+			"usage: hhcobs [-top k] [-md] <trace.jsonl | requests.json>...\n"+
+				"       hhcobs [-top k] [-md] -cluster host:port,host:port,...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if err := run(os.Stdout, flag.Args(), *top, *md); err != nil {
+	var err error
+	if *clusterSpec != "" {
+		err = runCluster(os.Stdout, flag.Args(), *clusterSpec, *top, *md, *timeout)
+	} else {
+		err = run(os.Stdout, flag.Args(), *top, *md)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hhcobs:", err)
 		os.Exit(1)
 	}
@@ -78,6 +99,140 @@ func run(w io.Writer, paths []string, top int, md bool) error {
 		return err
 	}
 	return printSlowest(w, traces, top)
+}
+
+// peerScrape is one peer's live telemetry: its retained request trees and
+// the windowed series the fleet table summarizes. id is the peer's
+// cluster identity (its serve address, from /debug/cluster) — the name
+// forwarded trees carry in Origin — falling back to the scraped debug
+// address on a single-node server; stitching keys peers by it.
+type peerScrape struct {
+	addr   string
+	id     string
+	snap   obs.RequestsSnapshot
+	traces []*obs.RequestTrace
+	series obs.SeriesSnapshot
+}
+
+// runCluster scrapes every peer, renders the fleet summary and the
+// fleet-wide phase percentiles, then stitches cross-peer traces by rid.
+func runCluster(w io.Writer, args []string, spec string, top int, md bool, timeout time.Duration) error {
+	if len(args) != 0 {
+		return errors.New("-cluster scrapes peers live; positional input files do not combine with it")
+	}
+	if top < 1 {
+		return fmt.Errorf("-top %d out of range: must be positive", top)
+	}
+	var addrs []string
+	for _, p := range strings.Split(spec, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return fmt.Errorf("-cluster %q: empty peer entry", spec)
+		}
+		addrs = append(addrs, p)
+	}
+	client := &http.Client{Timeout: timeout}
+	peers := make([]peerScrape, 0, len(addrs))
+	byPeer := make(map[string][]*obs.RequestTrace, len(addrs))
+	var all []*obs.RequestTrace
+	for _, addr := range addrs {
+		ps := peerScrape{addr: addr}
+		base := "http://" + addr
+		if err := scrapeJSON(client, base+"/debug/requests?format=json", &ps.snap); err != nil {
+			return fmt.Errorf("%s/debug/requests: %w (is the peer running with -listen and -slow or tracing on?)", base, err)
+		}
+		if err := scrapeJSON(client, base+"/debug/series", &ps.series); err != nil {
+			return fmt.Errorf("%s/debug/series: %w", base, err)
+		}
+		// /debug/cluster names the peer as the fleet knows it (its serve
+		// address, which Origin tags carry); absent on single-node servers.
+		ps.id = addr
+		var ident struct {
+			Self string `json:"self"`
+		}
+		if err := scrapeJSON(client, base+"/debug/cluster", &ident); err == nil && ident.Self != "" {
+			ps.id = ident.Self
+		}
+		ps.traces = dedupTraces(ps.snap)
+		byPeer[ps.id] = ps.traces
+		all = append(all, ps.traces...)
+		peers = append(peers, ps)
+	}
+
+	if err := fleetTable(peers).renderAs(w, md); err != nil {
+		return err
+	}
+	phases := phaseSamples(all, nil)
+	if len(phases) == 0 {
+		return errors.New("no peer retained any request trace (drive load with rids first)")
+	}
+	if err := phaseTable(phases).renderAs(w, md); err != nil {
+		return err
+	}
+	return printStitched(w, obs.StitchTraces(byPeer), top)
+}
+
+func scrapeJSON(client *http.Client, url string, into any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// fleetTable is one row per scraped peer: totals from the flight recorder
+// and the current qps/latency window from the series ring.
+func fleetTable(peers []peerScrape) table {
+	tb := stats.NewTable("fleet", "peer", "requests", "errored", "retained", "qps", "p50(ms)", "p99(ms)")
+	for _, ps := range peers {
+		qps, p50, p99 := 0.0, 0.0, 0.0
+		if n := len(ps.series.Points); n > 0 {
+			last := ps.series.Points[n-1]
+			qps = last.Rates["pathsvc_completed_total"]
+		}
+		// The summary keys histograms by registry name; the _window family
+		// is a gauge set and never appears here.
+		if h, ok := ps.series.Summary["pathsvc_request_seconds"]; ok {
+			p50, p99 = h.P50*1e3, h.P99*1e3
+		}
+		tb.AddRow(ps.id, ps.snap.Total, ps.snap.Errored, len(ps.traces), qps, p50, p99)
+	}
+	return table{tb}
+}
+
+// printStitched renders the joined cross-peer trees, slowest forward
+// first, with the remote decomposition the owner relayed: how much of the
+// forward span was the owner's queue wait, its execution, and the wire.
+func printStitched(w io.Writer, stitched []*obs.StitchedTrace, top int) error {
+	fmt.Fprintf(w, "stitched cross-peer traces (%d)\n", len(stitched))
+	if len(stitched) == 0 {
+		fmt.Fprint(w, "  none (no rid present on both sides of a forward)\n")
+		return nil
+	}
+	rows := stitched
+	if len(rows) > top {
+		rows = rows[:top]
+	}
+	for i, st := range rows {
+		fmt.Fprintf(w, "  %d. %s  %s -> %s  total=%s forward=%s remote_queue=%s remote_exec=%s wire=%s\n",
+			i+1, st.RID, st.RequesterPeer, st.OwnerPeer,
+			time.Duration(st.Root.Dur), time.Duration(st.ForwardNS),
+			time.Duration(st.RemoteQueueNS), time.Duration(st.RemoteExecNS),
+			time.Duration(st.WireNS()))
+		var walk func(ss []*obs.ReqSpan, indent string)
+		walk = func(ss []*obs.ReqSpan, indent string) {
+			for _, s := range ss {
+				fmt.Fprintf(w, "%s%s %s%s\n", indent, s.Name, fmtMS(s.Dur), fmtAttrs(s.Attrs))
+				walk(s.Children, indent+"  ")
+			}
+		}
+		walk(st.Root.Spans, "     ")
+	}
+	return nil
 }
 
 // parseFile reads one input and detects its kind: a whole-file flight

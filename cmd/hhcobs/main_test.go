@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -175,5 +178,75 @@ func TestEndToEndWithRecorder(t *testing.T) {
 				t.Errorf("%v: request %s absent from report:\n%s", paths, rid, out.String())
 			}
 		}
+	}
+}
+
+// fakePeer serves the two debug endpoints a -cluster scrape reads, backed
+// by a canned recorder snapshot.
+func fakePeer(t *testing.T, snap obs.RequestsSnapshot) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(snap); err != nil {
+			t.Error(err)
+		}
+	})
+	mux.HandleFunc("/debug/series", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"interval_ns":1000000000,"capacity":60,"points":[],`+
+			`"summary":{"pathsvc_request_seconds":{"count":10,"rate":5,"mean":0.002,"p50":0.002,"p95":0.003,"p99":0.004}}}`)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// TestClusterScrape stitches a forwarded request across two fake peers:
+// the requester's tree (forward span, no origin) joins the owner's
+// origin-tagged fragment by rid.
+func TestClusterScrape(t *testing.T) {
+	ownerSnap := obs.RequestsSnapshot{Total: 1, Recent: []*obs.RequestTrace{{
+		ID: "r9", Op: "paths", Start: 5000, Dur: 400_000, Origin: "peer-a:9101",
+		Spans: []*obs.ReqSpan{
+			{Name: "queue", Start: 5100, Dur: 50_000},
+			{Name: "exec", Start: 5200, Dur: 300_000},
+		},
+	}}}
+	reqSnap := obs.RequestsSnapshot{Total: 1, Recent: []*obs.RequestTrace{{
+		ID: "r9", Op: "paths", Start: 1000, Dur: 900_000,
+		Spans: []*obs.ReqSpan{
+			{Name: "admission", Start: 1000, Dur: 5_000},
+			{Name: "forward", Start: 2000, Dur: 700_000},
+		},
+	}}}
+	reqAddr := fakePeer(t, reqSnap)
+	ownerAddr := fakePeer(t, ownerSnap)
+
+	var out bytes.Buffer
+	err := runCluster(&out, nil, reqAddr+","+ownerAddr, 5, false, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"fleet", "2.000", "4.000", "phase latency (ms)",
+		"stitched cross-peer traces (1)",
+		"r9  " + reqAddr + " -> " + ownerAddr,
+		"remote_queue=50µs", "remote_exec=300µs", "wire=350µs",
+		"remote", "forward",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("cluster report lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestClusterScrapeRejectsFiles pins the mode split: -cluster and
+// positional inputs are mutually exclusive.
+func TestClusterScrapeRejectsFiles(t *testing.T) {
+	var out bytes.Buffer
+	if err := runCluster(&out, []string{"x.json"}, "h:1", 5, false, time.Second); err == nil {
+		t.Fatal("runCluster accepted positional files")
 	}
 }

@@ -34,6 +34,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6060", "debug address of the observed process (its -listen value)")
+	cluster := flag.String("cluster", "",
+		"comma-separated peer debug addresses; render the side-by-side per-peer fleet panel instead of one server's dashboard")
 	refresh := flag.Duration("refresh", 2*time.Second, "poll and redraw at this period")
 	once := flag.Bool("once", false, "render a single frame without screen control and exit (for CI and piping)")
 	slowN := flag.Int("slow", 5, "slowest retained requests to list (0 = hide the section)")
@@ -45,7 +47,7 @@ func main() {
 	err := obsf.Activate()
 	if err == nil {
 		err = run(os.Stdout, flag.Args(), topOpts{
-			addr: *addr, refresh: *refresh, once: *once,
+			addr: *addr, cluster: *cluster, refresh: *refresh, once: *once,
 			slowN: *slowN, rates: *rates, timeout: *timeout,
 		})
 	}
@@ -60,6 +62,7 @@ func main() {
 
 type topOpts struct {
 	addr    string
+	cluster string
 	refresh time.Duration
 	once    bool
 	slowN   int
@@ -75,6 +78,9 @@ func run(w io.Writer, args []string, o topOpts) error {
 		return fmt.Errorf("-refresh %s out of range: must be positive", o.refresh)
 	}
 	client := &http.Client{Timeout: o.timeout}
+	if o.cluster != "" {
+		return runFleet(w, client, o)
+	}
 	base := "http://" + o.addr
 	if o.once {
 		frame, err := poll(client, base)
@@ -95,6 +101,75 @@ func run(w io.Writer, args []string, o topOpts) error {
 		fmt.Fprint(w, "\x1b[2J\x1b[H")
 		render(w, o, frame)
 		time.Sleep(o.refresh)
+	}
+}
+
+// peerFrame is one fleet-panel row: a peer's poll result or its failure.
+// A dead peer stays a visible row — the fleet view's job is exactly to
+// show which member dropped out, not to abort on it.
+type peerFrame struct {
+	addr string
+	f    frame
+	err  error
+}
+
+// runFleet drives the -cluster panel: every peer polled each cycle, one
+// row per peer with its qps, window latency, and forward traffic.
+func runFleet(w io.Writer, client *http.Client, o topOpts) error {
+	var addrs []string
+	for _, p := range strings.Split(o.cluster, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return fmt.Errorf("-cluster %q: empty peer entry", o.cluster)
+		}
+		addrs = append(addrs, p)
+	}
+	for {
+		rows := make([]peerFrame, 0, len(addrs))
+		for _, addr := range addrs {
+			f, err := poll(client, "http://"+addr)
+			rows = append(rows, peerFrame{addr: addr, f: f, err: err})
+		}
+		if !o.once {
+			fmt.Fprint(w, "\x1b[2J\x1b[H")
+		}
+		renderFleet(w, rows)
+		if o.once {
+			return nil
+		}
+		time.Sleep(o.refresh)
+	}
+}
+
+// renderFleet prints the side-by-side per-peer table. The down column is
+// how many cluster members this peer's breaker currently holds down —
+// disagreement across rows localizes a partition.
+func renderFleet(w io.Writer, rows []peerFrame) {
+	fmt.Fprintf(w, "hhctop cluster  %s  %d peers\n\n", time.Now().Format("15:04:05"), len(rows))
+	fmt.Fprintf(w, "  %-22s %8s %10s %10s %10s %10s %9s %5s\n",
+		"peer", "qps", "p50", "p99", "fwd-out/s", "fwd-in/s", "errs/s", "down")
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Fprintf(w, "  %-22s unreachable: %v\n", r.addr, r.err)
+			continue
+		}
+		p := latestPoint(r.f.series)
+		prom := r.f.metrics
+		down := 0
+		for name, v := range prom {
+			if strings.HasPrefix(name, "cluster_peer_down{") && v > 0 {
+				down++
+			}
+		}
+		fmt.Fprintf(w, "  %-22s %8s %10s %10s %10s %10s %9s %5d\n",
+			r.addr,
+			fmtRate(p.Rates["pathsvc_completed_total"]),
+			fmtSecs(prom[`pathsvc_request_seconds_window{q="p50"}`]),
+			fmtSecs(prom[`pathsvc_request_seconds_window{q="p99"}`]),
+			fmtRate(p.Rates["cluster_forwarded_total"]),
+			fmtRate(p.Rates["cluster_forwarded_in_total"]),
+			fmtRate(p.Rates["cluster_forward_errors_total"]),
+			down)
 	}
 }
 

@@ -131,3 +131,49 @@ malformed line without number trailing
 		t.Error("malformed line parsed")
 	}
 }
+
+// TestFleetPanel renders the -cluster multi-peer table against two fake
+// peers plus one dead address: live rows carry qps and latency, the dead
+// peer stays visible as unreachable.
+func TestFleetPanel(t *testing.T) {
+	a := debugServer(t)
+	b := debugServer(t)
+	addrA := strings.TrimPrefix(a.URL, "http://")
+	addrB := strings.TrimPrefix(b.URL, "http://")
+	dead := "127.0.0.1:1"
+	var out bytes.Buffer
+	err := run(&out, nil, topOpts{
+		cluster: addrA + "," + addrB + "," + dead,
+		once:    true, refresh: time.Second, slowN: 5, rates: 8,
+		timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("run -cluster -once: %v", err)
+	}
+	body := out.String()
+	for _, want := range []string{
+		"hhctop cluster", "3 peers",
+		"peer", "qps", "fwd-out/s",
+		addrA, addrB,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("fleet panel lacks %q:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, dead) || !strings.Contains(body, "unreachable") {
+		t.Errorf("dead peer row missing from fleet panel:\n%s", body)
+	}
+	if strings.Contains(body, "\x1b[2J") {
+		t.Error("-once fleet frame contains screen-control escapes")
+	}
+}
+
+// TestFleetPanelBadSpec pins the flag validation.
+func TestFleetPanelBadSpec(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, nil, topOpts{cluster: "a:1,,b:2", once: true,
+		refresh: time.Second, timeout: time.Second})
+	if err == nil {
+		t.Fatal("empty peer entry accepted")
+	}
+}

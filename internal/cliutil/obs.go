@@ -54,6 +54,21 @@ type Obs struct {
 
 	traceFile *os.File
 	srv       *http.Server
+	extra     []extraHandler
+}
+
+// extraHandler is one binary-specific debug endpoint queued for the
+// -listen mux (hhcd's /debug/cluster, for example).
+type extraHandler struct {
+	pattern string
+	h       http.Handler
+}
+
+// Handle queues a binary-specific handler for the -listen debug mux.
+// Call between Activate and StartListener; a no-op (the handler is never
+// served) when -listen was not given.
+func (o *Obs) Handle(pattern string, h http.Handler) {
+	o.extra = append(o.extra, extraHandler{pattern: pattern, h: h})
 }
 
 // RegisterObsFlags registers -metrics and -trace on fs and returns the
@@ -143,6 +158,10 @@ func (o *Obs) StartListener(name string) (string, error) {
 	o.Series = obs.NewSeriesRing(o.Registry, obs.DefaultSeriesInterval, obs.DefaultSeriesCapacity)
 	o.Series.Start()
 	mux.Handle("/debug/series", o.Series.Handler())
+	for _, e := range o.extra {
+		mux.Handle(e.pattern, e.h)
+		extra += ", " + e.pattern
+	}
 	ln, err := net.Listen("tcp", o.ListenAddr)
 	if err != nil {
 		o.Series.Stop()

@@ -172,30 +172,32 @@ func (c *Cluster) Owns(u, v hhc.Node) bool {
 }
 
 // Forward relays req to the owning peer over the binary wire and decodes
-// the answer into resp. The hop-guard bit is always set on the outgoing
-// frame, whatever the caller passed: a relayed query must never be relayed
-// again. Transport failures feed the peer's breaker; a *pathsvc.ServerError
-// is the owner's verdict and leaves the breaker untouched.
-func (c *Cluster) Forward(req *pathsvc.RequestV2, resp *pathsvc.ResponseV2) error {
+// the answer into resp, returning the owner's address so the caller's
+// trace can attribute the hop. The hop-guard bit is always set on the
+// outgoing frame, whatever the caller passed: a relayed query must never
+// be relayed again. Transport failures feed the peer's breaker; a
+// *pathsvc.ServerError is the owner's verdict and leaves the breaker
+// untouched.
+func (c *Cluster) Forward(req *pathsvc.RequestV2, resp *pathsvc.ResponseV2) (string, error) {
 	req.Forwarded = true
 	owner := c.ring.Owner(req.U, req.V)
 	if owner == c.cfg.Self {
 		// Only reachable when the caller's ownership check and ours
 		// disagree, which a static single-ring membership rules out; answer
 		// the impossible case safely.
-		return fmt.Errorf("cluster: pair is self-owned by %s", c.Self())
+		return "", fmt.Errorf("cluster: pair is self-owned by %s", c.Self())
 	}
 	p := c.peers[owner]
 	now := time.Now()
 	if p.down(now) {
 		p.errs.Inc()
-		return fmt.Errorf("%w: %s", ErrPeerDown, p.addr)
+		return p.addr, fmt.Errorf("%w: %s", ErrPeerDown, p.addr)
 	}
 	cl, err := p.rc.Client()
 	if err != nil {
 		p.errs.Inc()
 		c.noteFailure(p, now)
-		return fmt.Errorf("cluster: dial %s: %w", p.addr, err)
+		return p.addr, fmt.Errorf("cluster: dial %s: %w", p.addr, err)
 	}
 	if err := cl.DoV2(req, resp); err != nil {
 		var se *pathsvc.ServerError
@@ -204,17 +206,17 @@ func (c *Cluster) Forward(req *pathsvc.RequestV2, resp *pathsvc.ResponseV2) erro
 			// verdicts are the caller's cue to fall back, not a peer-health
 			// signal.
 			p.fails.Store(0)
-			return err
+			return p.addr, err
 		}
 		p.errs.Inc()
 		p.rc.Invalidate(cl)
 		c.noteFailure(p, now)
-		return fmt.Errorf("cluster: forward to %s: %w", p.addr, err)
+		return p.addr, fmt.Errorf("cluster: forward to %s: %w", p.addr, err)
 	}
 	p.fails.Store(0)
 	p.downUntil.Store(0)
 	p.forwarded.Inc()
-	return nil
+	return p.addr, nil
 }
 
 // noteFailure counts one consecutive transport failure and trips the

@@ -267,7 +267,7 @@ func TestForwardSelfOwned(t *testing.T) {
 	tc := startTestCluster(t, 2, 3)
 	u, v := tc.pairOwnedBy(t, 0)
 	var resp pathsvc.ResponseV2
-	err := tc.clusters[0].Forward(&pathsvc.RequestV2{Op: pathsvc.OpCodePaths, U: u, V: v}, &resp)
+	_, err := tc.clusters[0].Forward(&pathsvc.RequestV2{Op: pathsvc.OpCodePaths, U: u, V: v}, &resp)
 	if err == nil {
 		t.Fatal("Forward of a self-owned pair succeeded; want an error")
 	}
@@ -363,12 +363,12 @@ func TestForwardPeerDownError(t *testing.T) {
 	}
 	var resp pathsvc.ResponseV2
 	req := pathsvc.RequestV2{Op: pathsvc.OpCodePaths, U: u, V: v}
-	if err := c.Forward(&req, &resp); err == nil {
+	if _, err := c.Forward(&req, &resp); err == nil {
 		t.Fatal("forward to an unreachable peer succeeded")
 	}
 	// FailThreshold 1 trips the breaker on the first failure; the next
 	// forward must short-circuit with ErrPeerDown instead of redialing.
-	if err := c.Forward(&req, &resp); !errors.Is(err, ErrPeerDown) {
+	if _, err := c.Forward(&req, &resp); !errors.Is(err, ErrPeerDown) {
 		t.Fatalf("second forward = %v, want ErrPeerDown", err)
 	}
 	if !req.Forwarded {

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pathsvc"
+)
+
+// DebugPeer is one membership row of the /debug/cluster report: ring
+// share plus the forward ledger (self carries only the share — a process
+// never forwards to itself).
+type DebugPeer struct {
+	Addr      string  `json:"addr"`
+	Self      bool    `json:"self,omitempty"`
+	RingShare float64 `json:"ring_share"`
+	Forwarded int64   `json:"forwarded"`
+	Errors    int64   `json:"errors"`
+	Down      bool    `json:"down"`
+}
+
+// DebugCounters is the routing server's forward ledger with stable JSON
+// names (pathsvc.Snapshot is a CLI type and has none).
+type DebugCounters struct {
+	Requests     int64   `json:"requests"`
+	Forwarded    int64   `json:"forwarded"`
+	ForwardErrs  int64   `json:"forward_errors"`
+	ForwardedIn  int64   `json:"forwarded_in"`
+	DegradedLoc  int64   `json:"degraded_local"`
+	BatchLocal   int64   `json:"batch_local"`
+	ForwardShare float64 `json:"forward_share"` // forwarded / requests
+}
+
+// DebugSnapshot is the JSON body of /debug/cluster: this peer's identity,
+// the full membership with ring shares and breaker state, the server's
+// forward counters, and latency exemplars (request + exec rids) so a
+// fleet scraper can jump from a hot bucket straight to a traceable rid.
+type DebugSnapshot struct {
+	Self             string         `json:"self"`
+	Peers            []DebugPeer    `json:"peers"`
+	Counters         DebugCounters  `json:"counters"`
+	RequestExemplars []obs.Exemplar `json:"request_exemplars,omitempty"`
+	ExecExemplars    []obs.Exemplar `json:"exec_exemplars,omitempty"`
+}
+
+// Debug assembles the cluster-layer half of the snapshot (membership,
+// shares, ledgers, breaker state). Server counters and exemplars are
+// merged by DebugHandler, which owns the *pathsvc.Server handle.
+func (c *Cluster) Debug() DebugSnapshot {
+	now := time.Now()
+	shares := c.ring.Shares()
+	peers := make([]DebugPeer, 0, len(c.cfg.Peers))
+	for i, addr := range c.cfg.Peers {
+		dp := DebugPeer{Addr: addr, RingShare: shares[i]}
+		if p := c.peers[i]; p != nil {
+			dp.Forwarded = p.forwarded.Load()
+			dp.Errors = p.errs.Load()
+			dp.Down = p.down(now)
+		} else {
+			dp.Self = true
+		}
+		peers = append(peers, dp)
+	}
+	return DebugSnapshot{Self: c.Self(), Peers: peers}
+}
+
+// DebugHandler serves the stitched /debug/cluster report for this peer.
+// srv may be nil (membership-only view); with a server attached the
+// report gains the forward counters and the request/exec exemplars.
+func (c *Cluster) DebugHandler(srv *pathsvc.Server) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := c.Debug()
+		if srv != nil {
+			cnt := srv.Counters()
+			snap.Counters = DebugCounters{
+				Requests:    cnt.Requests,
+				Forwarded:   cnt.Forwarded,
+				ForwardErrs: cnt.ForwardErrors,
+				ForwardedIn: cnt.ForwardedIn,
+				DegradedLoc: cnt.DegradedLoc,
+				BatchLocal:  cnt.BatchLocal,
+			}
+			if cnt.Requests > 0 {
+				snap.Counters.ForwardShare = float64(cnt.Forwarded) / float64(cnt.Requests)
+			}
+			snap.RequestExemplars = srv.RequestExemplars()
+			snap.ExecExemplars = srv.ExecExemplars()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file attaches exemplars to window histograms: a short ring of
+// recent request ids per bucket, so a fat p99 bucket on /debug/series
+// links directly to retrievable traces in /debug/requests instead of
+// being an anonymous count. Exemplars are opt-in (EnableExemplars) and
+// only recorded for observations that carry a rid — the untraced hot
+// path pays nothing.
+
+// DefaultExemplarK is the per-bucket exemplar retention.
+const DefaultExemplarK = 4
+
+// Exemplar links one histogram bucket to a recent traced request. LE is
+// the bucket's upper bound in the Prometheus `le` convention ("+Inf" for
+// the overflow bucket).
+type Exemplar struct {
+	LE    string  `json:"le"`
+	Value float64 `json:"value"`
+	RID   string  `json:"rid"`
+	AtNS  int64   `json:"at_ns"`
+}
+
+// exemplarCell is one retained (rid, value) sample.
+type exemplarCell struct {
+	rid  string
+	v    float64
+	atNS int64
+}
+
+// exemplarStore keeps K recent exemplars per bucket under one mutex. The
+// critical section is a couple of stores, so contention stays negligible
+// next to the request work that produced the sample; only rid-carrying
+// observations ever take the lock.
+type exemplarStore struct {
+	mu    sync.Mutex
+	k     int
+	rings [][]exemplarCell // per bucket: ring of up to k cells; guarded by mu
+	next  []int            // per bucket ring cursor; guarded by mu
+	n     []int            // per bucket live count; guarded by mu
+}
+
+// EnableExemplars turns on per-bucket exemplar retention (k <= 0 selects
+// DefaultExemplarK). Call once at wiring time, before observations start;
+// nil-safe.
+func (h *WindowHistogram) EnableExemplars(k int) {
+	if h == nil {
+		return
+	}
+	if k <= 0 {
+		k = DefaultExemplarK
+	}
+	buckets := len(h.bounds) + 1
+	st := &exemplarStore{
+		k:     k,
+		rings: make([][]exemplarCell, buckets),
+		next:  make([]int, buckets),
+		n:     make([]int, buckets),
+	}
+	for i := range st.rings {
+		st.rings[i] = make([]exemplarCell, k)
+	}
+	h.ex = st
+}
+
+// ObserveEx records one sample, retaining (rid, v) as the bucket's newest
+// exemplar when rid is non-empty and exemplars are enabled. An empty rid
+// degrades to a plain Observe — the zero-allocation untraced path.
+func (h *WindowHistogram) ObserveEx(v float64, rid string) {
+	if h == nil {
+		return
+	}
+	now := time.Now()
+	h.observeAt(now, v)
+	if rid == "" || h.ex == nil {
+		return
+	}
+	h.ex.add(bucketIndex(h.bounds, v), v, rid, now.UnixNano())
+}
+
+// ObserveDurationEx records a duration in seconds with an exemplar rid.
+func (h *WindowHistogram) ObserveDurationEx(d time.Duration, rid string) {
+	h.ObserveEx(d.Seconds(), rid)
+}
+
+func (st *exemplarStore) add(bucket int, v float64, rid string, atNS int64) {
+	st.mu.Lock()
+	ring := st.rings[bucket]
+	ring[st.next[bucket]] = exemplarCell{rid: rid, v: v, atNS: atNS}
+	st.next[bucket] = (st.next[bucket] + 1) % st.k
+	if st.n[bucket] < st.k {
+		st.n[bucket]++
+	}
+	st.mu.Unlock()
+}
+
+// Exemplars returns the retained exemplars, buckets in ascending bound
+// order and newest-first within a bucket. Empty (never nil semantics —
+// a nil histogram or disabled store reads as no exemplars).
+func (h *WindowHistogram) Exemplars() []Exemplar {
+	if h == nil || h.ex == nil {
+		return nil
+	}
+	st := h.ex
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []Exemplar
+	for b := range st.rings {
+		le := "+Inf"
+		if b < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[b], 'g', -1, 64)
+		}
+		for i := 1; i <= st.n[b]; i++ {
+			c := st.rings[b][(st.next[b]-i+st.k)%st.k]
+			out = append(out, Exemplar{LE: le, Value: c.v, RID: c.rid, AtNS: c.atNS})
+		}
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowHistogramExemplars(t *testing.T) {
+	h := NewWindowHistogram(time.Second, 4, []float64{0.01, 0.1})
+	h.EnableExemplars(2)
+	h.ObserveDurationEx(5*time.Millisecond, "r1")  // le=0.01
+	h.ObserveDurationEx(50*time.Millisecond, "r2") // le=0.1
+	h.ObserveDurationEx(60*time.Millisecond, "r3") // le=0.1
+	h.ObserveDurationEx(70*time.Millisecond, "r4") // le=0.1: evicts r2
+	h.ObserveDurationEx(2*time.Second, "r5")       // +Inf
+	h.ObserveDurationEx(80*time.Millisecond, "")   // untraced: counted, no exemplar
+
+	ex := h.Exemplars()
+	byLE := map[string][]string{}
+	for _, e := range ex {
+		byLE[e.LE] = append(byLE[e.LE], e.RID)
+	}
+	if got := byLE["0.01"]; len(got) != 1 || got[0] != "r1" {
+		t.Errorf("le=0.01 exemplars = %v, want [r1]", got)
+	}
+	if got := byLE["0.1"]; len(got) != 2 || got[0] != "r4" || got[1] != "r3" {
+		t.Errorf("le=0.1 exemplars = %v, want [r4 r3] (newest first, r2 evicted)", got)
+	}
+	if got := byLE["+Inf"]; len(got) != 1 || got[0] != "r5" {
+		t.Errorf("+Inf exemplars = %v, want [r5]", got)
+	}
+	// The counting path still saw every observation, rid or not.
+	if m := h.Merged(0); m.Count != 6 {
+		t.Errorf("merged count = %d, want 6", m.Count)
+	}
+}
+
+func TestWindowHistogramExemplarsDisabled(t *testing.T) {
+	h := NewWindowHistogram(time.Second, 4, []float64{0.01})
+	h.ObserveDurationEx(5*time.Millisecond, "r1")
+	if ex := h.Exemplars(); ex != nil {
+		t.Errorf("exemplars without EnableExemplars = %v, want nil", ex)
+	}
+	var nilH *WindowHistogram
+	nilH.EnableExemplars(2)
+	nilH.ObserveDurationEx(time.Millisecond, "r")
+	if ex := nilH.Exemplars(); ex != nil {
+		t.Errorf("nil histogram exemplars = %v, want nil", ex)
+	}
+}

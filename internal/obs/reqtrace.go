@@ -120,26 +120,33 @@ type RequestTrace struct {
 	Dur   int64
 	Code  string // "" = OK
 	Slow  bool   // Dur reached the recorder's slow threshold
-	Attrs []Attr
-	Spans []*ReqSpan
+	// Origin names the peer a forwarded request came from ("" for direct
+	// client traffic). Origin-tagged trees are the owner-side half of a
+	// cross-peer trace: stitching joins them to the requester's tree by ID,
+	// and the recorder keeps them out of the client-facing slow bucket by
+	// default (see RetainForwardedSlow).
+	Origin string
+	Attrs  []Attr
+	Spans  []*ReqSpan
 }
 
 type requestTraceJSON struct {
-	ID    string            `json:"id"`
-	Op    string            `json:"op"`
-	Start int64             `json:"start_ns"`
-	Dur   int64             `json:"dur_ns"`
-	Code  string            `json:"code,omitempty"`
-	Slow  bool              `json:"slow,omitempty"`
-	Attrs map[string]string `json:"attrs,omitempty"`
-	Spans []*ReqSpan        `json:"spans,omitempty"`
+	ID     string            `json:"id"`
+	Op     string            `json:"op"`
+	Start  int64             `json:"start_ns"`
+	Dur    int64             `json:"dur_ns"`
+	Code   string            `json:"code,omitempty"`
+	Slow   bool              `json:"slow,omitempty"`
+	Origin string            `json:"origin,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+	Spans  []*ReqSpan        `json:"spans,omitempty"`
 }
 
 // MarshalJSON renders the trace with attrs as a flat object.
 func (t *RequestTrace) MarshalJSON() ([]byte, error) {
 	return json.Marshal(requestTraceJSON{
 		ID: t.ID, Op: t.Op, Start: t.Start, Dur: t.Dur, Code: t.Code,
-		Slow: t.Slow, Attrs: attrMap(t.Attrs), Spans: t.Spans,
+		Slow: t.Slow, Origin: t.Origin, Attrs: attrMap(t.Attrs), Spans: t.Spans,
 	})
 }
 
@@ -150,7 +157,8 @@ func (t *RequestTrace) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*t = RequestTrace{ID: a.ID, Op: a.Op, Start: a.Start, Dur: a.Dur,
-		Code: a.Code, Slow: a.Slow, Attrs: mapAttrs(a.Attrs), Spans: a.Spans}
+		Code: a.Code, Slow: a.Slow, Origin: a.Origin,
+		Attrs: mapAttrs(a.Attrs), Spans: a.Spans}
 	return nil
 }
 
@@ -176,6 +184,17 @@ func (q *Req) SetAttr(key, value string) {
 	if q != nil {
 		q.tr.Attrs = append(q.tr.Attrs, Attr{Key: key, Value: value})
 	}
+}
+
+// SetOrigin marks the request as forwarded from the named peer. The tree
+// records the origin both structurally (RequestTrace.Origin, the stitching
+// join key) and as a visible attr.
+func (q *Req) SetOrigin(peer string) {
+	if q == nil || peer == "" {
+		return
+	}
+	q.tr.Origin = peer
+	q.tr.Attrs = append(q.tr.Attrs, Attr{Key: "origin", Value: peer})
 }
 
 // StartSpan opens a top-level phase span on the request.
@@ -231,9 +250,10 @@ func (r *ringBuf) list() []*RequestTrace {
 // span trees, and retains the interesting ones. All methods are safe for
 // concurrent use and nil-receiver safe.
 type RequestTracer struct {
-	k      int
-	seq    atomic.Uint64
-	slowNS atomic.Int64
+	k       int
+	seq     atomic.Uint64
+	slowNS  atomic.Int64
+	fwdSlow atomic.Bool // retain Origin-tagged trees in the slow bucket
 
 	// mirror receives every finished request's spans as flat tracer spans
 	// (rid attr added), so -trace JSONL files carry request phases too.
@@ -269,6 +289,17 @@ func NewRequestTracer(k int) *RequestTracer {
 func (t *RequestTracer) SetSlowThreshold(d time.Duration) {
 	if t != nil {
 		t.slowNS.Store(int64(d))
+	}
+}
+
+// RetainForwardedSlow opts forwarded (Origin-tagged) trees into the slow
+// bucket. By default they are filtered out: the slow view answers "which
+// client requests were slow here", and a forwarded tree's latency is
+// already accounted for inside the requester peer's own trace — retaining
+// both would double-count every slow cross-peer query.
+func (t *RequestTracer) RetainForwardedSlow(on bool) {
+	if t != nil {
+		t.fwdSlow.Store(on)
 	}
 }
 
@@ -335,7 +366,7 @@ func (t *RequestTracer) Record(tr *RequestTrace) {
 		t.errored++
 		t.errs.add(tr)
 	}
-	if tr.Slow {
+	if tr.Slow && (tr.Origin == "" || t.fwdSlow.Load()) {
 		t.slow.add(tr)
 	}
 	// Min-heap of the K slowest: the root is the fastest retained trace.

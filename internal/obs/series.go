@@ -233,6 +233,13 @@ func (s *SeriesRing) Sample() {
 	snap := s.reg.Snapshot()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The snapshot is taken outside the lock (it walks the whole
+	// registry); a concurrent sampler may have won the lock with a newer
+	// one. Appending the stale snapshot would emit an out-of-order point
+	// and roll prev backwards, so it is dropped instead.
+	if s.primed && !snap.At.After(s.prev.At) {
+		return
+	}
 	if s.primed {
 		s.add(snap.DeltaSince(s.prev))
 	}

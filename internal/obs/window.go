@@ -178,6 +178,11 @@ type WindowHistogram struct {
 	width  int64
 	bounds []float64
 	slots  []winHistSlot
+
+	// ex retains per-bucket exemplar rids (see exemplar.go). Set once at
+	// wiring time via EnableExemplars, before observations start; nil when
+	// exemplars are off.
+	ex *exemplarStore
 }
 
 // NewWindowHistogram builds a histogram with n windows of the given width
@@ -221,10 +226,17 @@ func (h *WindowHistogram) observeAt(now time.Time, v float64) {
 			s.sum.Set(0)
 		})
 	}
-	i := sort.SearchFloat64s(h.bounds, v)
-	s.counts[i].Add(1)
+	s.counts[bucketIndex(h.bounds, v)].Add(1)
 	s.n.Add(1)
 	s.sum.Add(v)
+}
+
+// bucketIndex maps a sample onto its bucket under the inclusive-upper-
+// bound `le` convention; len(bounds) is the overflow bucket. Shared by
+// the counting path and exemplar retention so the two never disagree
+// about where a sample landed.
+func bucketIndex(bounds []float64, v float64) int {
+	return sort.SearchFloat64s(bounds, v)
 }
 
 // rotate claims slot s for epoch e; see winSlot.rotate for the protocol.

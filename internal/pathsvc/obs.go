@@ -76,6 +76,11 @@ func newSvcMetrics(reg *obs.Registry, s *Server) *svcMetrics {
 		execWindow: obs.NewWindowHistogram(
 			obs.DefaultWindowWidth, obs.DefaultWindowCount, obs.DefLatencyBuckets),
 	}
+	// Exemplars tie fat latency buckets to retrievable rids in
+	// /debug/requests. Only rid-carrying observations record one, so the
+	// untraced hot path keeps its fixed allocation budget.
+	m.requestWindow.EnableExemplars(obs.DefaultExemplarK)
+	m.execWindow.EnableExemplars(obs.DefaultExemplarK)
 	windowed := func(name, help string, w *obs.WindowHistogram) {
 		for _, q := range []struct {
 			label string
@@ -101,6 +106,8 @@ func newSvcMetrics(reg *obs.Registry, s *Server) *svcMetrics {
 			"Queries that arrived already forwarded by a peer (hop-guard bit set).", s.counters.ForwardedIn.Load)
 		reg.CounterFunc("cluster_degraded_local_total",
 			"Non-owned queries answered locally after a failed or shed forward.", s.counters.DegradedLocal.Load)
+		reg.CounterFunc("cluster_batch_local_total",
+			"Batches answered locally despite containing non-owned pairs (batch forwarding gap).", s.counters.BatchLocal.Load)
 	}
 	if s.cfg.Peer != "" {
 		// Peer-labeled aliases of the core ledger: same callbacks, one extra
@@ -121,11 +128,12 @@ func newSvcMetrics(reg *obs.Registry, s *Server) *svcMetrics {
 	return m
 }
 
-// observeRequest records one end-to-end latency sample. Nil-safe.
-func (m *svcMetrics) observeRequest(d time.Duration) {
+// observeRequest records one end-to-end latency sample, retained as a
+// bucket exemplar when the request carried a rid. Nil-safe.
+func (m *svcMetrics) observeRequest(d time.Duration, rid string) {
 	if m != nil {
 		m.requestSeconds.ObserveDuration(d)
-		m.requestWindow.ObserveDuration(d)
+		m.requestWindow.ObserveDurationEx(d, rid)
 	}
 }
 
@@ -138,11 +146,32 @@ func (m *svcMetrics) observeQueueWait(d time.Duration) {
 }
 
 // observeExec records one construction/execution latency sample (shared by
-// every coalesced recipient, so recorded once per leader). Nil-safe.
-func (m *svcMetrics) observeExec(d time.Duration) {
+// every coalesced recipient, so recorded once per leader), retained as a
+// bucket exemplar when the request carried a rid. Nil-safe.
+func (m *svcMetrics) observeExec(d time.Duration, rid string) {
 	if m != nil {
-		m.execWindow.ObserveDuration(d)
+		m.execWindow.ObserveDurationEx(d, rid)
 	}
+}
+
+// RequestExemplars reports the request-latency window's retained
+// exemplars: for each occupied bucket, the K most recent rids whose
+// end-to-end latency landed there, so a fat tail bucket in /debug/series
+// or /debug/cluster links directly to trees in /debug/requests. Empty
+// without a registry.
+func (s *Server) RequestExemplars() []obs.Exemplar {
+	if s.met == nil {
+		return nil
+	}
+	return s.met.requestWindow.Exemplars()
+}
+
+// ExecExemplars is RequestExemplars for the construction-time window.
+func (s *Server) ExecExemplars() []obs.Exemplar {
+	if s.met == nil {
+		return nil
+	}
+	return s.met.execWindow.Exemplars()
 }
 
 // reqTrace carries one request's span-tree handles across the serving
@@ -162,13 +191,17 @@ type reqTrace struct {
 	enc   *obs.ReqSpan
 }
 
-// beginTrace opens a request trace with its admission span. Returns nil
-// when request tracing is disabled.
-func (s *Server) beginTrace(op, rid, remote string) *reqTrace {
+// beginTrace opens a request trace with its admission span. origin is the
+// forwarding peer's address on a cluster-forwarded request ("" on direct
+// client traffic): the tree is tagged with it, which routes it out of the
+// client-facing slow bucket and marks it as the owner-side half of a
+// cross-peer stitch. Returns nil when request tracing is disabled.
+func (s *Server) beginTrace(op, rid, remote, origin string) *reqTrace {
 	if s.cfg.Requests == nil {
 		return nil
 	}
 	q := s.cfg.Requests.StartRequest(op, rid, obs.String("peer", remote))
+	q.SetOrigin(origin)
 	return &reqTrace{q: q, admit: q.StartSpan("admission")}
 }
 
@@ -208,6 +241,43 @@ func (t *reqTrace) endForward() {
 	if t != nil && t.fwd != nil {
 		t.fwd.End()
 		t.fwd = nil
+	}
+}
+
+// endForwardWith closes the forward span annotated with the hop's remote
+// timing: which peer answered, plus remote_queue / remote_exec / wire
+// child spans synthesized from the owner's relayed queue_ns and exec_ns —
+// so the hop decomposes without scraping the owner. The children are laid
+// out sequentially from the span's start; wire is the residue of the
+// measured hop not explained by the remote phases (clamped at zero
+// against clock jitter).
+func (t *reqTrace) endForwardWith(peer string, queueNS, execNS int64) {
+	if t == nil || t.fwd == nil {
+		return
+	}
+	fwd := t.fwd
+	if peer != "" {
+		fwd.SetAttr("peer", peer)
+	}
+	fwd.End()
+	t.fwd = nil
+	if queueNS <= 0 && execNS <= 0 {
+		return
+	}
+	at := fwd.Start
+	if queueNS > 0 {
+		fwd.Children = append(fwd.Children,
+			&obs.ReqSpan{Name: "remote_queue", Start: at, Dur: queueNS})
+		at += queueNS
+	}
+	if execNS > 0 {
+		fwd.Children = append(fwd.Children,
+			&obs.ReqSpan{Name: "remote_exec", Start: at, Dur: execNS})
+		at += execNS
+	}
+	if wire := fwd.Dur - queueNS - execNS; wire > 0 {
+		fwd.Children = append(fwd.Children,
+			&obs.ReqSpan{Name: "wire", Start: at, Dur: wire})
 	}
 }
 

@@ -80,11 +80,13 @@ type Forwarder interface {
 	// Owns reports whether this process owns the canonicalized (u, v) key.
 	Owns(u, v hhc.Node) bool
 	// Forward relays req to the owning peer and decodes its answer into
-	// resp. A non-nil error is either transport-level (the peer is
-	// unreachable or the stream broke — the server falls back to a local,
-	// correctness-preserving answer) or a *ServerError carrying the owner's
-	// verdict.
-	Forward(req *RequestV2, resp *ResponseV2) error
+	// resp, returning the owner's address so the requester's trace can
+	// attribute the hop. A non-nil error is either transport-level (the
+	// peer is unreachable or the stream broke — the server falls back to a
+	// local, correctness-preserving answer) or a *ServerError carrying the
+	// owner's verdict; peer names the attempted owner in both cases when
+	// known.
+	Forward(req *RequestV2, resp *ResponseV2) (peer string, err error)
 }
 
 // Config tunes a Server. The zero value of every field selects a sensible
@@ -171,22 +173,23 @@ type Counters struct {
 	ForwardErrors stats.Counter // forwards that failed (peer down, overload, stream broken)
 	ForwardedIn   stats.Counter // queries that arrived already forwarded by a peer
 	DegradedLocal stats.Counter // non-owned queries answered locally after a failed forward
+	BatchLocal    stats.Counter // batches answered locally despite containing non-owned pairs
 }
 
 // Snapshot is a point-in-time reading of Counters.
 type Snapshot struct {
-	Conns, Requests, Admitted, Shed, Coalesced         int64
-	Degraded, Deadline, Failed, Completed              int64
-	Forwarded, ForwardErrors, ForwardedIn, DegradedLoc int64
+	Conns, Requests, Admitted, Shed, Coalesced                     int64
+	Degraded, Deadline, Failed, Completed                          int64
+	Forwarded, ForwardErrors, ForwardedIn, DegradedLoc, BatchLocal int64
 }
 
 // String renders the snapshot on one line for CLI summaries.
 func (s Snapshot) String() string {
 	line := fmt.Sprintf("conns=%d requests=%d admitted=%d shed=%d coalesced=%d degraded=%d deadline=%d failed=%d completed=%d",
 		s.Conns, s.Requests, s.Admitted, s.Shed, s.Coalesced, s.Degraded, s.Deadline, s.Failed, s.Completed)
-	if s.Forwarded > 0 || s.ForwardErrors > 0 || s.ForwardedIn > 0 || s.DegradedLoc > 0 {
-		line += fmt.Sprintf(" forwarded=%d fwd_errors=%d fwd_in=%d degraded_local=%d",
-			s.Forwarded, s.ForwardErrors, s.ForwardedIn, s.DegradedLoc)
+	if s.Forwarded > 0 || s.ForwardErrors > 0 || s.ForwardedIn > 0 || s.DegradedLoc > 0 || s.BatchLocal > 0 {
+		line += fmt.Sprintf(" forwarded=%d fwd_errors=%d fwd_in=%d degraded_local=%d batch_local=%d",
+			s.Forwarded, s.ForwardErrors, s.ForwardedIn, s.DegradedLoc, s.BatchLocal)
 	}
 	return line
 }
@@ -470,6 +473,7 @@ func (s *Server) Counters() Snapshot {
 		ForwardErrors: s.counters.ForwardErrors.Load(),
 		ForwardedIn:   s.counters.ForwardedIn.Load(),
 		DegradedLoc:   s.counters.DegradedLocal.Load(),
+		BatchLocal:    s.counters.BatchLocal.Load(),
 	}
 }
 
@@ -671,7 +675,7 @@ func (s *Server) handleConn(conn net.Conn) {
 func (s *Server) dispatch(pc *serverConn, req Request) {
 	s.counters.Requests.Inc()
 	start := time.Now()
-	tr := s.beginTrace(req.Op, req.RID, pc.remote)
+	tr := s.beginTrace(req.Op, req.RID, pc.remote, req.Origin)
 	// The echoed request id: the trace id when tracing is on (it adopts a
 	// client-supplied RID), else a pass-through of whatever the client sent.
 	rid := req.RID
@@ -684,7 +688,7 @@ func (s *Server) dispatch(pc *serverConn, req Request) {
 		s.counters.Completed.Inc()
 		pc.send(&Response{Ver: ProtocolVersion, ID: req.ID, RID: rid, Op: req.Op})
 		tr.finish(CodeOK)
-		s.met.observeRequest(time.Since(start))
+		s.met.observeRequest(time.Since(start), rid)
 		return
 	case OpInfo:
 		s.counters.Completed.Inc()
@@ -692,7 +696,7 @@ func (s *Server) dispatch(pc *serverConn, req Request) {
 			M: s.g.M(), Full: s.g.M() + 1, Width: s.g.M() + 1,
 			VerMax: MaxProtocolVersion})
 		tr.finish(CodeOK)
-		s.met.observeRequest(time.Since(start))
+		s.met.observeRequest(time.Since(start), rid)
 		return
 	case OpPaths, OpBatch, OpRoute:
 	default:
@@ -760,7 +764,7 @@ func (s *Server) dispatchV2(pc *serverConn, req *RequestV2) {
 	s.counters.Requests.Inc()
 	start := time.Now()
 	op, _ := opNameOf(req.Op)
-	tr := s.beginTrace(op, req.RID, pc.remote)
+	tr := s.beginTrace(op, req.RID, pc.remote, req.Origin)
 	rid := req.RID
 	if id := tr.id(); id != "" {
 		rid = id
@@ -771,14 +775,14 @@ func (s *Server) dispatchV2(pc *serverConn, req *RequestV2) {
 		s.counters.Completed.Inc()
 		pc.sendV2(&ResponseV2{ID: req.ID, RID: rid, Op: req.Op})
 		tr.finish(CodeOK)
-		s.met.observeRequest(time.Since(start))
+		s.met.observeRequest(time.Since(start), rid)
 		return
 	case OpCodeInfo:
 		s.counters.Completed.Inc()
 		pc.sendV2(&ResponseV2{ID: req.ID, RID: rid, Op: req.Op,
 			M: s.g.M(), Full: s.g.M() + 1, Width: s.g.M() + 1})
 		tr.finish(CodeOK)
-		s.met.observeRequest(time.Since(start))
+		s.met.observeRequest(time.Since(start), rid)
 		return
 	}
 
@@ -962,7 +966,17 @@ func (s *Server) forward(t *task) {
 // answer and is relayed as-is.
 func (s *Server) runForward(t *task) {
 	opc, _ := opCodeOf(t.op)
-	req := RequestV2{Op: opc, RID: t.rid, U: t.u, V: t.v, Forwarded: true}
+	// The rid and this peer's own address travel with the hop, so the owner
+	// records the forwarded tree under the same rid, tagged with its origin
+	// — the two halves of the cross-peer trace stitch back together by rid.
+	// A client that supplied no rid still gets a joinable trace: the hop
+	// carries the id the flight recorder minted for this request.
+	rid := t.rid
+	if rid == "" {
+		rid = t.tr.id()
+	}
+	req := RequestV2{Op: opc, RID: rid, U: t.u, V: t.v,
+		Forwarded: true, Origin: s.cfg.Peer}
 	if len(t.faults) > 0 {
 		req.Faults = make([]hhc.Node, 0, len(t.faults))
 		for f := range t.faults {
@@ -977,9 +991,14 @@ func (s *Server) runForward(t *task) {
 	}
 	req.TimeoutNS = int64(remaining)
 	var resp ResponseV2
-	err := s.cfg.Router.Forward(&req, &resp)
+	peer, err := s.cfg.Router.Forward(&req, &resp)
 	if err == nil {
-		t.tr.endForward()
+		// Relay the owner's timing into this requester's view: the forward
+		// span decomposes into remote queue/exec/wire children, and the
+		// response's queue_ns reports the remote queue wait (this side never
+		// queued, so the field would otherwise read 0 and hide the stall).
+		t.tr.endForwardWith(peer, resp.QueueNS, resp.ExecNS)
+		t.queueNS = resp.QueueNS
 		s.counters.Forwarded.Inc()
 		s.deliverAll(t, outcome{paths: resp.Paths, execNS: resp.ExecNS})
 		return
@@ -988,7 +1007,7 @@ func (s *Server) runForward(t *task) {
 	if errors.As(err, &se) && !errors.Is(se, ErrOverload) && !errors.Is(se, ErrShutdown) {
 		// The owner reached a verdict (bad_request, unroutable, deadline,
 		// internal): that verdict is the answer — the hop itself worked.
-		t.tr.endForward()
+		t.tr.endForwardWith(peer, resp.QueueNS, resp.ExecNS)
 		s.counters.Forwarded.Inc()
 		s.deliverAll(t, outcome{code: se.Code, errMsg: se.Msg})
 		return
@@ -1065,7 +1084,7 @@ func (s *Server) process(t *task) {
 			}
 		}
 		out.execNS = int64(time.Since(execStart))
-		s.met.observeExec(time.Duration(out.execNS))
+		s.met.observeExec(time.Duration(out.execNS), t.rid)
 		t.tr.endExec()
 	}
 	s.deliverAll(t, out)
@@ -1119,6 +1138,7 @@ const (
 func (s *Server) doBatch(t *task) outcome {
 	sizeBudget := s.cfg.MaxFrame - batchEnvelopeBytes
 	size := 0
+	nonOwned := false
 	results := make([]BatchItem, 0, len(t.pairs))
 	for i, pair := range t.pairs {
 		if time.Now().After(t.deadline) {
@@ -1129,6 +1149,9 @@ func (s *Server) doBatch(t *task) outcome {
 		if err == nil {
 			var v hhc.Node
 			if v, err = s.g.ParseNode(pair[1]); err == nil {
+				if s.cfg.Router != nil && !s.cfg.Router.Owns(u, v) {
+					nonOwned = true
+				}
 				var paths [][]hhc.Node
 				if paths, err = s.cache.Paths(u, v, core.Options{}); err == nil {
 					item.Paths = s.formatPaths(paths, len(paths))
@@ -1148,7 +1171,19 @@ func (s *Server) doBatch(t *task) outcome {
 		}
 		results = append(results, item)
 	}
+	s.noteBatchLocal(t, nonOwned)
 	return outcome{results: results}
+}
+
+// noteBatchLocal counts a batch that was answered locally even though it
+// contained pairs another peer owns — batch forwarding is a known gap
+// (see ROADMAP), and this counter makes its cost visible in telemetry
+// instead of silently folding into local work. Hop-guarded batches are
+// excluded: a forwarded batch is supposed to be answered locally.
+func (s *Server) noteBatchLocal(t *task, nonOwned bool) {
+	if nonOwned && s.cfg.Router != nil && !t.forwarded {
+		s.counters.BatchLocal.Inc()
+	}
 }
 
 // doBatchV2 serves a binary batch: per-pair containers kept node-native
@@ -1159,6 +1194,7 @@ func (s *Server) doBatch(t *task) outcome {
 func (s *Server) doBatchV2(t *task) outcome {
 	sizeBudget := s.cfg.MaxFrame - batchEnvelopeBytes
 	size := 0
+	nonOwned := false
 	results := make([]BatchItemV2, 0, len(t.nodePairs))
 	for i, pair := range t.nodePairs {
 		if time.Now().After(t.deadline) {
@@ -1171,6 +1207,9 @@ func (s *Server) doBatchV2(t *task) outcome {
 		} else if !s.g.Contains(pair.V) {
 			err = s.nodeRangeErr(pair.V)
 		} else {
+			if s.cfg.Router != nil && !s.cfg.Router.Owns(pair.U, pair.V) {
+				nonOwned = true
+			}
 			var paths [][]hhc.Node
 			if paths, err = s.cache.Paths(pair.U, pair.V, core.Options{}); err == nil {
 				item.Paths = paths
@@ -1187,6 +1226,7 @@ func (s *Server) doBatchV2(t *task) outcome {
 		}
 		results = append(results, item)
 	}
+	s.noteBatchLocal(t, nonOwned)
 	return outcome{resultsV2: results}
 }
 
@@ -1269,7 +1309,7 @@ func (s *Server) deliver(p pendingReq, out outcome) {
 	p.pc.send(resp)
 	p.tr.endEncode()
 	p.tr.finish(code)
-	s.met.observeRequest(time.Since(p.start))
+	s.met.observeRequest(time.Since(p.start), p.rid)
 }
 
 // deliverV2 renders one binary-protocol recipient's response. The OK path
@@ -1333,7 +1373,7 @@ func (s *Server) deliverV2(p pendingReq, out outcome) {
 	p.pc.sendV2(&resp)
 	p.tr.endEncode()
 	p.tr.finish(code)
-	s.met.observeRequest(time.Since(p.start))
+	s.met.observeRequest(time.Since(p.start), p.rid)
 }
 
 // formatPaths renders the first k container paths in wire form.

@@ -97,6 +97,10 @@ type Request struct {
 	// the receiving peer answers locally even when membership views
 	// disagree about ownership, so a query crosses at most one extra hop.
 	Fwd bool `json:"fwd,omitempty"`
+	// Origin names the forwarding peer on an Fwd request (the requester's
+	// advertised -self address): the owner tags its request trace with it,
+	// so cross-peer trees stitch by rid + origin. Empty on direct traffic.
+	Origin string `json:"origin,omitempty"`
 	// TimeoutMS, when > 0, caps this request's end-to-end time (queue wait
 	// included); otherwise the server default applies.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`

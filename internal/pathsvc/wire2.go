@@ -22,6 +22,7 @@
 //	request:  f2 | ver | op | flags | id u64 | timeout_ns u64 | max_paths u32
 //	          paths: u v | route: u v nfaults u32 faults | batch: n u32 pairs
 //	          [rid: len u16 bytes]                         (flags bit 0)
+//	          [origin: len u16 bytes]                      (flags bit 5)
 //	          flags bit 4 marks a peer-forwarded query (hop guard, no tail)
 //	response: f2 | ver | op | flags | id u64 | status u8 | queue_ns u64
 //	          | exec_ns u64 | retry_ns u64 | width u16 | full u16 | m u8
@@ -74,6 +75,7 @@ const (
 	flagCoalesced = 1 << 2 // response: answered off an in-flight duplicate
 	flagErr       = 1 << 3 // response: error-detail tail present
 	flagForwarded = 1 << 4 // request: relayed peer-to-peer once already (hop guard)
+	flagOrigin    = 1 << 5 // request: origin-peer tail present (forwarded trace context)
 )
 
 // Fixed header lengths.
@@ -198,6 +200,11 @@ type RequestV2 struct {
 	// hop guard, v1's Fwd): the receiving peer must answer locally and
 	// never forward again.
 	Forwarded bool
+	// Origin names the forwarding peer on a Forwarded request (the
+	// requester's advertised -self address), so the owner's request trace
+	// records which peer the query came from and fleet-level stitching can
+	// join the two trees. Empty on direct client traffic.
+	Origin string
 }
 
 // BatchItemV2 is one per-pair outcome inside a v2 batch response.
@@ -247,12 +254,18 @@ func appendNode(buf []byte, u hhc.Node) []byte {
 //hhc:hotpath
 func AppendRequestV2(buf []byte, req *RequestV2) []byte {
 	var flags uint8
-	rid := req.RID
+	rid, origin := req.RID, req.Origin
 	if len(rid) > 0xffff {
 		rid = ""
 	}
+	if len(origin) > 0xffff {
+		origin = ""
+	}
 	if rid != "" {
 		flags |= flagRID
+	}
+	if origin != "" {
+		flags |= flagOrigin
 	}
 	if req.Forwarded {
 		flags |= flagForwarded
@@ -287,6 +300,10 @@ func AppendRequestV2(buf []byte, req *RequestV2) []byte {
 	if flags&flagRID != 0 {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(rid)))
 		buf = append(buf, rid...)
+	}
+	if flags&flagOrigin != 0 {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(origin)))
+		buf = append(buf, origin...)
 	}
 	return buf
 }
@@ -509,6 +526,7 @@ func (c *v2cur) header() (op, flags uint8, id uint64, err error) {
 //hhc:hotpath
 func DecodeRequestV2(payload []byte, req *RequestV2) error {
 	req.RID = ""
+	req.Origin = ""
 	req.Faults = req.Faults[:0]
 	req.Pairs = req.Pairs[:0]
 	c := v2cur{b: payload}
@@ -568,6 +586,11 @@ func DecodeRequestV2(payload []byte, req *RequestV2) error {
 	}
 	if flags&flagRID != 0 {
 		if req.RID, ok = c.str(); !ok {
+			return errV2Short
+		}
+	}
+	if flags&flagOrigin != 0 {
+		if req.Origin, ok = c.str(); !ok {
 			return errV2Short
 		}
 	}

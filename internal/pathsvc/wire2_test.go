@@ -22,6 +22,10 @@ func reqV2Cases() []RequestV2 {
 		{Op: OpCodeRoute, ID: 5, U: n2(9, 0), V: n2(10, 1), Faults: []hhc.Node{}},
 		{Op: OpCodeBatch, ID: 6, RID: "r",
 			Pairs: []NodePair{{U: n2(1, 0), V: n2(2, 1)}, {U: n2(3, 2), V: n2(4, 3)}}},
+		{Op: OpCodePaths, ID: 7, RID: "r42", U: n2(5, 1), V: n2(6, 2),
+			Forwarded: true, Origin: "10.0.0.1:9100"},
+		{Op: OpCodeRoute, ID: 8, U: n2(7, 0), V: n2(8, 3),
+			Faults: []hhc.Node{n2(9, 4)}, Forwarded: true, Origin: "peer-a:1"},
 	}
 }
 
@@ -112,7 +116,8 @@ func TestResponseV2RoundTrip(t *testing.T) {
 // previously held a large one must not leak the old request's slices.
 func TestDecodeV2ScratchReuse(t *testing.T) {
 	big := RequestV2{Op: OpCodeRoute, ID: 1, U: n2(1, 1), V: n2(2, 2),
-		Faults: []hhc.Node{n2(3, 3), n2(4, 4), n2(5, 5)}, RID: "long-request-id"}
+		Faults: []hhc.Node{n2(3, 3), n2(4, 4), n2(5, 5)}, RID: "long-request-id",
+		Forwarded: true, Origin: "10.0.0.9:9100"}
 	small := RequestV2{Op: OpCodePaths, ID: 2, U: n2(7, 7), V: n2(8, 0)}
 	var scratch RequestV2
 	if err := DecodeRequestV2(AppendRequestV2(nil, &big), &scratch); err != nil {
@@ -121,7 +126,7 @@ func TestDecodeV2ScratchReuse(t *testing.T) {
 	if err := DecodeRequestV2(AppendRequestV2(nil, &small), &scratch); err != nil {
 		t.Fatal(err)
 	}
-	if len(scratch.Faults) != 0 || scratch.RID != "" || scratch.ID != 2 {
+	if len(scratch.Faults) != 0 || scratch.RID != "" || scratch.Origin != "" || scratch.ID != 2 {
 		t.Fatalf("scratch bleed-through: %+v", scratch)
 	}
 
